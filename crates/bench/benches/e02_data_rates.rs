@@ -1,0 +1,47 @@
+//! E2 — Peak data-rate evolution: 2 → 11 → 54 → 600 Mbps, with the full
+//! 802.11n MCS ladder that produces the 600 Mbps endpoint.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wlan_bench::header;
+use wlan_core::mimo::mcs::{Bandwidth, GuardInterval, HtMcs};
+use wlan_core::standard::Standard;
+
+fn experiment(c: &mut Criterion) {
+    header(
+        "E2",
+        "peak PHY rates (paper: 2 -> 11 -> 54 -> 600 Mbps)",
+    );
+    for s in Standard::all() {
+        println!(
+            "{:<10} {:>6.0} Mbps   ({})",
+            s.name(),
+            s.peak_rate_mbps(),
+            s.technology()
+        );
+    }
+
+    println!("\n802.11n MCS ladder (40 MHz, short GI):");
+    for streams in 1..=4usize {
+        let rates: Vec<String> = (0..8)
+            .map(|i| {
+                let mcs = HtMcs::new((streams as u8 - 1) * 8 + i).expect("valid MCS");
+                format!(
+                    "{:>6.1}",
+                    mcs.data_rate_mbps(Bandwidth::Mhz40, GuardInterval::Short)
+                )
+            })
+            .collect();
+        println!("  {streams} stream(s): {}", rates.join(" "));
+    }
+
+    c.bench_function("e02_mcs_table", |b| {
+        b.iter(|| {
+            HtMcs::all()
+                .map(|m| m.data_rate_mbps(Bandwidth::Mhz40, GuardInterval::Short))
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, experiment);
+criterion_main!(benches);

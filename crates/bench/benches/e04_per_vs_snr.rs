@@ -1,0 +1,67 @@
+//! E4 — PER versus SNR for every generation's representative rates: the
+//! robustness-for-rate trade that each fivefold step paid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wlan_bench::header;
+use wlan_core::dsss::DsssRate;
+use wlan_core::linksim::{sweep_per, DsssLink, MimoLink, OfdmLink, PhyLink};
+use wlan_core::ofdm::OfdmRate;
+
+fn experiment(c: &mut Criterion) {
+    header(
+        "E4",
+        "PER vs SNR by generation (100-byte frames, AWGN / flat fading)",
+    );
+    let snrs: Vec<f64> = (0..12).map(|i| -2.0 + 3.0 * i as f64).collect();
+    let frames = 60;
+    let payload = 100;
+
+    let links: Vec<Box<dyn PhyLink>> = vec![
+        Box::new(DsssLink {
+            rate: DsssRate::Dbpsk1M,
+        }),
+        Box::new(DsssLink {
+            rate: DsssRate::Dqpsk2M,
+        }),
+        Box::new(DsssLink {
+            rate: DsssRate::Cck11M,
+        }),
+        Box::new(OfdmLink::awgn(OfdmRate::R6)),
+        Box::new(OfdmLink::awgn(OfdmRate::R24)),
+        Box::new(OfdmLink::awgn(OfdmRate::R54)),
+        Box::new(MimoLink::flat(2, 2)),
+        Box::new(MimoLink::flat(1, 2)),
+    ];
+
+    print!("{:>30}", "SNR(dB):");
+    for s in &snrs {
+        print!("{s:>6.0}");
+    }
+    println!();
+    let mut required = Vec::new();
+    for link in &links {
+        let curve = sweep_per(link.as_ref(), &snrs, payload, frames, 4);
+        print!("{:>30}", curve.name);
+        for p in &curve.points {
+            print!("{:>6.2}", p.per);
+        }
+        println!();
+        required.push((curve.name.clone(), curve.snr_for_per(0.1)));
+    }
+
+    println!("\nSNR required for PER <= 10 %:");
+    for (name, snr) in required {
+        match snr {
+            Some(s) => println!("{name:>30}: {s:>5.1} dB"),
+            None => println!("{name:>30}:   not reached in sweep"),
+        }
+    }
+
+    let link = OfdmLink::awgn(OfdmRate::R24);
+    c.bench_function("e04_ofdm24_frame_at_15db", |b| {
+        b.iter(|| sweep_per(&link, &[15.0], payload, 5, 1))
+    });
+}
+
+criterion_group!(benches, experiment);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E11 — "Multiple transmit and receive RF chains, not to mention the
+//! additional baseband processing involved, significantly increase the
+//! power consumption over single antenna devices."
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wlan_bench::header;
+use wlan_core::power::budget::{baseband_rx_mw, energy_per_bit_nj, ops, PowerBudget};
+
+fn experiment(c: &mut Criterion) {
+    header("E11", "device power vs antenna count (RF chains + baseband)");
+
+    let symbol_rate = 250_000.0; // 4 µs OFDM symbols
+    println!(
+        "{:>7} {:>9} {:>9} {:>12} {:>11} {:>14}",
+        "config", "rx RF mW", "tx RF mW", "baseband mW", "rate Mbps", "nJ per bit"
+    );
+    for n in [1usize, 2, 3, 4] {
+        let b = PowerBudget::wlan_2005(n, n);
+        let coded_bits = (n * 288) as f64; // 64-QAM per stream
+        let bb = baseband_rx_mw(n, n, symbol_rate, coded_bits);
+        // Long-GI 64-QAM r=3/4 per stream: 65 Mbps-ish each at 20 MHz.
+        let rate = 58.5 * n as f64;
+        let total = b.rx_active_mw() + bb;
+        println!(
+            "{:>7} {:>9.0} {:>9.0} {:>12.1} {:>11.0} {:>14.2}",
+            format!("{n}x{n}"),
+            b.rx_active_mw(),
+            b.tx_active_mw(),
+            bb,
+            rate,
+            energy_per_bit_nj(total, rate)
+        );
+    }
+
+    println!("\nBaseband op counts per OFDM symbol (complex MACs):");
+    for n in [1usize, 2, 4] {
+        println!(
+            "  {n}x{n}: {} FFT + {} MIMO detection",
+            (n as f64 * ops::fft_cmacs(64)) as u64,
+            (48.0 * ops::mimo_detect_cmacs(n, n)) as u64
+        );
+    }
+    println!(
+        "\nReading: RF power grows linearly with chains and detection \
+         superlinearly with streams — yet energy *per bit* improves, \
+         because rate grows faster than power. The paper's challenge is the \
+         absolute budget; the saving grace is efficiency per bit."
+    );
+
+    c.bench_function("e11_power_table", |b| {
+        b.iter(|| {
+            (1..=4)
+                .map(|n| PowerBudget::wlan_2005(n, n).rx_active_mw())
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, experiment);
+criterion_main!(benches);

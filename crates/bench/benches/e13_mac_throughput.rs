@@ -1,0 +1,131 @@
+//! E13 — DCF saturation throughput versus station count and PHY rate:
+//! the MAC-efficiency wall that motivates aggregation, validated against
+//! Bianchi's analytic model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wlan_bench::header;
+use wlan_core::mac::bianchi::saturation_throughput;
+use wlan_core::mac::dcf::{simulate_dcf, DcfConfig};
+use wlan_core::mac::params::MacProfile;
+
+fn experiment(c: &mut Criterion) {
+    header("E13", "DCF saturation throughput: simulation vs Bianchi model");
+    let payload = 1500;
+
+    println!("802.11a @ 54 Mbps, 1500-byte frames:");
+    println!(
+        "{:>10} {:>10} {:>10} {:>9} {:>9}",
+        "stations", "sim Mbps", "model Mbps", "sim p", "model p"
+    );
+    for n in [1usize, 2, 5, 10, 20, 50] {
+        let profile = MacProfile::dot11a(54.0);
+        let sim = simulate_dcf(&DcfConfig {
+            profile,
+            n_stations: n,
+            payload_bytes: payload,
+            rts_cts: false,
+            sim_time_us: 3_000_000.0,
+            seed: 13,
+        });
+        let model = saturation_throughput(&profile, n, payload, false);
+        println!(
+            "{n:>10} {:>10.2} {:>10.2} {:>9.3} {:>9.3}",
+            sim.throughput_mbps,
+            model.throughput_mbps,
+            sim.collision_probability,
+            model.collision_probability
+        );
+    }
+
+    println!("\nMAC efficiency vs PHY rate (10 stations, single frames):");
+    println!(
+        "{:>12} {:>12} {:>11}",
+        "PHY Mbps", "MAC Mbps", "efficiency"
+    );
+    for (profile, rate) in [
+        (MacProfile::dot11b(11.0), 11.0),
+        (MacProfile::dot11a(54.0), 54.0),
+        (MacProfile::dot11n(150.0), 150.0),
+        (MacProfile::dot11n(600.0), 600.0),
+    ] {
+        let sim = simulate_dcf(&DcfConfig {
+            profile,
+            n_stations: 10,
+            payload_bytes: payload,
+            rts_cts: false,
+            sim_time_us: 3_000_000.0,
+            seed: 13,
+        });
+        println!(
+            "{rate:>12.0} {:>12.1} {:>10.0}%",
+            sim.throughput_mbps,
+            100.0 * sim.throughput_mbps / rate
+        );
+    }
+
+    println!("\nOffered-load sweep (10 stations, Poisson arrivals, 54 Mbps):");
+    println!(
+        "{:>14} {:>14} {:>12} {:>12}",
+        "offered Mbps", "delivered", "mean delay", "p95 delay"
+    );
+    use wlan_core::mac::traffic::{simulate_traffic, TrafficConfig};
+    for rate_hz in [20.0, 80.0, 140.0, 200.0, 300.0] {
+        let out = simulate_traffic(&TrafficConfig {
+            profile: MacProfile::dot11a(54.0),
+            n_stations: 10,
+            payload_bytes: payload,
+            arrival_rate_hz: rate_hz,
+            sim_time_us: 3_000_000.0,
+            seed: 13,
+        });
+        println!(
+            "{:>14.1} {:>14.1} {:>9.1} ms {:>9.1} ms",
+            out.offered_mbps,
+            out.delivered_mbps,
+            out.mean_delay_us / 1000.0,
+            out.p95_delay_us / 1000.0
+        );
+    }
+
+    println!("\nRTS/CTS ablation (2000-byte frames, heavy contention):");
+    for n in [10usize, 50] {
+        let base = DcfConfig {
+            profile: MacProfile::dot11a(54.0),
+            n_stations: n,
+            payload_bytes: 2000,
+            rts_cts: false,
+            sim_time_us: 3_000_000.0,
+            seed: 13,
+        };
+        let basic = simulate_dcf(&base);
+        let rts = simulate_dcf(&DcfConfig {
+            rts_cts: true,
+            ..base
+        });
+        println!(
+            "  {n:>3} stations: basic {:>6.2} Mbps, RTS/CTS {:>6.2} Mbps",
+            basic.throughput_mbps, rts.throughput_mbps
+        );
+    }
+    println!(
+        "\nReading: the simulator tracks Bianchi within a few percent; MAC \
+         efficiency collapses from ~70 % at 11 Mbps to ~10 % at 600 Mbps \
+         without aggregation — the cliff E14 fixes."
+    );
+
+    c.bench_function("e13_dcf_10sta_100ms", |b| {
+        b.iter(|| {
+            simulate_dcf(&DcfConfig {
+                profile: MacProfile::dot11a(54.0),
+                n_stations: 10,
+                payload_bytes: payload,
+                rts_cts: false,
+                sim_time_us: 100_000.0,
+                seed: 13,
+            })
+        })
+    });
+}
+
+criterion_group!(benches, experiment);
+criterion_main!(benches);

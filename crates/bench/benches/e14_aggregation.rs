@@ -1,0 +1,67 @@
+//! E14 — A-MPDU aggregation: how 802.11n keeps its 600 Mbps usable.
+//! MAC efficiency versus aggregation size at 54 vs 600 Mbps, plus the
+//! lossy-channel goodput of selective block-ACK retransmission.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wlan_bench::header;
+use wlan_core::mac::aggregation::{
+    aggregated_throughput_mbps, mac_efficiency, simulate_lossy_aggregation,
+};
+use wlan_core::mac::params::MacProfile;
+
+fn experiment(c: &mut Criterion) {
+    header("E14", "A-MPDU aggregation: MAC efficiency vs subframe count");
+    let payload = 1500;
+
+    let sizes = [1usize, 2, 4, 8, 16, 32, 64];
+    println!("MAC efficiency (goodput / PHY rate), 1500-byte MPDUs:");
+    print!("{:>12}", "subframes:");
+    for s in sizes {
+        print!("{s:>8}");
+    }
+    println!();
+    for rate in [54.0, 150.0, 300.0, 600.0] {
+        let profile = if rate <= 54.0 {
+            MacProfile::dot11a(rate)
+        } else {
+            MacProfile::dot11n(rate)
+        };
+        print!("{:>9.0} Mbps", rate);
+        for s in sizes {
+            print!("{:>8.2}", mac_efficiency(&profile, s, payload));
+        }
+        println!();
+    }
+
+    println!("\nGoodput at 600 Mbps with per-subframe loss (selective block ACK):");
+    println!("{:>10} {:>14} {:>16}", "PER", "goodput Mbps", "tx per subframe");
+    let profile = MacProfile::dot11n(600.0);
+    let mut rng = StdRng::seed_from_u64(14);
+    for per in [0.0, 0.05, 0.1, 0.2, 0.4] {
+        let out = simulate_lossy_aggregation(&profile, 64, payload, per, 32_000, &mut rng);
+        println!(
+            "{per:>10.2} {:>14.1} {:>16.2}",
+            out.goodput_mbps, out.tx_per_subframe
+        );
+    }
+    println!(
+        "\nReading: a lone 1500-byte frame wastes ~90 % of a 600 Mbps PHY; \
+         64-frame A-MPDUs recover ~90 % efficiency, and selective \
+         retransmission degrades goodput only in proportion to the loss \
+         rate — the machinery that makes the paper's 600 Mbps meaningful."
+    );
+
+    c.bench_function("e14_throughput_sweep", |b| {
+        b.iter(|| {
+            sizes
+                .iter()
+                .map(|&s| aggregated_throughput_mbps(&profile, s, payload))
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, experiment);
+criterion_main!(benches);

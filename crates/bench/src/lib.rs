@@ -1,0 +1,22 @@
+//! Shared plumbing for the experiment benches.
+//!
+//! Each `benches/eNN_*.rs` target regenerates one experiment from
+//! DESIGN.md's index: it prints the paper-comparable table/series to
+//! stdout, then lets Criterion time a representative kernel so performance
+//! regressions in the underlying simulator are caught too.
+
+/// Prints a standard experiment header so bench output is self-describing.
+pub fn header(id: &str, claim: &str) {
+    println!("\n==================================================================");
+    println!("{id}: {claim}");
+    println!("==================================================================");
+}
+
+/// Formats a float series as one aligned row.
+pub fn row(label: &str, values: &[f64], width: usize, precision: usize) -> String {
+    let mut s = format!("{label:>24}");
+    for v in values {
+        s.push_str(&format!(" {v:>width$.precision$}"));
+    }
+    s
+}

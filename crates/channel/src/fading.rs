@@ -1,0 +1,239 @@
+//! Flat fading processes.
+//!
+//! Rayleigh fading is the canonical model for the non-line-of-sight indoor
+//! multipath the paper's range discussion assumes; Ricean fading adds a
+//! line-of-sight component. [`JakesProcess`] evolves a coefficient in time
+//! with the classical Clarke/Jakes autocorrelation `J₀(2π f_d τ)`.
+
+use crate::noise::complex_gaussian;
+use rand::Rng;
+use wlan_math::special::bessel_j0;
+use wlan_math::Complex;
+
+/// Block Rayleigh fading: an i.i.d. `CN(0, 1)` gain per block.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use wlan_channel::RayleighFading;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let h = RayleighFading::unit().sample(&mut rng);
+/// assert!(h.norm() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RayleighFading {
+    mean_power: f64,
+}
+
+impl RayleighFading {
+    /// Fading with unit mean power (`E|h|² = 1`).
+    pub fn unit() -> Self {
+        RayleighFading { mean_power: 1.0 }
+    }
+
+    /// Fading with the given mean power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_power <= 0`.
+    pub fn with_mean_power(mean_power: f64) -> Self {
+        assert!(mean_power > 0.0, "mean power must be positive");
+        RayleighFading { mean_power }
+    }
+
+    /// Draws one complex channel gain.
+    pub fn sample(&self, rng: &mut impl Rng) -> Complex {
+        complex_gaussian(rng).scale(self.mean_power.sqrt())
+    }
+
+    /// Draws `n` independent gains (e.g. one per frame for block fading).
+    pub fn sample_block(&self, n: usize, rng: &mut impl Rng) -> Vec<Complex> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+impl Default for RayleighFading {
+    fn default() -> Self {
+        RayleighFading::unit()
+    }
+}
+
+/// Ricean fading with K-factor `k` (ratio of LOS to scattered power).
+///
+/// `k = 0` reduces to Rayleigh; `k → ∞` approaches a deterministic channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RiceanFading {
+    k_factor: f64,
+    mean_power: f64,
+}
+
+impl RiceanFading {
+    /// Unit-mean-power Ricean fading with the given linear K-factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_factor < 0`.
+    pub fn new(k_factor: f64) -> Self {
+        assert!(k_factor >= 0.0, "K-factor must be nonnegative");
+        RiceanFading {
+            k_factor,
+            mean_power: 1.0,
+        }
+    }
+
+    /// Draws one complex channel gain.
+    pub fn sample(&self, rng: &mut impl Rng) -> Complex {
+        let los = (self.k_factor / (self.k_factor + 1.0)).sqrt();
+        let nlos = (1.0 / (self.k_factor + 1.0)).sqrt();
+        (Complex::from_re(los) + complex_gaussian(rng).scale(nlos)).scale(self.mean_power.sqrt())
+    }
+}
+
+/// A time-correlated Rayleigh process with Jakes autocorrelation, realized
+/// as a first-order autoregressive recursion
+/// `h[t+1] = ρ·h[t] + √(1−ρ²)·w`, `ρ = J₀(2π·f_d·Δt)`.
+///
+/// This captures how quickly the channel decorrelates at a given Doppler
+/// spread — the knob that decides whether closed-loop beamforming feedback
+/// (experiment E7) is stale by the time it is applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JakesProcess {
+    rho: f64,
+    current: Complex,
+}
+
+impl JakesProcess {
+    /// Creates a process for Doppler frequency `doppler_hz` sampled every
+    /// `dt_s` seconds, drawing the initial state from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `doppler_hz < 0` or `dt_s <= 0`.
+    pub fn new(doppler_hz: f64, dt_s: f64, rng: &mut impl Rng) -> Self {
+        assert!(doppler_hz >= 0.0, "Doppler must be nonnegative");
+        assert!(dt_s > 0.0, "sample interval must be positive");
+        let rho = bessel_j0(2.0 * std::f64::consts::PI * doppler_hz * dt_s)
+            .clamp(-0.999_999, 0.999_999);
+        JakesProcess {
+            rho,
+            current: complex_gaussian(rng),
+        }
+    }
+
+    /// The one-step correlation coefficient ρ.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The current channel gain.
+    pub fn gain(&self) -> Complex {
+        self.current
+    }
+
+    /// Advances one step and returns the new gain.
+    pub fn step(&mut self, rng: &mut impl Rng) -> Complex {
+        let innovation = complex_gaussian(rng).scale((1.0 - self.rho * self.rho).sqrt());
+        self.current = self.current.scale(self.rho) + innovation;
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wlan_math::complex::mean_power;
+
+    #[test]
+    fn rayleigh_mean_power_is_calibrated() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for target in [0.25, 1.0, 4.0] {
+            let gains = RayleighFading::with_mean_power(target).sample_block(100_000, &mut rng);
+            let p = mean_power(&gains);
+            assert!((p / target - 1.0).abs() < 0.05, "target {target}, got {p}");
+        }
+    }
+
+    #[test]
+    fn rayleigh_envelope_distribution() {
+        // P(|h|² < x) = 1 − e^{−x} for unit Rayleigh; check the median.
+        let mut rng = StdRng::seed_from_u64(11);
+        let gains = RayleighFading::unit().sample_block(100_000, &mut rng);
+        let below: usize = gains
+            .iter()
+            .filter(|h| h.norm_sqr() < std::f64::consts::LN_2)
+            .count();
+        let frac = below as f64 / gains.len() as f64;
+        assert!((frac - 0.5).abs() < 0.01, "median check failed: {frac}");
+    }
+
+    #[test]
+    fn ricean_k_zero_is_rayleigh_like() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let gains: Vec<Complex> = (0..50_000)
+            .map(|_| RiceanFading::new(0.0).sample(&mut rng))
+            .collect();
+        let mean: Complex = gains.iter().sum::<Complex>() / gains.len() as f64;
+        assert!(mean.norm() < 0.02, "zero-K Ricean must have zero mean");
+        assert!((mean_power(&gains) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn ricean_large_k_concentrates_on_los() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let gains: Vec<Complex> = (0..20_000)
+            .map(|_| RiceanFading::new(100.0).sample(&mut rng))
+            .collect();
+        let mean: Complex = gains.iter().sum::<Complex>() / gains.len() as f64;
+        assert!((mean.re - 1.0).abs() < 0.05, "LOS mean should dominate");
+        assert!((mean_power(&gains) - 1.0).abs() < 0.05, "unit mean power");
+    }
+
+    #[test]
+    fn jakes_zero_doppler_is_static() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut p = JakesProcess::new(0.0, 1e-3, &mut rng);
+        let h0 = p.gain();
+        for _ in 0..100 {
+            p.step(&mut rng);
+        }
+        // ρ = J0(0) clipped just below 1: nearly static.
+        assert!((p.gain() - h0).norm() < 0.05);
+    }
+
+    #[test]
+    fn jakes_high_doppler_decorrelates() {
+        let mut rng = StdRng::seed_from_u64(15);
+        // fd·dt = 0.4 → J0(2π·0.4) ≈ −0.05: one step nearly decorrelates.
+        let mut p = JakesProcess::new(400.0, 1e-3, &mut rng);
+        assert!(p.rho().abs() < 0.1);
+        // Stationarity: power stays near 1 over many steps.
+        let mut acc = 0.0;
+        let n = 50_000;
+        for _ in 0..n {
+            acc += p.step(&mut rng).norm_sqr();
+        }
+        assert!((acc / n as f64 - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn jakes_measured_autocorrelation_matches_rho() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut p = JakesProcess::new(50.0, 1e-3, &mut rng);
+        let rho = p.rho();
+        let mut num = Complex::ZERO;
+        let mut den = 0.0;
+        let mut prev = p.gain();
+        for _ in 0..200_000 {
+            let next = p.step(&mut rng);
+            num += next * prev.conj();
+            den += prev.norm_sqr();
+            prev = next;
+        }
+        let measured = (num / den).re;
+        assert!((measured - rho).abs() < 0.02, "rho {rho} vs measured {measured}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Co-channel interference and hidden nodes.
+//!
+//! The unlicensed band the paper's history revolves around is shared: other
+//! cells on the same channel raise the noise floor, and transmitters that
+//! cannot hear each other (hidden nodes) collide at the receiver. This
+//! module provides the SINR arithmetic for overlapping-BSS scenarios and a
+//! Monte-Carlo hidden-node probability estimator.
+
+use crate::pathloss::{LinkBudget, PathLossModel};
+use rand::Rng;
+use wlan_math::special::{db_to_lin, lin_to_db};
+
+/// One co-channel interferer: distance from the victim receiver and the
+/// fraction of time it transmits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interferer {
+    /// Distance from the victim receiver in metres.
+    pub distance_m: f64,
+    /// Transmit duty cycle in `[0, 1]`.
+    pub duty_cycle: f64,
+}
+
+/// Mean SINR (dB) of a link of length `signal_distance_m` in the presence
+/// of co-channel interferers (mean interference = duty-weighted received
+/// power; all stations use the same budget).
+///
+/// # Panics
+///
+/// Panics if a distance is nonpositive or a duty cycle is outside `[0, 1]`.
+pub fn co_channel_sinr_db(
+    budget: &LinkBudget,
+    model: &PathLossModel,
+    signal_distance_m: f64,
+    interferers: &[Interferer],
+) -> f64 {
+    assert!(signal_distance_m > 0.0, "signal distance must be positive");
+    let signal_dbm = budget.rx_power_dbm(model.path_loss_db(signal_distance_m));
+    let noise_mw = db_to_lin(budget.noise_floor_dbm());
+    let mut interference_mw = 0.0;
+    for i in interferers {
+        assert!(i.distance_m > 0.0, "interferer distance must be positive");
+        assert!(
+            (0.0..=1.0).contains(&i.duty_cycle),
+            "duty cycle must be in [0, 1]"
+        );
+        let rx_dbm = budget.rx_power_dbm(model.path_loss_db(i.distance_m));
+        interference_mw += i.duty_cycle * db_to_lin(rx_dbm);
+    }
+    signal_dbm - lin_to_db(noise_mw + interference_mw)
+}
+
+/// Monte-Carlo hidden-node probability: place two contending transmitters
+/// uniformly in a disc of radius `cell_radius_m` around the receiver and
+/// count how often they are mutually out of carrier-sense range
+/// (`cs_range_m`) while both are within `cell_radius_m` of the receiver —
+/// the configuration where CSMA fails and RTS/CTS earns its keep
+/// (experiment E13's ablation).
+///
+/// # Panics
+///
+/// Panics if radii are nonpositive or `trials` is zero.
+pub fn hidden_node_probability(
+    cell_radius_m: f64,
+    cs_range_m: f64,
+    trials: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    assert!(cell_radius_m > 0.0 && cs_range_m > 0.0, "radii must be positive");
+    assert!(trials > 0, "need at least one trial");
+    let mut hidden = 0usize;
+    for _ in 0..trials {
+        let a = random_point_in_disc(cell_radius_m, rng);
+        let b = random_point_in_disc(cell_radius_m, rng);
+        let d2 = (a.0 - b.0).powi(2) + (a.1 - b.1).powi(2);
+        if d2 > cs_range_m * cs_range_m {
+            hidden += 1;
+        }
+    }
+    hidden as f64 / trials as f64
+}
+
+fn random_point_in_disc(radius: f64, rng: &mut impl Rng) -> (f64, f64) {
+    // Inverse-CDF radius for a uniform disc.
+    let r = radius * rng.gen::<f64>().sqrt();
+    let theta = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn env() -> (LinkBudget, PathLossModel) {
+        (LinkBudget::typical_wlan(), PathLossModel::tgn_model_d())
+    }
+
+    #[test]
+    fn no_interferers_matches_plain_snr() {
+        let (budget, model) = env();
+        let sinr = co_channel_sinr_db(&budget, &model, 20.0, &[]);
+        let snr = budget.snr_at_distance_db(&model, 20.0);
+        assert!((sinr - snr).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closer_interferer_hurts_more() {
+        let (budget, model) = env();
+        let far = co_channel_sinr_db(
+            &budget,
+            &model,
+            20.0,
+            &[Interferer {
+                distance_m: 200.0,
+                duty_cycle: 1.0,
+            }],
+        );
+        let near = co_channel_sinr_db(
+            &budget,
+            &model,
+            20.0,
+            &[Interferer {
+                distance_m: 30.0,
+                duty_cycle: 1.0,
+            }],
+        );
+        assert!(near < far - 10.0, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn duty_cycle_scales_interference() {
+        let (budget, model) = env();
+        let make = |duty: f64| {
+            co_channel_sinr_db(
+                &budget,
+                &model,
+                20.0,
+                &[Interferer {
+                    distance_m: 50.0,
+                    duty_cycle: duty,
+                }],
+            )
+        };
+        let idle = make(0.0);
+        let busy = make(1.0);
+        let half = make(0.5);
+        assert!((idle - budget.snr_at_distance_db(&model, 20.0)).abs() < 1e-9);
+        assert!(busy < half && half < idle);
+        // Interference-limited regime: halving duty buys ~3 dB.
+        assert!((half - busy - 3.0).abs() < 0.5, "half {half} busy {busy}");
+    }
+
+    #[test]
+    fn a_loud_neighbour_kills_the_top_rate() {
+        // Tie to the mesh rate table: a full-duty interferer at equal
+        // distance drives SINR to ~0 dB, below any OFDM sensitivity.
+        let (budget, model) = env();
+        let sinr = co_channel_sinr_db(
+            &budget,
+            &model,
+            30.0,
+            &[Interferer {
+                distance_m: 30.0,
+                duty_cycle: 1.0,
+            }],
+        );
+        assert!(sinr < 1.0, "equal-distance interferer leaves SINR {sinr}");
+    }
+
+    #[test]
+    fn hidden_node_probability_shrinks_with_cs_range() {
+        let mut rng = StdRng::seed_from_u64(600);
+        let p_short = hidden_node_probability(100.0, 100.0, 50_000, &mut rng);
+        let p_long = hidden_node_probability(100.0, 200.0, 50_000, &mut rng);
+        assert!(p_short > 0.2, "short CS range: {p_short}");
+        assert!(p_long == 0.0, "CS covering the cell leaves none: {p_long}");
+    }
+
+    #[test]
+    fn hidden_node_known_geometry() {
+        // For cs = cell radius R, P(two uniform points in a disc of radius
+        // R are farther than R apart) ≈ 0.4135 (known disc-line-picking
+        // result).
+        let mut rng = StdRng::seed_from_u64(601);
+        let p = hidden_node_probability(1.0, 1.0, 200_000, &mut rng);
+        assert!((p - 0.4135).abs() < 0.01, "measured {p}");
+    }
+}

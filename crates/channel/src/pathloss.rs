@@ -1,0 +1,274 @@
+//! Path loss, noise floor and link-budget arithmetic.
+//!
+//! The range experiments (E5, E8) convert distance to SNR with the IEEE
+//! breakpoint model used by the 802.11 task groups: free-space (exponent 2)
+//! out to a breakpoint distance, then a steeper indoor exponent beyond it,
+//! plus optional log-normal shadowing.
+
+use rand::Rng;
+
+/// Boltzmann's constant times 290 K in dBm/Hz: the thermal noise density.
+pub const THERMAL_NOISE_DBM_PER_HZ: f64 = -174.0;
+
+/// Breakpoint log-distance path loss model.
+///
+/// # Examples
+///
+/// ```
+/// use wlan_channel::PathLossModel;
+///
+/// let pl = PathLossModel::tgn_model_d();
+/// // Path loss grows monotonically with distance.
+/// assert!(pl.path_loss_db(50.0) > pl.path_loss_db(5.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathLossModel {
+    /// Carrier frequency in Hz (sets the 1 m reference loss).
+    carrier_hz: f64,
+    /// Breakpoint distance in metres.
+    breakpoint_m: f64,
+    /// Exponent before the breakpoint.
+    exp_before: f64,
+    /// Exponent after the breakpoint.
+    exp_after: f64,
+    /// Log-normal shadowing standard deviation in dB (0 = none).
+    shadowing_db: f64,
+}
+
+impl PathLossModel {
+    /// Creates a custom breakpoint model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is nonpositive (except `shadowing_db`, which
+    /// may be zero) .
+    pub fn new(
+        carrier_hz: f64,
+        breakpoint_m: f64,
+        exp_before: f64,
+        exp_after: f64,
+        shadowing_db: f64,
+    ) -> Self {
+        assert!(carrier_hz > 0.0, "carrier must be positive");
+        assert!(breakpoint_m > 0.0, "breakpoint must be positive");
+        assert!(exp_before > 0.0 && exp_after > 0.0, "exponents must be positive");
+        assert!(shadowing_db >= 0.0, "shadowing must be nonnegative");
+        PathLossModel {
+            carrier_hz,
+            breakpoint_m,
+            exp_before,
+            exp_after,
+            shadowing_db,
+        }
+    }
+
+    /// TGn model D (typical office): 2.4 GHz, 10 m breakpoint, exponents
+    /// 2.0 / 3.5, 5 dB shadowing after the breakpoint (ignored before).
+    pub fn tgn_model_d() -> Self {
+        PathLossModel::new(2.4e9, 10.0, 2.0, 3.5, 5.0)
+    }
+
+    /// TGn model B (residential): 5 m breakpoint.
+    pub fn tgn_model_b() -> Self {
+        PathLossModel::new(2.4e9, 5.0, 2.0, 3.5, 4.0)
+    }
+
+    /// Free-space at 5 GHz (for 802.11a outdoor comparisons).
+    pub fn free_space_5ghz() -> Self {
+        PathLossModel::new(5.2e9, 1e6, 2.0, 2.0, 0.0)
+    }
+
+    /// Free-space path loss at 1 m for this carrier (Friis).
+    pub fn reference_loss_db(&self) -> f64 {
+        // FSPL(d, f) = 20 log10(4π d f / c), at d = 1 m.
+        let c = 299_792_458.0;
+        20.0 * (4.0 * std::f64::consts::PI * self.carrier_hz / c).log10()
+    }
+
+    /// Median path loss in dB at `distance_m` metres (no shadowing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance_m <= 0`.
+    pub fn path_loss_db(&self, distance_m: f64) -> f64 {
+        assert!(distance_m > 0.0, "distance must be positive");
+        let l0 = self.reference_loss_db();
+        if distance_m <= self.breakpoint_m {
+            l0 + 10.0 * self.exp_before * distance_m.log10()
+        } else {
+            l0 + 10.0 * self.exp_before * self.breakpoint_m.log10()
+                + 10.0 * self.exp_after * (distance_m / self.breakpoint_m).log10()
+        }
+    }
+
+    /// Path loss with a log-normal shadowing draw (applied only beyond the
+    /// breakpoint, per the TGn convention).
+    pub fn path_loss_shadowed_db(&self, distance_m: f64, rng: &mut impl Rng) -> f64 {
+        let median = self.path_loss_db(distance_m);
+        if distance_m <= self.breakpoint_m || self.shadowing_db == 0.0 {
+            median
+        } else {
+            median + crate::noise::gaussian(rng) * self.shadowing_db
+        }
+    }
+}
+
+/// A transmit/receive link budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkBudget {
+    /// Transmit power in dBm.
+    pub tx_power_dbm: f64,
+    /// Combined antenna gains in dBi.
+    pub antenna_gain_dbi: f64,
+    /// Receiver noise figure in dB.
+    pub noise_figure_db: f64,
+    /// Receiver bandwidth in Hz.
+    pub bandwidth_hz: f64,
+}
+
+impl LinkBudget {
+    /// A typical 802.11 client: 15 dBm TX, 0 dBi antennas, 6 dB NF, 20 MHz.
+    pub fn typical_wlan() -> Self {
+        LinkBudget {
+            tx_power_dbm: 15.0,
+            antenna_gain_dbi: 0.0,
+            noise_figure_db: 6.0,
+            bandwidth_hz: 20e6,
+        }
+    }
+
+    /// Receiver noise floor in dBm: `−174 + 10·log10(B) + NF`.
+    pub fn noise_floor_dbm(&self) -> f64 {
+        THERMAL_NOISE_DBM_PER_HZ + 10.0 * self.bandwidth_hz.log10() + self.noise_figure_db
+    }
+
+    /// Received power in dBm after the given path loss.
+    pub fn rx_power_dbm(&self, path_loss_db: f64) -> f64 {
+        self.tx_power_dbm + self.antenna_gain_dbi - path_loss_db
+    }
+
+    /// Median SNR in dB at a distance under a path-loss model.
+    pub fn snr_at_distance_db(&self, model: &PathLossModel, distance_m: f64) -> f64 {
+        self.rx_power_dbm(model.path_loss_db(distance_m)) - self.noise_floor_dbm()
+    }
+
+    /// Largest distance (by bisection) at which the median SNR still meets
+    /// `required_snr_db`, searched in `[0.1, max_m]` metres. Returns `None`
+    /// when even 0.1 m fails.
+    pub fn range_for_snr_m(
+        &self,
+        model: &PathLossModel,
+        required_snr_db: f64,
+        max_m: f64,
+    ) -> Option<f64> {
+        let mut lo = 0.1;
+        if self.snr_at_distance_db(model, lo) < required_snr_db {
+            return None;
+        }
+        if self.snr_at_distance_db(model, max_m) >= required_snr_db {
+            return Some(max_m);
+        }
+        let mut hi = max_m;
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.snr_at_distance_db(model, mid) >= required_snr_db {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reference_loss_matches_friis_at_2_4ghz() {
+        // FSPL(1 m, 2.4 GHz) ≈ 40.05 dB.
+        let pl = PathLossModel::tgn_model_d();
+        assert!((pl.reference_loss_db() - 40.05).abs() < 0.1);
+    }
+
+    #[test]
+    fn slope_changes_at_breakpoint() {
+        let pl = PathLossModel::tgn_model_d();
+        // Before breakpoint: 2.0 decades/decade → doubling adds ~6 dB.
+        let before = pl.path_loss_db(8.0) - pl.path_loss_db(4.0);
+        assert!((before - 6.02).abs() < 0.1, "before {before}");
+        // After: 3.5 → doubling adds ~10.5 dB.
+        let after = pl.path_loss_db(80.0) - pl.path_loss_db(40.0);
+        assert!((after - 10.54).abs() < 0.1, "after {after}");
+    }
+
+    #[test]
+    fn path_loss_is_continuous_at_breakpoint() {
+        let pl = PathLossModel::tgn_model_d();
+        let eps = 1e-6;
+        let below = pl.path_loss_db(10.0 - eps);
+        let above = pl.path_loss_db(10.0 + eps);
+        assert!((below - above).abs() < 1e-3);
+    }
+
+    #[test]
+    fn noise_floor_typical_value() {
+        // −174 + 73 + 6 = −95 dBm for 20 MHz, NF 6 dB.
+        let lb = LinkBudget::typical_wlan();
+        assert!((lb.noise_floor_dbm() + 95.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn snr_decreases_with_distance() {
+        let lb = LinkBudget::typical_wlan();
+        let pl = PathLossModel::tgn_model_d();
+        let mut prev = f64::INFINITY;
+        for d in [1.0, 5.0, 10.0, 20.0, 50.0, 100.0] {
+            let snr = lb.snr_at_distance_db(&pl, d);
+            assert!(snr < prev);
+            prev = snr;
+        }
+    }
+
+    #[test]
+    fn range_search_is_consistent() {
+        let lb = LinkBudget::typical_wlan();
+        let pl = PathLossModel::tgn_model_d();
+        let required = 20.0;
+        let range = lb.range_for_snr_m(&pl, required, 1000.0).unwrap();
+        let at_range = lb.snr_at_distance_db(&pl, range);
+        assert!((at_range - required).abs() < 0.01, "snr at range {at_range}");
+        // Lower requirement → longer range.
+        let longer = lb.range_for_snr_m(&pl, 5.0, 1000.0).unwrap();
+        assert!(longer > range);
+    }
+
+    #[test]
+    fn impossible_requirement_returns_none() {
+        let lb = LinkBudget::typical_wlan();
+        let pl = PathLossModel::tgn_model_d();
+        assert_eq!(lb.range_for_snr_m(&pl, 200.0, 1000.0), None);
+    }
+
+    #[test]
+    fn shadowing_only_after_breakpoint() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let pl = PathLossModel::tgn_model_d();
+        // Before breakpoint: deterministic.
+        let a = pl.path_loss_shadowed_db(5.0, &mut rng);
+        let b = pl.path_loss_shadowed_db(5.0, &mut rng);
+        assert_eq!(a, b);
+        // After: varies with σ = 5 dB.
+        let draws: Vec<f64> = (0..2000)
+            .map(|_| pl.path_loss_shadowed_db(50.0, &mut rng))
+            .collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        let sd = (draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / draws.len() as f64)
+            .sqrt();
+        assert!((sd - 5.0).abs() < 0.5, "shadowing σ {sd}");
+        assert!((mean - pl.path_loss_db(50.0)).abs() < 0.5);
+    }
+}

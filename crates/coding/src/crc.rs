@@ -1,0 +1,94 @@
+//! CRC-32 — the 802.11 frame check sequence.
+//!
+//! 802.11 frames end with the same CRC-32 used by Ethernet (polynomial
+//! 0x04C11DB7, reflected, init and final-XOR 0xFFFFFFFF). The MAC simulator
+//! uses it to detect residual errors after PHY decoding.
+
+/// Computes the IEEE CRC-32 of a byte slice.
+///
+/// # Examples
+///
+/// ```
+/// use wlan_coding::crc::crc32;
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926); // standard check value
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Appends the FCS (little-endian, as transmitted) to a frame body.
+pub fn append_fcs(frame: &[u8]) -> Vec<u8> {
+    let mut out = frame.to_vec();
+    out.extend_from_slice(&crc32(frame).to_le_bytes());
+    out
+}
+
+/// Verifies and strips a trailing FCS.
+///
+/// Returns the frame body when the FCS matches, `None` otherwise (including
+/// frames shorter than 4 bytes).
+pub fn check_fcs(frame_with_fcs: &[u8]) -> Option<&[u8]> {
+    if frame_with_fcs.len() < 4 {
+        return None;
+    }
+    let (body, fcs) = frame_with_fcs.split_at(frame_with_fcs.len() - 4);
+    let want = u32::from_le_bytes(fcs.try_into().expect("4-byte slice"));
+    (crc32(body) == want).then_some(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+    }
+
+    #[test]
+    fn detects_single_bit_errors() {
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let good = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), good, "missed error at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn fcs_roundtrip() {
+        let frame = b"payload bytes".to_vec();
+        let with_fcs = append_fcs(&frame);
+        assert_eq!(with_fcs.len(), frame.len() + 4);
+        assert_eq!(check_fcs(&with_fcs), Some(frame.as_slice()));
+    }
+
+    #[test]
+    fn fcs_rejects_corruption() {
+        let mut with_fcs = append_fcs(b"payload");
+        with_fcs[2] ^= 0x40;
+        assert_eq!(check_fcs(&with_fcs), None);
+    }
+
+    #[test]
+    fn fcs_rejects_short_frames() {
+        assert_eq!(check_fcs(&[1, 2, 3]), None);
+        assert_eq!(check_fcs(&[]), None);
+    }
+}

@@ -1,0 +1,374 @@
+//! The 802.11a block interleaver.
+//!
+//! Coded bits of each OFDM symbol pass through two permutations
+//! (IEEE 802.11a-1999 §17.3.5.6): the first spreads adjacent coded bits onto
+//! non-adjacent subcarriers; the second alternates them between more- and
+//! less-significant constellation bit positions so deep fades do not wipe
+//! out runs of equally-unreliable bits.
+
+/// Block interleaver parameterized by coded bits per symbol (`n_cbps`) and
+/// coded bits per subcarrier (`n_bpsc`).
+///
+/// # Examples
+///
+/// ```
+/// use wlan_coding::interleaver::Interleaver;
+///
+/// // 16-QAM, rate irrelevant: 192 coded bits/symbol, 4 bits/subcarrier.
+/// let il = Interleaver::new(192, 4);
+/// let bits: Vec<u8> = (0..192).map(|i| (i % 2) as u8).collect();
+/// let tx = il.interleave(&bits);
+/// assert_eq!(il.deinterleave(&tx), bits);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interleaver {
+    n_cbps: usize,
+    /// Forward map: output position k carries input bit `perm[k]`.
+    forward: Vec<usize>,
+    inverse: Vec<usize>,
+}
+
+impl Interleaver {
+    /// Creates the interleaver for a symbol of `n_cbps` coded bits carrying
+    /// `n_bpsc` bits per subcarrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cbps` is not a multiple of 16·(n_bpsc/..) structure, i.e.
+    /// if `n_cbps % 16 != 0`, or `n_bpsc` is zero.
+    pub fn new(n_cbps: usize, n_bpsc: usize) -> Self {
+        assert!(n_bpsc > 0, "bits per subcarrier must be positive");
+        assert!(n_cbps.is_multiple_of(16), "N_CBPS must be a multiple of 16");
+        let s = (n_bpsc / 2).max(1);
+
+        // Standard text defines where input bit k lands; build that map.
+        let mut land = vec![0usize; n_cbps]; // land[k] = output index of input k
+        for k in 0..n_cbps {
+            let i = (n_cbps / 16) * (k % 16) + k / 16;
+            let j = s * (i / s) + (i + n_cbps - 16 * i / n_cbps) % s;
+            land[k] = j;
+        }
+        let mut forward = vec![0usize; n_cbps];
+        for (k, &j) in land.iter().enumerate() {
+            forward[j] = k;
+        }
+        Interleaver {
+            n_cbps,
+            inverse: land,
+            forward,
+        }
+    }
+
+    /// Coded bits per OFDM symbol this interleaver handles.
+    pub fn block_size(&self) -> usize {
+        self.n_cbps
+    }
+
+    /// Interleaves exactly one symbol worth of bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != self.block_size()`.
+    pub fn interleave(&self, bits: &[u8]) -> Vec<u8> {
+        assert_eq!(bits.len(), self.n_cbps, "interleaver block size mismatch");
+        self.forward.iter().map(|&k| bits[k]).collect()
+    }
+
+    /// Inverse permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != self.block_size()`.
+    pub fn deinterleave(&self, bits: &[u8]) -> Vec<u8> {
+        assert_eq!(bits.len(), self.n_cbps, "interleaver block size mismatch");
+        self.inverse.iter().map(|&k| bits[k]).collect()
+    }
+
+    /// Deinterleaves soft values (LLRs) instead of bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len() != self.block_size()`.
+    pub fn deinterleave_soft(&self, llrs: &[f64]) -> Vec<f64> {
+        assert_eq!(llrs.len(), self.n_cbps, "interleaver block size mismatch");
+        self.inverse.iter().map(|&k| llrs[k]).collect()
+    }
+
+    /// Interleaves a multi-symbol stream symbol by symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` is not a multiple of the block size.
+    pub fn interleave_stream(&self, bits: &[u8]) -> Vec<u8> {
+        assert_eq!(bits.len() % self.n_cbps, 0, "stream must be whole symbols");
+        bits.chunks(self.n_cbps).flat_map(|c| self.interleave(c)).collect()
+    }
+
+    /// Deinterleaves a multi-symbol soft stream symbol by symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len()` is not a multiple of the block size.
+    pub fn deinterleave_stream_soft(&self, llrs: &[f64]) -> Vec<f64> {
+        assert_eq!(llrs.len() % self.n_cbps, 0, "stream must be whole symbols");
+        llrs.chunks(self.n_cbps)
+            .flat_map(|c| self.deinterleave_soft(c))
+            .collect()
+    }
+}
+
+/// The 802.11n HT interleaver (20 MHz: 13 columns × 4·N_BPSC rows over 52
+/// data subcarriers; 40 MHz: 18 columns × 6·N_BPSC rows over 108).
+///
+/// Same two-permutation structure as the legacy interleaver but sized for
+/// the HT carrier counts, whose `N_CBPS` is not a multiple of 16.
+///
+/// # Examples
+///
+/// ```
+/// use wlan_coding::interleaver::HtInterleaver;
+///
+/// let il = HtInterleaver::new_20mhz(4); // 16-QAM: 208 coded bits/symbol
+/// assert_eq!(il.block_size(), 208);
+/// let bits: Vec<u8> = (0..208).map(|i| (i % 2) as u8).collect();
+/// assert_eq!(il.deinterleave(&il.interleave(&bits)), bits);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HtInterleaver {
+    n_cbps: usize,
+    forward: Vec<usize>,
+    inverse: Vec<usize>,
+}
+
+impl HtInterleaver {
+    /// HT interleaver for `n_bpsc` bits per subcarrier over `n_col` columns
+    /// and `row_factor·n_bpsc` rows (13/4 for 20 MHz, 18/6 for 40 MHz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bpsc` is zero.
+    pub fn new(n_bpsc: usize, n_col: usize, row_factor: usize) -> Self {
+        assert!(n_bpsc > 0, "bits per subcarrier must be positive");
+        let n_row = row_factor * n_bpsc;
+        let n_cbps = n_col * n_row;
+        let s = (n_bpsc / 2).max(1);
+        let mut land = vec![0usize; n_cbps];
+        for k in 0..n_cbps {
+            let i = n_row * (k % n_col) + k / n_col;
+            let j = s * (i / s) + (i + n_cbps - n_col * i / n_cbps) % s;
+            land[k] = j;
+        }
+        let mut forward = vec![0usize; n_cbps];
+        for (k, &j) in land.iter().enumerate() {
+            forward[j] = k;
+        }
+        HtInterleaver {
+            n_cbps,
+            inverse: land,
+            forward,
+        }
+    }
+
+    /// The 20 MHz HT interleaver (52 data subcarriers).
+    pub fn new_20mhz(n_bpsc: usize) -> Self {
+        HtInterleaver::new(n_bpsc, 13, 4)
+    }
+
+    /// The 40 MHz HT interleaver (108 data subcarriers).
+    pub fn new_40mhz(n_bpsc: usize) -> Self {
+        HtInterleaver::new(n_bpsc, 18, 6)
+    }
+
+    /// Coded bits per OFDM symbol.
+    pub fn block_size(&self) -> usize {
+        self.n_cbps
+    }
+
+    /// Interleaves one symbol of bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != self.block_size()`.
+    pub fn interleave(&self, bits: &[u8]) -> Vec<u8> {
+        assert_eq!(bits.len(), self.n_cbps, "interleaver block size mismatch");
+        self.forward.iter().map(|&k| bits[k]).collect()
+    }
+
+    /// Inverse permutation on bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != self.block_size()`.
+    pub fn deinterleave(&self, bits: &[u8]) -> Vec<u8> {
+        assert_eq!(bits.len(), self.n_cbps, "interleaver block size mismatch");
+        self.inverse.iter().map(|&k| bits[k]).collect()
+    }
+
+    /// Interleaves a multi-symbol stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` is not a multiple of the block size.
+    pub fn interleave_stream(&self, bits: &[u8]) -> Vec<u8> {
+        assert_eq!(bits.len() % self.n_cbps, 0, "stream must be whole symbols");
+        bits.chunks(self.n_cbps).flat_map(|c| self.interleave(c)).collect()
+    }
+
+    /// Deinterleaves a multi-symbol soft stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len()` is not a multiple of the block size.
+    pub fn deinterleave_stream_soft(&self, llrs: &[f64]) -> Vec<f64> {
+        assert_eq!(llrs.len() % self.n_cbps, 0, "stream must be whole symbols");
+        llrs.chunks(self.n_cbps)
+            .flat_map(|c| {
+                let out: Vec<f64> = self.inverse.iter().map(|&k| c[k]).collect();
+                out
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All (N_CBPS, N_BPSC) pairs used by 802.11a.
+    const CONFIGS: [(usize, usize); 4] = [(48, 1), (96, 2), (192, 4), (288, 6)];
+
+    #[test]
+    fn permutation_is_bijective() {
+        for (n_cbps, n_bpsc) in CONFIGS {
+            let il = Interleaver::new(n_cbps, n_bpsc);
+            let mut seen = vec![false; n_cbps];
+            for k in 0..n_cbps {
+                let one_hot: Vec<u8> = (0..n_cbps).map(|i| (i == k) as u8).collect();
+                let out = il.interleave(&one_hot);
+                let pos = out.iter().position(|&b| b == 1).unwrap();
+                assert!(!seen[pos], "two inputs map to output {pos}");
+                seen[pos] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_configs() {
+        for (n_cbps, n_bpsc) in CONFIGS {
+            let il = Interleaver::new(n_cbps, n_bpsc);
+            let bits: Vec<u8> = (0..n_cbps).map(|i| ((i * 31) % 7 < 3) as u8).collect();
+            assert_eq!(il.deinterleave(&il.interleave(&bits)), bits);
+        }
+    }
+
+    #[test]
+    fn first_permutation_spreads_adjacent_bits() {
+        // Adjacent coded bits must land at least N_CBPS/16 apart (in the
+        // subcarrier dimension) so a fade cannot erase a run.
+        let il = Interleaver::new(48, 1);
+        let pos = |k: usize| {
+            let one_hot: Vec<u8> = (0..48).map(|i| (i == k) as u8).collect();
+            il.interleave(&one_hot).iter().position(|&b| b == 1).unwrap()
+        };
+        let d = (pos(0) as isize - pos(1) as isize).unsigned_abs();
+        assert!(d >= 3, "adjacent bits separated by only {d}");
+    }
+
+    #[test]
+    fn bpsk_case_matches_standard_formula() {
+        // For BPSK (s = 1) the second permutation is the identity, so
+        // input bit k lands at i = (N/16)(k mod 16) + ⌊k/16⌋.
+        let n = 48;
+        let il = Interleaver::new(n, 1);
+        let bits: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+        let out = il.interleave(&bits);
+        for k in 0..n {
+            let i = (n / 16) * (k % 16) + k / 16;
+            assert_eq!(out[i], bits[k], "input bit {k} should land at {i}");
+        }
+    }
+
+    #[test]
+    fn soft_and_hard_deinterleave_agree() {
+        let il = Interleaver::new(96, 2);
+        let bits: Vec<u8> = (0..96).map(|i| ((i / 5) % 2) as u8).collect();
+        let tx = il.interleave(&bits);
+        let llrs: Vec<f64> = tx.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+        let soft = il.deinterleave_soft(&llrs);
+        let hard: Vec<u8> = soft.iter().map(|&l| (l < 0.0) as u8).collect();
+        assert_eq!(hard, bits);
+    }
+
+    #[test]
+    fn stream_processing_is_per_symbol() {
+        let il = Interleaver::new(48, 1);
+        let sym: Vec<u8> = (0..48).map(|i| ((i * 13) % 5 < 2) as u8).collect();
+        let mut two = sym.clone();
+        two.extend_from_slice(&sym);
+        let out = il.interleave_stream(&two);
+        assert_eq!(&out[..48], &out[48..], "identical symbols interleave identically");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn rejects_bad_block_size() {
+        let _ = Interleaver::new(50, 1);
+    }
+
+    #[test]
+    fn ht_block_sizes_match_standard() {
+        // 20 MHz: 52·N_BPSC; 40 MHz: 108·N_BPSC.
+        for bpsc in [1usize, 2, 4, 6] {
+            assert_eq!(HtInterleaver::new_20mhz(bpsc).block_size(), 52 * bpsc);
+            assert_eq!(HtInterleaver::new_40mhz(bpsc).block_size(), 108 * bpsc);
+        }
+    }
+
+    #[test]
+    fn ht_permutation_is_bijective() {
+        for bpsc in [1usize, 2, 4, 6] {
+            for il in [HtInterleaver::new_20mhz(bpsc), HtInterleaver::new_40mhz(bpsc)] {
+                let n = il.block_size();
+                let mut seen = vec![false; n];
+                let ident: Vec<u8> = vec![0; n];
+                let _ = &ident;
+                for k in 0..n {
+                    let one_hot: Vec<u8> = (0..n).map(|i| (i == k) as u8).collect();
+                    let pos = il
+                        .interleave(&one_hot)
+                        .iter()
+                        .position(|&b| b == 1)
+                        .expect("bit survives");
+                    assert!(!seen[pos], "collision at {pos}");
+                    seen[pos] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ht_roundtrip() {
+        let il = HtInterleaver::new_20mhz(6);
+        let bits: Vec<u8> = (0..il.block_size()).map(|i| ((i * 17) % 3 == 0) as u8).collect();
+        assert_eq!(il.deinterleave(&il.interleave(&bits)), bits);
+        // Soft stream path agrees with the hard path.
+        let tx = il.interleave_stream(&bits);
+        let llrs: Vec<f64> = tx.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+        let soft = il.deinterleave_stream_soft(&llrs);
+        let hard: Vec<u8> = soft.iter().map(|&l| (l < 0.0) as u8).collect();
+        assert_eq!(hard, bits);
+    }
+
+    #[test]
+    fn ht_spreads_adjacent_bits() {
+        let il = HtInterleaver::new_20mhz(2);
+        let pos = |k: usize| {
+            let n = il.block_size();
+            let one_hot: Vec<u8> = (0..n).map(|i| (i == k) as u8).collect();
+            il.interleave(&one_hot).iter().position(|&b| b == 1).expect("found")
+        };
+        let d = (pos(0) as isize - pos(1) as isize).unsigned_abs();
+        assert!(d >= 4, "adjacent coded bits only {d} apart");
+    }
+}

@@ -1,0 +1,239 @@
+//! Viterbi decoding of the 802.11 convolutional code.
+//!
+//! Supports hard decisions (Hamming branch metrics) and soft decisions
+//! (log-likelihood-ratio correlation metrics); the ≈2 dB gap between the two
+//! is one of the design-choice ablations benchmarked in experiment E6.
+
+use crate::convolutional::{trellis_step, NUM_STATES};
+
+/// Viterbi decoder for the K=7, (133, 171) code with zero termination.
+///
+/// # Examples
+///
+/// ```
+/// use wlan_coding::{ConvEncoder, ViterbiDecoder};
+///
+/// let data = vec![0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0, 1];
+/// let mut coded = ConvEncoder::new().encode_terminated(&data);
+/// coded[3] ^= 1; // a channel error
+/// coded[10] ^= 1; // another one
+/// let decoded = ViterbiDecoder::new().decode_hard(&coded, data.len());
+/// assert_eq!(decoded, data);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ViterbiDecoder {
+    _private: (),
+}
+
+impl ViterbiDecoder {
+    /// Creates a decoder.
+    pub fn new() -> Self {
+        ViterbiDecoder { _private: () }
+    }
+
+    /// Decodes hard bits.
+    ///
+    /// `coded` must contain `(num_info + 6) * 2` bits produced by
+    /// [`crate::ConvEncoder::encode_terminated`]; `num_info` information bits
+    /// are returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coded.len() != (num_info + 6) * 2`.
+    pub fn decode_hard(&self, coded: &[u8], num_info: usize) -> Vec<u8> {
+        // Map hard bits to bipolar soft values: 0 → +1, 1 → −1.
+        let llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+        self.decode_soft(&llrs, num_info)
+    }
+
+    /// Decodes soft log-likelihood ratios.
+    ///
+    /// The LLR convention is `llr = log(P(bit=0)/P(bit=1))`: positive values
+    /// favour 0. An erasure (punctured position) is an LLR of exactly 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len() != (num_info + 6) * 2`.
+    pub fn decode_soft(&self, llrs: &[f64], num_info: usize) -> Vec<u8> {
+        let total_steps = num_info + 6;
+        assert_eq!(
+            llrs.len(),
+            total_steps * 2,
+            "coded length must be (num_info + 6) * 2"
+        );
+        self.run_trellis(llrs, total_steps, num_info, true)
+    }
+
+    /// Decodes a stream that is *not* zero-terminated (e.g. the 802.11a DATA
+    /// field, whose pad bits follow the tail): traceback starts from the
+    /// best-metric end state instead of state 0. All `num_bits` inputs are
+    /// returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len() != num_bits * 2`.
+    pub fn decode_soft_unterminated(&self, llrs: &[f64], num_bits: usize) -> Vec<u8> {
+        assert_eq!(llrs.len(), num_bits * 2, "coded length must be num_bits * 2");
+        self.run_trellis(llrs, num_bits, num_bits, false)
+    }
+
+    fn run_trellis(
+        &self,
+        llrs: &[f64],
+        total_steps: usize,
+        keep: usize,
+        terminated: bool,
+    ) -> Vec<u8> {
+
+        const NEG_INF: f64 = f64::NEG_INFINITY;
+        let mut metrics = vec![NEG_INF; NUM_STATES];
+        metrics[0] = 0.0; // encoder starts in state 0
+        let mut next_metrics = vec![NEG_INF; NUM_STATES];
+        // survivors[t][next_state] = (prev_state, input_bit)
+        let mut survivors = vec![[(0u32, 0u8); NUM_STATES]; total_steps];
+
+        for t in 0..total_steps {
+            let la = llrs[2 * t];
+            let lb = llrs[2 * t + 1];
+            next_metrics.fill(NEG_INF);
+            for state in 0..NUM_STATES as u32 {
+                let m = metrics[state as usize];
+                if m == NEG_INF {
+                    continue;
+                }
+                for input in 0..=1u8 {
+                    let (a, b, next) = trellis_step(state, input);
+                    // Correlation metric: +llr when the branch emits 0.
+                    let branch = if a == 0 { la } else { -la } + if b == 0 { lb } else { -lb };
+                    let cand = m + branch;
+                    if cand > next_metrics[next as usize] {
+                        next_metrics[next as usize] = cand;
+                        survivors[t][next as usize] = (state, input);
+                    }
+                }
+            }
+            std::mem::swap(&mut metrics, &mut next_metrics);
+        }
+
+        // Terminated: trace back from state 0; otherwise from the best state.
+        let mut state = if terminated {
+            0u32
+        } else {
+            (0..NUM_STATES as u32)
+                .max_by(|&a, &b| metrics[a as usize].total_cmp(&metrics[b as usize]))
+                .expect("nonempty state set")
+        };
+        let mut decoded = vec![0u8; total_steps];
+        for t in (0..total_steps).rev() {
+            let (prev, input) = survivors[t][state as usize];
+            decoded[t] = input;
+            state = prev;
+        }
+        decoded.truncate(keep);
+        decoded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convolutional::ConvEncoder;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let coded = ConvEncoder::new().encode_terminated(data);
+        ViterbiDecoder::new().decode_hard(&coded, data.len())
+    }
+
+    #[test]
+    fn error_free_roundtrip() {
+        let data: Vec<u8> = (0..64).map(|i| ((i * 7 + 3) % 5 < 2) as u8).collect();
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn corrects_up_to_free_distance_errors() {
+        // d_free = 10 → any 4 errors spread apart are correctable.
+        let data: Vec<u8> = (0..40).map(|i| (i % 3 == 1) as u8).collect();
+        let mut coded = ConvEncoder::new().encode_terminated(&data);
+        for &pos in &[2usize, 20, 45, 70] {
+            coded[pos] ^= 1;
+        }
+        let decoded = ViterbiDecoder::new().decode_hard(&coded, data.len());
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn burst_beyond_capability_fails_gracefully() {
+        // 12 consecutive errors exceed what d_free=10 can fix; the decoder
+        // must still return the right length without panicking.
+        let data: Vec<u8> = (0..30).map(|i| (i % 2) as u8).collect();
+        let mut coded = ConvEncoder::new().encode_terminated(&data);
+        for b in coded.iter_mut().take(12) {
+            *b ^= 1;
+        }
+        let decoded = ViterbiDecoder::new().decode_hard(&coded, data.len());
+        assert_eq!(decoded.len(), data.len());
+    }
+
+    #[test]
+    fn soft_decisions_use_reliability() {
+        // One flipped bit marked unreliable (small LLR) plus a strong
+        // correct neighbourhood: soft decoding must recover.
+        let data = vec![1u8, 1, 0, 0, 1, 0, 1, 1, 0, 1];
+        let coded = ConvEncoder::new().encode_terminated(&data);
+        let mut llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 5.0 } else { -5.0 }).collect();
+        llrs[7] = -llrs[7].signum() * 0.1; // weak wrong observation
+        let decoded = ViterbiDecoder::new().decode_soft(&llrs, data.len());
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn erasures_are_neutral() {
+        // Zero LLRs (punctured bits) carry no information but must not
+        // corrupt decoding when enough other bits survive.
+        let data = vec![0u8, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1, 0];
+        let coded = ConvEncoder::new().encode_terminated(&data);
+        let mut llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 3.0 } else { -3.0 }).collect();
+        for i in (0..llrs.len()).step_by(6) {
+            llrs[i] = 0.0;
+        }
+        let decoded = ViterbiDecoder::new().decode_soft(&llrs, data.len());
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn empty_message_roundtrips() {
+        assert_eq!(roundtrip(&[]), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn unterminated_stream_decodes() {
+        // Encode without tail bits; decode with best-state traceback.
+        let data: Vec<u8> = (0..50).map(|i| ((i * 3) % 4 == 1) as u8).collect();
+        let mut enc = ConvEncoder::new();
+        let coded = enc.encode(&data);
+        let llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 2.0 } else { -2.0 }).collect();
+        let decoded = ViterbiDecoder::new().decode_soft_unterminated(&llrs, data.len());
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn unterminated_with_errors_recovers_prefix() {
+        // Without termination the last few bits are weakly protected, but
+        // bits well before the end must still decode despite channel errors.
+        let data: Vec<u8> = (0..60).map(|i| (i % 5 < 2) as u8).collect();
+        let coded = ConvEncoder::new().encode(&data);
+        let mut llrs: Vec<f64> =
+            coded.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+        llrs[10] = -llrs[10];
+        llrs[50] = -llrs[50];
+        let decoded = ViterbiDecoder::new().decode_soft_unterminated(&llrs, data.len());
+        assert_eq!(&decoded[..50], &data[..50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "(num_info + 6) * 2")]
+    fn length_mismatch_panics() {
+        let _ = ViterbiDecoder::new().decode_hard(&[0, 1, 0], 4);
+    }
+}

@@ -1,0 +1,210 @@
+//! Symbol-level relaying protocols.
+//!
+//! Two-phase cooperation: in phase 1 the source broadcasts (heard by both
+//! relay and destination); in phase 2 the relay retransmits — either a
+//! regenerated copy (decode-and-forward, valid only if the relay decoded
+//! correctly) or a scaled copy of its noisy observation
+//! (amplify-and-forward). The destination MRC-combines both phases.
+
+use rand::Rng;
+use wlan_channel::noise::complex_gaussian;
+use wlan_math::Complex;
+
+/// One cooperative transmission of a BPSK symbol. Returns the destination's
+/// decision variable (sign = bit decision) for each protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoopObservation {
+    /// Combined decision variable at the destination.
+    pub decision: Complex,
+    /// Effective combined channel gain (diagnostic).
+    pub effective_gain: f64,
+}
+
+/// Direct (non-cooperative) transmission of one BPSK symbol over a Rayleigh
+/// channel with gain `h_sd` and noise variance `n0`.
+pub fn direct_transmission(
+    bit: u8,
+    h_sd: Complex,
+    n0: f64,
+    rng: &mut impl Rng,
+) -> CoopObservation {
+    let s = bpsk(bit);
+    let y = h_sd * s + complex_gaussian(rng).scale(n0.sqrt());
+    CoopObservation {
+        decision: h_sd.conj() * y,
+        effective_gain: h_sd.norm_sqr(),
+    }
+}
+
+/// Decode-and-forward relaying of one BPSK symbol.
+///
+/// The relay decodes its phase-1 observation; if correct it retransmits,
+/// otherwise it stays silent (the "selective DF" variant that preserves
+/// diversity). The destination combines the source and (possible) relay
+/// observations by MRC.
+pub fn decode_and_forward(
+    bit: u8,
+    h_sd: Complex,
+    h_sr: Complex,
+    h_rd: Complex,
+    n0: f64,
+    rng: &mut impl Rng,
+) -> CoopObservation {
+    let s = bpsk(bit);
+    let sigma = n0.sqrt();
+    // Phase 1: source broadcasts.
+    let y_sd = h_sd * s + complex_gaussian(rng).scale(sigma);
+    let y_sr = h_sr * s + complex_gaussian(rng).scale(sigma);
+    // Relay decodes.
+    let relay_decision = (h_sr.conj() * y_sr).re > 0.0;
+    let relay_bit = if relay_decision { 1u8 } else { 0u8 };
+    let relay_correct = relay_bit == bit;
+
+    let mut decision = h_sd.conj() * y_sd;
+    let mut gain = h_sd.norm_sqr();
+    if relay_correct {
+        // Phase 2: relay regenerates and retransmits.
+        let y_rd = h_rd * s + complex_gaussian(rng).scale(sigma);
+        decision += h_rd.conj() * y_rd;
+        gain += h_rd.norm_sqr();
+    }
+    // (If the relay decoded wrongly it stays silent: in practice a CRC
+    // gates retransmission, which selective DF models.)
+    CoopObservation {
+        decision,
+        effective_gain: gain,
+    }
+}
+
+/// Amplify-and-forward relaying of one BPSK symbol.
+///
+/// The relay scales its noisy observation to its power budget and forwards;
+/// the destination applies the matched filter for the cascaded channel.
+pub fn amplify_and_forward(
+    bit: u8,
+    h_sd: Complex,
+    h_sr: Complex,
+    h_rd: Complex,
+    n0: f64,
+    rng: &mut impl Rng,
+) -> CoopObservation {
+    let s = bpsk(bit);
+    let sigma = n0.sqrt();
+    let y_sd = h_sd * s + complex_gaussian(rng).scale(sigma);
+    let y_sr = h_sr * s + complex_gaussian(rng).scale(sigma);
+    // Amplification to unit transmit power: β² (|h_sr|² + n0) = 1.
+    let beta = (1.0 / (h_sr.norm_sqr() + n0)).sqrt();
+    let y_rd = h_rd * y_sr.scale(beta) + complex_gaussian(rng).scale(sigma);
+    // Effective relay-path channel and noise variance.
+    let h_eff = h_rd * h_sr.scale(beta);
+    let n_eff = n0 * (h_rd.norm_sqr() * beta * beta + 1.0);
+    // MRC with per-branch noise weighting.
+    let decision = h_sd.conj() * y_sd.scale(1.0 / n0) + h_eff.conj() * y_rd.scale(1.0 / n_eff);
+    CoopObservation {
+        decision,
+        effective_gain: h_sd.norm_sqr() / n0 + h_eff.norm_sqr() / n_eff,
+    }
+}
+
+fn bpsk(bit: u8) -> Complex {
+    assert!(bit <= 1, "bits must be 0 or 1");
+    Complex::from_re(if bit == 1 { 1.0 } else { -1.0 })
+}
+
+/// Measures BER of each protocol over i.i.d. Rayleigh links at `snr_db`.
+/// Returns `(direct, decode_forward, amplify_forward)`.
+pub fn compare_ber(snr_db: f64, trials: usize, rng: &mut impl Rng) -> (f64, f64, f64) {
+    let n0 = wlan_math::special::db_to_lin(-snr_db);
+    let mut errs = [0usize; 3];
+    for t in 0..trials {
+        let bit = (t % 2) as u8;
+        let h_sd = complex_gaussian(rng);
+        let h_sr = complex_gaussian(rng);
+        let h_rd = complex_gaussian(rng);
+        let obs = [
+            direct_transmission(bit, h_sd, n0, rng),
+            decode_and_forward(bit, h_sd, h_sr, h_rd, n0, rng),
+            amplify_and_forward(bit, h_sd, h_sr, h_rd, n0, rng),
+        ];
+        for (i, o) in obs.iter().enumerate() {
+            if (o.decision.re > 0.0) as u8 != bit {
+                errs[i] += 1;
+            }
+        }
+    }
+    let n = trials as f64;
+    (errs[0] as f64 / n, errs[1] as f64 / n, errs[2] as f64 / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_channels_decode_correctly() {
+        let mut rng = StdRng::seed_from_u64(220);
+        let h = Complex::ONE;
+        for bit in [0u8, 1] {
+            let d = direct_transmission(bit, h, 1e-9, &mut rng);
+            assert_eq!((d.decision.re > 0.0) as u8, bit);
+            let df = decode_and_forward(bit, h, h, h, 1e-9, &mut rng);
+            assert_eq!((df.decision.re > 0.0) as u8, bit);
+            // Relay decoded, so both branches combined.
+            assert!((df.effective_gain - 2.0).abs() < 1e-9);
+            let af = amplify_and_forward(bit, h, h, h, 1e-9, &mut rng);
+            assert_eq!((af.decision.re > 0.0) as u8, bit);
+        }
+    }
+
+    #[test]
+    fn silent_relay_when_source_relay_link_is_dead() {
+        let mut rng = StdRng::seed_from_u64(221);
+        // h_sr ≈ 0: the relay almost always decodes randomly; when wrong it
+        // stays silent, leaving only the direct gain.
+        let h_sd = Complex::ONE;
+        let h_sr = Complex::from_re(1e-9);
+        let h_rd = Complex::ONE;
+        let mut combined = 0;
+        let trials = 2_000;
+        for t in 0..trials {
+            let obs = decode_and_forward((t % 2) as u8, h_sd, h_sr, h_rd, 0.1, &mut rng);
+            if obs.effective_gain > 1.5 {
+                combined += 1;
+            }
+        }
+        // Random relay decisions are right half the time.
+        let frac = combined as f64 / trials as f64;
+        assert!((frac - 0.5).abs() < 0.1, "relay combined {frac} of the time");
+    }
+
+    #[test]
+    fn cooperation_beats_direct_in_fading() {
+        let mut rng = StdRng::seed_from_u64(222);
+        let (direct, df, af) = compare_ber(12.0, 40_000, &mut rng);
+        assert!(
+            df < 0.5 * direct,
+            "DF BER {df} must be far below direct {direct}"
+        );
+        assert!(
+            af < 0.7 * direct,
+            "AF BER {af} must also beat direct {direct}"
+        );
+    }
+
+    #[test]
+    fn df_outperforms_af_slightly() {
+        // At moderate SNR, regenerative relaying avoids noise amplification.
+        let mut rng = StdRng::seed_from_u64(223);
+        let (_, df, af) = compare_ber(10.0, 60_000, &mut rng);
+        assert!(df <= af * 1.2, "DF {df} should not lose clearly to AF {af}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be 0 or 1")]
+    fn bad_bit_rejected() {
+        let mut rng = StdRng::seed_from_u64(224);
+        let _ = direct_transmission(2, Complex::ONE, 0.1, &mut rng);
+    }
+}

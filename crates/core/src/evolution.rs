@@ -1,0 +1,103 @@
+//! The evolution tables — experiments E1 and E2.
+//!
+//! These functions regenerate, from the implemented PHYs, the quantitative
+//! story the paper tells: data rate and spectral efficiency climbing
+//! roughly fivefold with each generation.
+
+use crate::standard::Standard;
+
+/// One row of the evolution table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvolutionRow {
+    /// The generation.
+    pub standard: Standard,
+    /// Ratification year.
+    pub year: u16,
+    /// Peak PHY rate in Mbps.
+    pub peak_rate_mbps: f64,
+    /// Channel bandwidth in MHz.
+    pub bandwidth_mhz: f64,
+    /// Spectral efficiency in bps/Hz.
+    pub spectral_efficiency: f64,
+    /// Ratio to the previous generation's spectral efficiency (1.0 for the
+    /// first row).
+    pub efficiency_gain: f64,
+}
+
+/// Builds the full evolution table.
+///
+/// # Examples
+///
+/// ```
+/// let table = wlan_core::evolution::evolution_table();
+/// assert_eq!(table.len(), 4);
+/// assert!((table[3].spectral_efficiency - 15.0).abs() < 1e-9);
+/// ```
+pub fn evolution_table() -> Vec<EvolutionRow> {
+    let mut rows = Vec::with_capacity(4);
+    let mut prev_se: Option<f64> = None;
+    for s in Standard::all() {
+        let se = s.spectral_efficiency();
+        rows.push(EvolutionRow {
+            standard: s,
+            year: s.year(),
+            peak_rate_mbps: s.peak_rate_mbps(),
+            bandwidth_mhz: s.bandwidth_mhz(),
+            spectral_efficiency: se,
+            efficiency_gain: prev_se.map_or(1.0, |p| se / p),
+        });
+        prev_se = Some(se);
+    }
+    rows
+}
+
+/// Formats the table as aligned text (what the E1/E2 benches print).
+pub fn format_table(rows: &[EvolutionRow]) -> String {
+    let mut out = String::from(
+        "standard    year  rate_mbps  bw_mhz  bps_per_hz  gain\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<11} {:<5} {:>9.1} {:>7.0} {:>11.2} {:>5.1}x\n",
+            r.standard.name(),
+            r.year,
+            r.peak_rate_mbps,
+            r.bandwidth_mhz,
+            r.spectral_efficiency,
+            r.efficiency_gain,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_four_generations() {
+        let t = evolution_table();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].standard, Standard::Dot11);
+        assert_eq!(t[3].standard, Standard::Dot11n);
+    }
+
+    #[test]
+    fn gains_chain_multiplicatively() {
+        let t = evolution_table();
+        let product: f64 = t.iter().map(|r| r.efficiency_gain).product();
+        let direct = t[3].spectral_efficiency / t[0].spectral_efficiency;
+        assert!((product - direct).abs() < 1e-9);
+        // 0.1 → 15 bps/Hz is a 150× climb over the decade.
+        assert!((direct - 150.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn formatted_table_contains_all_rows() {
+        let text = format_table(&evolution_table());
+        for s in Standard::all() {
+            assert!(text.contains(s.name()), "missing {s}");
+        }
+        assert_eq!(text.lines().count(), 5);
+    }
+}

@@ -1,0 +1,510 @@
+//! The unified Monte-Carlo link simulator (experiment E4).
+//!
+//! Every generation's PHY implements [`PhyLink`]: one fallible frame
+//! transmission at a given SNR through its real TX→channel→RX chain. The
+//! harness sweeps SNR and counts frame errors, producing the PER curves
+//! that rank the generations by robustness.
+//!
+//! SNR convention: average received signal power over noise power per
+//! complex sample (per receive antenna), i.e. Es/N0 at the channel
+//! bandwidth. Transmit chains in this workspace are unit-power, so noise
+//! variance is simply `10^(−SNR/10)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wlan_channel::mimo::MimoMultipathChannel;
+use wlan_channel::{Awgn, MultipathChannel, PowerDelayProfile};
+use wlan_dsss::{DsssPhy, DsssRate};
+use wlan_math::special::db_to_lin;
+use wlan_mimo::detect::Detector;
+use wlan_mimo::phy::{propagate, MimoOfdmConfig, MimoOfdmPhy};
+use wlan_ofdm::params::Modulation;
+use wlan_ofdm::{OfdmPhy, OfdmRate};
+
+/// One point of a PER sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerPoint {
+    /// SNR in dB.
+    pub snr_db: f64,
+    /// Measured frame error rate.
+    pub per: f64,
+}
+
+/// A complete PER-versus-SNR curve for one link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerCurve {
+    /// Link name (for reports).
+    pub name: String,
+    /// PHY rate in Mbps.
+    pub rate_mbps: f64,
+    /// Sweep points, ascending in SNR.
+    pub points: Vec<PerPoint>,
+}
+
+impl PerCurve {
+    /// The lowest swept SNR achieving `per_target`, linearly interpolated;
+    /// `None` when even the top of the sweep fails.
+    pub fn snr_for_per(&self, per_target: f64) -> Option<f64> {
+        for w in self.points.windows(2) {
+            if w[0].per >= per_target && w[1].per <= per_target {
+                let span = w[0].per - w[1].per;
+                if span <= 0.0 {
+                    return Some(w[1].snr_db);
+                }
+                let frac = (w[0].per - per_target) / span;
+                return Some(w[0].snr_db + frac * (w[1].snr_db - w[0].snr_db));
+            }
+        }
+        self.points
+            .last()
+            .filter(|p| p.per <= per_target)
+            .map(|p| p.snr_db)
+    }
+}
+
+/// A physical link that can attempt one frame at a given SNR.
+pub trait PhyLink {
+    /// Human-readable link name.
+    fn name(&self) -> String;
+
+    /// Nominal PHY rate in Mbps.
+    fn rate_mbps(&self) -> f64;
+
+    /// Transmits one frame of `payload` bytes at `snr_db`; returns `true`
+    /// when the receiver recovered it bit-exactly.
+    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut StdRng) -> bool;
+}
+
+/// Sweeps SNR and measures PER with `frames` trials per point.
+///
+/// # Panics
+///
+/// Panics if `frames` is zero or `payload_len` is zero.
+pub fn sweep_per(
+    link: &dyn PhyLink,
+    snrs_db: &[f64],
+    payload_len: usize,
+    frames: usize,
+    seed: u64,
+) -> PerCurve {
+    assert!(frames > 0, "need at least one frame per point");
+    assert!(payload_len > 0, "payload must be nonempty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = snrs_db
+        .iter()
+        .map(|&snr| {
+            let mut errors = 0usize;
+            for _ in 0..frames {
+                let payload: Vec<u8> = (0..payload_len).map(|_| rng.gen()).collect();
+                if !link.frame_trial(snr, &payload, &mut rng) {
+                    errors += 1;
+                }
+            }
+            PerPoint {
+                snr_db: snr,
+                per: errors as f64 / frames as f64,
+            }
+        })
+        .collect();
+    PerCurve {
+        name: link.name(),
+        rate_mbps: link.rate_mbps(),
+        points,
+    }
+}
+
+/// A first-generation DSSS/CCK link over AWGN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsssLink {
+    /// The DSSS-family rate.
+    pub rate: DsssRate,
+}
+
+impl PhyLink for DsssLink {
+    fn name(&self) -> String {
+        format!("{} (AWGN)", self.rate)
+    }
+
+    fn rate_mbps(&self) -> f64 {
+        self.rate.rate_mbps()
+    }
+
+    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut StdRng) -> bool {
+        let phy = DsssPhy::new(self.rate);
+        let bits = wlan_coding::bits::bytes_to_bits(payload);
+        let chips = phy.transmit(&bits);
+        let noisy = Awgn::from_snr_db(snr_db).apply(&chips, rng);
+        let rx = phy.receive(&noisy);
+        rx[..bits.len()] == bits[..]
+    }
+}
+
+/// An 802.11a OFDM link, optionally through multipath.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OfdmLink {
+    /// The OFDM rate.
+    pub rate: OfdmRate,
+    /// Multipath profile; `None` = pure AWGN.
+    pub multipath: Option<PowerDelayProfile>,
+}
+
+impl OfdmLink {
+    /// An AWGN-only link.
+    pub fn awgn(rate: OfdmRate) -> Self {
+        OfdmLink {
+            rate,
+            multipath: None,
+        }
+    }
+}
+
+impl PhyLink for OfdmLink {
+    fn name(&self) -> String {
+        match &self.multipath {
+            Some(_) => format!("{} (multipath)", self.rate),
+            None => format!("{} (AWGN)", self.rate),
+        }
+    }
+
+    fn rate_mbps(&self) -> f64 {
+        self.rate.rate_mbps()
+    }
+
+    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut StdRng) -> bool {
+        let phy = OfdmPhy::new(self.rate);
+        let frame = phy.transmit(payload);
+        let faded = match &self.multipath {
+            Some(pdp) => {
+                let ch = MultipathChannel::realize(pdp, rng);
+                let mut out = ch.filter(&frame);
+                out.truncate(frame.len());
+                out
+            }
+            None => frame,
+        };
+        let noisy = Awgn::from_snr_db(snr_db).apply(&faded, rng);
+        phy.receive(&noisy).map(|p| p == payload).unwrap_or(false)
+    }
+}
+
+/// An 802.11n MIMO-OFDM link through per-antenna-pair multipath.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MimoLink {
+    /// Spatial streams (= TX antennas).
+    pub n_streams: usize,
+    /// Receive antennas.
+    pub n_rx: usize,
+    /// Subcarrier modulation.
+    pub modulation: Modulation,
+    /// Code rate.
+    pub code_rate: wlan_coding::CodeRate,
+    /// Detector.
+    pub detector: Detector,
+    /// Multipath profile shared by all antenna pairs.
+    pub pdp: PowerDelayProfile,
+}
+
+impl MimoLink {
+    /// A QPSK rate-1/2 MMSE link with the given antenna configuration over
+    /// flat Rayleigh fading.
+    pub fn flat(n_streams: usize, n_rx: usize) -> Self {
+        MimoLink {
+            n_streams,
+            n_rx,
+            modulation: Modulation::Qpsk,
+            code_rate: wlan_coding::CodeRate::R1_2,
+            detector: Detector::Mmse,
+            pdp: PowerDelayProfile::flat(),
+        }
+    }
+
+    fn phy(&self) -> MimoOfdmPhy {
+        MimoOfdmPhy::new(MimoOfdmConfig {
+            n_streams: self.n_streams,
+            n_rx: self.n_rx,
+            modulation: self.modulation,
+            code_rate: self.code_rate,
+            detector: self.detector,
+        })
+    }
+}
+
+impl PhyLink for MimoLink {
+    fn name(&self) -> String {
+        format!(
+            "{}x{} {} r={} ({:?})",
+            self.n_streams, self.n_rx, self.modulation, self.code_rate, self.detector
+        )
+    }
+
+    fn rate_mbps(&self) -> f64 {
+        self.phy().rate_mbps()
+    }
+
+    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut StdRng) -> bool {
+        let phy = self.phy();
+        let n0 = db_to_lin(-snr_db);
+        let ch = MimoMultipathChannel::realize(self.n_rx, self.n_streams, &self.pdp, rng);
+        let tx = phy.transmit(payload);
+        let rx = propagate(&ch, &tx, n0, rng);
+        phy.receive(&rx, n0, payload.len()) == payload
+    }
+}
+
+/// A single-stream HT-20 link (52-carrier 802.11n numerology), BCC or LDPC
+/// coded, over AWGN plus optional flat fading.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HtLink {
+    /// Subcarrier modulation.
+    pub modulation: Modulation,
+    /// Code rate.
+    pub code_rate: wlan_coding::CodeRate,
+    /// Use the LDPC option instead of BCC.
+    pub ldpc: bool,
+    /// Apply a flat Rayleigh fade per frame.
+    pub fading: bool,
+}
+
+impl PhyLink for HtLink {
+    fn name(&self) -> String {
+        format!(
+            "HT20 {} r={} ({})",
+            self.modulation,
+            self.code_rate,
+            if self.ldpc { "LDPC" } else { "BCC" }
+        )
+    }
+
+    fn rate_mbps(&self) -> f64 {
+        if self.ldpc {
+            wlan_mimo::ht_ldpc::HtLdpcPhy::new(self.modulation, self.code_rate).rate_mbps()
+        } else {
+            wlan_mimo::ht::HtPhy::new(self.modulation, self.code_rate).rate_mbps()
+        }
+    }
+
+    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut StdRng) -> bool {
+        let fade = if self.fading {
+            wlan_channel::noise::complex_gaussian(rng)
+        } else {
+            wlan_math::Complex::ONE
+        };
+        let apply = |frame: Vec<wlan_math::Complex>, rng: &mut StdRng| {
+            let faded: Vec<wlan_math::Complex> =
+                frame.into_iter().map(|s| s * fade).collect();
+            Awgn::from_snr_db(snr_db).apply(&faded, rng)
+        };
+        if self.ldpc {
+            let phy = wlan_mimo::ht_ldpc::HtLdpcPhy::new(self.modulation, self.code_rate);
+            let rx = apply(phy.transmit(payload), rng);
+            phy.receive(&rx, payload.len()) == payload
+        } else {
+            let phy = wlan_mimo::ht::HtPhy::new(self.modulation, self.code_rate);
+            let rx = apply(phy.transmit(payload), rng);
+            phy.receive(&rx, payload.len()) == payload
+        }
+    }
+}
+
+/// The 802.11-1999 FHSS alternative PHY: 1 Mbps binary FSK on one hop
+/// dwell (noncoherent detection), over AWGN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FhssLink;
+
+impl PhyLink for FhssLink {
+    fn name(&self) -> String {
+        "1 Mbps FHSS 2-FSK (AWGN)".into()
+    }
+
+    fn rate_mbps(&self) -> f64 {
+        1.0
+    }
+
+    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut StdRng) -> bool {
+        use wlan_dsss::fhss::FskModem;
+        let modem = FskModem::new(8);
+        let bits = wlan_coding::bits::bytes_to_bits(payload);
+        let samples = modem.modulate(&bits);
+        let noisy = Awgn::from_snr_db(snr_db).apply(&samples, rng);
+        modem.demodulate(&noisy) == bits
+    }
+}
+
+/// An Alamouti STBC OFDM link: two transmit antennas spent on diversity
+/// (single-stream rate), `n_rx` receive antennas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StbcLink {
+    /// Subcarrier modulation.
+    pub modulation: Modulation,
+    /// Code rate.
+    pub code_rate: wlan_coding::CodeRate,
+    /// Receive antennas.
+    pub n_rx: usize,
+    /// Multipath profile shared by all antenna pairs.
+    pub pdp: PowerDelayProfile,
+}
+
+impl StbcLink {
+    /// A QPSK rate-1/2 STBC link over flat Rayleigh fading.
+    pub fn flat(n_rx: usize) -> Self {
+        StbcLink {
+            modulation: Modulation::Qpsk,
+            code_rate: wlan_coding::CodeRate::R1_2,
+            n_rx,
+            pdp: PowerDelayProfile::flat(),
+        }
+    }
+
+    fn phy(&self) -> wlan_mimo::stbc_phy::StbcOfdmPhy {
+        wlan_mimo::stbc_phy::StbcOfdmPhy::new(self.modulation, self.code_rate, self.n_rx)
+    }
+}
+
+impl PhyLink for StbcLink {
+    fn name(&self) -> String {
+        format!("STBC 2x{} {} r={}", self.n_rx, self.modulation, self.code_rate)
+    }
+
+    fn rate_mbps(&self) -> f64 {
+        self.phy().rate_mbps()
+    }
+
+    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut StdRng) -> bool {
+        let phy = self.phy();
+        let n0 = db_to_lin(-snr_db);
+        let ch = MimoMultipathChannel::realize(self.n_rx, 2, &self.pdp, rng);
+        let tx = phy.transmit(payload);
+        let rx = propagate(&ch, &tx, n0, rng);
+        phy.receive(&rx, n0, payload.len()) == payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stbc_link_beats_siso_at_same_rate() {
+        let snr = [10.0];
+        let siso = sweep_per(&MimoLink::flat(1, 1), &snr, 40, 40, 21);
+        let stbc = sweep_per(&StbcLink::flat(1), &snr, 40, 40, 21);
+        assert_eq!(siso.rate_mbps, stbc.rate_mbps, "same data rate");
+        assert!(
+            stbc.points[0].per < siso.points[0].per,
+            "STBC {} vs SISO {}",
+            stbc.points[0].per,
+            siso.points[0].per
+        );
+    }
+
+    #[test]
+    fn per_is_monotone_decreasing_for_dsss() {
+        let link = DsssLink {
+            rate: DsssRate::Dqpsk2M,
+        };
+        let curve = sweep_per(&link, &[-4.0, 2.0, 8.0], 50, 40, 42);
+        assert!(curve.points[0].per >= curve.points[2].per);
+        // At 8 dB chip SNR (18 dB post-despreading) DQPSK is clean.
+        assert!(curve.points[2].per < 0.1, "per {}", curve.points[2].per);
+    }
+
+    #[test]
+    fn ofdm_rate_ladder_orders_by_required_snr() {
+        // 6 Mbps decodes at an SNR where 54 Mbps fails outright.
+        let snr = [4.0];
+        let slow = sweep_per(&OfdmLink::awgn(OfdmRate::R6), &snr, 60, 25, 1);
+        let fast = sweep_per(&OfdmLink::awgn(OfdmRate::R54), &snr, 60, 25, 1);
+        assert!(slow.points[0].per < 0.3, "6 Mbps per {}", slow.points[0].per);
+        assert!(fast.points[0].per > 0.7, "54 Mbps per {}", fast.points[0].per);
+    }
+
+    #[test]
+    fn snr_for_per_interpolates() {
+        let curve = PerCurve {
+            name: "test".into(),
+            rate_mbps: 1.0,
+            points: vec![
+                PerPoint {
+                    snr_db: 0.0,
+                    per: 1.0,
+                },
+                PerPoint {
+                    snr_db: 10.0,
+                    per: 0.0,
+                },
+            ],
+        };
+        assert!((curve.snr_for_per(0.5).unwrap() - 5.0).abs() < 1e-9);
+        assert!((curve.snr_for_per(0.01).unwrap() - 9.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snr_for_per_none_when_unreachable() {
+        let curve = PerCurve {
+            name: "bad".into(),
+            rate_mbps: 1.0,
+            points: vec![PerPoint {
+                snr_db: 0.0,
+                per: 0.9,
+            }],
+        };
+        assert_eq!(curve.snr_for_per(0.01), None);
+    }
+
+    #[test]
+    fn receive_diversity_lowers_per() {
+        let snr = [8.0];
+        let siso = sweep_per(&MimoLink::flat(1, 1), &snr, 40, 30, 7);
+        let div = sweep_per(&MimoLink::flat(1, 4), &snr, 40, 30, 7);
+        assert!(
+            div.points[0].per < siso.points[0].per,
+            "1x4 {} vs 1x1 {}",
+            div.points[0].per,
+            siso.points[0].per
+        );
+    }
+
+    #[test]
+    fn ht_ldpc_link_is_competitive_near_threshold() {
+        let common = HtLink {
+            modulation: Modulation::Qpsk,
+            code_rate: wlan_coding::CodeRate::R1_2,
+            ldpc: false,
+            fading: false,
+        };
+        let ldpc = HtLink {
+            ldpc: true,
+            ..common.clone()
+        };
+        assert!((common.rate_mbps() - ldpc.rate_mbps()).abs() < 1e-9);
+        let snr = [4.5];
+        let bcc_curve = sweep_per(&common, &snr, 60, 30, 23);
+        let ldpc_curve = sweep_per(&ldpc, &snr, 60, 30, 23);
+        // At the PER≈10 % operating point the two codes sit within a
+        // fraction of a dB of each other; LDPC's decisive win is in the
+        // low-BER waterfall (see bench e06). Here we assert comparability.
+        assert!(
+            ldpc_curve.points[0].per <= bcc_curve.points[0].per + 0.15,
+            "LDPC {} vs BCC {}",
+            ldpc_curve.points[0].per,
+            bcc_curve.points[0].per
+        );
+    }
+
+    #[test]
+    fn fhss_link_works_at_moderate_snr() {
+        let curve = sweep_per(&FhssLink, &[0.0, 12.0], 40, 30, 19);
+        assert!(curve.points[0].per > curve.points[1].per);
+        assert!(curve.points[1].per < 0.1, "per {}", curve.points[1].per);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let link = DsssLink {
+            rate: DsssRate::Cck11M,
+        };
+        let a = sweep_per(&link, &[5.0], 30, 20, 9);
+        let b = sweep_per(&link, &[5.0], 30, 20, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,165 @@
+//! Range estimation — experiment E5.
+//!
+//! The paper: spatial diversity extends range "several-fold relative to a
+//! conventional single antenna or SISO system". We measure it directly:
+//! walk distance outward, convert to SNR through the breakpoint path-loss
+//! model, run the full link at that SNR, and find where PER crosses the
+//! threshold.
+
+use crate::linksim::PhyLink;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wlan_channel::pathloss::{LinkBudget, PathLossModel};
+
+/// Result of a range search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeEstimate {
+    /// Largest distance (m) at which PER ≤ the target.
+    pub range_m: f64,
+    /// Measured PER at that distance.
+    pub per_at_range: f64,
+}
+
+/// Measures PER of a link at one distance.
+pub fn per_at_distance(
+    link: &dyn PhyLink,
+    budget: &LinkBudget,
+    model: &PathLossModel,
+    distance_m: f64,
+    payload_len: usize,
+    frames: usize,
+    seed: u64,
+) -> f64 {
+    let snr_db = budget.snr_at_distance_db(model, distance_m);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut errors = 0usize;
+    for _ in 0..frames {
+        let payload: Vec<u8> = (0..payload_len).map(|_| rng.gen()).collect();
+        if !link.frame_trial(snr_db, &payload, &mut rng) {
+            errors += 1;
+        }
+    }
+    errors as f64 / frames as f64
+}
+
+/// Finds the largest distance keeping PER at or below `per_target`, by
+/// doubling outward then bisecting. Fading links should use enough frames
+/// for the PER estimate to be stable (the bisection tolerates ~1/frames
+/// granularity).
+///
+/// # Panics
+///
+/// Panics if `per_target` is not in `(0, 1)` or `frames` is zero.
+pub fn find_range(
+    link: &dyn PhyLink,
+    budget: &LinkBudget,
+    model: &PathLossModel,
+    per_target: f64,
+    payload_len: usize,
+    frames: usize,
+    seed: u64,
+) -> RangeEstimate {
+    assert!((0.0..1.0).contains(&per_target) && per_target > 0.0);
+    assert!(frames > 0, "need frames");
+    let meets = |d: f64| -> (bool, f64) {
+        let per = per_at_distance(link, budget, model, d, payload_len, frames, seed);
+        (per <= per_target, per)
+    };
+
+    let mut lo = 1.0;
+    let (ok, per) = meets(lo);
+    if !ok {
+        return RangeEstimate {
+            range_m: 0.0,
+            per_at_range: per,
+        };
+    }
+    // Double outward until failure (cap at 100 km).
+    let mut hi = 2.0;
+    loop {
+        let (ok, _) = meets(hi);
+        if !ok || hi > 1e5 {
+            break;
+        }
+        lo = hi;
+        hi *= 2.0;
+    }
+    // Bisect to ~2 % distance resolution.
+    for _ in 0..12 {
+        let mid = 0.5 * (lo + hi);
+        let (ok, _) = meets(mid);
+        if ok {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let (_, per) = meets(lo);
+    RangeEstimate {
+        range_m: lo,
+        per_at_range: per,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linksim::{DsssLink, MimoLink};
+    use wlan_dsss::DsssRate;
+
+    #[test]
+    fn per_grows_with_distance() {
+        let link = DsssLink {
+            rate: DsssRate::Dbpsk1M,
+        };
+        let budget = LinkBudget::typical_wlan();
+        let model = PathLossModel::tgn_model_d();
+        let near = per_at_distance(&link, &budget, &model, 10.0, 40, 25, 3);
+        let far = per_at_distance(&link, &budget, &model, 2_000.0, 40, 25, 3);
+        assert!(near < 0.1, "near PER {near}");
+        assert!(far > 0.9, "far PER {far}");
+    }
+
+    #[test]
+    fn range_search_brackets_the_transition() {
+        let link = DsssLink {
+            rate: DsssRate::Dqpsk2M,
+        };
+        let budget = LinkBudget::typical_wlan();
+        let model = PathLossModel::tgn_model_d();
+        let est = find_range(&link, &budget, &model, 0.1, 40, 25, 5);
+        assert!(est.range_m > 10.0, "range {}", est.range_m);
+        assert!(est.per_at_range <= 0.1);
+        // Just beyond the range the link must degrade.
+        let beyond = per_at_distance(&link, &budget, &model, est.range_m * 1.5, 40, 25, 5);
+        assert!(beyond > est.per_at_range, "beyond {} vs {}", beyond, est.per_at_range);
+    }
+
+    #[test]
+    fn diversity_extends_range() {
+        // The E5 claim in miniature: 1×4 receive diversity reaches farther
+        // than 1×1 at the same PER target in fading.
+        let budget = LinkBudget::typical_wlan();
+        let model = PathLossModel::tgn_model_d();
+        let siso = find_range(&MimoLink::flat(1, 1), &budget, &model, 0.1, 30, 20, 11);
+        let mimo = find_range(&MimoLink::flat(1, 4), &budget, &model, 0.1, 30, 20, 11);
+        assert!(
+            mimo.range_m > 1.2 * siso.range_m,
+            "1x4 range {} vs 1x1 range {}",
+            mimo.range_m,
+            siso.range_m
+        );
+    }
+
+    #[test]
+    fn impossible_target_returns_zero() {
+        let link = MimoLink::flat(1, 1);
+        let budget = LinkBudget {
+            tx_power_dbm: -80.0,
+            ..LinkBudget::typical_wlan()
+        };
+        let model = PathLossModel::tgn_model_d();
+        let est = find_range(&link, &budget, &model, 0.01, 30, 10, 13);
+        assert_eq!(est.range_m, 0.0);
+    }
+}

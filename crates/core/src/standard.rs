@@ -1,0 +1,146 @@
+//! The 802.11 generations the paper retraces.
+
+use wlan_dsss::DsssRate;
+use wlan_mimo::mcs::{Bandwidth, GuardInterval, HtMcs};
+use wlan_ofdm::OfdmRate;
+
+/// One generation of the 802.11 family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Standard {
+    /// 802.11-1999: DSSS/FHSS, 1–2 Mbps.
+    Dot11,
+    /// 802.11b: CCK, up to 11 Mbps.
+    Dot11b,
+    /// 802.11a/g: OFDM, up to 54 Mbps.
+    Dot11a,
+    /// 802.11n (draft at the paper's writing): MIMO-OFDM, up to 600 Mbps.
+    Dot11n,
+}
+
+impl Standard {
+    /// All generations in chronological order.
+    pub fn all() -> [Standard; 4] {
+        [
+            Standard::Dot11,
+            Standard::Dot11b,
+            Standard::Dot11a,
+            Standard::Dot11n,
+        ]
+    }
+
+    /// Short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Standard::Dot11 => "802.11",
+            Standard::Dot11b => "802.11b",
+            Standard::Dot11a => "802.11a/g",
+            Standard::Dot11n => "802.11n",
+        }
+    }
+
+    /// Ratification (or, for 11n, expected) year.
+    pub fn year(&self) -> u16 {
+        match self {
+            Standard::Dot11 => 1997,
+            Standard::Dot11b => 1999,
+            Standard::Dot11a => 1999,
+            Standard::Dot11n => 2008,
+        }
+    }
+
+    /// Peak PHY data rate in Mbps, computed from the implemented PHYs (not
+    /// hard-coded constants).
+    pub fn peak_rate_mbps(&self) -> f64 {
+        match self {
+            Standard::Dot11 => DsssRate::Dqpsk2M.rate_mbps(),
+            Standard::Dot11b => DsssRate::Cck11M.rate_mbps(),
+            Standard::Dot11a => OfdmRate::R54.rate_mbps(),
+            Standard::Dot11n => wlan_mimo::mcs::peak_rate_mbps(),
+        }
+    }
+
+    /// Channel bandwidth at the peak rate, in MHz.
+    pub fn bandwidth_mhz(&self) -> f64 {
+        match self {
+            Standard::Dot11 => DsssRate::Dqpsk2M.bandwidth_mhz(),
+            Standard::Dot11b => DsssRate::Cck11M.bandwidth_mhz(),
+            Standard::Dot11a => OfdmRate::R54.bandwidth_mhz(),
+            Standard::Dot11n => Bandwidth::Mhz40.mhz(),
+        }
+    }
+
+    /// Peak spectral efficiency in bps/Hz — the paper's headline metric.
+    pub fn spectral_efficiency(&self) -> f64 {
+        match self {
+            Standard::Dot11 => DsssRate::Dqpsk2M.spectral_efficiency(),
+            Standard::Dot11b => DsssRate::Cck11M.spectral_efficiency(),
+            Standard::Dot11a => OfdmRate::R54.spectral_efficiency(),
+            Standard::Dot11n => HtMcs::new(31)
+                .expect("MCS31 exists")
+                .spectral_efficiency(Bandwidth::Mhz40, GuardInterval::Short),
+        }
+    }
+
+    /// One-line description of the enabling technology.
+    pub fn technology(&self) -> &'static str {
+        match self {
+            Standard::Dot11 => "DSSS (Barker-11) / FHSS, DBPSK/DQPSK",
+            Standard::Dot11b => "CCK codeword modulation",
+            Standard::Dot11a => "OFDM, 48 carriers, BCC + QAM",
+            Standard::Dot11n => "MIMO-OFDM, 4 streams, 40 MHz, LDPC/STBC/beamforming",
+        }
+    }
+}
+
+impl std::fmt::Display for Standard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_are_reproduced() {
+        // Intro: "2 Mbps (802.11) to 11 Mbps (802.11b) and now to 54 Mbps
+        // (802.11a/g) ... potentially as high as 600 Mbps".
+        let rates: Vec<f64> = Standard::all().iter().map(|s| s.peak_rate_mbps()).collect();
+        assert_eq!(rates, vec![2.0, 11.0, 54.0, 600.0]);
+    }
+
+    #[test]
+    fn spectral_efficiency_ladder_matches_paper() {
+        // 0.1 (Historical), 0.5 (CCK), 2.7 (OFDM), 15 (MIMO).
+        let want = [0.1, 0.5, 2.7, 15.0];
+        for (s, w) in Standard::all().iter().zip(want) {
+            assert!(
+                (s.spectral_efficiency() - w).abs() < 1e-9,
+                "{s}: {} vs {w}",
+                s.spectral_efficiency()
+            );
+        }
+    }
+
+    #[test]
+    fn fivefold_increases() {
+        // "representing yet again an approximately fivefold increase".
+        let se: Vec<f64> = Standard::all()
+            .iter()
+            .map(|s| s.spectral_efficiency())
+            .collect();
+        for w in se.windows(2) {
+            let ratio = w[1] / w[0];
+            assert!((4.5..=6.5).contains(&ratio), "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn chronological_order() {
+        let years: Vec<u16> = Standard::all().iter().map(|s| s.year()).collect();
+        for w in years.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! The first-generation 802.11 physical layers.
+//!
+//! This crate implements the air interfaces the paper's "Historical
+//! Developments" section walks through:
+//!
+//! - [`barker`] — the 11-chip Barker spreading of 802.11-1999 DSSS and the
+//!   processing-gain measurement behind the FCC's 10 dB rule (experiment E3),
+//! - [`modem`] — DBPSK (1 Mbps) and DQPSK (2 Mbps) differential modulation,
+//! - [`cck`] — the 802.11b complementary-code-keying PHY (5.5 and 11 Mbps),
+//! - [`fhss`] — the frequency-hopping alternative PHY (hop patterns plus a
+//!   2-level FSK modem),
+//! - [`phy`] — the frame-level TX/RX chains tying spreading, modulation and
+//!   scrambling together.
+//!
+//! # Examples
+//!
+//! ```
+//! use wlan_dsss::phy::{DsssPhy, DsssRate};
+//!
+//! let phy = DsssPhy::new(DsssRate::Dbpsk1M);
+//! let bits = vec![1, 0, 1, 1, 0, 0, 1, 0];
+//! let chips = phy.transmit(&bits);
+//! assert_eq!(phy.receive(&chips), bits);
+//! ```
+
+pub mod barker;
+pub mod cck;
+pub mod fhss;
+pub mod modem;
+pub mod phy;
+pub mod plcp;
+
+pub use phy::{DsssPhy, DsssRate};

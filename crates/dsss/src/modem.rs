@@ -1,0 +1,188 @@
+//! Differential PSK modems for the DSSS PHYs.
+//!
+//! 802.11-1999 uses DBPSK at 1 Mbps and DQPSK at 2 Mbps: information rides
+//! on the *phase change* between consecutive symbols, so the receiver needs
+//! no absolute carrier phase reference — the right choice for 1997-era
+//! low-cost radios.
+
+use wlan_math::Complex;
+
+/// Gray-coded DQPSK dibit → phase increment (802.11-1999 table 111).
+fn dibit_to_phase(d0: u8, d1: u8) -> f64 {
+    use std::f64::consts::PI;
+    match (d0, d1) {
+        (0, 0) => 0.0,
+        (0, 1) => PI / 2.0,
+        (1, 1) => PI,
+        (1, 0) => 3.0 * PI / 2.0,
+        _ => panic!("bits must be 0 or 1"),
+    }
+}
+
+/// Phase increment → Gray-coded dibit (nearest of the four).
+fn phase_to_dibit(phase: f64) -> (u8, u8) {
+    use std::f64::consts::PI;
+    let p = phase.rem_euclid(2.0 * PI);
+    let quadrant = ((p + PI / 4.0) / (PI / 2.0)).floor() as i32 % 4;
+    match quadrant {
+        0 => (0, 0),
+        1 => (0, 1),
+        2 => (1, 1),
+        _ => (1, 0),
+    }
+}
+
+/// DBPSK: one bit per symbol as a 0/π differential phase.
+///
+/// # Examples
+///
+/// ```
+/// use wlan_dsss::modem::Dbpsk;
+/// let bits = vec![1, 0, 0, 1, 1];
+/// let syms = Dbpsk::modulate(&bits);
+/// assert_eq!(syms.len(), bits.len() + 1); // +1 reference symbol
+/// assert_eq!(Dbpsk::demodulate(&syms), bits);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Dbpsk;
+
+impl Dbpsk {
+    /// Modulates bits into unit-energy symbols, prepending one reference
+    /// symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bit is not 0 or 1.
+    pub fn modulate(bits: &[u8]) -> Vec<Complex> {
+        let mut out = Vec::with_capacity(bits.len() + 1);
+        let mut phase = 0.0f64;
+        out.push(Complex::from_polar(1.0, phase));
+        for &b in bits {
+            assert!(b <= 1, "bits must be 0 or 1");
+            if b == 1 {
+                phase += std::f64::consts::PI;
+            }
+            out.push(Complex::from_polar(1.0, phase));
+        }
+        out
+    }
+
+    /// Differentially demodulates symbols (first symbol is the reference).
+    pub fn demodulate(symbols: &[Complex]) -> Vec<u8> {
+        symbols
+            .windows(2)
+            .map(|w| {
+                let d = w[1] * w[0].conj();
+                (d.re < 0.0) as u8
+            })
+            .collect()
+    }
+}
+
+/// DQPSK: two bits per symbol as a Gray-coded quarter-turn differential
+/// phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Dqpsk;
+
+impl Dqpsk {
+    /// Modulates an even number of bits, prepending one reference symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` is odd or a bit is not 0/1.
+    pub fn modulate(bits: &[u8]) -> Vec<Complex> {
+        assert!(bits.len().is_multiple_of(2), "DQPSK needs an even number of bits");
+        let mut out = Vec::with_capacity(bits.len() / 2 + 1);
+        let mut phase = 0.0f64;
+        out.push(Complex::from_polar(1.0, phase));
+        for pair in bits.chunks(2) {
+            phase += dibit_to_phase(pair[0], pair[1]);
+            out.push(Complex::from_polar(1.0, phase));
+        }
+        out
+    }
+
+    /// Differentially demodulates symbols back into bits.
+    pub fn demodulate(symbols: &[Complex]) -> Vec<u8> {
+        let mut bits = Vec::with_capacity(symbols.len().saturating_sub(1) * 2);
+        for w in symbols.windows(2) {
+            let d = w[1] * w[0].conj();
+            let (b0, b1) = phase_to_dibit(d.arg());
+            bits.push(b0);
+            bits.push(b1);
+        }
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbpsk_roundtrip() {
+        let bits: Vec<u8> = (0..64).map(|i| ((i * 5) % 3 == 0) as u8).collect();
+        assert_eq!(Dbpsk::demodulate(&Dbpsk::modulate(&bits)), bits);
+    }
+
+    #[test]
+    fn dqpsk_roundtrip() {
+        let bits: Vec<u8> = (0..128).map(|i| ((i * 7) % 5 < 2) as u8).collect();
+        assert_eq!(Dqpsk::demodulate(&Dqpsk::modulate(&bits)), bits);
+    }
+
+    #[test]
+    fn differential_detection_survives_phase_offset() {
+        // A fixed unknown carrier phase rotates every symbol identically and
+        // must cancel in the differential detector.
+        let bits = vec![1, 0, 1, 1, 0, 0, 1, 0];
+        let rotated: Vec<Complex> = Dbpsk::modulate(&bits)
+            .into_iter()
+            .map(|s| s * Complex::from_polar(1.0, 1.234))
+            .collect();
+        assert_eq!(Dbpsk::demodulate(&rotated), bits);
+
+        let rotated_q: Vec<Complex> = Dqpsk::modulate(&bits)
+            .into_iter()
+            .map(|s| s * Complex::from_polar(1.0, -2.1))
+            .collect();
+        assert_eq!(Dqpsk::demodulate(&rotated_q), bits);
+    }
+
+    #[test]
+    fn symbols_have_unit_energy() {
+        let bits = vec![0, 1, 1, 0];
+        for s in Dbpsk::modulate(&bits) {
+            assert!((s.norm() - 1.0).abs() < 1e-12);
+        }
+        for s in Dqpsk::modulate(&bits) {
+            assert!((s.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gray_mapping_adjacent_phases_differ_one_bit() {
+        // Adjacent quadrants must differ in exactly one bit (Gray property),
+        // so a small phase error costs one bit, not two.
+        let phases = [0.0, 0.5, 1.0, 1.5].map(|k| k * std::f64::consts::PI);
+        let dibits: Vec<(u8, u8)> = phases.iter().map(|&p| phase_to_dibit(p)).collect();
+        for i in 0..4 {
+            let a = dibits[i];
+            let b = dibits[(i + 1) % 4];
+            let diff = (a.0 ^ b.0) + (a.1 ^ b.1);
+            assert_eq!(diff, 1, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even number")]
+    fn dqpsk_rejects_odd_length() {
+        let _ = Dqpsk::modulate(&[1, 0, 1]);
+    }
+
+    #[test]
+    fn empty_input_gives_reference_only() {
+        assert_eq!(Dbpsk::modulate(&[]).len(), 1);
+        assert_eq!(Dbpsk::demodulate(&Dbpsk::modulate(&[])), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,199 @@
+//! Bianchi's saturation-throughput model (IEEE JSAC 2000).
+//!
+//! The classic two-equation fixed point: a station transmits in a random
+//! slot with probability `τ`, conditioned on collision probability
+//! `p = 1 − (1−τ)^{n−1}`, and
+//!
+//! ```text
+//! τ = 2(1−2p) / ((1−2p)(W+1) + pW(1−(2p)^m))
+//! ```
+//!
+//! where `W = CWmin+1` and `m` the maximum backoff stage. Saturation
+//! throughput follows from the expected slot durations. The DCF simulator
+//! ([`crate::dcf`]) must land on these curves — that is the E13 validation.
+
+use crate::params::MacProfile;
+
+/// Result of the analytic model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BianchiResult {
+    /// Per-station transmission probability τ.
+    pub tau: f64,
+    /// Conditional collision probability p.
+    pub collision_probability: f64,
+    /// Saturation throughput in Mbps.
+    pub throughput_mbps: f64,
+}
+
+/// Solves the Bianchi fixed point and computes saturation throughput.
+///
+/// # Panics
+///
+/// Panics if `n_stations` is zero.
+pub fn saturation_throughput(
+    profile: &MacProfile,
+    n_stations: usize,
+    payload_bytes: usize,
+    rts_cts: bool,
+) -> BianchiResult {
+    assert!(n_stations > 0, "need at least one station");
+    let n = n_stations as f64;
+    let w = (profile.cw_min + 1) as f64;
+    // Backoff stages until CWmax.
+    let m = ((profile.cw_max + 1) as f64 / w).log2().round().max(0.0);
+
+    let tau_of_p = |p: f64| -> f64 {
+        if p >= 0.5 {
+            // The closed form is still valid; guard the 1−2p factor.
+            let denom = (1.0 - 2.0 * p) * (w + 1.0) + p * w * (1.0 - (2.0 * p).powf(m));
+            if denom.abs() < 1e-12 {
+                return 2.0 / (w + 1.0);
+            }
+            2.0 * (1.0 - 2.0 * p) / denom
+        } else {
+            2.0 * (1.0 - 2.0 * p)
+                / ((1.0 - 2.0 * p) * (w + 1.0) + p * w * (1.0 - (2.0 * p).powf(m)))
+        }
+    };
+
+    // Bisection on p: f(p) = p − (1 − (1−τ(p))^{n−1}) is monotone.
+    let f = |p: f64| -> f64 {
+        let tau = tau_of_p(p).clamp(0.0, 1.0);
+        p - (1.0 - (1.0 - tau).powf(n - 1.0))
+    };
+    let mut lo = 0.0;
+    let mut hi = 0.999_999;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) > 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let p = 0.5 * (lo + hi);
+    let tau = tau_of_p(p).clamp(0.0, 1.0);
+
+    // Slot-type probabilities.
+    let p_tr = 1.0 - (1.0 - tau).powf(n);
+    let p_s = if p_tr > 0.0 {
+        n * tau * (1.0 - tau).powf(n - 1.0) / p_tr
+    } else {
+        0.0
+    };
+
+    let sigma = profile.slot_us;
+    let (ts, tc) = if rts_cts {
+        (
+            profile.rts_success_duration_us(payload_bytes),
+            profile.rts_collision_duration_us(),
+        )
+    } else {
+        (
+            profile.success_duration_us(payload_bytes),
+            profile.collision_duration_us(payload_bytes),
+        )
+    };
+
+    let payload_bits = (payload_bytes * 8) as f64;
+    let denom = (1.0 - p_tr) * sigma + p_tr * p_s * ts + p_tr * (1.0 - p_s) * tc;
+    let throughput_mbps = p_tr * p_s * payload_bits / denom;
+
+    BianchiResult {
+        tau,
+        collision_probability: p,
+        throughput_mbps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcf::{simulate_dcf, DcfConfig};
+
+    #[test]
+    fn fixed_point_is_consistent() {
+        let r = saturation_throughput(&MacProfile::dot11a(54.0), 10, 1500, false);
+        // p must equal 1 − (1−τ)^(n−1) at the solution.
+        let implied = 1.0 - (1.0 - r.tau).powf(9.0);
+        assert!((r.collision_probability - implied).abs() < 1e-6);
+        assert!(r.tau > 0.0 && r.tau < 1.0);
+    }
+
+    #[test]
+    fn single_station_never_collides() {
+        let r = saturation_throughput(&MacProfile::dot11a(54.0), 1, 1500, false);
+        assert!(r.collision_probability < 1e-9);
+    }
+
+    #[test]
+    fn throughput_decreases_with_contention() {
+        let profile = MacProfile::dot11a(54.0);
+        let mut prev = f64::INFINITY;
+        for n in [2, 5, 10, 20, 50] {
+            let r = saturation_throughput(&profile, n, 1500, false);
+            assert!(
+                r.throughput_mbps < prev,
+                "n={n}: {} not below {prev}",
+                r.throughput_mbps
+            );
+            prev = r.throughput_mbps;
+        }
+    }
+
+    #[test]
+    fn rts_flattens_the_contention_penalty() {
+        let profile = MacProfile::dot11a(54.0);
+        let basic_50 = saturation_throughput(&profile, 50, 2000, false).throughput_mbps;
+        let rts_50 = saturation_throughput(&profile, 50, 2000, true).throughput_mbps;
+        assert!(rts_50 > basic_50, "RTS {rts_50} vs basic {basic_50}");
+    }
+
+    #[test]
+    fn simulation_matches_model() {
+        // The E13 headline check: event simulation within ~10 % of Bianchi
+        // across a range of station counts.
+        let profile = MacProfile::dot11a(54.0);
+        for n in [2usize, 5, 10, 20] {
+            let model = saturation_throughput(&profile, n, 1500, false);
+            let sim = simulate_dcf(&DcfConfig {
+                profile,
+                n_stations: n,
+                payload_bytes: 1500,
+                rts_cts: false,
+                sim_time_us: 4_000_000.0,
+                seed: 11,
+            });
+            let err = (sim.throughput_mbps - model.throughput_mbps).abs()
+                / model.throughput_mbps;
+            assert!(
+                err < 0.1,
+                "n={n}: sim {} vs model {} ({:.1} % off)",
+                sim.throughput_mbps,
+                model.throughput_mbps,
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn collision_probability_matches_simulation() {
+        let profile = MacProfile::dot11a(54.0);
+        let n = 15;
+        let model = saturation_throughput(&profile, n, 1500, false);
+        let sim = simulate_dcf(&DcfConfig {
+            profile,
+            n_stations: n,
+            payload_bytes: 1500,
+            rts_cts: false,
+            sim_time_us: 4_000_000.0,
+            seed: 3,
+        });
+        assert!(
+            (sim.collision_probability - model.collision_probability).abs() < 0.08,
+            "sim p={} vs model p={}",
+            sim.collision_probability,
+            model.collision_probability
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! Event-driven simulation of the saturated DCF.
+//!
+//! `n` stations always have a frame queued (saturation), sense the medium,
+//! and contend with binary exponential backoff. In a single collision
+//! domain DCF behaviour is exactly captured by the virtual-slot abstraction:
+//! after every DIFS-idle boundary each station whose backoff expired
+//! transmits; one transmitter is a success, several are a collision. The
+//! simulation drives those boundaries through the [`wlan_sim::Scheduler`]
+//! so durations stay in real time units, and validates against
+//! [Bianchi's model](crate::bianchi) (experiment E13).
+
+use crate::params::MacProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wlan_sim::Scheduler;
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DcfConfig {
+    /// MAC timing profile (includes the PHY rate).
+    pub profile: MacProfile,
+    /// Number of saturated stations.
+    pub n_stations: usize,
+    /// Payload bytes per frame.
+    pub payload_bytes: usize,
+    /// Use RTS/CTS instead of basic access.
+    pub rts_cts: bool,
+    /// Simulated duration in µs.
+    pub sim_time_us: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Aggregate results of a DCF run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcfResult {
+    /// Delivered payload throughput in Mbps.
+    pub throughput_mbps: f64,
+    /// Successful transmissions.
+    pub successes: u64,
+    /// Collision events (each may involve ≥2 frames).
+    pub collisions: u64,
+    /// Fraction of transmission attempts that collided.
+    pub collision_probability: f64,
+    /// Per-station success counts (for fairness analysis).
+    pub per_station: Vec<u64>,
+    /// Jain fairness index over per-station successes.
+    pub fairness: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A virtual slot boundary where backoff counters tick.
+    SlotBoundary,
+}
+
+struct Station {
+    backoff: u32,
+    stage: u32,
+}
+
+/// Runs the saturated-DCF simulation.
+///
+/// # Panics
+///
+/// Panics if `n_stations` is zero or `sim_time_us` is not positive.
+pub fn simulate_dcf(cfg: &DcfConfig) -> DcfResult {
+    assert!(cfg.n_stations > 0, "need at least one station");
+    assert!(cfg.sim_time_us > 0.0, "simulation time must be positive");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let p = &cfg.profile;
+
+    let draw = |stage: u32, rng: &mut StdRng| -> u32 {
+        let cw = ((p.cw_min + 1) << stage).min(p.cw_max + 1) - 1;
+        rng.gen_range(0..=cw)
+    };
+
+    let mut stations: Vec<Station> = (0..cfg.n_stations)
+        .map(|_| Station {
+            backoff: 0,
+            stage: 0,
+        })
+        .collect();
+    for s in stations.iter_mut() {
+        s.backoff = draw(0, &mut rng);
+    }
+
+    let to_ns = |us: f64| -> u64 { (us * 1000.0).round() as u64 };
+    let horizon = to_ns(cfg.sim_time_us);
+    let mut sim: Scheduler<Event> = Scheduler::new();
+    sim.schedule_in(to_ns(p.difs_us()), Event::SlotBoundary);
+
+    let mut successes = 0u64;
+    let mut collisions = 0u64;
+    let mut attempts = 0u64;
+    let mut colliding_attempts = 0u64;
+    let mut per_station = vec![0u64; cfg.n_stations];
+
+    while let Some((t, Event::SlotBoundary)) = sim.pop() {
+        if t >= horizon {
+            break;
+        }
+        let transmitters: Vec<usize> = stations
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| (s.backoff == 0).then_some(i))
+            .collect();
+
+        if transmitters.is_empty() {
+            for s in stations.iter_mut() {
+                s.backoff -= 1;
+            }
+            sim.schedule_in(to_ns(p.slot_us), Event::SlotBoundary);
+            continue;
+        }
+
+        attempts += transmitters.len() as u64;
+        let duration_us = if transmitters.len() == 1 {
+            successes += 1;
+            let i = transmitters[0];
+            per_station[i] += 1;
+            stations[i].stage = 0;
+            stations[i].backoff = draw(0, &mut rng);
+            if cfg.rts_cts {
+                p.rts_success_duration_us(cfg.payload_bytes)
+            } else {
+                p.success_duration_us(cfg.payload_bytes)
+            }
+        } else {
+            collisions += 1;
+            colliding_attempts += transmitters.len() as u64;
+            for &i in &transmitters {
+                stations[i].stage = (stations[i].stage + 1).min(10);
+                let stage = stations[i].stage;
+                stations[i].backoff = draw(stage, &mut rng);
+            }
+            if cfg.rts_cts {
+                p.rts_collision_duration_us()
+            } else {
+                p.collision_duration_us(cfg.payload_bytes)
+            }
+        };
+
+        // Stations that did not transmit freeze their counters during the
+        // busy period, then resume after it (freeze = no decrement here).
+        sim.schedule_in(to_ns(duration_us), Event::SlotBoundary);
+    }
+
+    let delivered_bits = successes as f64 * (cfg.payload_bytes * 8) as f64;
+    let throughput_mbps = delivered_bits / cfg.sim_time_us;
+    let sum: f64 = per_station.iter().map(|&x| x as f64).sum();
+    let sum_sq: f64 = per_station.iter().map(|&x| (x as f64) * (x as f64)).sum();
+    let fairness = if sum_sq > 0.0 {
+        sum * sum / (cfg.n_stations as f64 * sum_sq)
+    } else {
+        1.0
+    };
+
+    DcfResult {
+        throughput_mbps,
+        successes,
+        collisions,
+        collision_probability: if attempts > 0 {
+            colliding_attempts as f64 / attempts as f64
+        } else {
+            0.0
+        },
+        per_station,
+        fairness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cfg() -> DcfConfig {
+        DcfConfig {
+            profile: MacProfile::dot11a(54.0),
+            n_stations: 10,
+            payload_bytes: 1500,
+            rts_cts: false,
+            sim_time_us: 2_000_000.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn single_station_approaches_ideal() {
+        let cfg = DcfConfig {
+            n_stations: 1,
+            ..base_cfg()
+        };
+        let out = simulate_dcf(&cfg);
+        assert_eq!(out.collisions, 0, "one station can never collide");
+        let ideal = cfg.profile.ideal_throughput_mbps(cfg.payload_bytes);
+        // Only backoff separates it from the ideal: mean CWmin/2 = 7.5 slots
+        // of 9 µs per ~335 µs exchange → ≈ 17 % overhead.
+        let expected_ratio = {
+            let ts = cfg.profile.success_duration_us(cfg.payload_bytes);
+            let backoff = cfg.profile.cw_min as f64 / 2.0 * cfg.profile.slot_us;
+            ts / (ts + backoff)
+        };
+        let ratio = out.throughput_mbps / ideal;
+        assert!(
+            (ratio - expected_ratio).abs() < 0.03,
+            "ratio {ratio} vs expected {expected_ratio} (ideal {ideal})"
+        );
+    }
+
+    #[test]
+    fn contention_reduces_throughput() {
+        let one = simulate_dcf(&DcfConfig {
+            n_stations: 1,
+            ..base_cfg()
+        });
+        let fifty = simulate_dcf(&DcfConfig {
+            n_stations: 50,
+            ..base_cfg()
+        });
+        assert!(
+            fifty.throughput_mbps < one.throughput_mbps,
+            "50 stations {} vs 1 station {}",
+            fifty.throughput_mbps,
+            one.throughput_mbps
+        );
+        assert!(fifty.collision_probability > 0.1);
+    }
+
+    #[test]
+    fn collision_probability_grows_with_stations() {
+        let p5 = simulate_dcf(&DcfConfig {
+            n_stations: 5,
+            ..base_cfg()
+        })
+        .collision_probability;
+        let p30 = simulate_dcf(&DcfConfig {
+            n_stations: 30,
+            ..base_cfg()
+        })
+        .collision_probability;
+        assert!(p30 > p5, "p(30)={p30} vs p(5)={p5}");
+    }
+
+    #[test]
+    fn rts_cts_helps_large_frames_under_heavy_contention() {
+        let basic = simulate_dcf(&DcfConfig {
+            n_stations: 50,
+            payload_bytes: 2000,
+            ..base_cfg()
+        });
+        let rts = simulate_dcf(&DcfConfig {
+            n_stations: 50,
+            payload_bytes: 2000,
+            rts_cts: true,
+            ..base_cfg()
+        });
+        assert!(
+            rts.throughput_mbps > basic.throughput_mbps,
+            "RTS {} vs basic {}",
+            rts.throughput_mbps,
+            basic.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn dcf_is_fair_over_long_runs() {
+        let out = simulate_dcf(&base_cfg());
+        assert!(out.fairness > 0.95, "Jain index {}", out.fairness);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = simulate_dcf(&base_cfg());
+        let b = simulate_dcf(&base_cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn throughput_saturates_with_phy_rate() {
+        // E13's second axis: raising the PHY rate 9× (6 → 54) must yield
+        // far less than 9× the MAC throughput.
+        let slow = simulate_dcf(&DcfConfig {
+            profile: MacProfile::dot11a(6.0),
+            ..base_cfg()
+        });
+        let fast = simulate_dcf(&DcfConfig {
+            profile: MacProfile::dot11a(54.0),
+            ..base_cfg()
+        });
+        let gain = fast.throughput_mbps / slow.throughput_mbps;
+        assert!(gain < 7.0, "9x PHY rate gave {gain}x MAC throughput");
+        assert!(gain > 2.0, "rate increase should still help: {gain}x");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one station")]
+    fn zero_stations_rejected() {
+        let _ = simulate_dcf(&DcfConfig {
+            n_stations: 0,
+            ..base_cfg()
+        });
+    }
+}

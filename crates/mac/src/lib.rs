@@ -1,0 +1,44 @@
+//! The 802.11 distributed coordination function (DCF) and its descendants.
+//!
+//! PHY rates only matter after the MAC has paid its tolls: DIFS, backoff,
+//! preambles, ACKs. This crate models that layer:
+//!
+//! - [`params`] — per-generation MAC timing (slot, SIFS, CWmin/max,
+//!   preamble and header overheads) and frame-duration arithmetic,
+//! - [`dcf`] — an event-driven saturated CSMA/CA simulation with binary
+//!   exponential backoff, collisions and optional RTS/CTS (experiment E13),
+//! - [`bianchi`] — Bianchi's analytic saturation-throughput model, the
+//!   cross-check for the simulator,
+//! - [`aggregation`] — A-MPDU aggregation with block ACK, the mechanism
+//!   that keeps MAC efficiency alive at 802.11n rates (experiment E14),
+//! - [`powersave`] — the legacy power-save mode (beacons, TIM, doze/awake
+//!   scheduling) feeding the energy models of experiment E12.
+//!
+//! # Examples
+//!
+//! ```
+//! use wlan_mac::dcf::{DcfConfig, simulate_dcf};
+//! use wlan_mac::params::MacProfile;
+//!
+//! let cfg = DcfConfig {
+//!     profile: MacProfile::dot11a(54.0),
+//!     n_stations: 5,
+//!     payload_bytes: 1500,
+//!     rts_cts: false,
+//!     sim_time_us: 100_000.0,
+//!     seed: 1,
+//! };
+//! let out = simulate_dcf(&cfg);
+//! assert!(out.throughput_mbps > 10.0);
+//! ```
+
+pub mod aggregation;
+pub mod bianchi;
+pub mod dcf;
+pub mod params;
+pub mod powersave;
+pub mod protection;
+pub mod traffic;
+
+pub use dcf::{simulate_dcf, DcfConfig, DcfResult};
+pub use params::MacProfile;

@@ -1,0 +1,244 @@
+//! Unsaturated DCF: Poisson traffic below the saturation point.
+//!
+//! Saturation (every station always backlogged) is the worst case
+//! [`crate::dcf`] models; real WLANs mostly run below it. This module adds
+//! the offered-load axis: stations receive Poisson frame arrivals, queue
+//! them, and contend only while backlogged. The interesting outputs are
+//! the delivered-vs-offered curve (linear until the knee, flat after) and
+//! the queueing delay exploding at the knee.
+
+use crate::params::MacProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Configuration of the unsaturated simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficConfig {
+    /// MAC timing profile.
+    pub profile: MacProfile,
+    /// Number of stations.
+    pub n_stations: usize,
+    /// Payload bytes per frame.
+    pub payload_bytes: usize,
+    /// Per-station offered load in frames per second.
+    pub arrival_rate_hz: f64,
+    /// Simulated time in µs.
+    pub sim_time_us: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Results of an unsaturated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficResult {
+    /// Offered load in Mbps (arrivals × payload, all stations).
+    pub offered_mbps: f64,
+    /// Delivered throughput in Mbps.
+    pub delivered_mbps: f64,
+    /// Mean frame delay (arrival → delivery) in µs.
+    pub mean_delay_us: f64,
+    /// 95th-percentile delay in µs.
+    pub p95_delay_us: f64,
+    /// Frames still queued at the end (backlog).
+    pub backlog: usize,
+}
+
+struct Station {
+    queue: VecDeque<f64>, // arrival timestamps (µs)
+    next_arrival_us: f64,
+    backoff: u32,
+    stage: u32,
+}
+
+/// Runs the unsaturated-DCF simulation.
+///
+/// # Panics
+///
+/// Panics if `n_stations` is zero or rates/times are not positive.
+pub fn simulate_traffic(cfg: &TrafficConfig) -> TrafficResult {
+    assert!(cfg.n_stations > 0, "need at least one station");
+    assert!(cfg.arrival_rate_hz > 0.0, "arrival rate must be positive");
+    assert!(cfg.sim_time_us > 0.0, "simulation time must be positive");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let p = &cfg.profile;
+
+    let exp_gap = |rng: &mut StdRng| -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / cfg.arrival_rate_hz * 1e6
+    };
+    let draw = |stage: u32, rng: &mut StdRng| -> u32 {
+        let cw = ((p.cw_min + 1) << stage).min(p.cw_max + 1) - 1;
+        rng.gen_range(0..=cw)
+    };
+
+    let mut stations: Vec<Station> = (0..cfg.n_stations)
+        .map(|_| Station {
+            queue: VecDeque::new(),
+            next_arrival_us: 0.0,
+            backoff: 0,
+            stage: 0,
+        })
+        .collect();
+    for s in stations.iter_mut() {
+        s.next_arrival_us = exp_gap(&mut rng);
+        s.backoff = draw(0, &mut rng);
+    }
+
+    let mut now_us = p.difs_us();
+    let mut delivered = 0u64;
+    let mut delays = Vec::new();
+
+    while now_us < cfg.sim_time_us {
+        // Deliver arrivals due by now.
+        for s in stations.iter_mut() {
+            while s.next_arrival_us <= now_us {
+                s.queue.push_back(s.next_arrival_us);
+                let arrival = s.next_arrival_us;
+                s.next_arrival_us = arrival + exp_gap(&mut rng);
+            }
+        }
+
+        let contenders: Vec<usize> = stations
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| (!s.queue.is_empty() && s.backoff == 0).then_some(i))
+            .collect();
+
+        if contenders.is_empty() {
+            for s in stations.iter_mut() {
+                if !s.queue.is_empty() && s.backoff > 0 {
+                    s.backoff -= 1;
+                }
+            }
+            now_us += p.slot_us;
+            continue;
+        }
+
+        if contenders.len() == 1 {
+            let i = contenders[0];
+            let arrival = stations[i].queue.pop_front().expect("nonempty");
+            let duration = p.success_duration_us(cfg.payload_bytes);
+            now_us += duration;
+            delivered += 1;
+            delays.push(now_us - arrival);
+            stations[i].stage = 0;
+            stations[i].backoff = draw(0, &mut rng);
+        } else {
+            for &i in &contenders {
+                stations[i].stage = (stations[i].stage + 1).min(10);
+                let stage = stations[i].stage;
+                stations[i].backoff = draw(stage, &mut rng);
+            }
+            now_us += p.collision_duration_us(cfg.payload_bytes);
+        }
+    }
+
+    delays.sort_by(|a, b| a.total_cmp(b));
+    let mean_delay_us = if delays.is_empty() {
+        0.0
+    } else {
+        delays.iter().sum::<f64>() / delays.len() as f64
+    };
+    let p95_delay_us = delays
+        .get((delays.len() as f64 * 0.95) as usize)
+        .copied()
+        .unwrap_or(mean_delay_us);
+    let backlog = stations.iter().map(|s| s.queue.len()).sum();
+
+    TrafficResult {
+        offered_mbps: cfg.n_stations as f64
+            * cfg.arrival_rate_hz
+            * (cfg.payload_bytes * 8) as f64
+            / 1e6,
+        delivered_mbps: delivered as f64 * (cfg.payload_bytes * 8) as f64 / cfg.sim_time_us,
+        mean_delay_us,
+        p95_delay_us,
+        backlog,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcf::{simulate_dcf, DcfConfig};
+
+    fn cfg(rate_hz: f64) -> TrafficConfig {
+        TrafficConfig {
+            profile: MacProfile::dot11a(54.0),
+            n_stations: 10,
+            payload_bytes: 1500,
+            arrival_rate_hz: rate_hz,
+            sim_time_us: 3_000_000.0,
+            seed: 77,
+        }
+    }
+
+    #[test]
+    fn light_load_is_delivered_in_full() {
+        // 10 stations × 20 f/s × 12 kbit = 2.4 Mbps offered, far below
+        // capacity: everything gets through with low delay.
+        let out = simulate_traffic(&cfg(20.0));
+        assert!(
+            (out.delivered_mbps / out.offered_mbps - 1.0).abs() < 0.05,
+            "delivered {} vs offered {}",
+            out.delivered_mbps,
+            out.offered_mbps
+        );
+        assert!(out.mean_delay_us < 2_000.0, "delay {}", out.mean_delay_us);
+        assert!(out.backlog < 5);
+    }
+
+    #[test]
+    fn overload_saturates_at_dcf_capacity() {
+        // 10 stations × 300 f/s = 36 Mbps offered ≫ capacity: delivery must
+        // pin near the saturation throughput from the DCF simulator.
+        let out = simulate_traffic(&cfg(300.0));
+        let sat = simulate_dcf(&DcfConfig {
+            profile: MacProfile::dot11a(54.0),
+            n_stations: 10,
+            payload_bytes: 1500,
+            rts_cts: false,
+            sim_time_us: 3_000_000.0,
+            seed: 77,
+        });
+        let ratio = out.delivered_mbps / sat.throughput_mbps;
+        assert!(
+            (0.85..=1.1).contains(&ratio),
+            "unsaturated-overload {} vs saturation {}",
+            out.delivered_mbps,
+            sat.throughput_mbps
+        );
+        assert!(out.backlog > 100, "queues must blow up: {}", out.backlog);
+    }
+
+    #[test]
+    fn delay_explodes_at_the_knee() {
+        let light = simulate_traffic(&cfg(20.0));
+        let heavy = simulate_traffic(&cfg(300.0));
+        assert!(
+            heavy.mean_delay_us > 20.0 * light.mean_delay_us,
+            "heavy {} vs light {}",
+            heavy.mean_delay_us,
+            light.mean_delay_us
+        );
+        assert!(heavy.p95_delay_us >= heavy.mean_delay_us * 0.5);
+    }
+
+    #[test]
+    fn delivered_increases_with_offered_until_knee() {
+        let mut prev = 0.0;
+        for rate in [10.0, 50.0, 100.0] {
+            let out = simulate_traffic(&cfg(rate));
+            assert!(out.delivered_mbps >= prev - 0.2, "rate {rate}");
+            prev = out.delivered_mbps;
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = simulate_traffic(&cfg(50.0));
+        let b = simulate_traffic(&cfg(50.0));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,344 @@
+//! Double-precision complex numbers for baseband signal processing.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im` in double precision.
+///
+/// This is the sample type of every baseband signal in the workspace. It
+/// implements the usual field operations, scalar multiplication/division by
+/// `f64`, and the handful of transcendental helpers the PHY chains need.
+///
+/// # Examples
+///
+/// ```
+/// use wlan_math::Complex;
+///
+/// let a = Complex::new(1.0, 2.0);
+/// let b = Complex::new(3.0, -1.0);
+/// assert_eq!(a * b, Complex::new(5.0, 5.0));
+/// assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+/// assert!((a.norm_sqr() - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_re(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    ///
+    /// ```
+    /// use wlan_math::Complex;
+    /// let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-12);
+    /// assert!((z.im - 2.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `|z|²` (cheaper than [`Complex::norm`]).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns NaN components when `z == 0`, mirroring `f64` division.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex::new(self.re * k, self.im * k)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Complex::from_polar(self.norm().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Returns `true` when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Debug for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{}i", self.re, if self.im < 0.0 { "-" } else { "+" }, self.im.abs())
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_re(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    // Complex division *is* multiplication by the reciprocal.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex> for Complex {
+    fn sum<I: Iterator<Item = &'a Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + *b)
+    }
+}
+
+/// Mean power (average of `|z|²`) of a block of samples.
+///
+/// Returns 0 for an empty slice.
+///
+/// ```
+/// use wlan_math::{Complex, complex::mean_power};
+/// let s = [Complex::new(1.0, 0.0), Complex::new(0.0, 1.0)];
+/// assert!((mean_power(&s) - 1.0).abs() < 1e-12);
+/// ```
+pub fn mean_power(samples: &[Complex]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(|s| s.norm_sqr()).sum::<f64>() / samples.len() as f64
+}
+
+/// Peak instantaneous power (max of `|z|²`) of a block of samples.
+pub fn peak_power(samples: &[Complex]) -> f64 {
+    samples.iter().map(|s| s.norm_sqr()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_hold_on_samples() {
+        let a = Complex::new(1.5, -2.0);
+        let b = Complex::new(-0.5, 3.0);
+        let c = Complex::new(2.0, 0.25);
+        let d = (a + b) * c - (a * c + b * c);
+        assert!(d.norm() < 1e-12);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(3.0, 4.0);
+        let b = Complex::new(-1.0, 2.0);
+        let q = (a * b) / b;
+        assert!((q - a).norm() < 1e-12);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::new(-2.0, 1.0);
+        let back = Complex::from_polar(z.norm(), z.arg());
+        assert!((z - back).norm() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_gives_real_product() {
+        let z = Complex::new(0.3, -0.7);
+        let p = z * z.conj();
+        assert!(p.im.abs() < 1e-15);
+        assert!((p.re - z.norm_sqr()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = Complex::new(-3.0, 4.0);
+        let r = z.sqrt();
+        assert!((r * r - z).norm() < 1e-10);
+    }
+
+    #[test]
+    fn exp_of_i_pi_is_minus_one() {
+        let z = (Complex::I * std::f64::consts::PI).exp();
+        assert!((z - Complex::new(-1.0, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_peak_power() {
+        let s = [
+            Complex::new(1.0, 0.0),
+            Complex::new(0.0, 2.0),
+            Complex::ZERO,
+        ];
+        assert!((mean_power(&s) - (1.0 + 4.0) / 3.0).abs() < 1e-12);
+        assert!((peak_power(&s) - 4.0).abs() < 1e-12);
+        assert_eq!(mean_power(&[]), 0.0);
+    }
+
+    #[test]
+    fn sum_over_iterators() {
+        let s = [Complex::ONE; 4];
+        let total: Complex = s.iter().sum();
+        assert_eq!(total, Complex::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Complex::new(1.0, -1.0)).is_empty());
+        assert_eq!(format!("{:?}", Complex::new(1.0, -1.0)), "1-1i");
+    }
+}

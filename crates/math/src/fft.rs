@@ -1,0 +1,213 @@
+//! Radix-2 fast Fourier transform.
+//!
+//! The OFDM PHYs use 64-point (20 MHz) and 128-point (40 MHz) transforms;
+//! this module implements an iterative in-place radix-2 decimation-in-time
+//! FFT for any power-of-two length, with the 1/N normalization on the
+//! inverse transform (so `ifft(fft(x)) == x`).
+
+use crate::Complex;
+use std::f64::consts::PI;
+
+/// Returns `true` when `n` is a power of two (and nonzero).
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// In-place forward FFT.
+///
+/// Computes `X[k] = Σ_n x[n]·e^{-2πi·kn/N}` without normalization.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_in_place(data: &mut [Complex]) {
+    transform(data, -1.0);
+}
+
+/// In-place inverse FFT with 1/N normalization.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn ifft_in_place(data: &mut [Complex]) {
+    transform(data, 1.0);
+    let n = data.len() as f64;
+    for v in data.iter_mut() {
+        *v = *v / n;
+    }
+}
+
+/// Forward FFT returning a new vector.
+///
+/// # Panics
+///
+/// Panics if `input.len()` is not a power of two.
+///
+/// ```
+/// use wlan_math::{Complex, fft};
+/// let x = vec![Complex::ONE; 8];
+/// let spec = fft::fft(&x);
+/// assert!((spec[0].re - 8.0).abs() < 1e-12); // DC bin collects everything
+/// assert!(spec[1].norm() < 1e-12);
+/// ```
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let mut buf = input.to_vec();
+    fft_in_place(&mut buf);
+    buf
+}
+
+/// Inverse FFT returning a new vector (1/N normalized).
+///
+/// # Panics
+///
+/// Panics if `input.len()` is not a power of two.
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let mut buf = input.to_vec();
+    ifft_in_place(&mut buf);
+    buf
+}
+
+fn transform(data: &mut [Complex], sign: f64) {
+    let n = data.len();
+    assert!(is_power_of_two(n), "FFT length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    // Danielson-Lanczos butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::from_polar(1.0, ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Cyclically shifts the spectrum so the DC bin is centred (`fftshift`).
+///
+/// Useful when mapping OFDM subcarriers indexed `-N/2..N/2` onto FFT bins.
+pub fn fftshift(data: &[Complex]) -> Vec<Complex> {
+    let n = data.len();
+    let half = n / 2;
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&data[half..]);
+    out.extend_from_slice(&data[..half]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|t| {
+                        x[t] * Complex::from_polar(1.0, -2.0 * PI * (k * t) as f64 / n as f64)
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let x: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+            .collect();
+        let fast = fft(&x);
+        let slow = naive_dft(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((*a - *b).norm() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let x: Vec<Complex> = (0..64)
+            .map(|i| Complex::new(i as f64, -(i as f64) * 0.5))
+            .collect();
+        let back = ifft(&fft(&x));
+        for (a, b) in back.iter().zip(&x) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let x: Vec<Complex> = (0..128)
+            .map(|i| Complex::from_polar(1.0, i as f64))
+            .collect();
+        let time_energy: f64 = x.iter().map(|s| s.norm_sqr()).sum();
+        let spec = fft(&x);
+        let freq_energy: f64 = spec.iter().map(|s| s.norm_sqr()).sum::<f64>() / x.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_tone_lands_in_single_bin() {
+        let n = 64;
+        let k0 = 5;
+        let x: Vec<Complex> = (0..n)
+            .map(|t| Complex::from_polar(1.0, 2.0 * PI * (k0 * t) as f64 / n as f64))
+            .collect();
+        let spec = fft(&x);
+        for (k, v) in spec.iter().enumerate() {
+            if k == k0 {
+                assert!((v.norm() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.norm() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let x = vec![Complex::new(2.0, 3.0)];
+        assert_eq!(fft(&x), x);
+        assert_eq!(ifft(&x), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = fft(&vec![Complex::ZERO; 48]);
+    }
+
+    #[test]
+    fn fftshift_centres_dc() {
+        let x: Vec<Complex> = (0..8).map(|i| Complex::from_re(i as f64)).collect();
+        let sh = fftshift(&x);
+        assert_eq!(sh[4], Complex::from_re(0.0));
+        assert_eq!(sh[0], Complex::from_re(4.0));
+    }
+}

@@ -1,0 +1,266 @@
+//! Singular value decomposition of complex matrices.
+//!
+//! Implemented with the one-sided Jacobi method, which is compact, robust and
+//! plenty fast for the ≤ 4×4 channel matrices 802.11n beamforming works with.
+//! The decomposition `A = U·diag(σ)·Vᴴ` is the mathematical core of
+//! closed-loop transmit beamforming: `V` is the transmit steering matrix and
+//! `σ` are the per-stream channel gains.
+
+use crate::{CMatrix, Complex};
+
+/// Result of [`svd`]: `a == u · diag(sigma) · vh`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Svd {
+    /// Left singular vectors, `m × k` with orthonormal columns.
+    pub u: CMatrix,
+    /// Singular values in descending order (length `k = min(m, n)`).
+    pub sigma: Vec<f64>,
+    /// Hermitian transpose of the right singular vectors, `k × n`.
+    pub vh: CMatrix,
+}
+
+impl Svd {
+    /// Reconstructs `U·diag(σ)·Vᴴ` (mainly for testing/validation).
+    pub fn reconstruct(&self) -> CMatrix {
+        let k = self.sigma.len();
+        let mut us = CMatrix::zeros(self.u.rows(), k);
+        for r in 0..self.u.rows() {
+            for c in 0..k {
+                us.set(r, c, self.u.get(r, c).scale(self.sigma[c]));
+            }
+        }
+        &us * &self.vh
+    }
+
+    /// The right singular vectors `V` (`n × k`), i.e. `vh.hermitian()`.
+    pub fn v(&self) -> CMatrix {
+        self.vh.hermitian()
+    }
+}
+
+/// Computes the thin SVD of an arbitrary complex matrix.
+///
+/// Returns `k = min(m, n)` singular values in descending order, with the
+/// corresponding left/right singular vectors.
+///
+/// # Examples
+///
+/// ```
+/// use wlan_math::{CMatrix, Complex, svd::svd};
+///
+/// let a = CMatrix::from_rows(&[
+///     &[Complex::new(3.0, 0.0), Complex::ZERO],
+///     &[Complex::ZERO, Complex::new(2.0, 0.0)],
+/// ]);
+/// let d = svd(&a);
+/// assert!((d.sigma[0] - 3.0).abs() < 1e-9);
+/// assert!((d.sigma[1] - 2.0).abs() < 1e-9);
+/// ```
+pub fn svd(a: &CMatrix) -> Svd {
+    if a.rows() < a.cols() {
+        // Work on the transpose and swap factors back.
+        let d = svd(&a.hermitian());
+        return Svd {
+            u: d.vh.hermitian(),
+            sigma: d.sigma,
+            vh: d.u.hermitian(),
+        };
+    }
+
+    let m = a.rows();
+    let n = a.cols();
+    // Columns of `work` converge to U·diag(σ); `v` accumulates rotations.
+    let mut work = a.clone();
+    let mut v = CMatrix::identity(n);
+
+    let max_sweeps = 60;
+    let tol = 1e-14 * a.frobenius_norm().max(1e-300);
+
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // 2×2 Hermitian Gram block of columns p, q.
+                let mut app = 0.0;
+                let mut aqq = 0.0;
+                let mut apq = Complex::ZERO;
+                for r in 0..m {
+                    let cp = work.get(r, p);
+                    let cq = work.get(r, q);
+                    app += cp.norm_sqr();
+                    aqq += cq.norm_sqr();
+                    apq += cp.conj() * cq;
+                }
+                let r_off = apq.norm();
+                off = off.max(r_off);
+                if r_off <= tol * tol {
+                    continue;
+                }
+                // Phase-align then apply the real Jacobi rotation.
+                let theta = apq.arg();
+                let phase = Complex::from_polar(1.0, -theta);
+                let tau = (aqq - app) / (2.0 * r_off);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                for r in 0..m {
+                    let cp = work.get(r, p);
+                    let cq = work.get(r, q) * phase;
+                    work.set(r, p, cp.scale(c) - cq.scale(s));
+                    work.set(r, q, cp.scale(s) + cq.scale(c));
+                }
+                for r in 0..n {
+                    let vp = v.get(r, p);
+                    let vq = v.get(r, q) * phase;
+                    v.set(r, p, vp.scale(c) - vq.scale(s));
+                    v.set(r, q, vp.scale(s) + vq.scale(c));
+                }
+            }
+        }
+        if off <= tol * tol {
+            break;
+        }
+    }
+
+    // Extract singular values and normalize U columns.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = (0..n)
+        .map(|c| (0..m).map(|r| work.get(r, c).norm_sqr()).sum::<f64>().sqrt())
+        .collect();
+    order.sort_by(|&i, &j| norms[j].total_cmp(&norms[i]));
+
+    let mut u = CMatrix::zeros(m, n);
+    let mut vh = CMatrix::zeros(n, n);
+    let mut sigma = Vec::with_capacity(n);
+    for (out_col, &src_col) in order.iter().enumerate() {
+        let s = norms[src_col];
+        sigma.push(s);
+        for r in 0..m {
+            let val = if s > 1e-300 {
+                work.get(r, src_col) / s
+            } else {
+                Complex::ZERO
+            };
+            u.set(r, out_col, val);
+        }
+        for r in 0..n {
+            vh.set(out_col, r, v.get(r, src_col).conj());
+        }
+    }
+
+    Svd { u, sigma, vh }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_reconstructs(a: &CMatrix) {
+        let d = svd(a);
+        let back = d.reconstruct();
+        assert!(
+            (&back - a).frobenius_norm() < 1e-8 * a.frobenius_norm().max(1.0),
+            "reconstruction error too large"
+        );
+        // Columns of U orthonormal (skip zero columns from rank deficiency).
+        let k = d.sigma.len();
+        for i in 0..k {
+            for j in 0..k {
+                if d.sigma[i] < 1e-12 || d.sigma[j] < 1e-12 {
+                    continue;
+                }
+                let dot: Complex = (0..a.rows())
+                    .map(|r| d.u.get(r, i).conj() * d.u.get(r, j))
+                    .sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot.norm() - expect).abs() < 1e-8, "U not orthonormal");
+            }
+        }
+        // Descending singular values.
+        for w in d.sigma.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = CMatrix::from_rows(&[
+            &[Complex::from_re(5.0), Complex::ZERO],
+            &[Complex::ZERO, Complex::from_re(1.0)],
+        ]);
+        let d = svd(&a);
+        assert!((d.sigma[0] - 5.0).abs() < 1e-10);
+        assert!((d.sigma[1] - 1.0).abs() < 1e-10);
+        assert_reconstructs(&a);
+    }
+
+    #[test]
+    fn generic_complex_square() {
+        let a = CMatrix::from_rows(&[
+            &[Complex::new(1.0, 0.5), Complex::new(-0.3, 2.0), Complex::new(0.7, 0.0)],
+            &[Complex::new(0.0, -1.0), Complex::new(2.0, 1.0), Complex::new(-1.5, 0.4)],
+            &[Complex::new(3.0, 0.2), Complex::new(0.1, 0.1), Complex::new(0.9, -2.0)],
+        ]);
+        assert_reconstructs(&a);
+    }
+
+    #[test]
+    fn tall_matrix() {
+        let a = CMatrix::from_rows(&[
+            &[Complex::new(1.0, 1.0), Complex::new(0.0, 0.5)],
+            &[Complex::new(-2.0, 0.0), Complex::new(1.0, -1.0)],
+            &[Complex::new(0.5, 0.5), Complex::new(2.0, 0.0)],
+            &[Complex::new(0.0, -0.7), Complex::new(-1.0, 0.2)],
+        ]);
+        assert_reconstructs(&a);
+    }
+
+    #[test]
+    fn wide_matrix() {
+        let a = CMatrix::from_rows(&[
+            &[Complex::new(1.0, 0.0), Complex::new(2.0, -1.0), Complex::new(0.0, 3.0)],
+            &[Complex::new(-1.0, 0.5), Complex::new(0.0, 0.0), Complex::new(1.0, 1.0)],
+        ]);
+        let d = svd(&a);
+        assert_eq!(d.sigma.len(), 2);
+        assert_reconstructs(&a);
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        // Second column is a multiple of the first.
+        let a = CMatrix::from_rows(&[
+            &[Complex::from_re(1.0), Complex::from_re(2.0)],
+            &[Complex::from_re(2.0), Complex::from_re(4.0)],
+        ]);
+        let d = svd(&a);
+        assert!(d.sigma[1] < 1e-9, "second singular value should vanish");
+        let back = d.reconstruct();
+        assert!((&back - &a).frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    fn singular_values_match_frobenius() {
+        let a = CMatrix::from_rows(&[
+            &[Complex::new(0.3, -1.2), Complex::new(2.0, 0.0)],
+            &[Complex::new(1.0, 1.0), Complex::new(-0.5, 0.5)],
+        ]);
+        let d = svd(&a);
+        let s2: f64 = d.sigma.iter().map(|s| s * s).sum();
+        let f2 = a.frobenius_norm().powi(2);
+        assert!((s2 - f2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn v_is_unitary() {
+        let a = CMatrix::from_rows(&[
+            &[Complex::new(1.0, 2.0), Complex::new(0.0, -1.0)],
+            &[Complex::new(-0.5, 0.3), Complex::new(2.0, 2.0)],
+        ]);
+        let d = svd(&a);
+        let v = d.v();
+        let prod = &v.hermitian() * &v;
+        assert!((&prod - &CMatrix::identity(2)).frobenius_norm() < 1e-8);
+    }
+}

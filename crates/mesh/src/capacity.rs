@@ -1,0 +1,131 @@
+//! Mesh capacity: the gateway bottleneck.
+//!
+//! Coverage (experiment E8) is only half the mesh story. All traffic funnels
+//! through the gateway, every relayed frame is transmitted once per hop on
+//! the shared channel, and per-client throughput collapses as clients and
+//! hop counts grow — the classic `Θ(1/n)` mesh-scaling result. This module
+//! quantifies that ceiling for a concrete topology, completing E8's
+//! trade-off: the mesh trades per-client rate for served area.
+
+use crate::metric::Metric;
+use crate::topology::MeshNetwork;
+
+/// Aggregate capacity analysis of a gateway-rooted mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewayCapacity {
+    /// Clients actually connected to the gateway.
+    pub connected: usize,
+    /// Total airtime (µs) one reference frame from *every* client costs.
+    pub round_airtime_us: f64,
+    /// Fair per-client throughput in Mbps when the channel is fully loaded
+    /// (8192-bit reference frames, perfectly scheduled).
+    pub per_client_mbps: f64,
+    /// Mean hops from client to gateway.
+    pub mean_hops: f64,
+}
+
+/// Computes the fair-share capacity of clients at `clients` positions all
+/// routed (airtime metric) to node 0 of `infrastructure`.
+///
+/// The shared-channel model: every hop of every client's path occupies the
+/// medium for its airtime; a full "round" delivers one 8192-bit frame per
+/// connected client; fair throughput = frame bits / round airtime.
+///
+/// # Panics
+///
+/// Panics if `infrastructure` is empty.
+pub fn gateway_capacity(infrastructure: &[(f64, f64)], clients: &[(f64, f64)]) -> GatewayCapacity {
+    assert!(!infrastructure.is_empty(), "need at least the gateway");
+    let mut round_airtime_us = 0.0;
+    let mut connected = 0usize;
+    let mut hop_sum = 0usize;
+
+    for &client in clients {
+        let mut nodes = infrastructure.to_vec();
+        nodes.push(client);
+        let net = MeshNetwork::from_positions(&nodes);
+        let client_idx = nodes.len() - 1;
+        if let Some(path) = net.best_path(client_idx, 0, Metric::Airtime) {
+            // Each hop of the path occupies the shared medium once.
+            round_airtime_us += net.path_airtime_us(&path);
+            connected += 1;
+            hop_sum += path.num_links();
+        }
+    }
+
+    let per_client_mbps = if connected > 0 && round_airtime_us > 0.0 {
+        crate::metric::AIRTIME_TEST_FRAME_BITS / round_airtime_us
+    } else {
+        0.0
+    };
+    GatewayCapacity {
+        connected,
+        round_airtime_us,
+        per_client_mbps,
+        mean_hops: if connected > 0 {
+            hop_sum as f64 / connected as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_infra() -> Vec<(f64, f64)> {
+        vec![(0.0, 0.0), (150.0, 0.0), (0.0, 150.0), (150.0, 150.0)]
+    }
+
+    #[test]
+    fn per_client_rate_falls_with_client_count() {
+        let infra = grid_infra();
+        let few: Vec<(f64, f64)> = (0..4).map(|i| (30.0 * i as f64, 20.0)).collect();
+        let many: Vec<(f64, f64)> = (0..16).map(|i| (10.0 * i as f64, 20.0)).collect();
+        let c_few = gateway_capacity(&infra, &few);
+        let c_many = gateway_capacity(&infra, &many);
+        assert_eq!(c_few.connected, 4);
+        assert_eq!(c_many.connected, 16);
+        assert!(
+            c_many.per_client_mbps < 0.4 * c_few.per_client_mbps,
+            "16 clients {} vs 4 clients {}",
+            c_many.per_client_mbps,
+            c_few.per_client_mbps
+        );
+    }
+
+    #[test]
+    fn distant_clients_cost_more_airtime() {
+        let infra = grid_infra();
+        let near = gateway_capacity(&infra, &[(10.0, 10.0)]);
+        let far = gateway_capacity(&infra, &[(160.0, 160.0)]);
+        assert_eq!(near.connected, 1);
+        assert_eq!(far.connected, 1);
+        assert!(far.round_airtime_us > near.round_airtime_us);
+        assert!(far.mean_hops >= near.mean_hops);
+    }
+
+    #[test]
+    fn disconnected_clients_are_excluded() {
+        let infra = vec![(0.0, 0.0)];
+        let c = gateway_capacity(&infra, &[(10.0, 10.0), (1e5, 1e5)]);
+        assert_eq!(c.connected, 1);
+    }
+
+    #[test]
+    fn no_clients_no_capacity() {
+        let c = gateway_capacity(&grid_infra(), &[]);
+        assert_eq!(c.connected, 0);
+        assert_eq!(c.per_client_mbps, 0.0);
+    }
+
+    #[test]
+    fn single_close_client_approaches_link_rate() {
+        // One client 10 m from the gateway: one 54 Mbps hop. Fair share =
+        // 8192 bits / airtime(54) ≈ 36 Mbps (airtime includes overhead).
+        let c = gateway_capacity(&[(0.0, 0.0)], &[(10.0, 0.0)]);
+        assert!(c.per_client_mbps > 30.0, "{}", c.per_client_mbps);
+        assert!((c.mean_hops - 1.0).abs() < 1e-12);
+    }
+}

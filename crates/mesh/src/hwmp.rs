@@ -1,0 +1,201 @@
+//! HWMP-style on-demand path discovery, message by message.
+//!
+//! [`crate::routing`] computes the converged answer directly; this module
+//! simulates how 802.11s actually gets there: the source floods a PREQ,
+//! every mesh STA rebroadcasts it when (and only when) it improves the
+//! best metric seen so far, and the destination's best received PREQ
+//! defines the reverse path for the PREP. Running it on the event kernel
+//! yields the two costs the oracle hides — discovery latency and overhead
+//! messages — while converging to exactly the Dijkstra path.
+
+use crate::metric::{link_cost, Metric};
+use crate::routing::Path;
+use crate::topology::MeshNetwork;
+use wlan_sim::{Scheduler, Time};
+
+/// Per-hop PREQ processing/forwarding delay in µs (channel access + queue).
+pub const FORWARD_DELAY_US: f64 = 500.0;
+
+/// Result of one PREQ/PREP discovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwmpDiscovery {
+    /// The discovered path (equals the Dijkstra path), or `None` if the
+    /// destination is unreachable.
+    pub path: Option<Path>,
+    /// Time until the destination held its final (best) PREQ, in µs.
+    pub latency_us: f64,
+    /// PREQ broadcast transmissions sent network-wide.
+    pub preq_broadcasts: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Preq {
+    node: usize,
+    metric: f64,
+    prev: usize,
+}
+
+/// Floods a PREQ from `src` and returns the discovered path to `dst`.
+///
+/// # Panics
+///
+/// Panics if a node index is out of range.
+pub fn discover(net: &MeshNetwork, src: usize, dst: usize, metric: Metric) -> HwmpDiscovery {
+    let n = net.num_nodes();
+    assert!(src < n && dst < n, "node out of range");
+
+    let mut best = vec![f64::INFINITY; n];
+    let mut prev = vec![usize::MAX; n];
+    let mut sim: Scheduler<Preq> = Scheduler::new();
+    let mut broadcasts = 0usize;
+    let mut dst_time_us = 0.0f64;
+
+    let to_ns = |us: f64| -> Time { (us * 1_000.0).round() as Time };
+    sim.schedule_at(
+        0,
+        Preq {
+            node: src,
+            metric: 0.0,
+            prev: src,
+        },
+    );
+
+    while let Some((t, preq)) = sim.pop() {
+        if preq.metric >= best[preq.node] {
+            continue; // stale PREQ: a better one was already processed
+        }
+        best[preq.node] = preq.metric;
+        prev[preq.node] = preq.prev;
+        if preq.node == dst {
+            dst_time_us = t as f64 / 1_000.0;
+            // The destination does not forward; it answers with a PREP.
+            continue;
+        }
+        // One broadcast reaches every neighbour.
+        broadcasts += 1;
+        for link in net.links_from(preq.node) {
+            let cost = link_cost(metric, link.rate_mbps, 0.0);
+            let airtime_us = crate::metric::airtime_us(link.rate_mbps, 0.0);
+            sim.schedule_at(
+                t + to_ns(FORWARD_DELAY_US + airtime_us),
+                Preq {
+                    node: link.to,
+                    metric: preq.metric + cost,
+                    prev: preq.node,
+                },
+            );
+        }
+    }
+
+    if best[dst].is_infinite() {
+        return HwmpDiscovery {
+            path: None,
+            latency_us: 0.0,
+            preq_broadcasts: broadcasts,
+        };
+    }
+    let mut hops = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = prev[cur];
+        hops.push(cur);
+    }
+    hops.reverse();
+    HwmpDiscovery {
+        path: Some(Path {
+            hops,
+            cost: best[dst],
+        }),
+        latency_us: dst_time_us,
+        preq_broadcasts: broadcasts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::dijkstra;
+
+    fn grid(nx: usize, ny: usize, spacing: f64) -> MeshNetwork {
+        let mut pos = Vec::new();
+        for y in 0..ny {
+            for x in 0..nx {
+                pos.push((x as f64 * spacing, y as f64 * spacing));
+            }
+        }
+        MeshNetwork::from_positions(&pos)
+    }
+
+    #[test]
+    fn flooding_converges_to_dijkstra() {
+        let net = grid(4, 3, 60.0);
+        for dst in 1..net.num_nodes() {
+            let flood = discover(&net, 0, dst, Metric::Airtime);
+            let oracle = dijkstra(&net, 0, dst, Metric::Airtime);
+            let flood_path = flood.path.expect("connected grid");
+            let oracle_path = oracle.expect("connected grid");
+            assert!(
+                (flood_path.cost - oracle_path.cost).abs() < 1e-9,
+                "dst {dst}: flood cost {} vs oracle {}",
+                flood_path.cost,
+                oracle_path.cost
+            );
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_hop_distance() {
+        let pos: Vec<(f64, f64)> = (0..6).map(|i| (i as f64 * 60.0, 0.0)).collect();
+        let net = MeshNetwork::from_positions(&pos);
+        let near = discover(&net, 0, 1, Metric::Airtime);
+        let far = discover(&net, 0, 5, Metric::Airtime);
+        assert!(
+            far.latency_us > 2.0 * near.latency_us,
+            "far {} µs vs near {} µs",
+            far.latency_us,
+            near.latency_us
+        );
+    }
+
+    #[test]
+    fn broadcast_count_is_bounded_by_improvements() {
+        // Every node broadcasts at least once (first PREQ) but no more than
+        // once per metric improvement; on a grid the total stays well below
+        // nodes × neighbours.
+        let net = grid(4, 4, 50.0);
+        let d = discover(&net, 0, 15, Metric::Airtime);
+        assert!(d.preq_broadcasts >= net.num_nodes() - 1);
+        assert!(
+            d.preq_broadcasts < net.num_nodes() * 6,
+            "{} broadcasts",
+            d.preq_broadcasts
+        );
+    }
+
+    #[test]
+    fn unreachable_destination() {
+        let net = MeshNetwork::from_positions(&[(0.0, 0.0), (1e5, 0.0)]);
+        let d = discover(&net, 0, 1, Metric::Airtime);
+        assert!(d.path.is_none());
+    }
+
+    #[test]
+    fn source_to_itself() {
+        let net = grid(2, 2, 50.0);
+        let d = discover(&net, 2, 2, Metric::Airtime);
+        let path = d.path.expect("trivially reachable");
+        assert_eq!(path.hops, vec![2]);
+        assert_eq!(path.cost, 0.0);
+    }
+
+    #[test]
+    fn hopcount_flooding_matches_hopcount_dijkstra() {
+        let net = grid(3, 3, 55.0);
+        let flood = discover(&net, 0, 8, Metric::HopCount);
+        let oracle = dijkstra(&net, 0, 8, Metric::HopCount).expect("connected");
+        assert_eq!(
+            flood.path.expect("connected").num_links(),
+            oracle.num_links()
+        );
+    }
+}

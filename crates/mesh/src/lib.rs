@@ -1,0 +1,38 @@
+//! Mesh networking — the 802.11s-flavoured substrate.
+//!
+//! The paper's claim (experiment E8): mesh networks "dramatically increase
+//! the area served" and, with intelligent routing, can "boost overall
+//! spectral efficiencies ... by selecting multiple hops over high capacity
+//! links rather than single hops over low capacity links". This crate
+//! provides exactly the machinery to test that:
+//!
+//! - [`topology`] — node placement, per-link SNR from the path-loss model,
+//!   and the SNR → best-802.11-rate mapping,
+//! - [`metric`] — the 802.11s airtime link metric (and hop count, the
+//!   ablation baseline),
+//! - [`routing`] — Dijkstra path selection over either metric (the
+//!   deterministic core of HWMP's root-path computation),
+//! - [`coverage`] — service-area analysis for one AP versus a mesh.
+//!
+//! # Examples
+//!
+//! ```
+//! use wlan_mesh::topology::MeshNetwork;
+//! use wlan_mesh::metric::Metric;
+//!
+//! // A 3-node chain: 0 —55m— 1 —55m— 2, with 0→2 barely in range.
+//! let net = MeshNetwork::from_positions(&[(0.0, 0.0), (55.0, 0.0), (110.0, 0.0)]);
+//! let path = net.best_path(0, 2, Metric::Airtime).expect("connected");
+//! // Routing prefers two fast hops over one slow direct link.
+//! assert_eq!(path.hops, vec![0, 1, 2]);
+//! ```
+
+pub mod capacity;
+pub mod coverage;
+pub mod hwmp;
+pub mod metric;
+pub mod routing;
+pub mod topology;
+
+pub use metric::Metric;
+pub use topology::MeshNetwork;

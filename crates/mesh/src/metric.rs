@@ -1,0 +1,102 @@
+//! Link metrics for mesh path selection.
+//!
+//! The 802.11s airtime metric estimates how long the medium is occupied to
+//! move a reference frame across a link:
+//!
+//! ```text
+//! c_a = (O + B_t / r) · 1 / (1 − e_f)
+//! ```
+//!
+//! with channel-access + protocol overhead `O`, test frame size
+//! `B_t = 8192` bits, link rate `r`, and frame error rate `e_f`. Hop count —
+//! the metric that famously picks long, slow links — is kept as the ablation
+//! baseline for experiment E8.
+
+/// Channel access + protocol overhead of the airtime metric, in µs
+/// (802.11a values: DIFS + backoff + preamble + ACK ≈ 75 µs).
+pub const AIRTIME_OVERHEAD_US: f64 = 75.0;
+/// Test frame size in bits (802.11s uses 8192).
+pub const AIRTIME_TEST_FRAME_BITS: f64 = 8192.0;
+
+/// Path-selection metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// The 802.11s airtime metric: prefer fast, reliable links.
+    Airtime,
+    /// Minimum hop count: prefer few (possibly slow) links.
+    HopCount,
+}
+
+/// Airtime cost of one link in µs.
+///
+/// # Panics
+///
+/// Panics if `rate_mbps <= 0` or `error_rate` is outside `[0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use wlan_mesh::metric::airtime_us;
+/// // A 54 Mbps clean link costs far less airtime than a 6 Mbps one.
+/// assert!(airtime_us(54.0, 0.0) < airtime_us(6.0, 0.0) / 3.0);
+/// ```
+pub fn airtime_us(rate_mbps: f64, error_rate: f64) -> f64 {
+    assert!(rate_mbps > 0.0, "rate must be positive");
+    assert!((0.0..1.0).contains(&error_rate), "error rate must be in [0, 1)");
+    (AIRTIME_OVERHEAD_US + AIRTIME_TEST_FRAME_BITS / rate_mbps) / (1.0 - error_rate)
+}
+
+/// The cost of one link under the chosen metric.
+pub fn link_cost(metric: Metric, rate_mbps: f64, error_rate: f64) -> f64 {
+    match metric {
+        Metric::Airtime => airtime_us(rate_mbps, error_rate),
+        Metric::HopCount => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn airtime_decreases_with_rate() {
+        let mut prev = f64::INFINITY;
+        for rate in [6.0, 12.0, 24.0, 54.0] {
+            let c = airtime_us(rate, 0.0);
+            assert!(c < prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn errors_inflate_airtime() {
+        let clean = airtime_us(24.0, 0.0);
+        let lossy = airtime_us(24.0, 0.5);
+        assert!((lossy / clean - 2.0).abs() < 1e-12, "50 % loss doubles airtime");
+    }
+
+    #[test]
+    fn known_value_54mbps() {
+        // 75 + 8192/54 ≈ 226.7 µs.
+        assert!((airtime_us(54.0, 0.0) - (75.0 + 8192.0 / 54.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_fast_hops_cost_less_than_one_slow() {
+        // The routing insight the paper highlights: 2 × 54 Mbps hops beat
+        // 1 × 6 Mbps hop in total airtime.
+        assert!(2.0 * airtime_us(54.0, 0.0) < airtime_us(6.0, 0.0));
+    }
+
+    #[test]
+    fn hop_count_is_rate_blind() {
+        assert_eq!(link_cost(Metric::HopCount, 6.0, 0.0), 1.0);
+        assert_eq!(link_cost(Metric::HopCount, 54.0, 0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = airtime_us(0.0, 0.0);
+    }
+}

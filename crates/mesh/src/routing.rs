@@ -1,0 +1,175 @@
+//! Shortest-path selection over a mesh.
+//!
+//! HWMP (the 802.11s hybrid wireless mesh protocol) floods PREQ/PREP
+//! elements to discover least-airtime paths; in a static topology its
+//! converged result is exactly Dijkstra over the airtime metric, which is
+//! what this module computes deterministically.
+
+use crate::metric::{link_cost, Metric};
+use crate::topology::MeshNetwork;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A selected path with its total metric cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Node indices from source to destination (inclusive).
+    pub hops: Vec<usize>,
+    /// Total metric cost (µs for airtime, links for hop count).
+    pub cost: f64,
+}
+
+impl Path {
+    /// Number of links traversed.
+    pub fn num_links(&self) -> usize {
+        self.hops.len().saturating_sub(1)
+    }
+}
+
+/// Dijkstra over the mesh adjacency with the chosen metric.
+///
+/// Returns `None` when `dst` is unreachable from `src`.
+pub fn dijkstra(net: &MeshNetwork, src: usize, dst: usize, metric: Metric) -> Option<Path> {
+    let n = net.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![usize::MAX; n];
+    let mut heap: BinaryHeap<Reverse<(OrderedF64, usize)>> = BinaryHeap::new();
+    dist[src] = 0.0;
+    heap.push(Reverse((OrderedF64(0.0), src)));
+
+    while let Some(Reverse((OrderedF64(d), u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        if u == dst {
+            break;
+        }
+        for link in net.links_from(u) {
+            let cost = link_cost(metric, link.rate_mbps, 0.0);
+            let nd = d + cost;
+            if nd < dist[link.to] {
+                dist[link.to] = nd;
+                prev[link.to] = u;
+                heap.push(Reverse((OrderedF64(nd), link.to)));
+            }
+        }
+    }
+
+    if dist[dst].is_infinite() {
+        return None;
+    }
+    let mut hops = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = prev[cur];
+        hops.push(cur);
+    }
+    hops.reverse();
+    Some(Path {
+        hops,
+        cost: dist[dst],
+    })
+}
+
+/// Total-order wrapper for f64 costs (no NaNs enter the queue).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(nx: usize, ny: usize, spacing: f64) -> MeshNetwork {
+        let mut pos = Vec::new();
+        for y in 0..ny {
+            for x in 0..nx {
+                pos.push((x as f64 * spacing, y as f64 * spacing));
+            }
+        }
+        MeshNetwork::from_positions(&pos)
+    }
+
+    #[test]
+    fn path_to_self_is_trivial() {
+        let net = grid(2, 2, 10.0);
+        let p = dijkstra(&net, 0, 0, Metric::Airtime).unwrap();
+        assert_eq!(p.hops, vec![0]);
+        assert_eq!(p.cost, 0.0);
+        assert_eq!(p.num_links(), 0);
+    }
+
+    #[test]
+    fn straight_line_chain() {
+        // Nodes 60 m apart: each hop reaches only neighbours at a good rate.
+        let pos: Vec<(f64, f64)> = (0..5).map(|i| (i as f64 * 60.0, 0.0)).collect();
+        let net = MeshNetwork::from_positions(&pos);
+        let p = dijkstra(&net, 0, 4, Metric::Airtime).unwrap();
+        assert_eq!(p.hops.first(), Some(&0));
+        assert_eq!(p.hops.last(), Some(&4));
+        // Path must be monotone along the chain.
+        for w in p.hops.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn cost_is_sum_of_link_costs() {
+        let net = grid(3, 1, 50.0);
+        let p = dijkstra(&net, 0, 2, Metric::Airtime).unwrap();
+        let manual: f64 = p
+            .hops
+            .windows(2)
+            .map(|w| {
+                let l = net.link(w[0], w[1]).unwrap();
+                link_cost(Metric::Airtime, l.rate_mbps, 0.0)
+            })
+            .sum();
+        assert!((p.cost - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn airtime_path_never_costs_more_than_hopcount_path() {
+        let net = grid(4, 4, 45.0);
+        for dst in 1..16 {
+            let air = dijkstra(&net, 0, dst, Metric::Airtime).unwrap();
+            let hop = dijkstra(&net, 0, dst, Metric::HopCount).unwrap();
+            // Evaluate both paths in airtime units.
+            let airtime_of = |p: &Path| -> f64 {
+                p.hops
+                    .windows(2)
+                    .map(|w| {
+                        let l = net.link(w[0], w[1]).unwrap();
+                        link_cost(Metric::Airtime, l.rate_mbps, 0.0)
+                    })
+                    .sum()
+            };
+            assert!(
+                airtime_of(&air) <= airtime_of(&hop) + 1e-9,
+                "dst {dst}: airtime routing must minimize airtime"
+            );
+            assert!(hop.num_links() <= air.num_links(), "dst {dst}");
+        }
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let net = MeshNetwork::from_positions(&[(0.0, 0.0), (1e5, 0.0), (1e5 + 10.0, 0.0)]);
+        assert!(dijkstra(&net, 0, 2, Metric::Airtime).is_none());
+        // But the near pair connects.
+        assert!(dijkstra(&net, 1, 2, Metric::Airtime).is_some());
+    }
+}

@@ -1,0 +1,279 @@
+//! Mesh topology: nodes, links and their achievable rates.
+
+use crate::metric::{airtime_us, Metric};
+use crate::routing::{dijkstra, Path};
+use wlan_channel::pathloss::{LinkBudget, PathLossModel};
+
+/// 802.11a rate steps with their minimum required SNR (dB), from typical
+/// receiver sensitivity tables.
+pub const RATE_SNR_TABLE: [(f64, f64); 8] = [
+    (6.0, 5.0),
+    (9.0, 6.0),
+    (12.0, 8.0),
+    (18.0, 11.0),
+    (24.0, 14.5),
+    (36.0, 18.5),
+    (48.0, 23.0),
+    (54.0, 24.5),
+];
+
+/// The fastest sustainable 802.11a rate at a given SNR, or `None` when even
+/// 6 Mbps cannot be decoded.
+pub fn best_rate_for_snr(snr_db: f64) -> Option<f64> {
+    RATE_SNR_TABLE
+        .iter()
+        .rev()
+        .find(|(_, req)| snr_db >= *req)
+        .map(|(rate, _)| *rate)
+}
+
+/// One usable link in the mesh.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Destination node index.
+    pub to: usize,
+    /// Median SNR in dB.
+    pub snr_db: f64,
+    /// Best PHY rate in Mbps.
+    pub rate_mbps: f64,
+}
+
+/// A mesh of nodes at fixed positions with rate-annotated links.
+///
+/// Links exist wherever the median SNR supports at least 6 Mbps; the rate
+/// and the airtime metric follow from the SNR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshNetwork {
+    positions: Vec<(f64, f64)>,
+    adjacency: Vec<Vec<Link>>,
+}
+
+impl MeshNetwork {
+    /// Builds a mesh from node positions (metres) using the default TGn-D
+    /// path loss and a typical WLAN link budget.
+    pub fn from_positions(positions: &[(f64, f64)]) -> Self {
+        Self::with_models(
+            positions,
+            &PathLossModel::tgn_model_d(),
+            &LinkBudget::typical_wlan(),
+        )
+    }
+
+    /// Builds a mesh with explicit propagation models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than one node is given.
+    pub fn with_models(
+        positions: &[(f64, f64)],
+        pathloss: &PathLossModel,
+        budget: &LinkBudget,
+    ) -> Self {
+        assert!(!positions.is_empty(), "need at least one node");
+        let n = positions.len();
+        let mut adjacency = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let d = distance(positions[i], positions[j]).max(0.1);
+                let snr = budget.snr_at_distance_db(pathloss, d);
+                if let Some(rate) = best_rate_for_snr(snr) {
+                    adjacency[i].push(Link {
+                        to: j,
+                        snr_db: snr,
+                        rate_mbps: rate,
+                    });
+                }
+            }
+        }
+        MeshNetwork {
+            positions: positions.to_vec(),
+            adjacency,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Node positions.
+    pub fn positions(&self) -> &[(f64, f64)] {
+        &self.positions
+    }
+
+    /// Usable links leaving node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn links_from(&self, i: usize) -> &[Link] {
+        &self.adjacency[i]
+    }
+
+    /// The direct link from `a` to `b`, if in range.
+    pub fn link(&self, a: usize, b: usize) -> Option<&Link> {
+        self.adjacency[a].iter().find(|l| l.to == b)
+    }
+
+    /// Best path between two nodes under the chosen metric, or `None` when
+    /// disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node index is out of range.
+    pub fn best_path(&self, src: usize, dst: usize, metric: Metric) -> Option<Path> {
+        assert!(src < self.num_nodes() && dst < self.num_nodes(), "node out of range");
+        dijkstra(self, src, dst, metric)
+    }
+
+    /// End-to-end throughput of a path in Mbps, accounting for the shared
+    /// half-duplex medium: consecutive hops cannot transmit simultaneously,
+    /// so up to `reuse_distance` hops share airtime and the pipeline rate is
+    /// `1 / Σ_window (1/r_hop)` over the worst window.
+    ///
+    /// With `reuse_distance = 3` (the common interference assumption) a long
+    /// chain of equal-rate links converges to `rate/3`.
+    pub fn path_throughput_mbps(&self, path: &Path, reuse_distance: usize) -> f64 {
+        let rates: Vec<f64> = path
+            .hops
+            .windows(2)
+            .map(|w| {
+                self.link(w[0], w[1])
+                    .map(|l| l.rate_mbps)
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        if rates.is_empty() {
+            return f64::INFINITY; // src == dst
+        }
+        if rates.contains(&0.0) {
+            return 0.0;
+        }
+        let window = reuse_distance.max(1);
+        let mut worst = f64::INFINITY;
+        for start in 0..rates.len() {
+            let end = (start + window).min(rates.len());
+            let inv_sum: f64 = rates[start..end].iter().map(|r| 1.0 / r).sum();
+            worst = worst.min(1.0 / inv_sum);
+        }
+        worst
+    }
+
+    /// Effective end-to-end spectral efficiency of a path (bps/Hz, 20 MHz).
+    pub fn path_spectral_efficiency(&self, path: &Path, reuse_distance: usize) -> f64 {
+        self.path_throughput_mbps(path, reuse_distance) / 20.0
+    }
+
+    /// Total airtime cost of a path (µs per test frame).
+    pub fn path_airtime_us(&self, path: &Path) -> f64 {
+        path.hops
+            .windows(2)
+            .map(|w| {
+                self.link(w[0], w[1])
+                    .map(|l| airtime_us(l.rate_mbps, 0.0))
+                    .unwrap_or(f64::INFINITY)
+            })
+            .sum()
+    }
+}
+
+fn distance(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_table_is_monotone() {
+        for w in RATE_SNR_TABLE.windows(2) {
+            assert!(w[0].0 < w[1].0 && w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn best_rate_selection() {
+        assert_eq!(best_rate_for_snr(30.0), Some(54.0));
+        assert_eq!(best_rate_for_snr(15.0), Some(24.0));
+        assert_eq!(best_rate_for_snr(5.0), Some(6.0));
+        assert_eq!(best_rate_for_snr(2.0), None);
+    }
+
+    #[test]
+    fn close_nodes_get_fast_links() {
+        let net = MeshNetwork::from_positions(&[(0.0, 0.0), (5.0, 0.0)]);
+        let l = net.link(0, 1).expect("5 m link must exist");
+        assert_eq!(l.rate_mbps, 54.0);
+    }
+
+    #[test]
+    fn distant_nodes_are_disconnected() {
+        let net = MeshNetwork::from_positions(&[(0.0, 0.0), (10_000.0, 0.0)]);
+        assert!(net.link(0, 1).is_none());
+    }
+
+    #[test]
+    fn links_are_symmetric_in_rate() {
+        let net = MeshNetwork::from_positions(&[(0.0, 0.0), (40.0, 30.0)]);
+        let ab = net.link(0, 1).map(|l| l.rate_mbps);
+        let ba = net.link(1, 0).map(|l| l.rate_mbps);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn relay_beats_weak_direct_link() {
+        // 0 —— 1 —— 2 in a line: the direct 0→2 link is slow, the two-hop
+        // path uses fast links; airtime routing must pick the relay and the
+        // end-to-end throughput must beat the direct link.
+        let net = MeshNetwork::from_positions(&[(0.0, 0.0), (55.0, 0.0), (110.0, 0.0)]);
+        let direct = net.link(0, 2).expect("direct link still in range");
+        let path = net.best_path(0, 2, Metric::Airtime).unwrap();
+        assert_eq!(path.hops, vec![0, 1, 2], "airtime should choose the relay");
+        let multi = net.path_throughput_mbps(&path, 3);
+        assert!(
+            multi > direct.rate_mbps,
+            "two-hop {multi} Mbps must beat direct {} Mbps",
+            direct.rate_mbps
+        );
+    }
+
+    #[test]
+    fn hop_count_prefers_direct_link() {
+        let net = MeshNetwork::from_positions(&[(0.0, 0.0), (55.0, 0.0), (110.0, 0.0)]);
+        let path = net.best_path(0, 2, Metric::HopCount).unwrap();
+        assert_eq!(path.hops, vec![0, 2], "hop count must go direct");
+    }
+
+    #[test]
+    fn throughput_of_long_chain_approaches_rate_over_reuse() {
+        // 10 equal 54 Mbps hops with reuse distance 3 → 18 Mbps.
+        let positions: Vec<(f64, f64)> = (0..11).map(|i| (i as f64 * 5.0, 0.0)).collect();
+        let net = MeshNetwork::from_positions(&positions);
+        let path = Path {
+            hops: (0..11).collect(),
+            cost: 0.0,
+        };
+        let t = net.path_throughput_mbps(&path, 3);
+        assert!((t - 18.0).abs() < 1e-9, "chain throughput {t}");
+    }
+
+    #[test]
+    fn broken_path_has_zero_throughput() {
+        let net = MeshNetwork::from_positions(&[(0.0, 0.0), (10_000.0, 0.0)]);
+        let path = Path {
+            hops: vec![0, 1],
+            cost: 0.0,
+        };
+        assert_eq!(net.path_throughput_mbps(&path, 3), 0.0);
+    }
+
+    #[test]
+    fn disconnected_network_returns_none() {
+        let net = MeshNetwork::from_positions(&[(0.0, 0.0), (10_000.0, 0.0)]);
+        assert!(net.best_path(0, 1, Metric::Airtime).is_none());
+    }
+}

@@ -1,0 +1,323 @@
+//! LDPC-coded HT transmission — 802.11n's optional advanced coding.
+//!
+//! The paper: "Other likely enhancements in the 802.11n standard will also
+//! increase the range of wireless networks, such as the use of LDPC codes."
+//! This module swaps the BCC+interleaver of [`crate::ht::HtPhy`] for
+//! per-symbol LDPC codewords (LDPC needs no interleaver: the sparse graph
+//! itself spreads bits across the constellation), reproducing the
+//! architecture of the 802.11n LDPC option on the HT-20 numerology.
+
+use crate::ht::{ht20_data_carriers, ht_ltf_value, N_DATA_HT20, PILOT_CARRIERS_HT20};
+use wlan_coding::ldpc::{LdpcCode, MinSum};
+use wlan_coding::scrambler::Scrambler;
+use wlan_coding::{bits, CodeRate};
+use wlan_math::{fft, Complex};
+use wlan_ofdm::params::{Modulation, N_CP, N_FFT, N_SYM_SAMPLES};
+use wlan_ofdm::qam;
+
+/// A single-stream HT-20 PHY with LDPC coding.
+///
+/// Codewords are sized near the 802.11n sweet spot (~1296 coded bits) by
+/// spanning `L` consecutive OFDM symbols (`n = L·52·N_BPSC`, `k = n·rate`);
+/// short graphs lose their waterfall, which is why real 802.11n also uses
+/// 648/1296/1944-bit codewords across symbol boundaries. No interleaver
+/// and no tail bits are needed.
+///
+/// # Examples
+///
+/// ```
+/// use wlan_coding::CodeRate;
+/// use wlan_mimo::ht_ldpc::HtLdpcPhy;
+/// use wlan_ofdm::params::Modulation;
+///
+/// let phy = HtLdpcPhy::new(Modulation::Qam16, CodeRate::R1_2);
+/// let frame = phy.transmit(b"ldpc coded");
+/// assert_eq!(phy.receive(&frame, 10), b"ldpc coded");
+/// ```
+#[derive(Debug, Clone)]
+pub struct HtLdpcPhy {
+    modulation: Modulation,
+    span: usize,
+    code: LdpcCode,
+    scrambler_seed: u8,
+    max_iters: usize,
+}
+
+impl HtLdpcPhy {
+    /// Creates the PHY; the LDPC codeword spans enough symbols to reach
+    /// ≥ 1296 coded bits (`n = L·52·N_BPSC`, `k = n·rate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate does not divide the symbol size into integer
+    /// `k`/`m` (all four 802.11 rates do for every HT modulation except
+    /// BPSK at 5/6-adjacent corner cases — those panic).
+    pub fn new(modulation: Modulation, rate: CodeRate) -> Self {
+        let n_cbps = N_DATA_HT20 * modulation.bits_per_subcarrier();
+        // Span enough symbols to reach ≥ 1296 coded bits per codeword.
+        let span = 1296usize.div_ceil(n_cbps);
+        let n = span * n_cbps;
+        let (num, den) = rate.as_fraction();
+        assert!(
+            (n * num).is_multiple_of(den),
+            "rate {rate} does not divide the {n}-bit codeword"
+        );
+        let k = n * num / den;
+        let m = n - k;
+        HtLdpcPhy {
+            modulation,
+            span,
+            code: LdpcCode::new(k, m, 0x11AC),
+            scrambler_seed: 0x5D,
+            max_iters: 40,
+        }
+    }
+
+    /// OFDM symbols spanned by one codeword.
+    pub fn symbols_per_codeword(&self) -> usize {
+        self.span
+    }
+
+    /// Information bits per OFDM symbol.
+    pub fn data_bits_per_symbol(&self) -> usize {
+        self.code.info_len() / self.span
+    }
+
+    /// PHY rate in Mbps (20 MHz, long GI).
+    pub fn rate_mbps(&self) -> f64 {
+        self.data_bits_per_symbol() as f64 / 4.0
+    }
+
+    /// Data symbols for `len` payload bytes (16 service bits, no tail —
+    /// LDPC needs none), rounded up to whole codewords.
+    pub fn num_data_symbols(&self, len: usize) -> usize {
+        let codewords = (16 + 8 * len).div_ceil(self.code.info_len());
+        codewords * self.span
+    }
+
+    /// Frame length in samples.
+    pub fn frame_samples(&self, len: usize) -> usize {
+        (1 + self.num_data_symbols(len)) * N_SYM_SAMPLES
+    }
+
+    /// Encodes a payload (HT-LTF, then codewords of `L` symbols each).
+    pub fn transmit(&self, payload: &[u8]) -> Vec<Complex> {
+        let n_sym = self.num_data_symbols(payload.len());
+        let k_cw = self.code.info_len();
+        let codewords = n_sym / self.span;
+
+        let mut data_bits = vec![0u8; 16];
+        data_bits.extend(bits::bytes_to_bits(payload));
+        data_bits.resize(codewords * k_cw, 0);
+        let scrambled = Scrambler::new(self.scrambler_seed).scramble(&data_bits);
+
+        let mut out = Vec::with_capacity(self.frame_samples(payload.len()));
+        out.extend(training_symbol());
+        for block in scrambled.chunks(k_cw) {
+            let cw = self.code.encode(block);
+            let points = qam::map_stream(self.modulation, &cw);
+            for sym_points in points.chunks(N_DATA_HT20) {
+                out.extend(assemble_symbol(sym_points));
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame; per-codeword min-sum BP with early termination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is shorter than the frame.
+    pub fn receive(&self, samples: &[Complex], payload_len: usize) -> Vec<u8> {
+        assert!(
+            samples.len() >= self.frame_samples(payload_len),
+            "receive stream too short"
+        );
+        let train = symbol_bins(&samples[..N_SYM_SAMPLES]);
+        let carriers = ht20_data_carriers();
+        let channel: Vec<Complex> = carriers
+            .iter()
+            .map(|&k| train[carrier_to_bin(k)].scale(1.0 / ht_ltf_value(k)))
+            .collect();
+
+        let n_sym = self.num_data_symbols(payload_len);
+        let codewords = n_sym / self.span;
+        let mut scrambled = Vec::with_capacity(codewords * self.code.info_len());
+        for cw_idx in 0..codewords {
+            let mut llrs = Vec::with_capacity(self.code.codeword_len());
+            for s in 0..self.span {
+                let off = (1 + cw_idx * self.span + s) * N_SYM_SAMPLES;
+                let bins = symbol_bins(&samples[off..off + N_SYM_SAMPLES]);
+                for (c, &kc) in carriers.iter().enumerate() {
+                    let h = channel[c];
+                    let h2 = h.norm_sqr();
+                    let y = if h2 > 1e-12 {
+                        bins[carrier_to_bin(kc)] / h
+                    } else {
+                        Complex::ZERO
+                    };
+                    llrs.extend(qam::demap_soft(self.modulation, y, h2));
+                }
+            }
+            let decoded = self.code.decode(&llrs, self.max_iters, MinSum::Normalized(0.8));
+            scrambled.extend(decoded.info_bits);
+        }
+        let descrambled = Scrambler::new(self.scrambler_seed).scramble(&scrambled);
+        bits::bits_to_bytes(&descrambled[16..16 + 8 * payload_len])
+    }
+}
+
+fn tx_scale() -> f64 {
+    N_FFT as f64 / 56f64.sqrt()
+}
+
+fn carrier_to_bin(k: i32) -> usize {
+    ((k + N_FFT as i32) % N_FFT as i32) as usize
+}
+
+fn training_symbol() -> Vec<Complex> {
+    let mut bins = vec![Complex::ZERO; N_FFT];
+    for k in -28..=28i32 {
+        let v = ht_ltf_value(k);
+        if v != 0.0 {
+            bins[carrier_to_bin(k)] = Complex::from_re(v);
+        }
+    }
+    finish(bins)
+}
+
+fn assemble_symbol(data: &[Complex]) -> Vec<Complex> {
+    let mut bins = vec![Complex::ZERO; N_FFT];
+    for (i, &k) in ht20_data_carriers().iter().enumerate() {
+        bins[carrier_to_bin(k)] = data[i];
+    }
+    for &k in &PILOT_CARRIERS_HT20 {
+        bins[carrier_to_bin(k)] = Complex::ONE;
+    }
+    finish(bins)
+}
+
+fn finish(bins: Vec<Complex>) -> Vec<Complex> {
+    let time = fft::ifft(&bins);
+    let s = tx_scale();
+    let mut out = Vec::with_capacity(N_SYM_SAMPLES);
+    out.extend(time[N_FFT - N_CP..].iter().map(|v| v.scale(s)));
+    out.extend(time.iter().map(|v| v.scale(s)));
+    out
+}
+
+fn symbol_bins(samples: &[Complex]) -> Vec<Complex> {
+    let body: Vec<Complex> = samples[N_CP..N_CP + N_FFT]
+        .iter()
+        .map(|v| v.scale(1.0 / tx_scale()))
+        .collect();
+    fft::fft(&body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ht::HtPhy;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use wlan_channel::Awgn;
+
+    #[test]
+    fn rates_match_bcc_variant() {
+        for (m, r) in [
+            (Modulation::Qpsk, CodeRate::R1_2),
+            (Modulation::Qam16, CodeRate::R3_4),
+            (Modulation::Qam64, CodeRate::R5_6),
+        ] {
+            let ldpc = HtLdpcPhy::new(m, r);
+            let bcc = HtPhy::new(m, r);
+            assert!(
+                (ldpc.rate_mbps() - bcc.rate_mbps()).abs() < 1e-9,
+                "{m} r={r}: {} vs {}",
+                ldpc.rate_mbps(),
+                bcc.rate_mbps()
+            );
+        }
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(510);
+        let payload: Vec<u8> = (0..100).map(|_| rng.gen()).collect();
+        for (m, r) in [
+            (Modulation::Qpsk, CodeRate::R1_2),
+            (Modulation::Qam64, CodeRate::R5_6),
+        ] {
+            let phy = HtLdpcPhy::new(m, r);
+            let frame = phy.transmit(&payload);
+            assert_eq!(phy.receive(&frame, payload.len()), payload, "{m} r={r}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_noise() {
+        let mut rng = StdRng::seed_from_u64(511);
+        let payload: Vec<u8> = (0..120).map(|_| rng.gen()).collect();
+        let phy = HtLdpcPhy::new(Modulation::Qpsk, CodeRate::R1_2);
+        let mut ok = 0;
+        for _ in 0..10 {
+            let frame = phy.transmit(&payload);
+            let noisy = Awgn::from_snr_db(8.0).apply(&frame, &mut rng);
+            if phy.receive(&noisy, payload.len()) == payload {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 9, "LDPC QPSK r=1/2 decoded only {ok}/10 at 8 dB");
+    }
+
+    #[test]
+    fn ldpc_beats_bcc_at_low_snr() {
+        // The paper's range argument: at equal rate and SNR near the BCC
+        // threshold, LDPC delivers more frames.
+        let mut rng = StdRng::seed_from_u64(512);
+        let payload: Vec<u8> = (0..80).map(|_| rng.gen()).collect();
+        let ldpc = HtLdpcPhy::new(Modulation::Qpsk, CodeRate::R1_2);
+        let bcc = HtPhy::new(Modulation::Qpsk, CodeRate::R1_2);
+        let snr_db = 5.0;
+        let trials = 30;
+        let mut ldpc_ok = 0;
+        let mut bcc_ok = 0;
+        for _ in 0..trials {
+            let f = ldpc.transmit(&payload);
+            let noisy = Awgn::from_snr_db(snr_db).apply(&f, &mut rng);
+            if ldpc.receive(&noisy, payload.len()) == payload {
+                ldpc_ok += 1;
+            }
+            let f = bcc.transmit(&payload);
+            let noisy = Awgn::from_snr_db(snr_db).apply(&f, &mut rng);
+            if bcc.receive(&noisy, payload.len()) == payload {
+                bcc_ok += 1;
+            }
+        }
+        assert!(
+            ldpc_ok >= bcc_ok,
+            "LDPC ({ldpc_ok}/{trials}) should not lose to BCC ({bcc_ok}/{trials}) at {snr_db} dB"
+        );
+    }
+
+    #[test]
+    fn no_tail_bits_needed() {
+        // LDPC frames spend every data bit on payload: a payload that just
+        // fills one codeword needs exactly one codeword's worth of symbols.
+        let phy = HtLdpcPhy::new(Modulation::Qam16, CodeRate::R1_2);
+        let span = phy.symbols_per_codeword();
+        let k_cw = phy.data_bits_per_symbol() * span;
+        let fit = (k_cw - 16) / 8;
+        assert_eq!(phy.num_data_symbols(fit), span);
+        assert_eq!(phy.num_data_symbols(fit + 1), 2 * span);
+    }
+
+    #[test]
+    fn codewords_are_near_1296_bits() {
+        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let phy = HtLdpcPhy::new(m, CodeRate::R1_2);
+            let n = phy.symbols_per_codeword() * 52 * m.bits_per_subcarrier();
+            assert!((1296..1296 + 52 * 6).contains(&n), "{m}: n = {n}");
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! A spatially-multiplexed MIMO-OFDM frame chain (802.11n HT style).
+//!
+//! The transmit side runs one encoder over the whole frame, parses the coded
+//! bits round-robin onto `N_ss` spatial streams, and sends each stream
+//! through the familiar interleave → QAM → IFFT pipeline on its own antenna.
+//! Training uses HT-LTF-like orthogonal covers (the `P` matrix) so the
+//! receiver can estimate the full per-subcarrier channel matrix, after which
+//! MMSE (or ZF) detection separates the streams.
+//!
+//! Transmit power is normalized: the per-antenna streams are scaled by
+//! `1/√N_ss` so a 4-stream transmission radiates the same total power as a
+//! SISO one — the fair comparison the range experiment (E5) needs.
+
+use crate::detect::{detect, Detector};
+use wlan_coding::interleaver::Interleaver;
+use wlan_coding::puncture::{depuncture, puncture};
+use wlan_coding::scrambler::Scrambler;
+use wlan_coding::{bits, CodeRate, ConvEncoder, ViterbiDecoder};
+use wlan_ofdm::params::{data_carriers, Modulation, N_CP, N_FFT, N_SYM_SAMPLES};
+use wlan_ofdm::preamble::ltf_value;
+use wlan_ofdm::qam;
+use wlan_ofdm::symbol::{assemble_symbol, tx_scale};
+use wlan_math::{fft, CMatrix, Complex};
+
+/// The 802.11n HT-LTF orthogonal cover matrix `P` (rows = streams,
+/// columns = training symbols).
+pub const P_HTLTF: [[f64; 4]; 4] = [
+    [1.0, -1.0, 1.0, 1.0],
+    [1.0, 1.0, -1.0, 1.0],
+    [1.0, 1.0, 1.0, -1.0],
+    [-1.0, 1.0, 1.0, 1.0],
+];
+
+/// Configuration of the MIMO-OFDM link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MimoOfdmConfig {
+    /// Number of spatial streams (equals transmit antennas here), 1–4.
+    pub n_streams: usize,
+    /// Number of receive antennas (≥ `n_streams` for linear detection).
+    pub n_rx: usize,
+    /// Per-subcarrier modulation.
+    pub modulation: Modulation,
+    /// Convolutional code rate.
+    pub code_rate: CodeRate,
+    /// Stream-separation detector.
+    pub detector: Detector,
+}
+
+/// A complete spatial-multiplexing MIMO-OFDM PHY.
+///
+/// # Examples
+///
+/// ```
+/// use wlan_coding::CodeRate;
+/// use wlan_mimo::detect::Detector;
+/// use wlan_mimo::phy::{MimoOfdmConfig, MimoOfdmPhy};
+/// use wlan_ofdm::params::Modulation;
+///
+/// let phy = MimoOfdmPhy::new(MimoOfdmConfig {
+///     n_streams: 2,
+///     n_rx: 2,
+///     modulation: Modulation::Qpsk,
+///     code_rate: CodeRate::R1_2,
+///     detector: Detector::Mmse,
+/// });
+/// assert_eq!(phy.data_bits_per_symbol(), 96);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MimoOfdmPhy {
+    cfg: MimoOfdmConfig,
+    scrambler_seed: u8,
+}
+
+impl MimoOfdmPhy {
+    /// Creates a PHY.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_streams` is not 1–4 or `n_rx` is zero.
+    pub fn new(cfg: MimoOfdmConfig) -> Self {
+        assert!(
+            (1..=4).contains(&cfg.n_streams),
+            "stream count must be 1-4"
+        );
+        assert!(cfg.n_rx >= 1, "need at least one receive antenna");
+        MimoOfdmPhy {
+            cfg,
+            scrambler_seed: 0x5D,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MimoOfdmConfig {
+        &self.cfg
+    }
+
+    /// Number of HT-LTF training symbols (equals streams, except 3 → 4).
+    pub fn num_training_symbols(&self) -> usize {
+        match self.cfg.n_streams {
+            3 => 4,
+            n => n,
+        }
+    }
+
+    /// Coded bits per OFDM symbol per stream.
+    pub fn coded_bits_per_symbol_per_stream(&self) -> usize {
+        48 * self.cfg.modulation.bits_per_subcarrier()
+    }
+
+    /// Data bits per OFDM symbol across all streams.
+    pub fn data_bits_per_symbol(&self) -> usize {
+        let (n, d) = self.cfg.code_rate.as_fraction();
+        self.coded_bits_per_symbol_per_stream() * self.cfg.n_streams * n / d
+    }
+
+    /// Number of data symbols for a payload of `len` bytes.
+    pub fn num_data_symbols(&self, len: usize) -> usize {
+        (16 + 8 * len + 6).div_ceil(self.data_bits_per_symbol())
+    }
+
+    /// Per-antenna samples for a payload of `len` bytes.
+    pub fn frame_samples(&self, len: usize) -> usize {
+        (self.num_training_symbols() + self.num_data_symbols(len)) * N_SYM_SAMPLES
+    }
+
+    /// PHY data rate in Mbps (20 MHz, long GI).
+    pub fn rate_mbps(&self) -> f64 {
+        self.data_bits_per_symbol() as f64 / 4.0
+    }
+
+    /// Encodes a payload into `n_streams` per-antenna sample streams
+    /// (training followed by data symbols).
+    pub fn transmit(&self, payload: &[u8]) -> Vec<Vec<Complex>> {
+        let n_ss = self.cfg.n_streams;
+        let power_scale = 1.0 / (n_ss as f64).sqrt();
+        let mut antennas: Vec<Vec<Complex>> =
+            vec![Vec::with_capacity(self.frame_samples(payload.len())); n_ss];
+
+        // HT-LTF training with orthogonal P covers.
+        let ltf_sym = ltf_frequency_symbol();
+        for m in 0..self.num_training_symbols() {
+            for (i, ant) in antennas.iter_mut().enumerate() {
+                let scale = P_HTLTF[i][m] * power_scale;
+                ant.extend(ltf_sym.iter().map(|&s| s.scale(scale)));
+            }
+        }
+
+        // One encoder across the frame, then round-robin stream parsing.
+        let per_stream_bits = self.per_stream_coded_bits(payload.len());
+        let streams = self.encode_streams(payload);
+        let il = Interleaver::new(
+            self.coded_bits_per_symbol_per_stream(),
+            self.cfg.modulation.bits_per_subcarrier(),
+        );
+        let n_sym = self.num_data_symbols(payload.len());
+        for (i, stream_bits) in streams.iter().enumerate() {
+            debug_assert_eq!(stream_bits.len(), per_stream_bits);
+            let interleaved = il.interleave_stream(stream_bits);
+            let points = qam::map_stream(self.cfg.modulation, &interleaved);
+            for s in 0..n_sym {
+                let chunk = &points[s * 48..(s + 1) * 48];
+                let sym = assemble_symbol(chunk, s + 1);
+                antennas[i].extend(sym.iter().map(|&v| v.scale(power_scale)));
+            }
+        }
+        antennas
+    }
+
+    /// Decodes per-antenna receive streams. `n0` is the noise variance per
+    /// receive antenna per sample (genie-aided, as in link simulation
+    /// practice); `payload_len` the expected payload size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rx.len() != n_rx` or the streams are shorter than the
+    /// frame.
+    pub fn receive(&self, rx: &[Vec<Complex>], n0: f64, payload_len: usize) -> Vec<u8> {
+        let n_rx = self.cfg.n_rx;
+        let n_ss = self.cfg.n_streams;
+        assert_eq!(rx.len(), n_rx, "receive antenna count mismatch");
+        let needed = self.frame_samples(payload_len);
+        for r in rx {
+            assert!(r.len() >= needed, "receive stream too short");
+        }
+
+        // Channel estimation from the orthogonal training.
+        let n_ltf = self.num_training_symbols();
+        // bins_per_ltf[m][r] = 64-bin FFT of training symbol m at antenna r.
+        let mut train_bins: Vec<Vec<Vec<Complex>>> = Vec::with_capacity(n_ltf);
+        for m in 0..n_ltf {
+            let mut per_rx = Vec::with_capacity(n_rx);
+            for r in rx {
+                per_rx.push(symbol_bins(&r[m * N_SYM_SAMPLES..(m + 1) * N_SYM_SAMPLES]));
+            }
+            train_bins.push(per_rx);
+        }
+        // h[k] is the n_rx × n_ss matrix at data carrier k (includes the
+        // 1/√N_ss transmit scaling, which is what detection should see).
+        let carriers = data_carriers();
+        let channel: Vec<CMatrix> = carriers
+            .iter()
+            .map(|&k| {
+                let bin = carrier_to_bin(k);
+                let l = ltf_value(k);
+                let mut h = CMatrix::zeros(n_rx, n_ss);
+                for r in 0..n_rx {
+                    for i in 0..n_ss {
+                        let mut acc = Complex::ZERO;
+                        for (m, tb) in train_bins.iter().enumerate() {
+                            acc += tb[r][bin].scale(P_HTLTF[i][m]);
+                        }
+                        h.set(r, i, acc.scale(1.0 / (n_ltf as f64 * l)));
+                    }
+                }
+                h
+            })
+            .collect();
+
+        // Per-symbol detection and soft demapping.
+        let n_sym = self.num_data_symbols(payload_len);
+        let il = Interleaver::new(
+            self.coded_bits_per_symbol_per_stream(),
+            self.cfg.modulation.bits_per_subcarrier(),
+        );
+        let mut stream_llrs: Vec<Vec<f64>> = vec![Vec::new(); n_ss];
+        for s in 0..n_sym {
+            let offset = (n_ltf + s) * N_SYM_SAMPLES;
+            let sym_bins: Vec<Vec<Complex>> = rx
+                .iter()
+                .map(|r| symbol_bins(&r[offset..offset + N_SYM_SAMPLES]))
+                .collect();
+            for (c, &k) in carriers.iter().enumerate() {
+                let bin = carrier_to_bin(k);
+                let y: Vec<Complex> = (0..n_rx).map(|r| sym_bins[r][bin]).collect();
+                // Effective noise after the tx_scale normalization.
+                let n0_eff = (n0 / (tx_scale() * tx_scale())).max(1e-12);
+                match detect(self.cfg.detector, &channel[c], &y, n0_eff) {
+                    Ok(d) => {
+                        for i in 0..n_ss {
+                            stream_llrs[i].extend(qam::demap_soft(
+                                self.cfg.modulation,
+                                d.symbols[i],
+                                d.sinr[i],
+                            ));
+                        }
+                    }
+                    Err(_) => {
+                        // Rank-deficient subcarrier: emit erasures.
+                        let bpsc = self.cfg.modulation.bits_per_subcarrier();
+                        for llr in stream_llrs.iter_mut() {
+                            llr.extend(std::iter::repeat_n(0.0, bpsc));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Deinterleave per stream, merge (inverse parsing), decode.
+        let merged_len = n_sym * self.coded_bits_per_symbol_per_stream() * n_ss;
+        let deinterleaved: Vec<Vec<f64>> = stream_llrs
+            .iter()
+            .map(|l| il.deinterleave_stream_soft(l))
+            .collect();
+        let coded = self.merge_streams_soft(&deinterleaved, merged_len);
+        let total_bits = n_sym * self.data_bits_per_symbol();
+        let mother = depuncture(&coded, self.cfg.code_rate, total_bits * 2);
+        let scrambled = ViterbiDecoder::new().decode_soft_unterminated(&mother, total_bits);
+        let descrambled = Scrambler::new(self.scrambler_seed).scramble(&scrambled);
+        bits::bits_to_bytes(&descrambled[16..16 + 8 * payload_len])
+    }
+
+    fn per_stream_coded_bits(&self, payload_len: usize) -> usize {
+        self.num_data_symbols(payload_len) * self.coded_bits_per_symbol_per_stream()
+    }
+
+    /// Scramble → encode → puncture → parse into per-stream bit vectors.
+    fn encode_streams(&self, payload: &[u8]) -> Vec<Vec<u8>> {
+        let n_sym = self.num_data_symbols(payload.len());
+        let total_bits = n_sym * self.data_bits_per_symbol();
+        let mut data_bits = vec![0u8; 16];
+        data_bits.extend(bits::bytes_to_bits(payload));
+        let tail_start = data_bits.len();
+        data_bits.resize(total_bits, 0);
+        let mut scrambled = Scrambler::new(self.scrambler_seed).scramble(&data_bits);
+        for b in scrambled.iter_mut().skip(tail_start).take(6) {
+            *b = 0;
+        }
+        let mut enc = ConvEncoder::new();
+        let coded = puncture(&enc.encode(&scrambled), self.cfg.code_rate);
+
+        // 802.11n stream parser: s = max(N_BPSC/2, 1) bits round-robin.
+        let s = (self.cfg.modulation.bits_per_subcarrier() / 2).max(1);
+        let n_ss = self.cfg.n_streams;
+        let mut streams: Vec<Vec<u8>> =
+            vec![Vec::with_capacity(coded.len() / n_ss); n_ss];
+        for (block_idx, block) in coded.chunks(s).enumerate() {
+            streams[block_idx % n_ss].extend_from_slice(block);
+        }
+        streams
+    }
+
+    /// Inverse of the stream parser for soft values.
+    fn merge_streams_soft(&self, streams: &[Vec<f64>], total: usize) -> Vec<f64> {
+        let s = (self.cfg.modulation.bits_per_subcarrier() / 2).max(1);
+        let n_ss = self.cfg.n_streams;
+        let mut out = Vec::with_capacity(total);
+        let mut cursors = vec![0usize; n_ss];
+        let mut stream_idx = 0usize;
+        while out.len() < total {
+            let c = cursors[stream_idx];
+            out.extend_from_slice(&streams[stream_idx][c..c + s]);
+            cursors[stream_idx] += s;
+            stream_idx = (stream_idx + 1) % n_ss;
+        }
+        out
+    }
+}
+
+/// One 80-sample training symbol (CP + IFFT of the LTF sequence at data
+/// scale).
+fn ltf_frequency_symbol() -> Vec<Complex> {
+    let mut bins = vec![Complex::ZERO; N_FFT];
+    for k in -26..=26i32 {
+        let v = ltf_value(k);
+        if v != 0.0 {
+            bins[carrier_to_bin(k)] = Complex::from_re(v);
+        }
+    }
+    let time = fft::ifft(&bins);
+    let scale = tx_scale();
+    let mut out = Vec::with_capacity(N_SYM_SAMPLES);
+    out.extend(time[N_FFT - N_CP..].iter().map(|s| s.scale(scale)));
+    out.extend(time.iter().map(|s| s.scale(scale)));
+    out
+}
+
+/// Strips the CP and FFTs one received symbol back to (tx-scaled) bins.
+fn symbol_bins(samples: &[Complex]) -> Vec<Complex> {
+    let body: Vec<Complex> = samples[N_CP..N_CP + N_FFT]
+        .iter()
+        .map(|s| s.scale(1.0 / tx_scale()))
+        .collect();
+    fft::fft(&body)
+}
+
+fn carrier_to_bin(k: i32) -> usize {
+    ((k + N_FFT as i32) % N_FFT as i32) as usize
+}
+
+/// Propagates per-antenna transmit streams through a frequency-selective
+/// MIMO channel and adds AWGN of variance `n0` per receive antenna.
+///
+/// # Panics
+///
+/// Panics if `tx.len() != channel.n_tx()`.
+pub fn propagate(
+    channel: &wlan_channel::mimo::MimoMultipathChannel,
+    tx: &[Vec<Complex>],
+    n0: f64,
+    rng: &mut impl rand::Rng,
+) -> Vec<Vec<Complex>> {
+    assert_eq!(tx.len(), channel.n_tx(), "transmit antenna count mismatch");
+    let len = tx.iter().map(|t| t.len()).max().unwrap_or(0);
+    let mut rx = Vec::with_capacity(channel.n_rx());
+    for r in 0..channel.n_rx() {
+        let mut acc = vec![Complex::ZERO; len];
+        for (t, stream) in tx.iter().enumerate() {
+            let filtered = channel.pair(r, t).filter(stream);
+            for (i, v) in filtered.into_iter().enumerate() {
+                if i < len {
+                    acc[i] += v;
+                }
+            }
+        }
+        if n0 > 0.0 {
+            let sigma = n0.sqrt();
+            for v in acc.iter_mut() {
+                *v += wlan_channel::noise::complex_gaussian(rng).scale(sigma);
+            }
+        }
+        rx.push(acc);
+    }
+    rx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use wlan_channel::mimo::MimoMultipathChannel;
+    use wlan_channel::PowerDelayProfile;
+
+    fn phy(n_streams: usize, n_rx: usize, modulation: Modulation) -> MimoOfdmPhy {
+        MimoOfdmPhy::new(MimoOfdmConfig {
+            n_streams,
+            n_rx,
+            modulation,
+            code_rate: CodeRate::R1_2,
+            detector: Detector::Mmse,
+        })
+    }
+
+    #[test]
+    fn rate_scales_with_streams() {
+        let one = phy(1, 1, Modulation::Qam16).rate_mbps();
+        let four = phy(4, 4, Modulation::Qam16).rate_mbps();
+        assert!((four / one - 4.0).abs() < 1e-12);
+        // 1 stream, 16-QAM, r=1/2: 48·4/2 = 96 bits / 4 µs = 24 Mbps.
+        assert!((one - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_roundtrip_all_stream_counts() {
+        let mut rng = StdRng::seed_from_u64(160);
+        let payload: Vec<u8> = (0..120).map(|_| rng.gen()).collect();
+        for n_ss in 1..=4usize {
+            let p = phy(n_ss, n_ss, Modulation::Qpsk);
+            let tx = p.transmit(&payload);
+            assert_eq!(tx.len(), n_ss);
+            // Identity channel: rx = tx (pad antennas into rx shape).
+            let out = p.receive(&tx, 1e-9, payload.len());
+            assert_eq!(out, payload, "{n_ss} streams");
+        }
+    }
+
+    #[test]
+    fn three_streams_use_four_training_symbols() {
+        assert_eq!(phy(3, 3, Modulation::Bpsk).num_training_symbols(), 4);
+        assert_eq!(phy(2, 2, Modulation::Bpsk).num_training_symbols(), 2);
+    }
+
+    #[test]
+    fn total_transmit_power_is_stream_independent() {
+        let payload = vec![0xA5u8; 200];
+        for n_ss in [1usize, 2, 4] {
+            let tx = phy(n_ss, n_ss, Modulation::Qam16).transmit(&payload);
+            let total: f64 = tx
+                .iter()
+                .map(|a| wlan_math::complex::mean_power(a))
+                .sum();
+            assert!(
+                (total - 1.0).abs() < 0.15,
+                "{n_ss} streams: total power {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_mimo_multipath() {
+        let mut rng = StdRng::seed_from_u64(161);
+        let payload: Vec<u8> = (0..80).map(|_| rng.gen()).collect();
+        let p = phy(2, 2, Modulation::Qpsk);
+        let pdp = PowerDelayProfile::tgn_model('B');
+        let n0 = wlan_math::special::db_to_lin(-25.0);
+        let mut ok = 0;
+        let trials = 10;
+        for _ in 0..trials {
+            let ch = MimoMultipathChannel::realize(2, 2, &pdp, &mut rng);
+            let tx = p.transmit(&payload);
+            let rx = propagate(&ch, &tx, n0, &mut rng);
+            if p.receive(&rx, n0, payload.len()) == payload {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 8, "only {ok}/{trials} frames decoded at 25 dB");
+    }
+
+    #[test]
+    fn extra_rx_antennas_help_at_low_snr() {
+        let mut rng = StdRng::seed_from_u64(162);
+        let payload: Vec<u8> = (0..60).map(|_| rng.gen()).collect();
+        let pdp = PowerDelayProfile::flat();
+        let n0 = wlan_math::special::db_to_lin(-14.0);
+        let trials = 30;
+        let mut ok = [0usize; 2];
+        for (idx, n_rx) in [2usize, 4].into_iter().enumerate() {
+            let p = phy(2, n_rx, Modulation::Qpsk);
+            for _ in 0..trials {
+                let ch = MimoMultipathChannel::realize(n_rx, 2, &pdp, &mut rng);
+                let tx = p.transmit(&payload);
+                let rx = propagate(&ch, &tx, n0, &mut rng);
+                if p.receive(&rx, n0, payload.len()) == payload {
+                    ok[idx] += 1;
+                }
+            }
+        }
+        assert!(
+            ok[1] > ok[0],
+            "4 RX ({}) must beat 2 RX ({}) at 14 dB",
+            ok[1],
+            ok[0]
+        );
+    }
+
+    #[test]
+    fn frame_sample_count_is_consistent() {
+        let p = phy(2, 2, Modulation::Qam64);
+        let payload = vec![0u8; 100];
+        let tx = p.transmit(&payload);
+        for ant in &tx {
+            assert_eq!(ant.len(), p.frame_samples(payload.len()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stream count must be 1-4")]
+    fn stream_count_validated() {
+        let _ = phy(5, 5, Modulation::Bpsk);
+    }
+}

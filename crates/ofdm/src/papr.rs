@@ -1,0 +1,162 @@
+//! Peak-to-average power ratio measurement.
+//!
+//! The paper's "Low Power" section singles out OFDM's high PAPR as the root
+//! cause of poor power-amplifier efficiency: the PA must be backed off to
+//! its linear region by roughly the PAPR, and class-A/AB efficiency falls
+//! with back-off. Experiment E10 reproduces the comparison: near-constant-
+//! envelope DSSS chips versus the ~10 dB PAPR of OFDM (and MIMO-OFDM, which
+//! is just as bad per chain).
+
+use crate::params::{Modulation, N_DATA, N_FFT};
+use crate::qam;
+use rand::Rng;
+use wlan_math::stats::Ccdf;
+use wlan_math::{fft, Complex};
+
+/// PAPR of a sample block in dB: `10·log10(peak/mean)`.
+///
+/// Returns 0 for an empty or all-zero block.
+///
+/// # Examples
+///
+/// ```
+/// use wlan_math::Complex;
+/// use wlan_ofdm::papr::papr_db;
+///
+/// // A constant-envelope block has 0 dB PAPR.
+/// let block = vec![Complex::from_polar(1.0, 0.3); 64];
+/// assert!(papr_db(&block).abs() < 1e-9);
+/// ```
+pub fn papr_db(samples: &[Complex]) -> f64 {
+    let mean = wlan_math::complex::mean_power(samples);
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let peak = wlan_math::complex::peak_power(samples);
+    10.0 * (peak / mean).log10()
+}
+
+/// Generates one OFDM data symbol with random bits and returns its PAPR in
+/// dB, measured on a 4× oversampled waveform (zero-padded IFFT), which is
+/// the continuous-time PAPR a power amplifier actually sees.
+pub fn ofdm_symbol_papr_db(modulation: Modulation, rng: &mut impl Rng) -> f64 {
+    let bpsc = modulation.bits_per_subcarrier();
+    let bits: Vec<u8> = (0..N_DATA * bpsc).map(|_| rng.gen_range(0..2u8)).collect();
+    let points = qam::map_stream(modulation, &bits);
+
+    // Oversampled spectrum: place the 48 data carriers (pilots omitted — a
+    // 4/52 power detail) in a 256-bin IFFT.
+    let os = 4 * N_FFT;
+    let mut bins = vec![Complex::ZERO; os];
+    for (i, &k) in crate::params::data_carriers().iter().enumerate() {
+        let bin = ((k + os as i32) % os as i32) as usize;
+        bins[bin] = points[i];
+    }
+    let time = fft::ifft(&bins);
+    papr_db(&time)
+}
+
+/// Builds the PAPR CCDF of `n_symbols` random OFDM symbols.
+///
+/// The result answers "what fraction of symbols exceed x dB PAPR" — the
+/// curve the PA back-off must be chosen against.
+pub fn ofdm_papr_ccdf(modulation: Modulation, n_symbols: usize, rng: &mut impl Rng) -> Ccdf {
+    let mut ccdf = Ccdf::new(0.0, 13.0, 53);
+    for _ in 0..n_symbols {
+        ccdf.push(ofdm_symbol_papr_db(modulation, rng));
+    }
+    ccdf
+}
+
+/// PAPR CCDF of a single-carrier DSSS/CCK chip stream (random 11 Mbps CCK
+/// frames), for the E10 comparison. With rectangular chips the envelope is
+/// constant, so this curve collapses near 0 dB.
+pub fn single_carrier_papr_ccdf(n_blocks: usize, rng: &mut impl Rng) -> Ccdf {
+    use wlan_dsss::phy::{DsssPhy, DsssRate};
+    let phy = DsssPhy::new(DsssRate::Cck11M);
+    let mut ccdf = Ccdf::new(0.0, 13.0, 53);
+    for _ in 0..n_blocks {
+        let bits: Vec<u8> = (0..256).map(|_| rng.gen_range(0..2u8)).collect();
+        let chips = phy.transmit(&bits);
+        ccdf.push(papr_db(&chips));
+    }
+    ccdf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_envelope_is_zero_db() {
+        let block: Vec<Complex> = (0..100)
+            .map(|i| Complex::from_polar(2.0, i as f64))
+            .collect();
+        assert!(papr_db(&block).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impulse_has_high_papr() {
+        let mut block = vec![Complex::ZERO; 99];
+        block.push(Complex::ONE);
+        // peak/mean = 1 / (1/100) = 100 → 20 dB.
+        assert!((papr_db(&block) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_block_is_safe() {
+        assert_eq!(papr_db(&[]), 0.0);
+        assert_eq!(papr_db(&[Complex::ZERO; 8]), 0.0);
+    }
+
+    #[test]
+    fn ofdm_papr_is_high() {
+        let mut rng = StdRng::seed_from_u64(110);
+        let mut acc = 0.0;
+        let n = 200;
+        for _ in 0..n {
+            acc += ofdm_symbol_papr_db(Modulation::Qam64, &mut rng);
+        }
+        let mean = acc / n as f64;
+        // Typical mean OFDM PAPR with 48 carriers is ~7-9 dB.
+        assert!(mean > 6.0, "OFDM mean PAPR {mean} dB unexpectedly low");
+        assert!(mean < 12.0, "OFDM mean PAPR {mean} dB unexpectedly high");
+    }
+
+    #[test]
+    fn ofdm_beats_single_carrier_by_several_db() {
+        let mut rng = StdRng::seed_from_u64(111);
+        let ofdm = ofdm_papr_ccdf(Modulation::Qpsk, 300, &mut rng);
+        let sc = single_carrier_papr_ccdf(100, &mut rng);
+        // At the 5 dB threshold nearly all OFDM symbols exceed, almost no
+        // constant-envelope CCK blocks do.
+        assert!(ofdm.eval(5.0) > 0.9, "OFDM P(>5dB) = {}", ofdm.eval(5.0));
+        assert!(sc.eval(5.0) < 0.1, "CCK P(>5dB) = {}", sc.eval(5.0));
+    }
+
+    #[test]
+    fn papr_ccdf_is_monotone() {
+        let mut rng = StdRng::seed_from_u64(112);
+        let ccdf = ofdm_papr_ccdf(Modulation::Bpsk, 100, &mut rng);
+        let pts: Vec<(f64, f64)> = ccdf.points().collect();
+        for w in pts.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert_eq!(ccdf.count(), 100);
+    }
+
+    #[test]
+    fn modulation_order_barely_affects_papr() {
+        // PAPR is dominated by the carrier count, not the constellation:
+        // BPSK and 64-QAM means should agree within ~1.5 dB.
+        let mut rng = StdRng::seed_from_u64(113);
+        let mean = |m: Modulation, rng: &mut StdRng| -> f64 {
+            (0..150).map(|_| ofdm_symbol_papr_db(m, rng)).sum::<f64>() / 150.0
+        };
+        let bpsk = mean(Modulation::Bpsk, &mut rng);
+        let qam64 = mean(Modulation::Qam64, &mut rng);
+        assert!((bpsk - qam64).abs() < 1.5, "BPSK {bpsk} vs 64QAM {qam64}");
+    }
+}

@@ -1,0 +1,448 @@
+//! The frame-level 802.11a transmit/receive chain.
+//!
+//! A transmitted frame is `STF ‖ LTF ‖ SIGNAL ‖ DATA…`:
+//!
+//! 1. the short training field (160 samples, sync/AGC),
+//! 2. the long training field (160 samples, channel estimation),
+//! 3. one BPSK rate-1/2 SIGNAL symbol carrying RATE and LENGTH,
+//! 4. `N_SYM` data symbols carrying
+//!    `SERVICE(16) ‖ payload ‖ TAIL(6) ‖ PAD`, scrambled, convolutionally
+//!    encoded, punctured, interleaved and QAM-mapped.
+//!
+//! The receiver estimates the channel from the LTF, decodes SIGNAL to learn
+//! rate and length, then equalizes and soft-decodes the data field.
+
+use crate::params::{OfdmRate, N_SYM_SAMPLES};
+use crate::preamble;
+use crate::qam;
+use crate::symbol::{assemble_symbol, disassemble_symbol};
+use wlan_coding::interleaver::Interleaver;
+use wlan_coding::puncture::{depuncture, puncture};
+use wlan_coding::scrambler::Scrambler;
+use wlan_coding::{bits, ConvEncoder, ViterbiDecoder};
+use wlan_math::Complex;
+
+/// Errors the receive chain can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxError {
+    /// The sample stream is shorter than the advertised frame.
+    TooShort,
+    /// The SIGNAL field failed its parity check.
+    SignalParity,
+    /// The SIGNAL RATE bits decode to no known rate.
+    UnknownRate,
+    /// SIGNAL decoded to a different rate than this PHY is configured for.
+    RateMismatch,
+}
+
+impl std::fmt::Display for RxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RxError::TooShort => write!(f, "sample stream shorter than frame"),
+            RxError::SignalParity => write!(f, "SIGNAL field parity check failed"),
+            RxError::UnknownRate => write!(f, "SIGNAL rate bits invalid"),
+            RxError::RateMismatch => write!(f, "SIGNAL rate differs from configured rate"),
+        }
+    }
+}
+
+impl std::error::Error for RxError {}
+
+/// A complete 802.11a OFDM PHY at a fixed rate.
+///
+/// # Examples
+///
+/// ```
+/// use wlan_ofdm::{OfdmPhy, OfdmRate};
+///
+/// let phy = OfdmPhy::new(OfdmRate::R24);
+/// let frame = phy.transmit(b"data");
+/// assert_eq!(phy.receive(&frame).unwrap(), b"data");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OfdmPhy {
+    rate: OfdmRate,
+    scrambler_seed: u8,
+}
+
+/// Number of preamble samples (STF + LTF).
+pub const PREAMBLE_SAMPLES: usize = 320;
+/// Sample offset of the SIGNAL symbol.
+pub const SIGNAL_OFFSET: usize = PREAMBLE_SAMPLES;
+/// Sample offset of the first data symbol.
+pub const DATA_OFFSET: usize = PREAMBLE_SAMPLES + N_SYM_SAMPLES;
+
+impl OfdmPhy {
+    /// Creates a PHY at the given rate (scrambler seed 0x5D, the standard's
+    /// example value).
+    pub fn new(rate: OfdmRate) -> Self {
+        OfdmPhy {
+            rate,
+            scrambler_seed: 0x5D,
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> OfdmRate {
+        self.rate
+    }
+
+    /// Number of data OFDM symbols needed for a payload of `len` bytes.
+    pub fn num_data_symbols(&self, len: usize) -> usize {
+        let bits = 16 + 8 * len + 6;
+        bits.div_ceil(self.rate.data_bits_per_symbol())
+    }
+
+    /// Total frame length in samples.
+    pub fn frame_samples(&self, len: usize) -> usize {
+        DATA_OFFSET + self.num_data_symbols(len) * N_SYM_SAMPLES
+    }
+
+    /// Frame duration in microseconds (20 MHz sampling).
+    pub fn frame_duration_us(&self, len: usize) -> f64 {
+        self.frame_samples(len) as f64 / 20.0
+    }
+
+    /// Encodes and modulates a payload into a complete baseband frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload.len() >= 4096` (the 12-bit LENGTH limit).
+    pub fn transmit(&self, payload: &[u8]) -> Vec<Complex> {
+        assert!(payload.len() < 4096, "LENGTH field is 12 bits");
+        let mut samples = Vec::with_capacity(self.frame_samples(payload.len()));
+        samples.extend(preamble::short_training_field());
+        samples.extend(preamble::long_training_field());
+        samples.extend(self.encode_signal(payload.len()));
+        samples.extend(self.encode_data(payload));
+        samples
+    }
+
+    /// Decodes a received frame (flat or already-equalized channel is not
+    /// assumed: the LTF inside `samples` provides the estimate).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`RxError`] when the stream is too short or the SIGNAL
+    /// field is unusable. Residual payload bit errors are *not* detected
+    /// here — that is the MAC FCS's job.
+    pub fn receive(&self, samples: &[Complex]) -> Result<Vec<u8>, RxError> {
+        if samples.len() < DATA_OFFSET {
+            return Err(RxError::TooShort);
+        }
+        let channel = preamble::estimate_channel(&samples[160..320]);
+        let (rate, length) = self.decode_signal(
+            &samples[SIGNAL_OFFSET..SIGNAL_OFFSET + N_SYM_SAMPLES],
+            &channel,
+        )?;
+        if rate != self.rate {
+            return Err(RxError::RateMismatch);
+        }
+        let n_sym = self.num_data_symbols(length);
+        if samples.len() < DATA_OFFSET + n_sym * N_SYM_SAMPLES {
+            return Err(RxError::TooShort);
+        }
+        Ok(self.decode_data(&samples[DATA_OFFSET..], length, &channel))
+    }
+
+    /// Convenience wrapper returning `None` on any receive error.
+    pub fn receive_ideal(&self, samples: &[Complex]) -> Option<Vec<u8>> {
+        self.receive(samples).ok()
+    }
+
+    fn encode_signal(&self, length: usize) -> Vec<Complex> {
+        // RATE(4) ‖ R(1)=0 ‖ LENGTH(12, LSB first) ‖ PARITY(1).
+        let mut info = Vec::with_capacity(18);
+        info.extend_from_slice(&self.rate.signal_bits());
+        info.push(0);
+        for i in 0..12 {
+            info.push(((length >> i) & 1) as u8);
+        }
+        let parity = info.iter().fold(0u8, |a, &b| a ^ b);
+        info.push(parity);
+        // Tail bits come from encode_terminated; BPSK rate 1/2, one symbol.
+        let coded = ConvEncoder::new().encode_terminated(&info);
+        debug_assert_eq!(coded.len(), 48);
+        let il = Interleaver::new(48, 1);
+        let interleaved = il.interleave(&coded);
+        let data: Vec<Complex> = interleaved
+            .iter()
+            .map(|&b| qam::map_bits(crate::params::Modulation::Bpsk, &[b]))
+            .collect();
+        assemble_symbol(&data, 0)
+    }
+
+    fn decode_signal(
+        &self,
+        samples: &[Complex],
+        channel: &[Complex],
+    ) -> Result<(OfdmRate, usize), RxError> {
+        let rx = disassemble_symbol(samples, channel, 0);
+        let mut llrs = Vec::with_capacity(48);
+        for (y, &csi) in rx.data.iter().zip(&rx.csi) {
+            llrs.extend(qam::demap_soft(crate::params::Modulation::Bpsk, *y, csi));
+        }
+        let il = Interleaver::new(48, 1);
+        let deinterleaved = il.deinterleave_soft(&llrs);
+        let info = ViterbiDecoder::new().decode_soft(&deinterleaved, 18);
+        let parity = info[..17].iter().fold(0u8, |a, &b| a ^ b);
+        if parity != info[17] {
+            return Err(RxError::SignalParity);
+        }
+        let rate = OfdmRate::from_signal_bits([info[0], info[1], info[2], info[3]])
+            .ok_or(RxError::UnknownRate)?;
+        let mut length = 0usize;
+        for i in 0..12 {
+            length |= (info[5 + i] as usize) << i;
+        }
+        Ok((rate, length))
+    }
+
+    fn encode_data(&self, payload: &[u8]) -> Vec<Complex> {
+        let ndbps = self.rate.data_bits_per_symbol();
+        let n_sym = self.num_data_symbols(payload.len());
+        let total_bits = n_sym * ndbps;
+
+        // SERVICE ‖ payload ‖ TAIL ‖ PAD.
+        let mut data_bits = vec![0u8; 16];
+        data_bits.extend(bits::bytes_to_bits(payload));
+        let tail_start = data_bits.len();
+        data_bits.resize(total_bits, 0);
+
+        let mut scrambled = Scrambler::new(self.scrambler_seed).scramble(&data_bits);
+        // §17.3.5.2: the six tail bits are zeroed *after* scrambling so the
+        // trellis is driven to a known state at that point.
+        for b in scrambled.iter_mut().skip(tail_start).take(6) {
+            *b = 0;
+        }
+
+        let mut enc = ConvEncoder::new();
+        let mother = enc.encode(&scrambled);
+        let coded = puncture(&mother, self.rate.code_rate());
+        debug_assert_eq!(coded.len(), n_sym * self.rate.coded_bits_per_symbol());
+
+        let il = Interleaver::new(
+            self.rate.coded_bits_per_symbol(),
+            self.rate.modulation().bits_per_subcarrier(),
+        );
+        let interleaved = il.interleave_stream(&coded);
+
+        let modulation = self.rate.modulation();
+        let points = qam::map_stream(modulation, &interleaved);
+        let mut samples = Vec::with_capacity(n_sym * N_SYM_SAMPLES);
+        for (s, chunk) in points.chunks(crate::params::N_DATA).enumerate() {
+            samples.extend(assemble_symbol(chunk, s + 1));
+        }
+        samples
+    }
+
+    fn decode_data(&self, samples: &[Complex], length: usize, channel: &[Complex]) -> Vec<u8> {
+        let ndbps = self.rate.data_bits_per_symbol();
+        let n_sym = self.num_data_symbols(length);
+        let total_bits = n_sym * ndbps;
+        let modulation = self.rate.modulation();
+        let il = Interleaver::new(
+            self.rate.coded_bits_per_symbol(),
+            modulation.bits_per_subcarrier(),
+        );
+
+        let mut llrs = Vec::with_capacity(n_sym * self.rate.coded_bits_per_symbol());
+        for s in 0..n_sym {
+            let sym = &samples[s * N_SYM_SAMPLES..(s + 1) * N_SYM_SAMPLES];
+            let rx = disassemble_symbol(sym, channel, s + 1);
+            for (y, &csi) in rx.data.iter().zip(&rx.csi) {
+                llrs.extend(qam::demap_soft(modulation, *y, csi));
+            }
+        }
+        let deinterleaved = il.deinterleave_stream_soft(&llrs);
+        let mother = depuncture(&deinterleaved, self.rate.code_rate(), total_bits * 2);
+        let scrambled = ViterbiDecoder::new().decode_soft_unterminated(&mother, total_bits);
+        let descrambled = Scrambler::new(self.scrambler_seed).scramble(&scrambled);
+        let payload_bits = &descrambled[16..16 + 8 * length];
+        bits::bits_to_bytes(payload_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use wlan_channel::{Awgn, MultipathChannel, PowerDelayProfile};
+
+    #[test]
+    fn clean_roundtrip_all_rates() {
+        let payload: Vec<u8> = (0..100).map(|i| (i * 7 + 13) as u8).collect();
+        for rate in OfdmRate::all() {
+            let phy = OfdmPhy::new(rate);
+            let frame = phy.transmit(&payload);
+            assert_eq!(frame.len(), phy.frame_samples(payload.len()), "{rate}");
+            let out = phy.receive(&frame).unwrap_or_else(|e| panic!("{rate}: {e}"));
+            assert_eq!(out, payload, "{rate}");
+        }
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let phy = OfdmPhy::new(OfdmRate::R6);
+        let frame = phy.transmit(&[]);
+        assert_eq!(phy.receive(&frame).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn signal_field_carries_rate_and_length() {
+        let phy = OfdmPhy::new(OfdmRate::R36);
+        let frame = phy.transmit(&[0u8; 321]);
+        let channel = preamble::estimate_channel(&frame[160..320]);
+        let (rate, len) = phy
+            .decode_signal(&frame[SIGNAL_OFFSET..SIGNAL_OFFSET + 80], &channel)
+            .unwrap();
+        assert_eq!(rate, OfdmRate::R36);
+        assert_eq!(len, 321);
+    }
+
+    #[test]
+    fn rate_mismatch_is_detected() {
+        let tx = OfdmPhy::new(OfdmRate::R12);
+        let rx = OfdmPhy::new(OfdmRate::R18);
+        let frame = tx.transmit(b"abc");
+        assert_eq!(rx.receive(&frame), Err(RxError::RateMismatch));
+    }
+
+    #[test]
+    fn short_stream_is_rejected() {
+        let phy = OfdmPhy::new(OfdmRate::R6);
+        assert_eq!(phy.receive(&[Complex::ZERO; 100]), Err(RxError::TooShort));
+        // Valid preamble+signal but truncated data.
+        let frame = phy.transmit(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(
+            phy.receive(&frame[..frame.len() - 80]),
+            Err(RxError::TooShort)
+        );
+    }
+
+    #[test]
+    fn roundtrip_through_awgn_at_high_snr() {
+        let mut rng = StdRng::seed_from_u64(100);
+        let payload: Vec<u8> = (0..200).map(|_| rng.gen()).collect();
+        for rate in [OfdmRate::R6, OfdmRate::R24, OfdmRate::R54] {
+            let phy = OfdmPhy::new(rate);
+            let frame = phy.transmit(&payload);
+            let noisy = Awgn::from_snr_db(30.0).apply(&frame, &mut rng);
+            assert_eq!(phy.receive(&noisy).unwrap(), payload, "{rate}");
+        }
+    }
+
+    #[test]
+    fn robust_rate_survives_low_snr_where_fast_rate_fails() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let payload: Vec<u8> = (0..150).map(|_| rng.gen()).collect();
+        let snr_db = 6.0;
+        // 6 Mbps should be fine at 6 dB.
+        let slow = OfdmPhy::new(OfdmRate::R6);
+        let frame = slow.transmit(&payload);
+        let noisy = Awgn::from_snr_db(snr_db).apply(&frame, &mut rng);
+        assert_eq!(slow.receive(&noisy).unwrap(), payload, "6 Mbps at 6 dB");
+        // 54 Mbps payload must be corrupted at 6 dB (needs ~25 dB).
+        let fast = OfdmPhy::new(OfdmRate::R54);
+        let frame = fast.transmit(&payload);
+        let noisy = Awgn::from_snr_db(snr_db).apply(&frame, &mut rng);
+        let corrupted = match fast.receive(&noisy) {
+            Ok(out) => out != payload,
+            Err(_) => true,
+        };
+        assert!(corrupted, "54 Mbps cannot survive 6 dB");
+    }
+
+    #[test]
+    fn roundtrip_through_multipath() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let payload: Vec<u8> = (0..100).map(|_| rng.gen()).collect();
+        let phy = OfdmPhy::new(OfdmRate::R12);
+        let pdp = PowerDelayProfile::tgn_model('C');
+        let mut successes = 0;
+        let trials = 10;
+        for _ in 0..trials {
+            let ch = MultipathChannel::realize(&pdp, &mut rng);
+            let frame = phy.transmit(&payload);
+            let mut rx = ch.filter(&frame);
+            rx.truncate(frame.len());
+            let noisy = Awgn::from_snr_db(25.0).apply(&rx, &mut rng);
+            if phy.receive(&noisy) == Ok(payload.clone()) {
+                successes += 1;
+            }
+        }
+        // Fading occasionally kills a realization, but most must decode.
+        assert!(successes >= 8, "only {successes}/{trials} decoded");
+    }
+
+    #[test]
+    fn frame_duration_scales_with_rate() {
+        let len = 1500;
+        let slow = OfdmPhy::new(OfdmRate::R6).frame_duration_us(len);
+        let fast = OfdmPhy::new(OfdmRate::R54).frame_duration_us(len);
+        // 1500 bytes: ~2 ms at 6 Mbps vs ~240 µs at 54 Mbps.
+        assert!(slow > 8.0 * fast, "slow {slow} µs vs fast {fast} µs");
+        // And the absolute number is sane: payload bits / rate + preamble.
+        let expect_data_us = (16 + 8 * len + 6) as f64 / 54.0;
+        assert!((fast - 24.0 - expect_data_us).abs() < 8.0, "fast {fast} µs");
+    }
+
+    #[test]
+    #[should_panic(expected = "LENGTH field")]
+    fn oversized_payload_rejected() {
+        let _ = OfdmPhy::new(OfdmRate::R54).transmit(&vec![0u8; 4096]);
+    }
+
+    #[test]
+    fn delay_spread_beyond_cyclic_prefix_breaks_the_link() {
+        // The 0.8 µs CP absorbs ~16 samples of channel memory. A channel
+        // stretching far past it leaves ~9 dB of irreducible ISI/ICI that
+        // no equalizer can undo — fatal for the SINR-hungry high rates,
+        // which is the design constraint that sized the CP.
+        let mut rng = StdRng::seed_from_u64(103);
+        let payload: Vec<u8> = (0..120).map(|_| rng.gen()).collect();
+        let phy = OfdmPhy::new(OfdmRate::R36);
+
+        let run = |taps: Vec<Complex>, rng: &mut StdRng| -> usize {
+            let ch = MultipathChannel::from_taps(taps);
+            let mut ok = 0;
+            for _ in 0..8 {
+                let frame = phy.transmit(&payload);
+                let mut rx = ch.filter(&frame);
+                rx.truncate(frame.len());
+                let noisy = Awgn::from_snr_db(30.0).apply(&rx, rng);
+                if phy.receive(&noisy) == Ok(payload.clone()) {
+                    ok += 1;
+                }
+            }
+            ok
+        };
+
+        // Within the CP: two strong taps 10 samples apart — fine.
+        let short = run(
+            vec![
+                Complex::from_re(0.8),
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::from_re(0.6),
+            ],
+            &mut rng,
+        );
+        assert!(short >= 7, "within-CP channel decoded only {short}/8");
+
+        // Far beyond the CP: an echo at 40 samples (2 µs) — broken.
+        let mut taps = vec![Complex::ZERO; 41];
+        taps[0] = Complex::from_re(0.8);
+        taps[40] = Complex::from_re(0.6);
+        let long = run(taps, &mut rng);
+        assert!(long <= 2, "beyond-CP channel decoded {long}/8 frames");
+    }
+}

@@ -1,0 +1,234 @@
+//! OFDM symbol assembly: subcarrier mapping, pilots, IFFT, cyclic prefix.
+
+use crate::params::{
+    data_carriers, N_CP, N_DATA, N_FFT, N_OCCUPIED, PILOT_CARRIERS, PILOT_VALUES,
+};
+use wlan_coding::scrambler::Scrambler;
+use wlan_math::{fft, Complex};
+
+/// Time-domain amplitude scale making the average transmitted sample power
+/// approximately one: the IFFT of 52 unit-power subcarriers spread over 64
+/// bins needs `N/√N_occupied`.
+pub fn tx_scale() -> f64 {
+    N_FFT as f64 / (N_OCCUPIED as f64).sqrt()
+}
+
+/// The pilot polarity sequence `p_n` (802.11a §17.3.5.9): the 127-periodic
+/// scrambler sequence mapped 0 → +1, 1 → −1.
+pub fn pilot_polarity(n: usize) -> f64 {
+    // Regenerating from the start each call is fine at WLAN symbol counts.
+    let seq = Scrambler::new(0x7F).sequence(n % 127 + 1);
+    if seq[n % 127] == 0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Maps signed subcarrier index (−32..32) to FFT bin (0..64).
+fn carrier_to_bin(k: i32) -> usize {
+    ((k + N_FFT as i32) % N_FFT as i32) as usize
+}
+
+/// Assembles one time-domain OFDM symbol (CP + 64 samples) from 48 data
+/// subcarrier values, inserting pilots for symbol index `sym_idx`.
+///
+/// # Panics
+///
+/// Panics if `data.len() != 48`.
+pub fn assemble_symbol(data: &[Complex], sym_idx: usize) -> Vec<Complex> {
+    assert_eq!(data.len(), N_DATA, "need exactly 48 data subcarriers");
+    let mut bins = vec![Complex::ZERO; N_FFT];
+    for (i, &k) in data_carriers().iter().enumerate() {
+        bins[carrier_to_bin(k)] = data[i];
+    }
+    let polarity = pilot_polarity(sym_idx);
+    for (i, &k) in PILOT_CARRIERS.iter().enumerate() {
+        bins[carrier_to_bin(k)] = Complex::from_re(PILOT_VALUES[i] * polarity);
+    }
+    let time = fft::ifft(&bins);
+    let scale = tx_scale();
+    let mut out = Vec::with_capacity(N_CP + N_FFT);
+    // Cyclic prefix = last 16 samples.
+    out.extend(time[N_FFT - N_CP..].iter().map(|s| s.scale(scale)));
+    out.extend(time.iter().map(|s| s.scale(scale)));
+    out
+}
+
+/// Result of disassembling one received symbol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RxSymbol {
+    /// Equalized data subcarrier values (48), in mapping order.
+    pub data: Vec<Complex>,
+    /// Per-subcarrier CSI weights `|H_k|²` for soft demapping.
+    pub csi: Vec<f64>,
+}
+
+/// Strips the CP, FFTs, equalizes against `channel` (the per-bin frequency
+/// response), corrects the common pilot phase error, and extracts the data
+/// subcarriers of symbol `sym_idx`.
+///
+/// # Panics
+///
+/// Panics if `samples.len() != 80` or `channel.len() != 64`.
+pub fn disassemble_symbol(samples: &[Complex], channel: &[Complex], sym_idx: usize) -> RxSymbol {
+    assert_eq!(samples.len(), N_CP + N_FFT, "need one 80-sample symbol");
+    assert_eq!(channel.len(), N_FFT, "need a 64-bin channel estimate");
+    let body: Vec<Complex> = samples[N_CP..]
+        .iter()
+        .map(|s| s.scale(1.0 / tx_scale()))
+        .collect();
+    let bins = fft::fft(&body);
+
+    // Common phase error from the four pilots.
+    let polarity = pilot_polarity(sym_idx);
+    let mut cpe = Complex::ZERO;
+    for (i, &k) in PILOT_CARRIERS.iter().enumerate() {
+        let bin = carrier_to_bin(k);
+        let expected = Complex::from_re(PILOT_VALUES[i] * polarity);
+        let h = channel[bin];
+        if h.norm_sqr() > 1e-12 {
+            cpe += (bins[bin] / h) * expected.conj();
+        }
+    }
+    let rot = if cpe.norm() > 1e-9 {
+        Complex::from_polar(1.0, -cpe.arg())
+    } else {
+        Complex::ONE
+    };
+
+    let mut data = Vec::with_capacity(N_DATA);
+    let mut csi = Vec::with_capacity(N_DATA);
+    for &k in &data_carriers() {
+        let bin = carrier_to_bin(k);
+        let h = channel[bin];
+        let h2 = h.norm_sqr();
+        if h2 > 1e-12 {
+            data.push(bins[bin] / h * rot);
+        } else {
+            data.push(Complex::ZERO);
+        }
+        csi.push(h2);
+    }
+    RxSymbol { data, csi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_math::complex::mean_power;
+
+    fn test_data() -> Vec<Complex> {
+        (0..N_DATA)
+            .map(|i| Complex::from_polar(1.0, i as f64 * 0.71))
+            .collect()
+    }
+
+    #[test]
+    fn assemble_disassemble_roundtrip() {
+        let data = test_data();
+        let sym = assemble_symbol(&data, 1);
+        assert_eq!(sym.len(), 80);
+        let flat = vec![Complex::ONE; N_FFT];
+        let rx = disassemble_symbol(&sym, &flat, 1);
+        for (a, b) in rx.data.iter().zip(&data) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+        for w in rx.csi {
+            assert!((w - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cp_is_cyclic() {
+        let sym = assemble_symbol(&test_data(), 0);
+        for i in 0..N_CP {
+            assert!((sym[i] - sym[i + N_FFT]).norm() < 1e-12, "CP sample {i}");
+        }
+    }
+
+    #[test]
+    fn average_power_is_near_unity() {
+        // Average over subcarrier-bearing samples: the scale targets 1.0.
+        let mut acc = 0.0;
+        let trials = 64;
+        for t in 0..trials {
+            let data: Vec<Complex> = (0..N_DATA)
+                .map(|i| Complex::from_polar(1.0, (i * (t + 3)) as f64 * 1.37))
+                .collect();
+            acc += mean_power(&assemble_symbol(&data, t));
+        }
+        let avg = acc / trials as f64;
+        assert!((avg - 1.0).abs() < 0.1, "avg symbol power {avg}");
+    }
+
+    #[test]
+    fn pilot_polarity_follows_scrambler_sequence() {
+        // First bits of the 127 sequence: 0 0 0 0 1 1 1 0 → + + + + − − − +.
+        let want = [1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, 1.0];
+        for (n, &w) in want.iter().enumerate() {
+            assert_eq!(pilot_polarity(n), w, "symbol {n}");
+        }
+        // Periodicity.
+        assert_eq!(pilot_polarity(5), pilot_polarity(5 + 127));
+    }
+
+    #[test]
+    fn phase_error_is_corrected_by_pilots() {
+        let data = test_data();
+        let sym = assemble_symbol(&data, 2);
+        // Rotate the whole symbol by a common phase (residual CFO effect).
+        let rotated: Vec<Complex> = sym
+            .iter()
+            .map(|&s| s * Complex::from_polar(1.0, 0.3))
+            .collect();
+        let flat = vec![Complex::ONE; N_FFT];
+        let rx = disassemble_symbol(&rotated, &flat, 2);
+        for (a, b) in rx.data.iter().zip(&data) {
+            assert!((*a - *b).norm() < 1e-6, "CPE not removed: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn equalizer_inverts_multipath() {
+        let data = test_data();
+        let sym = assemble_symbol(&data, 3);
+        // Two-tap channel applied circularly via the CP.
+        let taps = [Complex::from_re(1.0), Complex::new(0.4, -0.3)];
+        let mut rxs = vec![Complex::ZERO; sym.len()];
+        for (i, &s) in sym.iter().enumerate() {
+            for (j, &h) in taps.iter().enumerate() {
+                if i + j < rxs.len() {
+                    rxs[i + j] += s * h;
+                }
+            }
+        }
+        // Channel frequency response over 64 bins.
+        let mut padded = taps.to_vec();
+        padded.resize(N_FFT, Complex::ZERO);
+        let h = wlan_math::fft::fft(&padded);
+        let rx = disassemble_symbol(&rxs, &h, 3);
+        for (a, b) in rx.data.iter().zip(&data) {
+            assert!((*a - *b).norm() < 1e-6, "equalization failed");
+        }
+    }
+
+    #[test]
+    fn nulled_channel_yields_zero_csi() {
+        let data = test_data();
+        let sym = assemble_symbol(&data, 0);
+        let mut h = vec![Complex::ONE; N_FFT];
+        // Null the bin of the first data carrier.
+        let first = data_carriers()[0];
+        h[carrier_to_bin(first)] = Complex::ZERO;
+        let rx = disassemble_symbol(&sym, &h, 0);
+        assert!(rx.csi[0] < 1e-12);
+        assert!(rx.csi[1] > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "48 data subcarriers")]
+    fn assemble_checks_length() {
+        let _ = assemble_symbol(&[Complex::ZERO; 47], 0);
+    }
+}

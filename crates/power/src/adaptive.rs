@@ -1,0 +1,173 @@
+//! Power mitigations: the paper's "opportunities" (experiment E12).
+//!
+//! Four mechanisms, each a function from a traffic/topology description to
+//! the energy consumed:
+//!
+//! 1. **Receive-chain switching** — listen with one chain, wake the rest
+//!    only while decoding high-rate traffic,
+//! 2. **Beamforming transmit power control** — spend the array gain on
+//!    lower radiated power instead of more range,
+//! 3. **Cooperative power sharing** — let a mains-powered relay carry the
+//!    second hop so the battery device transmits at short range,
+//! 4. **PSM duty cycling** — sleep between beacons (modelled in
+//!    `wlan_mac::powersave`, consumed here as a duty cycle).
+
+use crate::budget::PowerBudget;
+use crate::pa::PaClass;
+
+/// Mean receive power (mW) of an N-chain device under chain switching:
+/// it listens with one chain and powers all `n_rx` chains only for the
+/// fraction `busy` of time spent decoding MIMO traffic.
+///
+/// # Panics
+///
+/// Panics if `busy` is not in `[0, 1]`.
+pub fn chain_switching_rx_mw(budget: &PowerBudget, busy: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&busy), "busy fraction must be in [0, 1]");
+    busy * budget.rx_active_mw() + (1.0 - busy) * budget.rx_partial_mw(1)
+}
+
+/// Savings factor of chain switching versus always-on, at the given busy
+/// fraction (1.0 = no saving).
+pub fn chain_switching_savings(budget: &PowerBudget, busy: f64) -> f64 {
+    chain_switching_rx_mw(budget, busy) / budget.rx_active_mw()
+}
+
+/// PA DC power (mW) when closed-loop beamforming's array gain is spent on
+/// transmit power control: radiated power drops by `array_gain_db` for the
+/// same delivered SNR.
+///
+/// # Panics
+///
+/// Panics if `array_gain_db < 0`.
+pub fn beamforming_tpc_pa_mw(
+    radiated_mw: f64,
+    array_gain_db: f64,
+    pa: PaClass,
+    backoff_db: f64,
+) -> f64 {
+    assert!(array_gain_db >= 0.0, "array gain cannot be negative");
+    let reduced = radiated_mw / wlan_math::special::db_to_lin(array_gain_db);
+    pa.dc_power_mw(reduced, backoff_db)
+}
+
+/// Battery energy (mJ) to deliver `payload_mbit` megabits either directly
+/// over distance `d_total`, or via a mains-powered relay at the midpoint
+/// (battery device only transmits the first hop). Path-loss exponent `alpha`
+/// sets how much shorter range helps. Returns `(direct_mj, cooperative_mj)`.
+///
+/// The radio is modelled as: radiated power required ∝ dᵅ (to hold the
+/// receive SNR), PA DC draw from the class-B curve, fixed chain power on
+/// top, at a fixed link rate `rate_mbps`.
+///
+/// # Panics
+///
+/// Panics if any argument is nonpositive.
+pub fn cooperative_energy_mj(
+    payload_mbit: f64,
+    d_total_m: f64,
+    alpha: f64,
+    rate_mbps: f64,
+) -> (f64, f64) {
+    assert!(
+        payload_mbit > 0.0 && d_total_m > 0.0 && alpha > 0.0 && rate_mbps > 0.0,
+        "arguments must be positive"
+    );
+    // Radiated power to close 1 m at the reference SNR: 100 nW (a WLAN
+    // link budget has ~110 dB of headroom); scale by dᵅ.
+    let radiated = |d: f64| -> f64 { 1e-4 * d.powf(alpha) };
+    let chain_mw = 160.0; // TX chain + synthesizer
+    let duration_s = payload_mbit / rate_mbps;
+    let device_mw = |d: f64| -> f64 {
+        chain_mw + PaClass::B.dc_power_mw(radiated(d).min(1000.0), 8.0)
+    };
+    let direct = device_mw(d_total_m) * duration_s;
+    let coop = device_mw(d_total_m / 2.0) * duration_s;
+    (direct, coop)
+}
+
+/// Mean device power (mW) under PSM with the given awake duty cycle,
+/// awake power and doze power.
+///
+/// # Panics
+///
+/// Panics if `duty` is not in `[0, 1]`.
+pub fn psm_mean_power_mw(duty: f64, awake_mw: f64, doze_mw: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&duty), "duty cycle must be in [0, 1]");
+    duty * awake_mw + (1.0 - duty) * doze_mw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_switching_saves_at_low_load() {
+        let b = PowerBudget::wlan_2005(4, 4);
+        // 5 % busy: mean power close to the single-chain floor.
+        let s = chain_switching_savings(&b, 0.05);
+        assert!(s < 0.45, "savings factor {s}");
+        // Fully busy: no saving.
+        assert!((chain_switching_savings(&b, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_switching_is_monotone_in_load() {
+        let b = PowerBudget::wlan_2005(4, 4);
+        let mut prev = 0.0;
+        for busy in [0.0, 0.2, 0.5, 0.8, 1.0] {
+            let p = chain_switching_rx_mw(&b, busy);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn beamforming_tpc_cuts_pa_power() {
+        // 4-antenna beamforming: ~6 dB array gain → 4× less radiated power,
+        // class-B PA → 2× less DC power (√ law... actually linear in
+        // radiated power at fixed back-off).
+        let without = beamforming_tpc_pa_mw(40.0, 0.0, PaClass::B, 8.0);
+        let with = beamforming_tpc_pa_mw(40.0, 6.0, PaClass::B, 8.0);
+        assert!(
+            (without / with - wlan_math::special::db_to_lin(6.0)).abs() < 1e-9,
+            "TPC gain should equal the array gain"
+        );
+    }
+
+    #[test]
+    fn cooperation_saves_battery_energy_at_long_range() {
+        let (direct, coop) = cooperative_energy_mj(10.0, 80.0, 3.5, 24.0);
+        assert!(
+            coop < 0.7 * direct,
+            "cooperative {coop} mJ vs direct {direct} mJ"
+        );
+    }
+
+    #[test]
+    fn cooperation_is_pointless_at_short_range() {
+        // At 4 m the radiated power is negligible either way; fixed chain
+        // power dominates and halving the distance saves almost nothing.
+        let (direct, coop) = cooperative_energy_mj(10.0, 4.0, 3.5, 24.0);
+        assert!(
+            coop > 0.95 * direct,
+            "coop {coop} vs direct {direct} should be ≈ equal"
+        );
+    }
+
+    #[test]
+    fn psm_power_tracks_duty_cycle() {
+        let full = psm_mean_power_mw(1.0, 300.0, 5.0);
+        let psm = psm_mean_power_mw(0.05, 300.0, 5.0);
+        assert_eq!(full, 300.0);
+        assert!((psm - (0.05 * 300.0 + 0.95 * 5.0)).abs() < 1e-12);
+        assert!(psm < 0.1 * full);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy fraction")]
+    fn busy_fraction_validated() {
+        let b = PowerBudget::wlan_2005(2, 2);
+        let _ = chain_switching_rx_mw(&b, 1.5);
+    }
+}

@@ -1,0 +1,158 @@
+//! Battery lifetime under a usage profile.
+//!
+//! The paper's closing point — "smaller form factor devices impose more
+//! stringent power requirements" — is ultimately about hours of battery.
+//! This module folds a radio's mode powers and a daily duty profile into
+//! lifetime, so the E12 mitigations can be expressed in the unit end users
+//! feel.
+
+use crate::budget::PowerBudget;
+
+/// Time-fraction profile of the radio's modes (fractions must sum to ≤ 1;
+/// the remainder is deep sleep).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsageProfile {
+    /// Fraction of time transmitting.
+    pub tx: f64,
+    /// Fraction of time actively receiving (all chains).
+    pub rx: f64,
+    /// Fraction of time idle-listening (chain-switched single chain when
+    /// the policy allows).
+    pub idle: f64,
+}
+
+impl UsageProfile {
+    /// A light smartphone-style profile: 1 % TX, 4 % RX, 20 % idle listen.
+    pub fn light() -> Self {
+        UsageProfile {
+            tx: 0.01,
+            rx: 0.04,
+            idle: 0.20,
+        }
+    }
+
+    /// A heavy streaming profile: 5 % TX, 45 % RX, 40 % idle listen.
+    pub fn heavy() -> Self {
+        UsageProfile {
+            tx: 0.05,
+            rx: 0.45,
+            idle: 0.40,
+        }
+    }
+
+    /// Validates the profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is negative or the total exceeds 1.
+    pub fn validate(&self) {
+        assert!(
+            self.tx >= 0.0 && self.rx >= 0.0 && self.idle >= 0.0,
+            "fractions must be nonnegative"
+        );
+        assert!(
+            self.tx + self.rx + self.idle <= 1.0 + 1e-12,
+            "profile fractions exceed 100 %"
+        );
+    }
+}
+
+/// Mean radio power (mW) for a budget and usage profile.
+///
+/// `chain_switching` powers only one RX chain during idle listen;
+/// `deep_sleep_mw` covers the remaining time.
+pub fn mean_power_mw(
+    budget: &PowerBudget,
+    profile: &UsageProfile,
+    chain_switching: bool,
+    deep_sleep_mw: f64,
+) -> f64 {
+    profile.validate();
+    let idle_mw = if chain_switching {
+        budget.rx_partial_mw(1)
+    } else {
+        budget.rx_active_mw()
+    };
+    let sleep = 1.0 - profile.tx - profile.rx - profile.idle;
+    profile.tx * budget.tx_active_mw()
+        + profile.rx * budget.rx_active_mw()
+        + profile.idle * idle_mw
+        + sleep * deep_sleep_mw
+}
+
+/// Battery lifetime in hours for a capacity in milliwatt-hours.
+///
+/// # Panics
+///
+/// Panics if `capacity_mwh` is not positive.
+pub fn lifetime_hours(capacity_mwh: f64, mean_mw: f64) -> f64 {
+    assert!(capacity_mwh > 0.0, "battery capacity must be positive");
+    capacity_mwh / mean_mw.max(1e-12)
+}
+
+/// A typical 2005 smartphone battery: 1000 mAh × 3.7 V = 3700 mWh.
+pub const SMARTPHONE_BATTERY_MWH: f64 = 3700.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_switching_extends_lifetime() {
+        let b = PowerBudget::wlan_2005(4, 4);
+        let p = UsageProfile::light();
+        let without = mean_power_mw(&b, &p, false, 2.0);
+        let with = mean_power_mw(&b, &p, true, 2.0);
+        assert!(with < without);
+        let h_without = lifetime_hours(SMARTPHONE_BATTERY_MWH, without);
+        let h_with = lifetime_hours(SMARTPHONE_BATTERY_MWH, with);
+        assert!(
+            h_with > 1.3 * h_without,
+            "switching: {h_with:.0} h vs {h_without:.0} h"
+        );
+    }
+
+    #[test]
+    fn heavy_use_drains_much_faster() {
+        let b = PowerBudget::wlan_2005(2, 2);
+        let light = mean_power_mw(&b, &UsageProfile::light(), true, 2.0);
+        let heavy = mean_power_mw(&b, &UsageProfile::heavy(), true, 2.0);
+        assert!(heavy > 4.0 * light, "heavy {heavy} vs light {light}");
+    }
+
+    #[test]
+    fn siso_device_outlasts_mimo_at_same_profile() {
+        // The form-factor argument: a small SISO device lives far longer
+        // than a 4x4 MIMO one on the same battery and traffic.
+        let p = UsageProfile::light();
+        let siso = mean_power_mw(&PowerBudget::wlan_2005(1, 1), &p, false, 2.0);
+        let mimo = mean_power_mw(&PowerBudget::wlan_2005(4, 4), &p, false, 2.0);
+        assert!(mimo > 2.0 * siso, "mimo {mimo} vs siso {siso}");
+    }
+
+    #[test]
+    fn lifetime_arithmetic() {
+        assert!((lifetime_hours(3700.0, 37.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sleep_dominates_light_profiles() {
+        // With 75 % deep sleep at 2 mW, even big radios idle gently.
+        let b = PowerBudget::wlan_2005(4, 4);
+        let mean = mean_power_mw(&b, &UsageProfile::light(), true, 2.0);
+        assert!(mean < 60.0, "mean {mean} mW");
+        assert!(mean > 10.0, "mean {mean} mW");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 100")]
+    fn overfull_profile_rejected() {
+        let p = UsageProfile {
+            tx: 0.5,
+            rx: 0.5,
+            idle: 0.5,
+        };
+        let b = PowerBudget::wlan_2005(1, 1);
+        let _ = mean_power_mw(&b, &p, false, 2.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Power-amplifier efficiency versus back-off.
+//!
+//! A linear PA must keep its peak output inside the compression point, so
+//! it runs backed off by (roughly) the signal's PAPR. Ideal class-A
+//! efficiency is 50 % at full drive and falls *linearly* with back-off;
+//! class-B (and practical class-AB) falls with the *square root*:
+//!
+//! ```text
+//! η_A(bo)  = 0.50 / bo          η_B(bo) = (π/4) / √bo
+//! ```
+//!
+//! with `bo` the linear output back-off. Feeding the measured OFDM PAPR
+//! (≈ 10 dB at the 0.1 % point) through these curves reproduces the paper's
+//! "low power efficiency of the power amplifier" complaint (E10).
+
+use wlan_math::special::db_to_lin;
+
+/// Amplifier class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaClass {
+    /// Ideal class A: η = 50 % at 0 dB back-off, linear roll-off.
+    A,
+    /// Ideal class B (≈ practical class AB): η = 78.5 % peak, √ roll-off.
+    B,
+}
+
+impl PaClass {
+    /// Drain efficiency at the given output back-off in dB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backoff_db < 0`.
+    pub fn efficiency(self, backoff_db: f64) -> f64 {
+        assert!(backoff_db >= 0.0, "back-off cannot be negative");
+        let bo = db_to_lin(backoff_db);
+        match self {
+            PaClass::A => 0.5 / bo,
+            PaClass::B => std::f64::consts::FRAC_PI_4 / bo.sqrt(),
+        }
+    }
+
+    /// DC power drawn (mW) to radiate `tx_mw` average power at the given
+    /// back-off.
+    pub fn dc_power_mw(self, tx_mw: f64, backoff_db: f64) -> f64 {
+        tx_mw / self.efficiency(backoff_db)
+    }
+}
+
+/// The back-off a PA needs for a signal whose PAPR (at the clipping
+/// percentile the designer tolerates) is `papr_db`, minus any digital
+/// clipping allowance.
+pub fn required_backoff_db(papr_db: f64, clipping_allowance_db: f64) -> f64 {
+    (papr_db - clipping_allowance_db).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_efficiencies() {
+        assert!((PaClass::A.efficiency(0.0) - 0.5).abs() < 1e-12);
+        assert!((PaClass::B.efficiency(0.0) - 0.785).abs() < 1e-3);
+    }
+
+    #[test]
+    fn class_a_halves_every_3db() {
+        let e0 = PaClass::A.efficiency(0.0);
+        let e3 = PaClass::A.efficiency(3.0);
+        assert!((e0 / e3 - db_to_lin(3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_b_degrades_more_gracefully() {
+        // At 10 dB back-off: class A → 5 %, class B → ~25 %.
+        let a = PaClass::A.efficiency(10.0);
+        let b = PaClass::B.efficiency(10.0);
+        assert!((a - 0.05).abs() < 1e-9);
+        assert!((b - 0.248).abs() < 5e-3);
+        assert!(b > 4.0 * a);
+    }
+
+    #[test]
+    fn ofdm_papr_forces_painful_dc_power() {
+        // Radiating 50 mW (17 dBm): constant envelope needs ~64 mW DC
+        // (class B, 0 dB); 10 dB-PAPR OFDM needs ~200 mW.
+        let constant = PaClass::B.dc_power_mw(50.0, 0.0);
+        let ofdm = PaClass::B.dc_power_mw(50.0, required_backoff_db(10.0, 0.0));
+        assert!(constant < 70.0, "constant-envelope DC {constant}");
+        assert!(
+            ofdm > 2.5 * constant,
+            "OFDM DC {ofdm} vs constant {constant}"
+        );
+    }
+
+    #[test]
+    fn clipping_allowance_reduces_backoff() {
+        assert_eq!(required_backoff_db(10.0, 3.0), 7.0);
+        assert_eq!(required_backoff_db(2.0, 5.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "back-off cannot be negative")]
+    fn negative_backoff_rejected() {
+        let _ = PaClass::A.efficiency(-1.0);
+    }
+}

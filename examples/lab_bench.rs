@@ -1,0 +1,59 @@
+//! A virtual lab bench: spectrum analyzer + frequency-error test on the
+//! OFDM transmitter, the two measurements every WLAN radio passes through
+//! before shipping.
+//!
+//! Run with: `cargo run --release --example lab_bench`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wlan_core::channel::Awgn;
+use wlan_core::ofdm::cfo::{apply_cfo, correct_cfo, estimate_from_preamble};
+use wlan_core::ofdm::spectrum::{mask_margin_db, welch_psd};
+use wlan_core::ofdm::{OfdmPhy, OfdmRate};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2005);
+    let phy = OfdmPhy::new(OfdmRate::R54);
+
+    // --- Spectrum analyzer view -------------------------------------------
+    println!("== Transmit spectrum (Welch PSD, 54 Mbps burst) ==\n");
+    let mut burst = Vec::new();
+    for _ in 0..8 {
+        let payload: Vec<u8> = (0..800).map(|_| rng.gen()).collect();
+        burst.extend(phy.transmit(&payload));
+    }
+    let psd = welch_psd(&burst, 256, 20e6);
+    println!("offset(MHz)   PSD(dBr)");
+    for f in [-10.0, -8.0, -4.0, -1.0, 0.0, 1.0, 4.0, 8.0, 10.0f64] {
+        println!("{f:>11.1} {:>10.1}", psd.at(f * 1e6));
+    }
+    println!(
+        "\n802.11a mask margin over the visible band: {:+.1} dB",
+        mask_margin_db(&psd)
+    );
+
+    // --- Frequency-error test --------------------------------------------
+    println!("\n== CFO estimation (20 ppm crystal at 2.4 GHz = 48 kHz) ==\n");
+    let payload = b"frequency offset test".to_vec();
+    let clean = phy.transmit(&payload);
+    println!("{:>12} {:>12} {:>10}", "true (kHz)", "est (kHz)", "decodes?");
+    for cfo_khz in [-200.0, -48.0, 0.0, 48.0, 120.0, 250.0f64] {
+        let impaired = Awgn::from_snr_db(28.0).apply(
+            &apply_cfo(&clean, cfo_khz * 1e3),
+            &mut rng,
+        );
+        let est = estimate_from_preamble(&impaired);
+        let fixed = correct_cfo(&impaired, est);
+        let ok = phy.receive(&fixed).ok() == Some(payload.clone());
+        println!(
+            "{cfo_khz:>12.1} {:>12.1} {:>10}",
+            est / 1e3,
+            if ok { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "\nReading: the two-stage (STF coarse + LTF fine) estimator tracks \
+         offsets an order of magnitude beyond real crystal tolerances, and \
+         correction restores decoding every time."
+    );
+}

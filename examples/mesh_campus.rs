@@ -1,0 +1,65 @@
+//! Mesh networking on a campus quad (experiment E8 in miniature).
+//!
+//! A gateway in one corner, relays scattered over a 450 m square: compare
+//! single-AP coverage with mesh coverage, and airtime routing with naive
+//! hop-count routing.
+//!
+//! Run with: `cargo run --release --example mesh_campus`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wlan_core::mesh::coverage::{estimate_coverage, estimate_single_ap_coverage};
+use wlan_core::mesh::{MeshNetwork, Metric};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2005);
+    let side = 450.0;
+    let relays = [
+        (50.0, 50.0), // gateway
+        (220.0, 50.0),
+        (390.0, 50.0),
+        (50.0, 220.0),
+        (220.0, 220.0),
+        (390.0, 220.0),
+        (50.0, 390.0),
+        (220.0, 390.0),
+        (390.0, 390.0),
+    ];
+
+    println!("== E8a: coverage of a {side:.0} m campus square ==\n");
+    let single = estimate_single_ap_coverage(relays[0], side, 800, &mut rng);
+    let mesh = estimate_coverage(&relays, side, 800, &mut rng);
+    println!(
+        "single AP : {:>5.1} % covered, mean rate {:>5.1} Mbps",
+        100.0 * single.covered_fraction,
+        single.mean_throughput_mbps
+    );
+    println!(
+        "9-node mesh: {:>5.1} % covered, mean rate {:>5.1} Mbps",
+        100.0 * mesh.covered_fraction,
+        mesh.mean_throughput_mbps
+    );
+
+    println!("\n== E8b: airtime metric vs hop count on a corridor ==\n");
+    // A corridor of nodes 55 m apart: the direct 110 m link works but only
+    // at 18 Mbps; two 55 m hops run at 48 Mbps each.
+    let corridor = MeshNetwork::from_positions(&[(0.0, 0.0), (55.0, 0.0), (110.0, 0.0)]);
+    for metric in [Metric::Airtime, Metric::HopCount] {
+        if let Some(path) = corridor.best_path(0, 2, metric) {
+            println!(
+                "{:?}: path {:?}, {} links, end-to-end {:.1} Mbps",
+                metric,
+                path.hops,
+                path.num_links(),
+                corridor.path_throughput_mbps(&path, 3)
+            );
+        }
+    }
+
+    println!(
+        "\nReading: the mesh covers the far corners a single AP cannot \
+         reach, and airtime routing picks several fast hops where hop-count \
+         routing limps across one slow link — the spectral-efficiency boost \
+         the paper predicts."
+    );
+}

@@ -1,0 +1,42 @@
+//! MIMO range extension (experiment E5 in miniature).
+//!
+//! Measures the distance at which each antenna configuration keeps frame
+//! error rate below 10 % in a fading channel — the paper's "range ...
+//! extended several-fold" claim.
+//!
+//! Run with: `cargo run --release --example mimo_range`
+
+use wlan_core::channel::pathloss::{LinkBudget, PathLossModel};
+use wlan_core::linksim::{MimoLink, PhyLink};
+use wlan_core::range::find_range;
+
+fn main() {
+    let budget = LinkBudget::typical_wlan();
+    let model = PathLossModel::tgn_model_d();
+    let per_target = 0.1;
+    let frames = 40;
+    let payload = 50;
+
+    println!("== E5: range at PER <= 10 % (QPSK r=1/2, Rayleigh fading) ==\n");
+    println!("config     rate_mbps   range_m   vs_siso");
+
+    let configs = [(1usize, 1usize), (1, 2), (1, 4), (2, 2), (2, 4)];
+    let mut siso_range = None;
+    for (n_ss, n_rx) in configs {
+        let link = MimoLink::flat(n_ss, n_rx);
+        let est = find_range(&link, &budget, &model, per_target, payload, frames, 2005);
+        let baseline = *siso_range.get_or_insert(est.range_m);
+        println!(
+            "{n_ss}x{n_rx}        {:>9.1} {:>9.0} {:>8.2}x",
+            link.rate_mbps(),
+            est.range_m,
+            est.range_m / baseline
+        );
+    }
+
+    println!(
+        "\nReading: receive diversity (1x2, 1x4) extends range severalfold \
+         at the same data rate; spatial multiplexing (2x2, 2x4) spends the \
+         antennas on rate instead."
+    );
+}

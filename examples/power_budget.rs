@@ -1,0 +1,73 @@
+//! The low-power story (experiments E10–E12 in miniature).
+//!
+//! PAPR → PA back-off → efficiency; RF chains × antennas; and the four
+//! mitigations the paper proposes.
+//!
+//! Run with: `cargo run --release --example power_budget`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wlan_core::ofdm::papr::{ofdm_papr_ccdf, single_carrier_papr_ccdf};
+use wlan_core::ofdm::params::Modulation;
+use wlan_core::power::adaptive::{
+    beamforming_tpc_pa_mw, chain_switching_rx_mw, cooperative_energy_mj, psm_mean_power_mw,
+};
+use wlan_core::power::budget::PowerBudget;
+use wlan_core::power::pa::{required_backoff_db, PaClass};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2005);
+
+    println!("== E10: PAPR and PA efficiency ==\n");
+    let ofdm = ofdm_papr_ccdf(Modulation::Qam64, 2000, &mut rng);
+    let cck = single_carrier_papr_ccdf(300, &mut rng);
+    // PAPR at the 0.1 % clipping point.
+    let papr_at = |ccdf: &wlan_core::math::stats::Ccdf, p: f64| -> f64 {
+        ccdf.points()
+            .find(|&(_, prob)| prob <= p)
+            .map(|(x, _)| x)
+            .unwrap_or(13.0)
+    };
+    let papr_ofdm = papr_at(&ofdm, 1e-3);
+    let papr_cck = papr_at(&cck, 1e-3);
+    println!("PAPR @ 0.1 %:  OFDM {papr_ofdm:.1} dB   CCK {papr_cck:.1} dB");
+    for (name, papr) in [("CCK", papr_cck), ("OFDM", papr_ofdm)] {
+        let bo = required_backoff_db(papr, 2.0);
+        let eff = PaClass::B.efficiency(bo);
+        println!(
+            "{name:>5}: back-off {bo:>4.1} dB -> class-B PA efficiency {:>4.1} % \
+             ({:.0} mW DC for 40 mW radiated)",
+            100.0 * eff,
+            PaClass::B.dc_power_mw(40.0, bo)
+        );
+    }
+
+    println!("\n== E11: RF power vs antenna count ==\n");
+    println!("config   rx_mw   tx_mw");
+    for n in [1usize, 2, 4] {
+        let b = PowerBudget::wlan_2005(n, n);
+        println!("{n}x{n}     {:>6.0} {:>7.0}", b.rx_active_mw(), b.tx_active_mw());
+    }
+
+    println!("\n== E12: the paper's mitigations ==\n");
+    let b4 = PowerBudget::wlan_2005(4, 4);
+    println!(
+        "chain switching @ 10 % load : {:>5.0} mW (always-on {:>4.0} mW)",
+        chain_switching_rx_mw(&b4, 0.1),
+        b4.rx_active_mw()
+    );
+    println!(
+        "beamforming TPC (6 dB gain) : PA {:>5.0} mW -> {:>4.0} mW",
+        beamforming_tpc_pa_mw(40.0, 0.0, PaClass::B, 8.0),
+        beamforming_tpc_pa_mw(40.0, 6.0, PaClass::B, 8.0)
+    );
+    let (direct, coop) = cooperative_energy_mj(10.0, 80.0, 3.5, 24.0);
+    println!(
+        "cooperative relaying @ 80 m : {direct:>5.0} mJ direct -> {coop:>4.0} mJ via relay"
+    );
+    println!(
+        "PSM @ 5 % duty cycle        : {:>5.0} mW -> {:>4.0} mW",
+        psm_mean_power_mw(1.0, 300.0, 5.0),
+        psm_mean_power_mw(0.05, 300.0, 5.0)
+    );
+}

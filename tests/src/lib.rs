@@ -1,0 +1,7 @@
+//! Test-only crate: the cross-crate integration suite lives in `tests/`.
+//!
+//! - `full_chains.rs` — end-to-end TX→channel→RX across every generation,
+//! - `paper_claims.rs` — the paper's quantitative claims, asserted,
+//! - `properties.rs` — proptest invariants over the coding/math substrates,
+//! - `system.rs` — MAC-over-PHY-consistent timing, mesh and power
+//!   cross-checks.

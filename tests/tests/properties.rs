@@ -1,0 +1,279 @@
+//! Property-based tests (proptest) over the core substrates: the
+//! invariants that must hold for *every* input, not just the unit-test
+//! examples.
+
+use proptest::prelude::*;
+use wlan_core::coding::bits::{bits_to_bytes, bytes_to_bits};
+use wlan_core::coding::crc::{append_fcs, check_fcs, crc32};
+use wlan_core::coding::interleaver::Interleaver;
+use wlan_core::coding::ldpc::{LdpcCode, MinSum};
+use wlan_core::coding::puncture::{depuncture, puncture, punctured_len, CodeRate};
+use wlan_core::coding::scrambler::Scrambler;
+use wlan_core::coding::{ConvEncoder, ViterbiDecoder};
+use wlan_core::math::{fft, CMatrix, Complex};
+
+fn bit_vec(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..2, 1..max_len)
+}
+
+fn byte_vec(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bytes_bits_roundtrip(data in byte_vec(256)) {
+        prop_assert_eq!(bits_to_bytes(&bytes_to_bits(&data)), data);
+    }
+
+    #[test]
+    fn scrambler_is_involution(bits in bit_vec(512), seed in 1u8..=0x7F) {
+        let once = Scrambler::new(seed).scramble(&bits);
+        let twice = Scrambler::new(seed).scramble(&once);
+        prop_assert_eq!(twice, bits);
+    }
+
+    #[test]
+    fn viterbi_inverts_encoder(bits in bit_vec(200)) {
+        let coded = ConvEncoder::new().encode_terminated(&bits);
+        let decoded = ViterbiDecoder::new().decode_hard(&coded, bits.len());
+        prop_assert_eq!(decoded, bits);
+    }
+
+    #[test]
+    fn viterbi_corrects_two_scattered_errors(
+        bits in bit_vec(100),
+        e1 in 0usize..80,
+        gap in 20usize..60,
+    ) {
+        let mut coded = ConvEncoder::new().encode_terminated(&bits);
+        let n = coded.len();
+        let p1 = e1 % n;
+        let p2 = (e1 + gap) % n;
+        coded[p1] ^= 1;
+        if p2 != p1 {
+            coded[p2] ^= 1;
+        }
+        let decoded = ViterbiDecoder::new().decode_hard(&coded, bits.len());
+        prop_assert_eq!(decoded, bits);
+    }
+
+    #[test]
+    fn crc_detects_any_single_bit_flip(data in byte_vec(128), byte in 0usize..128, bit in 0u8..8) {
+        let byte = byte % data.len();
+        let mut corrupted = data.clone();
+        corrupted[byte] ^= 1 << bit;
+        prop_assert_ne!(crc32(&data), crc32(&corrupted));
+    }
+
+    #[test]
+    fn fcs_roundtrip_and_rejection(data in byte_vec(128), flip in 0usize..64) {
+        let framed = append_fcs(&data);
+        prop_assert_eq!(check_fcs(&framed), Some(data.as_slice()));
+        let mut bad = framed.clone();
+        let pos = flip % bad.len();
+        bad[pos] ^= 0x01;
+        prop_assert_eq!(check_fcs(&bad), None);
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip(
+        res in proptest::collection::vec(-100f64..100.0, 64),
+        ims in proptest::collection::vec(-100f64..100.0, 64),
+    ) {
+        let x: Vec<Complex> = res.iter().zip(&ims).map(|(&r, &i)| Complex::new(r, i)).collect();
+        let back = fft::ifft(&fft::fft(&x));
+        for (a, b) in back.iter().zip(&x) {
+            prop_assert!((*a - *b).norm() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_preserves_energy(
+        res in proptest::collection::vec(-10f64..10.0, 32),
+        ims in proptest::collection::vec(-10f64..10.0, 32),
+    ) {
+        let x: Vec<Complex> = res.iter().zip(&ims).map(|(&r, &i)| Complex::new(r, i)).collect();
+        let te: f64 = x.iter().map(|s| s.norm_sqr()).sum();
+        let fe: f64 = fft::fft(&x).iter().map(|s| s.norm_sqr()).sum::<f64>() / 32.0;
+        prop_assert!((te - fe).abs() <= 1e-6 * te.max(1.0));
+    }
+
+    #[test]
+    fn interleaver_roundtrips_all_configs(
+        cfg in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let (ncbps, nbpsc) = [(48, 1), (96, 2), (192, 4), (288, 6)][cfg];
+        let il = Interleaver::new(ncbps, nbpsc);
+        let bits: Vec<u8> = (0..ncbps).map(|i| ((seed >> (i % 64)) & 1) as u8).collect();
+        prop_assert_eq!(il.deinterleave(&il.interleave(&bits)), bits);
+    }
+
+    #[test]
+    fn puncture_depuncture_positions(rate_idx in 0usize..4, nbits in 1usize..40) {
+        let rate = CodeRate::all()[rate_idx];
+        // Mother stream must be a whole number of pattern periods for the
+        // inverse to consume everything.
+        let period = rate.pattern().len();
+        let mother_len = nbits * period;
+        let mother: Vec<u8> = (0..mother_len).map(|i| ((i * 7) % 3 == 0) as u8).collect();
+        let tx = puncture(&mother, rate);
+        prop_assert_eq!(tx.len(), punctured_len(mother_len, rate));
+        let llrs: Vec<f64> = tx.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+        let restored = depuncture(&llrs, rate, mother_len);
+        prop_assert_eq!(restored.len(), mother_len);
+        let erased = restored.iter().filter(|&&l| l == 0.0).count();
+        prop_assert_eq!(erased, mother_len - tx.len());
+    }
+
+    #[test]
+    fn ldpc_codewords_always_satisfy_checks(seed in any::<u64>(), pattern in any::<u64>()) {
+        let code = LdpcCode::rate_half(64, seed);
+        let info: Vec<u8> = (0..64).map(|i| ((pattern >> (i % 64)) & 1) as u8).collect();
+        let cw = code.encode(&info);
+        prop_assert!(code.is_codeword(&cw));
+        // And clean LLRs decode back.
+        let llrs: Vec<f64> = cw.iter().map(|&b| if b == 0 { 4.0 } else { -4.0 }).collect();
+        let out = code.decode(&llrs, 20, MinSum::Normalized(0.8));
+        prop_assert!(out.converged);
+        prop_assert_eq!(out.info_bits, info);
+    }
+
+    #[test]
+    fn matrix_inverse_roundtrip(entries in proptest::collection::vec(-5f64..5.0, 18)) {
+        let data: Vec<Complex> = entries
+            .chunks(2)
+            .map(|p| Complex::new(p[0], p[1]))
+            .collect();
+        let m = CMatrix::from_vec(3, 3, data);
+        if let Ok(inv) = m.inverse() {
+            let eye = &m * &inv;
+            let err = (&eye - &CMatrix::identity(3)).frobenius_norm();
+            // Allow looser tolerance for ill-conditioned draws.
+            prop_assert!(err < 1e-6 * (1.0 + m.frobenius_norm().powi(2)), "err {}", err);
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs_any_matrix(entries in proptest::collection::vec(-3f64..3.0, 12)) {
+        let data: Vec<Complex> = entries.chunks(2).map(|p| Complex::new(p[0], p[1])).collect();
+        let m = CMatrix::from_vec(3, 2, data);
+        let d = wlan_core::math::svd::svd(&m);
+        let err = (&d.reconstruct() - &m).frobenius_norm();
+        prop_assert!(err < 1e-7 * m.frobenius_norm().max(1.0));
+        for w in d.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn qam_hard_demap_inverts_map(m_idx in 0usize..4, bits_seed in any::<u64>()) {
+        use wlan_core::ofdm::params::Modulation;
+        use wlan_core::ofdm::qam::{demap_hard, map_bits};
+        let m = [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64][m_idx];
+        let n = m.bits_per_subcarrier();
+        let bits: Vec<u8> = (0..n).map(|i| ((bits_seed >> i) & 1) as u8).collect();
+        prop_assert_eq!(demap_hard(m, map_bits(m, &bits)), bits);
+    }
+
+    #[test]
+    fn ofdm_phy_roundtrips_any_payload(payload in byte_vec(64), rate_idx in 0usize..8) {
+        use wlan_core::ofdm::{OfdmPhy, OfdmRate};
+        let phy = OfdmPhy::new(OfdmRate::all()[rate_idx]);
+        let frame = phy.transmit(&payload);
+        prop_assert_eq!(phy.receive(&frame).ok(), Some(payload));
+    }
+
+    #[test]
+    fn dsss_phy_roundtrips_any_bits(bits in bit_vec(128), rate_idx in 0usize..4) {
+        use wlan_core::dsss::{DsssPhy, DsssRate};
+        let phy = DsssPhy::new(DsssRate::all()[rate_idx]);
+        let chips = phy.transmit(&bits);
+        let rx = phy.receive(&chips);
+        prop_assert_eq!(&rx[..bits.len()], bits.as_slice());
+    }
+
+    #[test]
+    fn stbc_phy_roundtrips_any_payload(payload in byte_vec(48)) {
+        use wlan_core::mimo::stbc_phy::StbcOfdmPhy;
+        use wlan_core::ofdm::params::Modulation;
+        let phy = StbcOfdmPhy::new(Modulation::Qpsk, CodeRate::R1_2, 1);
+        let tx = phy.transmit(&payload);
+        let rx: Vec<Complex> = tx[0].iter().zip(&tx[1]).map(|(&a, &b)| a + b).collect();
+        prop_assert_eq!(phy.receive(&[rx], 1e-9, payload.len()), payload);
+    }
+
+    #[test]
+    fn mimo_phy_roundtrips_any_payload(payload in byte_vec(48), n_ss in 1usize..=4) {
+        use wlan_core::mimo::detect::Detector;
+        use wlan_core::mimo::phy::{MimoOfdmConfig, MimoOfdmPhy};
+        use wlan_core::ofdm::params::Modulation;
+        let phy = MimoOfdmPhy::new(MimoOfdmConfig {
+            n_streams: n_ss,
+            n_rx: n_ss,
+            modulation: Modulation::Qam16,
+            code_rate: CodeRate::R3_4,
+            detector: Detector::Mmse,
+        });
+        let tx = phy.transmit(&payload);
+        prop_assert_eq!(phy.receive(&tx, 1e-9, payload.len()), payload);
+    }
+
+    #[test]
+    fn cfo_estimation_roundtrips(cfo_khz in -300i32..=300) {
+        use wlan_core::ofdm::cfo::{apply_cfo, estimate_from_preamble};
+        use wlan_core::ofdm::{OfdmPhy, OfdmRate};
+        let cfo = cfo_khz as f64 * 1_000.0;
+        let frame = OfdmPhy::new(OfdmRate::R6).transmit(b"x");
+        let est = estimate_from_preamble(&apply_cfo(&frame, cfo));
+        prop_assert!((est - cfo).abs() < 100.0, "cfo {} est {}", cfo, est);
+    }
+
+    #[test]
+    fn goodput_never_exceeds_phy_rate(d in 1.0f64..300.0) {
+        use wlan_core::channel::pathloss::{LinkBudget, PathLossModel};
+        use wlan_core::goodput::{goodput_at_distance, GoodputStandard};
+        let budget = LinkBudget::typical_wlan();
+        let model = PathLossModel::tgn_model_d();
+        let g = goodput_at_distance(GoodputStandard::Dot11a, &budget, &model, d);
+        prop_assert!((0.0..=54.0).contains(&g), "goodput {}", g);
+        let n = goodput_at_distance(GoodputStandard::Dot11n { ampdu: 64 }, &budget, &model, d);
+        prop_assert!((0.0..130.0).contains(&n), "11n goodput {}", n);
+    }
+
+    #[test]
+    fn scheduler_pops_in_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut s: wlan_core::sim::Scheduler<usize> = wlan_core::sim::Scheduler::new();
+        for (i, &t) in times.iter().enumerate() {
+            s.schedule_at(t, i);
+        }
+        let mut last = 0u64;
+        let mut count = 0;
+        while let Some((t, _)) = s.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn running_stats_merge_is_order_independent(
+        a in proptest::collection::vec(-1e3f64..1e3, 1..50),
+        b in proptest::collection::vec(-1e3f64..1e3, 1..50),
+    ) {
+        use wlan_core::math::stats::RunningStats;
+        let mut ab: RunningStats = a.iter().copied().collect();
+        let sb: RunningStats = b.iter().copied().collect();
+        ab.merge(&sb);
+        let mut ba: RunningStats = b.iter().copied().collect();
+        let sa: RunningStats = a.iter().copied().collect();
+        ba.merge(&sa);
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+        prop_assert!((ab.variance() - ba.variance()).abs() < 1e-6);
+        prop_assert_eq!(ab.count(), ba.count());
+    }
+}

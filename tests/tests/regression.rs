@@ -1,0 +1,190 @@
+//! Golden-value regression tests.
+//!
+//! A simulator's worst failure mode is a silent numerical drift that leaves
+//! every test "passing" while the physics quietly changes. These tests pin
+//! the key measured quantities (with seeds fixed, everything here is
+//! deterministic) to the values recorded in EXPERIMENTS.md, within
+//! Monte-Carlo-appropriate tolerances.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn golden_evolution_table() {
+    let table = wlan_core::evolution::evolution_table();
+    let got: Vec<(f64, f64, f64)> = table
+        .iter()
+        .map(|r| (r.peak_rate_mbps, r.bandwidth_mhz, r.spectral_efficiency))
+        .collect();
+    let want = [
+        (2.0, 20.0, 0.1),
+        (11.0, 22.0, 0.5),
+        (54.0, 20.0, 2.7),
+        (600.0, 40.0, 15.0),
+    ];
+    for ((gr, gb, gs), (wr, wb, ws)) in got.iter().zip(want) {
+        assert_eq!(*gr, wr);
+        assert_eq!(*gb, wb);
+        assert!((gs - ws).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn golden_processing_gain() {
+    assert!((wlan_core::dsss::barker::processing_gain_db() - 10.4139).abs() < 1e-3);
+}
+
+#[test]
+fn golden_bianchi_throughput() {
+    // 802.11a, 54 Mbps, 1500 B, 10 stations: the model is deterministic.
+    use wlan_core::mac::bianchi::saturation_throughput;
+    use wlan_core::mac::params::MacProfile;
+    let r = saturation_throughput(&MacProfile::dot11a(54.0), 10, 1500, false);
+    assert!(
+        (r.throughput_mbps - 27.74).abs() < 0.1,
+        "Bianchi 10-station throughput drifted: {}",
+        r.throughput_mbps
+    );
+    assert!(
+        (r.collision_probability - 0.384).abs() < 0.01,
+        "Bianchi p drifted: {}",
+        r.collision_probability
+    );
+}
+
+#[test]
+fn golden_mac_profile_durations() {
+    use wlan_core::mac::params::MacProfile;
+    let a = MacProfile::dot11a(54.0);
+    // 20 + (28+1500)·8/54 = 246.4 µs.
+    assert!((a.data_frame_us(1500) - 246.37).abs() < 0.1);
+    assert!((a.success_duration_us(1500) - 335.0).abs() < 1.0);
+    let b = MacProfile::dot11b(11.0);
+    assert!((b.data_frame_us(1500) - 1303.1).abs() < 0.5);
+}
+
+#[test]
+fn golden_aggregation_efficiency() {
+    use wlan_core::mac::aggregation::mac_efficiency;
+    use wlan_core::mac::params::MacProfile;
+    let p600 = MacProfile::dot11n(600.0);
+    let single = mac_efficiency(&p600, 1, 1500);
+    let full = mac_efficiency(&p600, 64, 1500);
+    assert!((single - 0.13).abs() < 0.02, "single {single}");
+    assert!((full - 0.89).abs() < 0.02, "full {full}");
+}
+
+#[test]
+fn golden_pa_efficiency_at_ofdm_backoff() {
+    use wlan_core::power::pa::PaClass;
+    // Class B at 8 dB back-off: π/4 / √6.31 ≈ 31.3 %.
+    assert!((PaClass::B.efficiency(8.0) - 0.3126).abs() < 1e-3);
+}
+
+#[test]
+fn golden_direct_outage() {
+    use wlan_core::coop::outage::direct_outage_analytic;
+    // 10 dB, 1 bps/Hz: 1 − e^{−0.1} = 0.09516.
+    assert!((direct_outage_analytic(10.0, 1.0) - 0.09516).abs() < 1e-4);
+}
+
+#[test]
+fn golden_noise_floor_and_range() {
+    use wlan_core::channel::pathloss::{LinkBudget, PathLossModel};
+    let lb = LinkBudget::typical_wlan();
+    assert!((lb.noise_floor_dbm() - (-94.99)).abs() < 0.05);
+    let model = PathLossModel::tgn_model_d();
+    // Median SNR at 50 m under TGn-D: 110.0 dB budget − PL(50).
+    let snr = lb.snr_at_distance_db(&model, 50.0);
+    assert!((snr - 25.5).abs() < 1.0, "snr at 50 m drifted: {snr}");
+}
+
+#[test]
+fn golden_dsss_per_threshold() {
+    // The E4 calibration point the goodput module's DSSS table relies on:
+    // 2 Mbps DQPSK at 4 dB chip SNR is essentially clean (seeded MC).
+    use wlan_core::dsss::DsssRate;
+    use wlan_core::linksim::{sweep_per, DsssLink};
+    let curve = sweep_per(
+        &DsssLink {
+            rate: DsssRate::Dqpsk2M,
+        },
+        &[4.0],
+        100,
+        50,
+        42,
+    );
+    assert!(
+        curve.points[0].per <= 0.1,
+        "DQPSK at 4 dB drifted: PER {}",
+        curve.points[0].per
+    );
+}
+
+#[test]
+fn golden_ofdm54_needs_about_19db() {
+    use wlan_core::linksim::{sweep_per, OfdmLink};
+    use wlan_core::ofdm::OfdmRate;
+    let lo = sweep_per(&OfdmLink::awgn(OfdmRate::R54), &[16.0], 100, 40, 42);
+    let hi = sweep_per(&OfdmLink::awgn(OfdmRate::R54), &[21.0], 100, 40, 42);
+    assert!(lo.points[0].per > 0.5, "16 dB should fail: {}", lo.points[0].per);
+    assert!(hi.points[0].per < 0.1, "21 dB should pass: {}", hi.points[0].per);
+}
+
+#[test]
+fn golden_mimo_capacity_scaling() {
+    // Ergodic 4×4 i.i.d. capacity at 20 dB ≈ 21–23 bps/Hz (seeded).
+    use wlan_core::channel::MimoChannel;
+    let mut rng = StdRng::seed_from_u64(42);
+    let mean: f64 = (0..2000)
+        .map(|_| MimoChannel::iid_rayleigh(4, 4, &mut rng).capacity_bps_hz(20.0))
+        .sum::<f64>()
+        / 2000.0;
+    assert!((mean - 22.0).abs() < 1.0, "4x4 ergodic capacity drifted: {mean}");
+}
+
+#[test]
+fn golden_papr_at_one_permille() {
+    use rand::SeedableRng;
+    use wlan_core::ofdm::papr::ofdm_papr_ccdf;
+    use wlan_core::ofdm::params::Modulation;
+    let mut rng = StdRng::seed_from_u64(10);
+    let ccdf = ofdm_papr_ccdf(Modulation::Qam64, 3000, &mut rng);
+    let papr = ccdf
+        .points()
+        .find(|&(_, p)| p <= 1e-3)
+        .map(|(x, _)| x)
+        .expect("grid covers the tail");
+    assert!((9.0..12.0).contains(&papr), "PAPR@0.1% drifted: {papr}");
+}
+
+#[test]
+fn golden_ht_rates() {
+    use wlan_core::coding::CodeRate;
+    use wlan_core::mimo::ht::HtPhy;
+    use wlan_core::ofdm::params::Modulation;
+    let want = [
+        (Modulation::Bpsk, CodeRate::R1_2, 6.5),
+        (Modulation::Qpsk, CodeRate::R3_4, 19.5),
+        (Modulation::Qam16, CodeRate::R3_4, 39.0),
+        (Modulation::Qam64, CodeRate::R5_6, 65.0),
+    ];
+    for (m, r, mbps) in want {
+        assert_eq!(HtPhy::new(m, r).rate_mbps(), mbps);
+    }
+}
+
+#[test]
+fn golden_crc_vectors() {
+    use wlan_core::coding::crc::crc32;
+    use wlan_core::dsss::plcp::crc16_ccitt;
+    assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    assert_eq!(crc16_ccitt(b"123456789"), !0x29B1);
+}
+
+#[test]
+fn golden_scrambler_prefix() {
+    use wlan_core::coding::scrambler::Scrambler;
+    let seq = Scrambler::new(0x7F).sequence(16);
+    assert_eq!(seq, vec![0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0]);
+}

@@ -1,0 +1,176 @@
+//! System-level cross-checks: MAC timing consistent with the PHYs, mesh
+//! rates consistent with the link budget, power consistent with the PAPR
+//! measurements — the places where two crates must agree about the world.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The MAC's frame-duration arithmetic must agree with the actual OFDM
+/// waveform length the PHY crate produces.
+#[test]
+fn mac_frame_duration_matches_phy_waveform() {
+    use wlan_core::mac::params::MacProfile;
+    use wlan_core::ofdm::{OfdmPhy, OfdmRate};
+    let payload = 1500usize;
+    let phy = OfdmPhy::new(OfdmRate::R54);
+    // PHY truth: preamble+signal+data symbols at 20 Msps.
+    let phy_us = phy.frame_duration_us(payload);
+    // MAC model: overhead + (header+payload)/rate. The MAC model counts the
+    // 28-byte MAC header inside its payload term, the PHY call gets the
+    // whole MPDU, so hand it payload+28 for an apples-to-apples check.
+    let mac_us = MacProfile::dot11a(54.0).data_frame_us(payload - 28);
+    let phy_us_full = phy_us;
+    assert!(
+        (phy_us_full - mac_us).abs() / mac_us < 0.06,
+        "PHY {phy_us_full} µs vs MAC model {mac_us} µs"
+    );
+}
+
+/// Bianchi's model and the event simulator must agree — and both must sit
+/// below the single-station MAC-efficiency ceiling.
+#[test]
+fn mac_simulation_bounded_by_ideal() {
+    use wlan_core::mac::bianchi::saturation_throughput;
+    use wlan_core::mac::dcf::{simulate_dcf, DcfConfig};
+    use wlan_core::mac::params::MacProfile;
+    let profile = MacProfile::dot11a(54.0);
+    let ideal = profile.ideal_throughput_mbps(1500);
+    for n in [2usize, 10] {
+        let sim = simulate_dcf(&DcfConfig {
+            profile,
+            n_stations: n,
+            payload_bytes: 1500,
+            rts_cts: false,
+            sim_time_us: 2_000_000.0,
+            seed: 3,
+        });
+        let model = saturation_throughput(&profile, n, 1500, false);
+        assert!(sim.throughput_mbps <= ideal);
+        assert!(model.throughput_mbps <= ideal);
+        let err = (sim.throughput_mbps - model.throughput_mbps).abs() / model.throughput_mbps;
+        assert!(err < 0.1, "n={n}: {err:.2} relative error");
+    }
+}
+
+/// The mesh crate's per-link rates must be reachable according to the link
+/// simulator: at the SNR the mesh assigns 54 Mbps, the actual OFDM chain
+/// must in fact decode with low PER.
+#[test]
+fn mesh_rate_table_is_consistent_with_link_simulator() {
+    use wlan_core::linksim::{sweep_per, OfdmLink};
+    use wlan_core::mesh::topology::RATE_SNR_TABLE;
+    use wlan_core::ofdm::OfdmRate;
+    // Check the extremes of the table (6 and 54 Mbps) in AWGN with margin:
+    // the table is a *sensitivity* spec, so at +3 dB the link must work.
+    for (rate, required_snr) in [RATE_SNR_TABLE[0], RATE_SNR_TABLE[7]] {
+        let ofdm_rate = OfdmRate::all()
+            .into_iter()
+            .find(|r| r.rate_mbps() == rate)
+            .expect("rate exists");
+        let curve = sweep_per(
+            &OfdmLink::awgn(ofdm_rate),
+            &[required_snr + 3.0],
+            100,
+            30,
+            17,
+        );
+        assert!(
+            curve.points[0].per < 0.2,
+            "{rate} Mbps at sensitivity+3dB: PER {}",
+            curve.points[0].per
+        );
+    }
+}
+
+/// The power crate's PA story must be driven by the PAPR the OFDM crate
+/// actually measures — not by an assumed constant.
+#[test]
+fn pa_backoff_consistent_with_measured_papr() {
+    use wlan_core::ofdm::papr::ofdm_papr_ccdf;
+    use wlan_core::ofdm::params::Modulation;
+    use wlan_core::power::pa::{required_backoff_db, PaClass};
+    let mut rng = StdRng::seed_from_u64(60);
+    let ccdf = ofdm_papr_ccdf(Modulation::Qam64, 1500, &mut rng);
+    let papr_01 = ccdf
+        .points()
+        .find(|&(_, p)| p <= 1e-3)
+        .map(|(x, _)| x)
+        .unwrap_or(13.0);
+    assert!(papr_01 > 7.0 && papr_01 < 13.0, "PAPR@0.1% = {papr_01}");
+    let eff = PaClass::B.efficiency(required_backoff_db(papr_01, 2.0));
+    // The whole low-power argument: efficiency must land far below peak.
+    assert!(eff < 0.5 && eff > 0.1, "class-B efficiency {eff}");
+}
+
+/// Cooperative diversity and the mesh agree on geometry: a relay helps when
+/// it shortens the worst hop.
+#[test]
+fn coop_and_mesh_agree_about_relays() {
+    use wlan_core::mesh::{MeshNetwork, Metric};
+    // The same 110 m corridor used by E8/E9 narratives.
+    let net = MeshNetwork::from_positions(&[(0.0, 0.0), (55.0, 0.0), (110.0, 0.0)]);
+    let relayed = net.best_path(0, 2, Metric::Airtime).expect("connected");
+    assert_eq!(relayed.hops.len(), 3, "airtime picks the relay");
+    // And the relay path's throughput beats the direct link's rate.
+    let direct_rate = net.link(0, 2).expect("in range").rate_mbps;
+    assert!(net.path_throughput_mbps(&relayed, 3) > direct_rate);
+}
+
+/// Core public types are `Send + Sync` (C-SEND-SYNC): simulations fan out
+/// across threads in downstream users.
+#[test]
+fn public_types_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<wlan_core::math::Complex>();
+    assert_send_sync::<wlan_core::math::CMatrix>();
+    assert_send_sync::<wlan_core::channel::MultipathChannel>();
+    assert_send_sync::<wlan_core::channel::MimoChannel>();
+    assert_send_sync::<wlan_core::dsss::DsssPhy>();
+    assert_send_sync::<wlan_core::ofdm::OfdmPhy>();
+    assert_send_sync::<wlan_core::mimo::MimoOfdmPhy>();
+    assert_send_sync::<wlan_core::mimo::ht::HtPhy>();
+    assert_send_sync::<wlan_core::mimo::ht_ldpc::HtLdpcPhy>();
+    assert_send_sync::<wlan_core::coding::ldpc::LdpcCode>();
+    assert_send_sync::<wlan_core::mac::DcfResult>();
+    assert_send_sync::<wlan_core::mesh::MeshNetwork>();
+    assert_send_sync::<wlan_core::sim::Scheduler<u32>>();
+    assert_send_sync::<wlan_core::power::PowerBudget>();
+    assert_send_sync::<wlan_core::Standard>();
+}
+
+/// HT waveform and MCS table agree end to end (the E2 ↔ waveform link).
+#[test]
+fn ht_waveform_rate_equals_mcs_table() {
+    use wlan_core::coding::CodeRate;
+    use wlan_core::mimo::ht::HtPhy;
+    use wlan_core::mimo::mcs::{Bandwidth, GuardInterval, HtMcs};
+    use wlan_core::ofdm::params::Modulation;
+    let phy = HtPhy::new(Modulation::Qam64, CodeRate::R5_6);
+    let mcs7 = HtMcs::new(7).expect("exists");
+    assert_eq!(
+        phy.rate_mbps(),
+        mcs7.data_rate_mbps(Bandwidth::Mhz20, GuardInterval::Long)
+    );
+}
+
+/// Rate adaptation, path loss and the mesh rate table produce a coherent
+/// throughput-vs-distance staircase.
+#[test]
+fn adaptation_staircase_is_coherent() {
+    use wlan_core::adaptation::rate_vs_distance;
+    use wlan_core::channel::pathloss::{LinkBudget, PathLossModel};
+    let budget = LinkBudget::typical_wlan();
+    let model = PathLossModel::tgn_model_d();
+    let d: Vec<f64> = (1..=40).map(|i| 5.0 * i as f64).collect();
+    let steps = rate_vs_distance(&budget, &model, &d);
+    // Monotone non-increasing, top rate near, dead far.
+    let rates: Vec<f64> = steps
+        .iter()
+        .map(|s| s.rate.map(|r| r.rate_mbps()).unwrap_or(0.0))
+        .collect();
+    for w in rates.windows(2) {
+        assert!(w[0] >= w[1]);
+    }
+    assert_eq!(rates[0], 54.0);
+    assert_eq!(*rates.last().expect("nonempty"), 0.0);
+}
