@@ -1,0 +1,8 @@
+#!/bin/sh
+# CI entry point. The workspace has zero external dependencies, so both
+# steps must succeed with no network access — --offline enforces that a
+# registry dependency can never sneak back in.
+set -eux
+
+cargo build --release --offline
+cargo test -q --offline

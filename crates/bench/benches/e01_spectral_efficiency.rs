@@ -1,11 +1,11 @@
 //! E1 — Spectral-efficiency evolution: 0.1 → 0.5 → 2.7 → 15 bps/Hz,
 //! "approximately fivefold increase" per generation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use wlan_bench::timing::Timer;
 use wlan_bench::header;
 use wlan_core::evolution::{evolution_table, format_table};
 
-fn experiment(c: &mut Criterion) {
+fn experiment(c: &mut Timer) {
     header(
         "E1",
         "spectral efficiency per generation (paper: 0.1 / 0.5 / 2.7 / ~15 bps/Hz)",
@@ -15,5 +15,6 @@ fn experiment(c: &mut Criterion) {
     c.bench_function("e01_evolution_table", |b| b.iter(evolution_table));
 }
 
-criterion_group!(benches, experiment);
-criterion_main!(benches);
+fn main() {
+    experiment(&mut Timer::from_env());
+}

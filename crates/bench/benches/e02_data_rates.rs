@@ -1,12 +1,12 @@
 //! E2 — Peak data-rate evolution: 2 → 11 → 54 → 600 Mbps, with the full
 //! 802.11n MCS ladder that produces the 600 Mbps endpoint.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use wlan_bench::timing::Timer;
 use wlan_bench::header;
 use wlan_core::mimo::mcs::{Bandwidth, GuardInterval, HtMcs};
 use wlan_core::standard::Standard;
 
-fn experiment(c: &mut Criterion) {
+fn experiment(c: &mut Timer) {
     header(
         "E2",
         "peak PHY rates (paper: 2 -> 11 -> 54 -> 600 Mbps)",
@@ -43,5 +43,6 @@ fn experiment(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, experiment);
-criterion_main!(benches);
+fn main() {
+    experiment(&mut Timer::from_env());
+}

@@ -2,9 +2,8 @@
 //! suppresses narrowband interference by 10·log10(11) ≈ 10.4 dB, measured
 //! here against a CW jammer swept in power.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use wlan_bench::timing::Timer;
+use wlan_core::math::rng::{Rng, WlanRng};
 use wlan_bench::header;
 use wlan_core::channel::noise::complex_gaussian;
 use wlan_core::dsss::barker;
@@ -13,7 +12,7 @@ use wlan_core::math::Complex;
 
 /// BER of the 1 Mbps DSSS link under a CW jammer at the given
 /// jammer-to-signal ratio (dB), with mild thermal noise.
-fn ber_under_jammer(jsr_db: f64, bits: usize, rng: &mut StdRng) -> f64 {
+fn ber_under_jammer(jsr_db: f64, bits: usize, rng: &mut WlanRng) -> f64 {
     let phy = DsssPhy::new(DsssRate::Dbpsk1M);
     let payload: Vec<u8> = (0..bits).map(|_| rng.gen_range(0..2u8)).collect();
     let mut chips = phy.transmit(&payload);
@@ -32,7 +31,7 @@ fn ber_under_jammer(jsr_db: f64, bits: usize, rng: &mut StdRng) -> f64 {
     errors as f64 / payload.len() as f64
 }
 
-fn experiment(c: &mut Criterion) {
+fn experiment(c: &mut Timer) {
     header(
         "E3",
         "DSSS processing gain (paper/FCC: >= 10 dB; Barker-11 delivers 10.4 dB)",
@@ -42,7 +41,7 @@ fn experiment(c: &mut Criterion) {
         barker::processing_gain_db()
     );
 
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = WlanRng::seed_from_u64(3);
     println!("CW jammer-to-signal ratio sweep (1 Mbps DBPSK link):");
     println!("{:>10} {:>8}", "JSR (dB)", "BER");
     for jsr in [0.0, 4.0, 8.0, 10.0, 12.0, 16.0] {
@@ -60,5 +59,6 @@ fn experiment(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, experiment);
-criterion_main!(benches);
+fn main() {
+    experiment(&mut Timer::from_env());
+}

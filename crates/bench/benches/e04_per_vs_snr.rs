@@ -1,13 +1,13 @@
 //! E4 — PER versus SNR for every generation's representative rates: the
 //! robustness-for-rate trade that each fivefold step paid.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use wlan_bench::timing::Timer;
 use wlan_bench::header;
 use wlan_core::dsss::DsssRate;
 use wlan_core::linksim::{sweep_per, DsssLink, MimoLink, OfdmLink, PhyLink};
 use wlan_core::ofdm::OfdmRate;
 
-fn experiment(c: &mut Criterion) {
+fn experiment(c: &mut Timer) {
     header(
         "E4",
         "PER vs SNR by generation (100-byte frames, AWGN / flat fading)",
@@ -63,5 +63,6 @@ fn experiment(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, experiment);
-criterion_main!(benches);
+fn main() {
+    experiment(&mut Timer::from_env());
+}

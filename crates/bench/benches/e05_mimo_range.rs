@@ -4,13 +4,13 @@
 //!
 //! Range at a 1 % PER target in Rayleigh fading, breakpoint path loss.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use wlan_bench::timing::Timer;
 use wlan_bench::header;
 use wlan_core::channel::pathloss::{LinkBudget, PathLossModel};
 use wlan_core::linksim::{MimoLink, PhyLink, StbcLink};
 use wlan_core::range::find_range;
 
-fn experiment(c: &mut Criterion) {
+fn experiment(c: &mut Timer) {
     header(
         "E5",
         "range at PER <= 1 % vs antenna configuration (paper: several-fold)",
@@ -54,5 +54,6 @@ fn experiment(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, experiment);
-criterion_main!(benches);
+fn main() {
+    experiment(&mut Timer::from_env());
+}

@@ -6,9 +6,8 @@
 //! over binary-input AWGN, plus the two design-choice ablations from
 //! DESIGN.md: soft vs hard Viterbi and normalized vs plain min-sum.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use wlan_bench::timing::Timer;
+use wlan_core::math::rng::{Rng, WlanRng};
 use wlan_bench::header;
 use wlan_core::channel::noise::gaussian;
 use wlan_core::coding::ldpc::{LdpcCode, MinSum};
@@ -17,12 +16,12 @@ use wlan_core::math::special::db_to_lin;
 
 const INFO_BITS: usize = 648;
 
-fn random_bits(n: usize, rng: &mut StdRng) -> Vec<u8> {
+fn random_bits(n: usize, rng: &mut WlanRng) -> Vec<u8> {
     (0..n).map(|_| rng.gen_range(0..2u8)).collect()
 }
 
 /// BPSK-over-AWGN LLRs for coded bits at Eb/N0 (dB), rate 1/2.
-fn channel_llrs(coded: &[u8], ebn0_db: f64, rng: &mut StdRng) -> Vec<f64> {
+fn channel_llrs(coded: &[u8], ebn0_db: f64, rng: &mut WlanRng) -> Vec<f64> {
     // Es/N0 = Eb/N0 · rate = Eb/N0 / 2.
     let esn0 = db_to_lin(ebn0_db) * 0.5;
     let sigma = (0.5 / esn0).sqrt();
@@ -36,7 +35,7 @@ fn channel_llrs(coded: &[u8], ebn0_db: f64, rng: &mut StdRng) -> Vec<f64> {
         .collect()
 }
 
-fn bcc_ber(ebn0_db: f64, blocks: usize, soft: bool, rng: &mut StdRng) -> f64 {
+fn bcc_ber(ebn0_db: f64, blocks: usize, soft: bool, rng: &mut WlanRng) -> f64 {
     let mut errors = 0usize;
     let mut total = 0usize;
     for _ in 0..blocks {
@@ -55,7 +54,7 @@ fn bcc_ber(ebn0_db: f64, blocks: usize, soft: bool, rng: &mut StdRng) -> f64 {
     errors as f64 / total as f64
 }
 
-fn ldpc_ber(code: &LdpcCode, ebn0_db: f64, blocks: usize, variant: MinSum, rng: &mut StdRng) -> f64 {
+fn ldpc_ber(code: &LdpcCode, ebn0_db: f64, blocks: usize, variant: MinSum, rng: &mut WlanRng) -> f64 {
     let mut errors = 0usize;
     let mut total = 0usize;
     for _ in 0..blocks {
@@ -69,12 +68,12 @@ fn ldpc_ber(code: &LdpcCode, ebn0_db: f64, blocks: usize, variant: MinSum, rng: 
     errors as f64 / total as f64
 }
 
-fn experiment(c: &mut Criterion) {
+fn experiment(c: &mut Timer) {
     header(
         "E6",
         "LDPC vs convolutional coding gain (rate 1/2, 648 info bits, BPSK/AWGN)",
     );
-    let mut rng = StdRng::seed_from_u64(6);
+    let mut rng = WlanRng::seed_from_u64(6);
     let code = LdpcCode::rate_half(INFO_BITS, 11);
     let ebn0s = [1.0, 2.0, 3.0, 4.0, 5.0];
     let blocks = 60;
@@ -110,5 +109,6 @@ fn experiment(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, experiment);
-criterion_main!(benches);
+fn main() {
+    experiment(&mut Timer::from_env());
+}

@@ -5,9 +5,8 @@
 //! beamforming with water-filling on 4×2 channels, plus the ZF-vs-MMSE
 //! detector ablation at the uncoded-BER level.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use wlan_bench::timing::Timer;
+use wlan_core::math::rng::WlanRng;
 use wlan_bench::header;
 use wlan_core::channel::noise::complex_gaussian;
 use wlan_core::channel::MimoChannel;
@@ -16,7 +15,7 @@ use wlan_core::math::Complex;
 use wlan_core::mimo::beamforming::{stale_beamforming_capacity, water_filling, SvdBeamformer};
 use wlan_core::mimo::detect::{detect, Detector};
 
-fn capacities(snr_db: f64, trials: usize, rng: &mut StdRng) -> (f64, f64, f64) {
+fn capacities(snr_db: f64, trials: usize, rng: &mut WlanRng) -> (f64, f64, f64) {
     let snr = db_to_lin(snr_db);
     let mut open = 0.0;
     let mut bf_eq = 0.0;
@@ -34,7 +33,7 @@ fn capacities(snr_db: f64, trials: usize, rng: &mut StdRng) -> (f64, f64, f64) {
 }
 
 /// Uncoded QPSK symbol error rate of 2-stream detection on 2×2 channels.
-fn detector_ser(detector: Detector, snr_db: f64, trials: usize, rng: &mut StdRng) -> f64 {
+fn detector_ser(detector: Detector, snr_db: f64, trials: usize, rng: &mut WlanRng) -> f64 {
     let n0 = db_to_lin(-snr_db);
     let a = std::f64::consts::FRAC_1_SQRT_2;
     let alphabet = [
@@ -68,12 +67,12 @@ fn detector_ser(detector: Detector, snr_db: f64, trials: usize, rng: &mut StdRng
     errors as f64 / (2 * trials) as f64
 }
 
-fn experiment(c: &mut Criterion) {
+fn experiment(c: &mut Timer) {
     header(
         "E7",
         "SVD beamforming vs open loop (4 TX, 2 RX, 2 streams) + ZF/MMSE ablation",
     );
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = WlanRng::seed_from_u64(7);
 
     println!(
         "{:>10} {:>12} {:>14} {:>16}",
@@ -115,5 +114,6 @@ fn experiment(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, experiment);
-criterion_main!(benches);
+fn main() {
+    experiment(&mut Timer::from_env());
+}

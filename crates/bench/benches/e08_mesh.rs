@@ -2,19 +2,18 @@
 //! spectral-efficiency boost, with the airtime-vs-hop-count routing
 //! ablation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use wlan_bench::timing::Timer;
+use wlan_core::math::rng::WlanRng;
 use wlan_bench::header;
 use wlan_core::mesh::coverage::{estimate_coverage, estimate_single_ap_coverage};
 use wlan_core::mesh::{MeshNetwork, Metric};
 
-fn experiment(c: &mut Criterion) {
+fn experiment(c: &mut Timer) {
     header(
         "E8",
         "mesh: coverage area and multi-hop vs single-hop efficiency",
     );
-    let mut rng = StdRng::seed_from_u64(8);
+    let mut rng = WlanRng::seed_from_u64(8);
     let side = 450.0;
     let relays: Vec<(f64, f64)> = {
         let mut v = Vec::new();
@@ -98,5 +97,6 @@ fn experiment(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, experiment);
-criterion_main!(benches);
+fn main() {
+    experiment(&mut Timer::from_env());
+}

@@ -4,21 +4,20 @@
 //! Outage probability versus SNR for direct, decode-and-forward and
 //! amplify-and-forward, the diversity orders, and the relay-selection gain.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use wlan_bench::timing::Timer;
+use wlan_core::math::rng::WlanRng;
 use wlan_bench::header;
 use wlan_core::coop::outage::{
     direct_outage_analytic, diversity_order, simulate_outage, Protocol,
 };
 use wlan_core::coop::selection::selection_outage;
 
-fn experiment(c: &mut Criterion) {
+fn experiment(c: &mut Timer) {
     header(
         "E9",
         "cooperative diversity: outage vs SNR (target 1 bps/Hz, Rayleigh)",
     );
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = WlanRng::seed_from_u64(9);
     let rate = 1.0;
     let trials = 150_000;
 
@@ -50,5 +49,6 @@ fn experiment(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, experiment);
-criterion_main!(benches);
+fn main() {
+    experiment(&mut Timer::from_env());
+}

@@ -3,9 +3,8 @@
 //! amplifier": PAPR CCDFs of the single-carrier and OFDM waveforms, and
 //! what they do to the PA.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use wlan_bench::timing::Timer;
+use wlan_core::math::rng::WlanRng;
 use wlan_bench::header;
 use wlan_core::math::stats::Ccdf;
 use wlan_core::ofdm::papr::{ofdm_papr_ccdf, single_carrier_papr_ccdf};
@@ -19,9 +18,9 @@ fn papr_at(ccdf: &Ccdf, p: f64) -> f64 {
         .unwrap_or(13.0)
 }
 
-fn experiment(c: &mut Criterion) {
+fn experiment(c: &mut Timer) {
     header("E10", "PAPR CCDF and PA efficiency: DSSS/CCK vs OFDM");
-    let mut rng = StdRng::seed_from_u64(10);
+    let mut rng = WlanRng::seed_from_u64(10);
 
     let cck = single_carrier_papr_ccdf(400, &mut rng);
     let curves = [
@@ -71,5 +70,6 @@ fn experiment(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, experiment);
-criterion_main!(benches);
+fn main() {
+    experiment(&mut Timer::from_env());
+}

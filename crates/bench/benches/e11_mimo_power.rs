@@ -2,11 +2,11 @@
 //! additional baseband processing involved, significantly increase the
 //! power consumption over single antenna devices."
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use wlan_bench::timing::Timer;
 use wlan_bench::header;
 use wlan_core::power::budget::{baseband_rx_mw, energy_per_bit_nj, ops, PowerBudget};
 
-fn experiment(c: &mut Criterion) {
+fn experiment(c: &mut Timer) {
     header("E11", "device power vs antenna count (RF chains + baseband)");
 
     let symbol_rate = 250_000.0; // 4 µs OFDM symbols
@@ -56,5 +56,6 @@ fn experiment(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, experiment);
-criterion_main!(benches);
+fn main() {
+    experiment(&mut Timer::from_env());
+}

@@ -2,7 +2,7 @@
 //! switching, beamforming transmit power control, cooperative power
 //! sharing, and PSM duty cycling.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use wlan_bench::timing::Timer;
 use wlan_bench::header;
 use wlan_core::mac::powersave::{simulate_psm, PsmConfig};
 use wlan_core::power::adaptive::{
@@ -11,7 +11,7 @@ use wlan_core::power::adaptive::{
 use wlan_core::power::budget::PowerBudget;
 use wlan_core::power::pa::PaClass;
 
-fn experiment(c: &mut Criterion) {
+fn experiment(c: &mut Timer) {
     header("E12", "power mitigations: chain switching, TPC, cooperation, PSM");
 
     let b4 = PowerBudget::wlan_2005(4, 4);
@@ -70,5 +70,6 @@ fn experiment(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, experiment);
-criterion_main!(benches);
+fn main() {
+    experiment(&mut Timer::from_env());
+}

@@ -2,13 +2,13 @@
 //! the MAC-efficiency wall that motivates aggregation, validated against
 //! Bianchi's analytic model.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use wlan_bench::timing::Timer;
 use wlan_bench::header;
 use wlan_core::mac::bianchi::saturation_throughput;
 use wlan_core::mac::dcf::{simulate_dcf, DcfConfig};
 use wlan_core::mac::params::MacProfile;
 
-fn experiment(c: &mut Criterion) {
+fn experiment(c: &mut Timer) {
     header("E13", "DCF saturation throughput: simulation vs Bianchi model");
     let payload = 1500;
 
@@ -127,5 +127,6 @@ fn experiment(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, experiment);
-criterion_main!(benches);
+fn main() {
+    experiment(&mut Timer::from_env());
+}

@@ -2,16 +2,15 @@
 //! MAC efficiency versus aggregation size at 54 vs 600 Mbps, plus the
 //! lossy-channel goodput of selective block-ACK retransmission.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use wlan_bench::timing::Timer;
+use wlan_core::math::rng::WlanRng;
 use wlan_bench::header;
 use wlan_core::mac::aggregation::{
     aggregated_throughput_mbps, mac_efficiency, simulate_lossy_aggregation,
 };
 use wlan_core::mac::params::MacProfile;
 
-fn experiment(c: &mut Criterion) {
+fn experiment(c: &mut Timer) {
     header("E14", "A-MPDU aggregation: MAC efficiency vs subframe count");
     let payload = 1500;
 
@@ -38,7 +37,7 @@ fn experiment(c: &mut Criterion) {
     println!("\nGoodput at 600 Mbps with per-subframe loss (selective block ACK):");
     println!("{:>10} {:>14} {:>16}", "PER", "goodput Mbps", "tx per subframe");
     let profile = MacProfile::dot11n(600.0);
-    let mut rng = StdRng::seed_from_u64(14);
+    let mut rng = WlanRng::seed_from_u64(14);
     for per in [0.0, 0.05, 0.1, 0.2, 0.4] {
         let out = simulate_lossy_aggregation(&profile, 64, payload, per, 32_000, &mut rng);
         println!(
@@ -63,5 +62,6 @@ fn experiment(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, experiment);
-criterion_main!(benches);
+fn main() {
+    experiment(&mut Timer::from_env());
+}

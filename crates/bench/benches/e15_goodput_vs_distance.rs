@@ -3,12 +3,12 @@
 //! MAC overhead, ERP protection and A-MPDU aggregation combine into the
 //! curve a user walks along when carrying a laptop away from the AP.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use wlan_bench::timing::Timer;
 use wlan_bench::header;
 use wlan_core::channel::pathloss::{LinkBudget, PathLossModel};
 use wlan_core::goodput::{goodput_curve, GoodputStandard};
 
-fn experiment(c: &mut Criterion) {
+fn experiment(c: &mut Timer) {
     header(
         "E15 (extension)",
         "single-user goodput vs distance (TGn-D path loss, 1500-byte frames)",
@@ -59,5 +59,6 @@ fn experiment(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, experiment);
-criterion_main!(benches);
+fn main() {
+    experiment(&mut Timer::from_env());
+}

@@ -2,8 +2,19 @@
 //!
 //! Each `benches/eNN_*.rs` target regenerates one experiment from
 //! DESIGN.md's index: it prints the paper-comparable table/series to
-//! stdout, then lets Criterion time a representative kernel so performance
-//! regressions in the underlying simulator are caught too.
+//! stdout, then times a representative kernel through the built-in
+//! [`timing`] harness so performance regressions in the underlying
+//! simulator are caught too.
+//!
+//! The harness is deliberately dependency-free: the build environment has
+//! no registry access, and even an *optional* external dev-dependency (e.g.
+//! criterion) would still be resolved into the lockfile and break the
+//! offline build. `timing::Timer` keeps the familiar
+//! `bench_function(name, |b| b.iter(...))` shape so the benches read the
+//! same and can be moved onto a full statistics harness later without
+//! touching the measurement sites.
+
+pub mod timing;
 
 /// Prints a standard experiment header so bench output is self-describing.
 pub fn header(id: &str, claim: &str) {

@@ -1,0 +1,142 @@
+//! A tiny self-contained benchmark harness.
+//!
+//! Mirrors the minimal criterion surface the experiment benches use —
+//! [`Timer::bench_function`] and [`Bencher::iter`] — with automatic
+//! iteration-count calibration and a one-line report per kernel:
+//!
+//! ```text
+//! e06_ldpc_decode_block          time:   184.21 µs/iter  (1024 iters)
+//! ```
+//!
+//! Calibration doubles the batch size until one timed batch exceeds the
+//! target measurement time (`WLAN_BENCH_MIN_TIME_MS`, default 200 ms), then
+//! reports the per-iteration mean of the final batch. That is deliberately
+//! simpler than a full statistics engine, but stable enough to catch
+//! order-of-magnitude regressions in CI.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Runs the measured closure for a caller-chosen number of iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the batch size the calibration loop selected.
+    ///
+    /// The return value of `f` is passed through [`black_box`] so the
+    /// optimizer cannot delete the work being measured.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The harness: calibrates and reports one kernel per [`bench_function`].
+///
+/// [`bench_function`]: Timer::bench_function
+pub struct Timer {
+    min_time: Duration,
+    max_iters: u64,
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Timer {
+            min_time: Duration::from_millis(200),
+            max_iters: 1 << 20,
+        }
+    }
+}
+
+impl Timer {
+    /// Builds a timer honouring `WLAN_BENCH_MIN_TIME_MS` if set.
+    pub fn from_env() -> Self {
+        let mut t = Timer::default();
+        if let Some(ms) = std::env::var("WLAN_BENCH_MIN_TIME_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            t.min_time = Duration::from_millis(ms);
+        }
+        t
+    }
+
+    /// Calibrates the batch size for `f`, measures it, and prints the
+    /// per-iteration time.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= self.min_time || iters >= self.max_iters {
+                let per_iter_ns = b.elapsed.as_nanos() as f64 / iters as f64;
+                println!(
+                    "{name:<32} time: {:>12}/iter  ({iters} iters)",
+                    format_ns(per_iter_ns)
+                );
+                return self;
+            }
+            // Grow fast while cheap, conservatively near the target.
+            iters = if b.elapsed.as_nanos() * 8 < self.min_time.as_nanos() {
+                iters.saturating_mul(8)
+            } else {
+                iters.saturating_mul(2)
+            };
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_exactly_the_batch() {
+        let mut count = 0u64;
+        let mut b = Bencher {
+            iters: 37,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 37);
+        assert!(b.elapsed > Duration::ZERO || count == 37);
+    }
+
+    #[test]
+    fn calibration_terminates_on_fast_kernels() {
+        let mut t = Timer {
+            min_time: Duration::from_micros(100),
+            max_iters: 1 << 12,
+        };
+        t.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn format_units() {
+        assert!(format_ns(12.3).ends_with("ns"));
+        assert!(format_ns(12_300.0).ends_with("µs"));
+        assert!(format_ns(12_300_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with('s'));
+    }
+}

@@ -6,7 +6,7 @@
 //! with the classical Clarke/Jakes autocorrelation `J₀(2π f_d τ)`.
 
 use crate::noise::complex_gaussian;
-use rand::Rng;
+use wlan_math::rng::Rng;
 use wlan_math::special::bessel_j0;
 use wlan_math::Complex;
 
@@ -15,10 +15,10 @@ use wlan_math::Complex;
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use wlan_math::rng::WlanRng;
 /// use wlan_channel::RayleighFading;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = WlanRng::seed_from_u64(3);
 /// let h = RayleighFading::unit().sample(&mut rng);
 /// assert!(h.norm() > 0.0);
 /// ```
@@ -143,13 +143,12 @@ impl JakesProcess {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use wlan_math::rng::WlanRng;
     use wlan_math::complex::mean_power;
 
     #[test]
     fn rayleigh_mean_power_is_calibrated() {
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = WlanRng::seed_from_u64(10);
         for target in [0.25, 1.0, 4.0] {
             let gains = RayleighFading::with_mean_power(target).sample_block(100_000, &mut rng);
             let p = mean_power(&gains);
@@ -160,7 +159,7 @@ mod tests {
     #[test]
     fn rayleigh_envelope_distribution() {
         // P(|h|² < x) = 1 − e^{−x} for unit Rayleigh; check the median.
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = WlanRng::seed_from_u64(11);
         let gains = RayleighFading::unit().sample_block(100_000, &mut rng);
         let below: usize = gains
             .iter()
@@ -172,7 +171,7 @@ mod tests {
 
     #[test]
     fn ricean_k_zero_is_rayleigh_like() {
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = WlanRng::seed_from_u64(12);
         let gains: Vec<Complex> = (0..50_000)
             .map(|_| RiceanFading::new(0.0).sample(&mut rng))
             .collect();
@@ -183,7 +182,7 @@ mod tests {
 
     #[test]
     fn ricean_large_k_concentrates_on_los() {
-        let mut rng = StdRng::seed_from_u64(13);
+        let mut rng = WlanRng::seed_from_u64(13);
         let gains: Vec<Complex> = (0..20_000)
             .map(|_| RiceanFading::new(100.0).sample(&mut rng))
             .collect();
@@ -194,7 +193,7 @@ mod tests {
 
     #[test]
     fn jakes_zero_doppler_is_static() {
-        let mut rng = StdRng::seed_from_u64(14);
+        let mut rng = WlanRng::seed_from_u64(14);
         let mut p = JakesProcess::new(0.0, 1e-3, &mut rng);
         let h0 = p.gain();
         for _ in 0..100 {
@@ -206,7 +205,7 @@ mod tests {
 
     #[test]
     fn jakes_high_doppler_decorrelates() {
-        let mut rng = StdRng::seed_from_u64(15);
+        let mut rng = WlanRng::seed_from_u64(15);
         // fd·dt = 0.4 → J0(2π·0.4) ≈ −0.05: one step nearly decorrelates.
         let mut p = JakesProcess::new(400.0, 1e-3, &mut rng);
         assert!(p.rho().abs() < 0.1);
@@ -221,7 +220,7 @@ mod tests {
 
     #[test]
     fn jakes_measured_autocorrelation_matches_rho() {
-        let mut rng = StdRng::seed_from_u64(16);
+        let mut rng = WlanRng::seed_from_u64(16);
         let mut p = JakesProcess::new(50.0, 1e-3, &mut rng);
         let rho = p.rho();
         let mut num = Complex::ZERO;

@@ -7,7 +7,7 @@
 //! Monte-Carlo hidden-node probability estimator.
 
 use crate::pathloss::{LinkBudget, PathLossModel};
-use rand::Rng;
+use wlan_math::rng::Rng;
 use wlan_math::special::{db_to_lin, lin_to_db};
 
 /// One co-channel interferer: distance from the victim receiver and the
@@ -89,8 +89,7 @@ fn random_point_in_disc(radius: f64, rng: &mut impl Rng) -> (f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use wlan_math::rng::WlanRng;
 
     fn env() -> (LinkBudget, PathLossModel) {
         (LinkBudget::typical_wlan(), PathLossModel::tgn_model_d())
@@ -170,7 +169,7 @@ mod tests {
 
     #[test]
     fn hidden_node_probability_shrinks_with_cs_range() {
-        let mut rng = StdRng::seed_from_u64(600);
+        let mut rng = WlanRng::seed_from_u64(600);
         let p_short = hidden_node_probability(100.0, 100.0, 50_000, &mut rng);
         let p_long = hidden_node_probability(100.0, 200.0, 50_000, &mut rng);
         assert!(p_short > 0.2, "short CS range: {p_short}");
@@ -182,7 +181,7 @@ mod tests {
         // For cs = cell radius R, P(two uniform points in a disc of radius
         // R are farther than R apart) ≈ 0.4135 (known disc-line-picking
         // result).
-        let mut rng = StdRng::seed_from_u64(601);
+        let mut rng = WlanRng::seed_from_u64(601);
         let p = hidden_node_probability(1.0, 1.0, 200_000, &mut rng);
         assert!((p - 0.4135).abs() < 0.01, "measured {p}");
     }

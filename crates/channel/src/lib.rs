@@ -19,11 +19,11 @@
 //! # Examples
 //!
 //! ```
-//! use rand::SeedableRng;
+//! use wlan_math::rng::WlanRng;
 //! use wlan_channel::noise::Awgn;
 //! use wlan_math::Complex;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = WlanRng::seed_from_u64(7);
 //! let tx = vec![Complex::ONE; 1000];
 //! let rx = Awgn::from_snr_db(10.0).apply(&tx, &mut rng);
 //! // Received power ≈ signal + noise power.

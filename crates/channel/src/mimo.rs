@@ -8,7 +8,7 @@
 
 use crate::multipath::{MultipathChannel, PowerDelayProfile};
 use crate::noise::complex_gaussian;
-use rand::Rng;
+use wlan_math::rng::Rng;
 use wlan_math::{CMatrix, Complex};
 
 /// A flat MIMO channel realization.
@@ -16,10 +16,10 @@ use wlan_math::{CMatrix, Complex};
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use wlan_math::rng::WlanRng;
 /// use wlan_channel::MimoChannel;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let mut rng = WlanRng::seed_from_u64(9);
 /// let ch = MimoChannel::iid_rayleigh(2, 2, &mut rng);
 /// assert_eq!(ch.matrix().rows(), 2);
 /// assert!(ch.capacity_bps_hz(10.0) > 0.0);
@@ -265,12 +265,11 @@ fn log2_det_hermitian(m: &CMatrix) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use wlan_math::rng::WlanRng;
 
     #[test]
     fn iid_entries_have_unit_power() {
-        let mut rng = StdRng::seed_from_u64(50);
+        let mut rng = WlanRng::seed_from_u64(50);
         let mut acc = 0.0;
         let trials = 5_000;
         for _ in 0..trials {
@@ -284,7 +283,7 @@ mod tests {
     #[test]
     fn capacity_grows_with_antennas() {
         // Ergodic capacity: 4×4 ≫ 2×2 ≫ 1×1 at high SNR.
-        let mut rng = StdRng::seed_from_u64(51);
+        let mut rng = WlanRng::seed_from_u64(51);
         let snr_db = 20.0;
         let trials = 500;
         let mut caps = [0.0f64; 3];
@@ -312,7 +311,7 @@ mod tests {
 
     #[test]
     fn correlation_reduces_capacity() {
-        let mut rng = StdRng::seed_from_u64(52);
+        let mut rng = WlanRng::seed_from_u64(52);
         let trials = 2_000;
         let mut c_iid = 0.0;
         let mut c_corr = 0.0;
@@ -328,7 +327,7 @@ mod tests {
 
     #[test]
     fn kronecker_preserves_mean_power() {
-        let mut rng = StdRng::seed_from_u64(53);
+        let mut rng = WlanRng::seed_from_u64(53);
         let trials = 5_000;
         let mut acc = 0.0;
         for _ in 0..trials {
@@ -345,7 +344,7 @@ mod tests {
     fn strong_los_collapses_multiplexing_capacity() {
         // The counter-intuitive MIMO fact: a clean line of sight (rank-1)
         // is the worst case for spatial multiplexing.
-        let mut rng = StdRng::seed_from_u64(56);
+        let mut rng = WlanRng::seed_from_u64(56);
         let snr_db = 20.0;
         let trials = 2_000;
         let mut caps = Vec::new();
@@ -364,7 +363,7 @@ mod tests {
 
     #[test]
     fn ricean_preserves_mean_power() {
-        let mut rng = StdRng::seed_from_u64(57);
+        let mut rng = WlanRng::seed_from_u64(57);
         let trials = 5_000;
         let mut acc = 0.0;
         for _ in 0..trials {
@@ -379,7 +378,7 @@ mod tests {
 
     #[test]
     fn apply_matches_matrix_product() {
-        let mut rng = StdRng::seed_from_u64(54);
+        let mut rng = WlanRng::seed_from_u64(54);
         let ch = MimoChannel::iid_rayleigh(3, 2, &mut rng);
         let tx = [Complex::ONE, Complex::I];
         let rx = ch.apply(&tx);
@@ -392,7 +391,7 @@ mod tests {
 
     #[test]
     fn multipath_mimo_shapes() {
-        let mut rng = StdRng::seed_from_u64(55);
+        let mut rng = WlanRng::seed_from_u64(55);
         let pdp = PowerDelayProfile::tgn_model('D');
         let ch = MimoMultipathChannel::realize(2, 3, &pdp, &mut rng);
         let fr = ch.frequency_response(64);

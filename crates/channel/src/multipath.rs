@@ -9,7 +9,7 @@
 //! equalization and interleaving.
 
 use crate::noise::complex_gaussian;
-use rand::Rng;
+use wlan_math::rng::Rng;
 use wlan_math::Complex;
 
 /// An exponential power-delay profile sampled at the system rate.
@@ -93,11 +93,11 @@ impl PowerDelayProfile {
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use wlan_math::rng::WlanRng;
 /// use wlan_channel::{MultipathChannel, PowerDelayProfile};
 /// use wlan_math::Complex;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let mut rng = WlanRng::seed_from_u64(5);
 /// let pdp = PowerDelayProfile::tgn_model('D');
 /// let ch = MultipathChannel::realize(&pdp, &mut rng);
 /// let rx = ch.filter(&[Complex::ONE; 80]);
@@ -192,8 +192,7 @@ impl MultipathChannel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use wlan_math::rng::WlanRng;
 
     #[test]
     fn pdp_is_normalized() {
@@ -221,7 +220,7 @@ mod tests {
 
     #[test]
     fn realized_power_is_calibrated() {
-        let mut rng = StdRng::seed_from_u64(20);
+        let mut rng = WlanRng::seed_from_u64(20);
         let pdp = PowerDelayProfile::tgn_model('E');
         let mean: f64 = (0..20_000)
             .map(|_| MultipathChannel::realize(&pdp, &mut rng).power())
@@ -249,7 +248,7 @@ mod tests {
 
     #[test]
     fn frequency_response_matches_fft_of_taps() {
-        let mut rng = StdRng::seed_from_u64(21);
+        let mut rng = WlanRng::seed_from_u64(21);
         let pdp = PowerDelayProfile::tgn_model('D');
         let ch = MultipathChannel::realize(&pdp, &mut rng);
         let n = 64;
@@ -273,7 +272,7 @@ mod tests {
 
     #[test]
     fn multipath_creates_frequency_selectivity() {
-        let mut rng = StdRng::seed_from_u64(22);
+        let mut rng = WlanRng::seed_from_u64(22);
         let pdp = PowerDelayProfile::tgn_model('E');
         let ch = MultipathChannel::realize(&pdp, &mut rng);
         let h = ch.frequency_response(64);

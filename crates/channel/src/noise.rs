@@ -1,6 +1,6 @@
 //! Additive white Gaussian noise.
 
-use rand::Rng;
+use wlan_math::rng::Rng;
 use wlan_math::Complex;
 
 /// Draws a standard normal via Box–Muller.
@@ -29,11 +29,11 @@ pub fn complex_gaussian(rng: &mut impl Rng) -> Complex {
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use wlan_math::rng::WlanRng;
 /// use wlan_channel::Awgn;
 /// use wlan_math::Complex;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = WlanRng::seed_from_u64(1);
 /// let noisy = Awgn::from_snr_db(20.0).apply(&[Complex::ONE; 4], &mut rng);
 /// assert_eq!(noisy.len(), 4);
 /// ```
@@ -96,13 +96,12 @@ impl Awgn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use wlan_math::rng::WlanRng;
     use wlan_math::complex::mean_power;
 
     #[test]
     fn gaussian_moments() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = WlanRng::seed_from_u64(42);
         let n = 200_000;
         let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
@@ -113,7 +112,7 @@ mod tests {
 
     #[test]
     fn complex_gaussian_is_circular_unit_power() {
-        let mut rng = StdRng::seed_from_u64(43);
+        let mut rng = WlanRng::seed_from_u64(43);
         let n = 100_000;
         let samples: Vec<Complex> = (0..n).map(|_| complex_gaussian(&mut rng)).collect();
         let power = mean_power(&samples);
@@ -125,7 +124,7 @@ mod tests {
 
     #[test]
     fn noise_power_matches_requested_snr() {
-        let mut rng = StdRng::seed_from_u64(44);
+        let mut rng = WlanRng::seed_from_u64(44);
         let clean = vec![Complex::ZERO; 100_000];
         for snr_db in [0.0, 10.0, 20.0] {
             let ch = Awgn::from_snr_db(snr_db);
@@ -141,7 +140,7 @@ mod tests {
 
     #[test]
     fn zero_noise_power_is_transparent() {
-        let mut rng = StdRng::seed_from_u64(45);
+        let mut rng = WlanRng::seed_from_u64(45);
         let signal = vec![Complex::new(0.3, -0.7); 16];
         let out = Awgn::from_noise_power(0.0).apply(&signal, &mut rng);
         assert_eq!(out, signal);
@@ -152,8 +151,8 @@ mod tests {
         let signal = vec![Complex::ONE; 64];
         let ch = Awgn::from_snr_db(5.0);
         let mut a = signal.clone();
-        ch.apply_in_place(&mut a, &mut StdRng::seed_from_u64(9));
-        let b = ch.apply(&signal, &mut StdRng::seed_from_u64(9));
+        ch.apply_in_place(&mut a, &mut WlanRng::seed_from_u64(9));
+        let b = ch.apply(&signal, &mut WlanRng::seed_from_u64(9));
         assert_eq!(a, b);
     }
 

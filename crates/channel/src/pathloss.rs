@@ -5,7 +5,7 @@
 //! out to a breakpoint distance, then a steeper indoor exponent beyond it,
 //! plus optional log-normal shadowing.
 
-use rand::Rng;
+use wlan_math::rng::Rng;
 
 /// Boltzmann's constant times 290 K in dBm/Hz: the thermal noise density.
 pub const THERMAL_NOISE_DBM_PER_HZ: f64 = -174.0;
@@ -184,8 +184,7 @@ impl LinkBudget {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use wlan_math::rng::WlanRng;
 
     #[test]
     fn reference_loss_matches_friis_at_2_4ghz() {
@@ -255,7 +254,7 @@ mod tests {
 
     #[test]
     fn shadowing_only_after_breakpoint() {
-        let mut rng = StdRng::seed_from_u64(31);
+        let mut rng = WlanRng::seed_from_u64(31);
         let pl = PathLossModel::tgn_model_d();
         // Before breakpoint: deterministic.
         let a = pl.path_loss_shadowed_db(5.0, &mut rng);

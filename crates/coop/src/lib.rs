@@ -18,10 +18,10 @@
 //! # Examples
 //!
 //! ```
-//! use rand::SeedableRng;
+//! use wlan_math::rng::WlanRng;
 //! use wlan_coop::outage::{direct_outage_analytic, simulate_outage, Protocol};
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let mut rng = WlanRng::seed_from_u64(3);
 //! let snr_db = 15.0;
 //! let rate = 1.0; // bps/Hz target
 //! let direct = simulate_outage(Protocol::Direct, snr_db, rate, 20_000, &mut rng);

@@ -7,7 +7,7 @@
 //! but gains diversity order 2 — outage falls with the *square* of SNR. The
 //! crossover and the slope change are the content of experiment E9.
 
-use rand::Rng;
+use wlan_math::rng::Rng;
 use wlan_channel::noise::complex_gaussian;
 
 /// Cooperative protocol under analysis.
@@ -134,12 +134,11 @@ pub fn diversity_order(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use wlan_math::rng::WlanRng;
 
     #[test]
     fn simulation_matches_direct_analytic() {
-        let mut rng = StdRng::seed_from_u64(230);
+        let mut rng = WlanRng::seed_from_u64(230);
         for snr_db in [5.0, 10.0, 20.0] {
             let sim = simulate_outage(Protocol::Direct, snr_db, 1.0, 100_000, &mut rng);
             let ana = direct_outage_analytic(snr_db, 1.0);
@@ -152,7 +151,7 @@ mod tests {
 
     #[test]
     fn outage_decreases_with_snr() {
-        let mut rng = StdRng::seed_from_u64(231);
+        let mut rng = WlanRng::seed_from_u64(231);
         for proto in [Protocol::Direct, Protocol::DecodeForward, Protocol::AmplifyForward] {
             let lo = simulate_outage(proto, 5.0, 1.0, 50_000, &mut rng);
             let hi = simulate_outage(proto, 20.0, 1.0, 50_000, &mut rng);
@@ -163,7 +162,7 @@ mod tests {
     #[test]
     fn cooperation_wins_at_high_snr() {
         // At high SNR the diversity gain dominates the half-rate penalty.
-        let mut rng = StdRng::seed_from_u64(232);
+        let mut rng = WlanRng::seed_from_u64(232);
         let snr_db = 22.0;
         let direct = simulate_outage(Protocol::Direct, snr_db, 1.0, 200_000, &mut rng);
         let df = simulate_outage(Protocol::DecodeForward, snr_db, 1.0, 200_000, &mut rng);
@@ -176,7 +175,7 @@ mod tests {
     fn direct_wins_at_very_low_snr() {
         // Below the crossover the half-rate penalty hurts more than
         // diversity helps — the textbook cooperative trade-off.
-        let mut rng = StdRng::seed_from_u64(233);
+        let mut rng = WlanRng::seed_from_u64(233);
         let snr_db = 0.0;
         let direct = simulate_outage(Protocol::Direct, snr_db, 1.0, 100_000, &mut rng);
         let df = simulate_outage(Protocol::DecodeForward, snr_db, 1.0, 100_000, &mut rng);
@@ -185,7 +184,7 @@ mod tests {
 
     #[test]
     fn diversity_orders_are_one_and_two() {
-        let mut rng = StdRng::seed_from_u64(234);
+        let mut rng = WlanRng::seed_from_u64(234);
         let d_direct = diversity_order(Protocol::Direct, 15.0, 25.0, 1.0, 400_000, &mut rng);
         let d_df = diversity_order(Protocol::DecodeForward, 15.0, 25.0, 1.0, 400_000, &mut rng);
         assert!(
@@ -203,7 +202,7 @@ mod tests {
 
     #[test]
     fn multi_relay_zero_matches_direct() {
-        let mut rng = StdRng::seed_from_u64(235);
+        let mut rng = WlanRng::seed_from_u64(235);
         let p = simulate_multi_relay_outage(0, 10.0, 1.0, 100_000, &mut rng);
         let ana = direct_outage_analytic(10.0, 1.0);
         assert!((p - ana).abs() < 0.01, "sim {p} vs analytic {ana}");
@@ -215,7 +214,7 @@ mod tests {
         // slot (threshold 2^{4R} instead of 2^{3R}) costs about as much as
         // its diversity buys — cooperation has diminishing returns, which
         // is why practical schemes select one or two relays.
-        let mut rng = StdRng::seed_from_u64(236);
+        let mut rng = WlanRng::seed_from_u64(236);
         let snr_db = 20.0;
         let p1 = simulate_multi_relay_outage(1, snr_db, 1.0, 300_000, &mut rng);
         let p2 = simulate_multi_relay_outage(2, snr_db, 1.0, 300_000, &mut rng);
@@ -227,7 +226,7 @@ mod tests {
 
     #[test]
     fn multi_relay_diversity_order_grows() {
-        let mut rng = StdRng::seed_from_u64(237);
+        let mut rng = WlanRng::seed_from_u64(237);
         // Slope between 16 and 24 dB for 2 relays ≈ order 3.
         let lo = simulate_multi_relay_outage(2, 16.0, 1.0, 400_000, &mut rng).max(1e-9);
         let hi = simulate_multi_relay_outage(2, 24.0, 1.0, 400_000, &mut rng).max(1e-9);

@@ -6,7 +6,7 @@
 //! correctly) or a scaled copy of its noisy observation
 //! (amplify-and-forward). The destination MRC-combines both phases.
 
-use rand::Rng;
+use wlan_math::rng::Rng;
 use wlan_channel::noise::complex_gaussian;
 use wlan_math::Complex;
 
@@ -139,12 +139,11 @@ pub fn compare_ber(snr_db: f64, trials: usize, rng: &mut impl Rng) -> (f64, f64,
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use wlan_math::rng::WlanRng;
 
     #[test]
     fn clean_channels_decode_correctly() {
-        let mut rng = StdRng::seed_from_u64(220);
+        let mut rng = WlanRng::seed_from_u64(220);
         let h = Complex::ONE;
         for bit in [0u8, 1] {
             let d = direct_transmission(bit, h, 1e-9, &mut rng);
@@ -160,7 +159,7 @@ mod tests {
 
     #[test]
     fn silent_relay_when_source_relay_link_is_dead() {
-        let mut rng = StdRng::seed_from_u64(221);
+        let mut rng = WlanRng::seed_from_u64(221);
         // h_sr ≈ 0: the relay almost always decodes randomly; when wrong it
         // stays silent, leaving only the direct gain.
         let h_sd = Complex::ONE;
@@ -181,7 +180,7 @@ mod tests {
 
     #[test]
     fn cooperation_beats_direct_in_fading() {
-        let mut rng = StdRng::seed_from_u64(222);
+        let mut rng = WlanRng::seed_from_u64(222);
         let (direct, df, af) = compare_ber(12.0, 40_000, &mut rng);
         assert!(
             df < 0.5 * direct,
@@ -196,7 +195,7 @@ mod tests {
     #[test]
     fn df_outperforms_af_slightly() {
         // At moderate SNR, regenerative relaying avoids noise amplification.
-        let mut rng = StdRng::seed_from_u64(223);
+        let mut rng = WlanRng::seed_from_u64(223);
         let (_, df, af) = compare_ber(10.0, 60_000, &mut rng);
         assert!(df <= af * 1.2, "DF {df} should not lose clearly to AF {af}");
     }
@@ -204,7 +203,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "bits must be 0 or 1")]
     fn bad_bit_rejected() {
-        let mut rng = StdRng::seed_from_u64(224);
+        let mut rng = WlanRng::seed_from_u64(224);
         let _ = direct_transmission(2, Complex::ONE, 0.1, &mut rng);
     }
 }

@@ -6,7 +6,7 @@
 //! a fraction of the coordination cost, and the selection pool size adds
 //! diversity order.
 
-use rand::Rng;
+use wlan_math::rng::Rng;
 use wlan_channel::noise::complex_gaussian;
 
 /// A candidate relay's instantaneous link qualities (linear channel power
@@ -96,8 +96,7 @@ pub fn selection_outage(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use wlan_math::rng::WlanRng;
 
     #[test]
     fn harmonic_metric_is_bottleneck_aware() {
@@ -145,7 +144,7 @@ mod tests {
 
     #[test]
     fn more_relays_reduce_outage() {
-        let mut rng = StdRng::seed_from_u64(240);
+        let mut rng = WlanRng::seed_from_u64(240);
         let p1 = selection_outage(1, 15.0, 1.0, 100_000, &mut rng);
         let p4 = selection_outage(4, 15.0, 1.0, 100_000, &mut rng);
         assert!(p4 < p1, "4 relays {p4} vs 1 relay {p1}");
@@ -153,7 +152,7 @@ mod tests {
 
     #[test]
     fn zero_relays_matches_direct_analytic() {
-        let mut rng = StdRng::seed_from_u64(241);
+        let mut rng = WlanRng::seed_from_u64(241);
         let p = selection_outage(0, 10.0, 1.0, 100_000, &mut rng);
         let ana = crate::outage::direct_outage_analytic(10.0, 1.0);
         assert!((p - ana).abs() < 0.01, "sim {p} vs analytic {ana}");
@@ -161,8 +160,8 @@ mod tests {
 
     #[test]
     fn selection_is_deterministic_per_seed() {
-        let a = selection_outage(2, 12.0, 1.0, 10_000, &mut StdRng::seed_from_u64(9));
-        let b = selection_outage(2, 12.0, 1.0, 10_000, &mut StdRng::seed_from_u64(9));
+        let a = selection_outage(2, 12.0, 1.0, 10_000, &mut WlanRng::seed_from_u64(9));
+        let b = selection_outage(2, 12.0, 1.0, 10_000, &mut WlanRng::seed_from_u64(9));
         assert_eq!(a, b);
     }
 }

@@ -10,8 +10,7 @@
 //! bandwidth. Transmit chains in this workspace are unit-power, so noise
 //! variance is simply `10^(−SNR/10)`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use wlan_math::rng::{Rng, WlanRng};
 use wlan_channel::mimo::MimoMultipathChannel;
 use wlan_channel::{Awgn, MultipathChannel, PowerDelayProfile};
 use wlan_dsss::{DsssPhy, DsssRate};
@@ -72,7 +71,7 @@ pub trait PhyLink {
 
     /// Transmits one frame of `payload` bytes at `snr_db`; returns `true`
     /// when the receiver recovered it bit-exactly.
-    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut StdRng) -> bool;
+    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut WlanRng) -> bool;
 }
 
 /// Sweeps SNR and measures PER with `frames` trials per point.
@@ -89,7 +88,7 @@ pub fn sweep_per(
 ) -> PerCurve {
     assert!(frames > 0, "need at least one frame per point");
     assert!(payload_len > 0, "payload must be nonempty");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = WlanRng::seed_from_u64(seed);
     let points = snrs_db
         .iter()
         .map(|&snr| {
@@ -129,7 +128,7 @@ impl PhyLink for DsssLink {
         self.rate.rate_mbps()
     }
 
-    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut StdRng) -> bool {
+    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut WlanRng) -> bool {
         let phy = DsssPhy::new(self.rate);
         let bits = wlan_coding::bits::bytes_to_bits(payload);
         let chips = phy.transmit(&bits);
@@ -170,7 +169,7 @@ impl PhyLink for OfdmLink {
         self.rate.rate_mbps()
     }
 
-    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut StdRng) -> bool {
+    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut WlanRng) -> bool {
         let phy = OfdmPhy::new(self.rate);
         let frame = phy.transmit(payload);
         let faded = match &self.multipath {
@@ -241,7 +240,7 @@ impl PhyLink for MimoLink {
         self.phy().rate_mbps()
     }
 
-    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut StdRng) -> bool {
+    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut WlanRng) -> bool {
         let phy = self.phy();
         let n0 = db_to_lin(-snr_db);
         let ch = MimoMultipathChannel::realize(self.n_rx, self.n_streams, &self.pdp, rng);
@@ -283,13 +282,13 @@ impl PhyLink for HtLink {
         }
     }
 
-    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut StdRng) -> bool {
+    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut WlanRng) -> bool {
         let fade = if self.fading {
             wlan_channel::noise::complex_gaussian(rng)
         } else {
             wlan_math::Complex::ONE
         };
-        let apply = |frame: Vec<wlan_math::Complex>, rng: &mut StdRng| {
+        let apply = |frame: Vec<wlan_math::Complex>, rng: &mut WlanRng| {
             let faded: Vec<wlan_math::Complex> =
                 frame.into_iter().map(|s| s * fade).collect();
             Awgn::from_snr_db(snr_db).apply(&faded, rng)
@@ -320,7 +319,7 @@ impl PhyLink for FhssLink {
         1.0
     }
 
-    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut StdRng) -> bool {
+    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut WlanRng) -> bool {
         use wlan_dsss::fhss::FskModem;
         let modem = FskModem::new(8);
         let bits = wlan_coding::bits::bytes_to_bits(payload);
@@ -369,7 +368,7 @@ impl PhyLink for StbcLink {
         self.phy().rate_mbps()
     }
 
-    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut StdRng) -> bool {
+    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut WlanRng) -> bool {
         let phy = self.phy();
         let n0 = db_to_lin(-snr_db);
         let ch = MimoMultipathChannel::realize(self.n_rx, 2, &self.pdp, rng);
@@ -386,8 +385,9 @@ mod tests {
     #[test]
     fn stbc_link_beats_siso_at_same_rate() {
         let snr = [10.0];
-        let siso = sweep_per(&MimoLink::flat(1, 1), &snr, 40, 40, 21);
-        let stbc = sweep_per(&StbcLink::flat(1), &snr, 40, 40, 21);
+        // Enough frames that the diversity gain clears Monte-Carlo noise.
+        let siso = sweep_per(&MimoLink::flat(1, 1), &snr, 40, 150, 21);
+        let stbc = sweep_per(&StbcLink::flat(1), &snr, 40, 150, 21);
         assert_eq!(siso.rate_mbps, stbc.rate_mbps, "same data rate");
         assert!(
             stbc.points[0].per < siso.points[0].per,

@@ -7,8 +7,7 @@
 //! threshold.
 
 use crate::linksim::PhyLink;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use wlan_math::rng::{Rng, WlanRng};
 use wlan_channel::pathloss::{LinkBudget, PathLossModel};
 
 /// Result of a range search.
@@ -31,7 +30,7 @@ pub fn per_at_distance(
     seed: u64,
 ) -> f64 {
     let snr_db = budget.snr_at_distance_db(model, distance_m);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = WlanRng::seed_from_u64(seed);
     let mut errors = 0usize;
     for _ in 0..frames {
         let payload: Vec<u8> = (0..payload_len).map(|_| rng.gen()).collect();

@@ -173,9 +173,8 @@ mod tests {
 
     #[test]
     fn timing_acquisition_finds_the_offset() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
-        let mut rng = StdRng::seed_from_u64(700);
+        use wlan_math::rng::WlanRng;
+        let mut rng = WlanRng::seed_from_u64(700);
         // A stream of alternating BPSK symbols, shifted by a known offset.
         let symbols: Vec<Complex> = (0..12)
             .map(|i| Complex::from_re(if i % 2 == 0 { 1.0 } else { -1.0 }))

@@ -244,8 +244,7 @@ impl CckDemodulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use wlan_math::rng::{Rng, WlanRng};
 
     #[test]
     fn rates_match_standard() {
@@ -282,7 +281,7 @@ mod tests {
 
     #[test]
     fn full_rate_roundtrip() {
-        let mut rng = StdRng::seed_from_u64(60);
+        let mut rng = WlanRng::seed_from_u64(60);
         let bits: Vec<u8> = (0..8 * 50).map(|_| rng.gen_range(0..2u8)).collect();
         let chips = CckModulator::new(CckRate::Full).modulate(&bits);
         assert_eq!(chips.len(), 50 * CHIPS_PER_SYMBOL);
@@ -292,7 +291,7 @@ mod tests {
 
     #[test]
     fn half_rate_roundtrip() {
-        let mut rng = StdRng::seed_from_u64(61);
+        let mut rng = WlanRng::seed_from_u64(61);
         let bits: Vec<u8> = (0..4 * 50).map(|_| rng.gen_range(0..2u8)).collect();
         let chips = CckModulator::new(CckRate::Half).modulate(&bits);
         let out = CckDemodulator::new(CckRate::Half).demodulate(&chips);
@@ -325,7 +324,7 @@ mod tests {
 
     #[test]
     fn roundtrip_with_mild_noise() {
-        let mut rng = StdRng::seed_from_u64(62);
+        let mut rng = WlanRng::seed_from_u64(62);
         let bits: Vec<u8> = (0..8 * 100).map(|_| rng.gen_range(0..2u8)).collect();
         let chips = CckModulator::new(CckRate::Full).modulate(&bits);
         // 12 dB chip SNR is comfortable for the 64-codeword correlator.

@@ -8,7 +8,7 @@
 //! land on them — is exercised in the tests and in experiment E3's
 //! interference sweep.
 
-use rand::Rng;
+use wlan_math::rng::Rng;
 use wlan_math::Complex;
 
 /// Number of hop channels in the FCC 2.4 GHz band plan.
@@ -180,8 +180,7 @@ pub fn simulate_hopping_link(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use wlan_math::rng::WlanRng;
 
     #[test]
     fn pattern_visits_every_channel_once() {
@@ -238,7 +237,7 @@ mod tests {
 
     #[test]
     fn fsk_survives_moderate_noise() {
-        let mut rng = StdRng::seed_from_u64(70);
+        let mut rng = WlanRng::seed_from_u64(70);
         let modem = FskModem::new(8);
         let bits: Vec<u8> = (0..2000).map(|i| (i % 3 == 0) as u8).collect();
         let mut samples = modem.modulate(&bits);
@@ -253,7 +252,7 @@ mod tests {
 
     #[test]
     fn hopping_confines_jammer_damage() {
-        let mut rng = StdRng::seed_from_u64(71);
+        let mut rng = WlanRng::seed_from_u64(71);
         let pattern = HopPattern::new(3);
         // Jam 8 of 79 channels with overwhelming power.
         let jammed: Vec<usize> = (0..8).map(|i| i * 9).collect();

@@ -186,8 +186,7 @@ impl DsssPhy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use wlan_math::rng::{Rng, WlanRng};
 
     #[test]
     fn spectral_efficiencies_match_paper() {
@@ -202,7 +201,7 @@ mod tests {
 
     #[test]
     fn all_rates_roundtrip_clean() {
-        let mut rng = StdRng::seed_from_u64(80);
+        let mut rng = WlanRng::seed_from_u64(80);
         for rate in DsssRate::all() {
             let phy = DsssPhy::new(rate);
             let bits: Vec<u8> = (0..160).map(|_| rng.gen_range(0..2u8)).collect();
@@ -225,7 +224,7 @@ mod tests {
 
     #[test]
     fn chip_power_is_unity() {
-        let mut rng = StdRng::seed_from_u64(81);
+        let mut rng = WlanRng::seed_from_u64(81);
         for rate in DsssRate::all() {
             let phy = DsssPhy::new(rate);
             let bits: Vec<u8> = (0..800).map(|_| rng.gen_range(0..2u8)).collect();
@@ -252,7 +251,7 @@ mod tests {
 
     #[test]
     fn roundtrip_through_awgn() {
-        let mut rng = StdRng::seed_from_u64(82);
+        let mut rng = WlanRng::seed_from_u64(82);
         let phy = DsssPhy::new(DsssRate::Dqpsk2M);
         let bits: Vec<u8> = (0..400).map(|_| rng.gen_range(0..2u8)).collect();
         let mut chips = phy.transmit(&bits);

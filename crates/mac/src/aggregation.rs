@@ -8,7 +8,7 @@
 //! E14 sweeps aggregation size at 54 vs 600 Mbps.
 
 use crate::params::{MacProfile, MAC_HEADER_BYTES};
-use rand::Rng;
+use wlan_math::rng::Rng;
 
 /// MPDU delimiter bytes per subframe.
 pub const DELIMITER_BYTES: usize = 4;
@@ -108,8 +108,7 @@ pub fn simulate_lossy_aggregation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use wlan_math::rng::WlanRng;
 
     #[test]
     fn aggregation_restores_efficiency_at_high_rate() {
@@ -148,7 +147,7 @@ mod tests {
     #[test]
     fn lossless_simulation_matches_analytic() {
         let p = MacProfile::dot11n(300.0);
-        let mut rng = StdRng::seed_from_u64(200);
+        let mut rng = WlanRng::seed_from_u64(200);
         let sim = simulate_lossy_aggregation(&p, 32, 1500, 0.0, 3200, &mut rng);
         let analytic = aggregated_throughput_mbps(&p, 32, 1500);
         assert!(
@@ -162,7 +161,7 @@ mod tests {
     #[test]
     fn selective_retransmission_costs_match_per() {
         let p = MacProfile::dot11n(300.0);
-        let mut rng = StdRng::seed_from_u64(201);
+        let mut rng = WlanRng::seed_from_u64(201);
         let per = 0.2;
         let sim = simulate_lossy_aggregation(&p, 64, 1500, per, 20_000, &mut rng);
         // Expected transmissions per delivered subframe = 1/(1−PER).
@@ -177,7 +176,7 @@ mod tests {
     #[test]
     fn losses_reduce_goodput_proportionally() {
         let p = MacProfile::dot11n(300.0);
-        let mut rng = StdRng::seed_from_u64(202);
+        let mut rng = WlanRng::seed_from_u64(202);
         let clean = simulate_lossy_aggregation(&p, 32, 1500, 0.0, 6400, &mut rng);
         let lossy = simulate_lossy_aggregation(&p, 32, 1500, 0.3, 6400, &mut rng);
         let ratio = lossy.goodput_mbps / clean.goodput_mbps;

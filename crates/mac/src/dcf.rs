@@ -10,8 +10,7 @@
 //! [Bianchi's model](crate::bianchi) (experiment E13).
 
 use crate::params::MacProfile;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use wlan_math::rng::{Rng, WlanRng};
 use wlan_sim::Scheduler;
 
 /// Simulation configuration.
@@ -67,10 +66,10 @@ struct Station {
 pub fn simulate_dcf(cfg: &DcfConfig) -> DcfResult {
     assert!(cfg.n_stations > 0, "need at least one station");
     assert!(cfg.sim_time_us > 0.0, "simulation time must be positive");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = WlanRng::seed_from_u64(cfg.seed);
     let p = &cfg.profile;
 
-    let draw = |stage: u32, rng: &mut StdRng| -> u32 {
+    let draw = |stage: u32, rng: &mut WlanRng| -> u32 {
         let cw = ((p.cw_min + 1) << stage).min(p.cw_max + 1) - 1;
         rng.gen_range(0..=cw)
     };

@@ -7,7 +7,7 @@
 //! models the awake/doze duty cycle and the latency cost, feeding the
 //! energy comparison of experiment E12.
 
-use rand::Rng;
+use wlan_math::rng::Rng;
 use wlan_sim::{Scheduler, Time, MICROSECOND};
 
 /// PSM configuration.
@@ -70,15 +70,14 @@ pub fn simulate_psm(cfg: &PsmConfig) -> PsmResult {
     assert!(cfg.beacon_interval_us > 0.0, "beacon interval must be positive");
     assert!(cfg.listen_interval >= 1, "listen interval must be at least 1");
     assert!(cfg.sim_time_us > 0.0, "simulation time must be positive");
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    use wlan_math::rng::WlanRng;
+    let mut rng = WlanRng::seed_from_u64(cfg.seed);
 
     let to_ns = |us: f64| -> Time { (us * MICROSECOND as f64).round() as Time };
     let horizon = to_ns(cfg.sim_time_us);
     let mut sim: Scheduler<Event> = Scheduler::new();
     sim.schedule_at(to_ns(cfg.beacon_interval_us), Event::Beacon);
-    let exp_gap = |rng: &mut StdRng| -> Time {
+    let exp_gap = |rng: &mut WlanRng| -> Time {
         let u: f64 = 1.0 - rng.gen::<f64>();
         to_ns(-u.ln() / cfg.arrival_rate_hz * 1e6)
     };

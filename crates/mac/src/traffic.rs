@@ -8,8 +8,7 @@
 //! the queueing delay exploding at the knee.
 
 use crate::params::MacProfile;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use wlan_math::rng::{Rng, WlanRng};
 use std::collections::VecDeque;
 
 /// Configuration of the unsaturated simulation.
@@ -60,14 +59,14 @@ pub fn simulate_traffic(cfg: &TrafficConfig) -> TrafficResult {
     assert!(cfg.n_stations > 0, "need at least one station");
     assert!(cfg.arrival_rate_hz > 0.0, "arrival rate must be positive");
     assert!(cfg.sim_time_us > 0.0, "simulation time must be positive");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = WlanRng::seed_from_u64(cfg.seed);
     let p = &cfg.profile;
 
-    let exp_gap = |rng: &mut StdRng| -> f64 {
+    let exp_gap = |rng: &mut WlanRng| -> f64 {
         let u: f64 = 1.0 - rng.gen::<f64>();
         -u.ln() / cfg.arrival_rate_hz * 1e6
     };
-    let draw = |stage: u32, rng: &mut StdRng| -> u32 {
+    let draw = |stage: u32, rng: &mut WlanRng| -> u32 {
         let cw = ((p.cw_min + 1) << stage).min(p.cw_max + 1) - 1;
         rng.gen_range(0..=cw)
     };
@@ -169,7 +168,9 @@ mod tests {
             n_stations: 10,
             payload_bytes: 1500,
             arrival_rate_hz: rate_hz,
-            sim_time_us: 3_000_000.0,
+            // Long enough that Poisson arrival noise (~1/sqrt(N)) sits well
+            // inside the 5% delivered-vs-offered tolerance below.
+            sim_time_us: 12_000_000.0,
             seed: 77,
         }
     }

@@ -35,9 +35,11 @@
 pub mod complex;
 pub mod fft;
 pub mod matrix;
+pub mod rng;
 pub mod special;
 pub mod stats;
 pub mod svd;
 
 pub use complex::Complex;
 pub use matrix::CMatrix;
+pub use rng::{Rng, WlanRng};

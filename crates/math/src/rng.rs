@@ -1,0 +1,559 @@
+//! Deterministic random numbers for the whole workspace.
+//!
+//! Every Monte-Carlo result in this repository — PER-vs-SNR curves, PAPR
+//! CCDFs, mesh coverage maps, DCF throughput — must be reproducible from a
+//! single `u64` seed with **zero external dependencies**. This module is the
+//! substrate that guarantees it:
+//!
+//! - [`SplitMix64`] — the seed expander. A 64-bit seed is stretched into the
+//!   256-bit xoshiro state so that even seeds `0, 1, 2, …` yield well-mixed,
+//!   decorrelated states.
+//! - [`WlanRng`] — the workhorse generator, **xoshiro256++** (Blackman &
+//!   Vigna). Fast (one rotation, one add, four xors per draw), 2²⁵⁶−1
+//!   period, and passes BigCrush.
+//! - [`Rng`] — the sampling interface every simulation function takes as
+//!   `&mut impl Rng`: uniform integers/floats, ranges, Bernoulli, and the
+//!   radio-specific distributions (Box–Muller Gaussian, Rayleigh,
+//!   exponential).
+//! - [`WlanRng::fork`] — decorrelated sub-streams. A master seed forks one
+//!   independent stream per link/node/experiment, so adding a draw to one
+//!   stream never perturbs another (crucial when comparing scenarios).
+//!
+//! # Examples
+//!
+//! ```
+//! use wlan_math::rng::{Rng, RngCore, WlanRng};
+//!
+//! let mut master = WlanRng::seed_from_u64(42);
+//! // Independent per-link streams: draws on one never affect the other.
+//! let mut link_a = master.fork(0);
+//! let mut link_b = master.fork(1);
+//! let a: f64 = link_a.gen();
+//! let b: f64 = link_b.gen();
+//! assert_ne!(a, b);
+//! // Same seed, same stream id => bit-identical sequence.
+//! assert_eq!(WlanRng::seed_from_u64(42).fork(0).next_u64(), master.fork(0).next_u64());
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 (Steele, Lea & Flood): a tiny generator whose only job here is
+/// expanding a 64-bit seed into well-mixed state words for [`WlanRng`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the expander from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The workspace generator: xoshiro256++ seeded through [`SplitMix64`].
+///
+/// `Clone` + `PartialEq` make it easy to snapshot and compare generator
+/// states in tests; `fork` derives decorrelated sub-streams from the seed
+/// (not from the current position, so forking is insensitive to how many
+/// draws the parent has made).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WlanRng {
+    s: [u64; 4],
+    seed: u64,
+}
+
+impl WlanRng {
+    /// Builds a generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut mix = SplitMix64::new(seed);
+        WlanRng {
+            s: [mix.next_u64(), mix.next_u64(), mix.next_u64(), mix.next_u64()],
+            seed,
+        }
+    }
+
+    /// The seed this generator (or fork) was derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent stream for `stream_id`.
+    ///
+    /// The child seed depends only on the parent's *seed* and `stream_id`,
+    /// never on the parent's draw position, so `master.fork(k)` is stable no
+    /// matter when it is called. Forks nest: `master.fork(i).fork(j)` is a
+    /// well-defined third stream.
+    pub fn fork(&self, stream_id: u64) -> Self {
+        // Mix (seed, stream_id) through SplitMix64 so neighbouring ids give
+        // unrelated child seeds.
+        let mut mix = SplitMix64::new(self.seed ^ 0xA076_1D64_78BD_642F);
+        let base = mix.next_u64();
+        let mut child = SplitMix64::new(base ^ stream_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Self::seed_from_u64(child.next_u64())
+    }
+}
+
+impl RngCore for WlanRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ step (Blackman & Vigna, 2019).
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The raw bit source; everything else in [`Rng`] derives from this.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Sampling interface over any [`RngCore`].
+///
+/// Simulation code takes `rng: &mut impl Rng`, exactly as it previously took
+/// `Rng`; the method names (`gen`, `gen_range`, `gen_bool`) keep the
+/// same shape so call sites read identically.
+pub trait Rng: RngCore {
+    /// A uniform `f64` in `[0, 1)` with full 53-bit mantissa resolution.
+    fn next_f64(&mut self) -> f64 {
+        // Top 53 bits scaled by 2^-53.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample of a primitive type (`f64`/`f32` in `[0,1)`, integers
+    /// over their full range, `bool` fair coin).
+    fn gen<T: SampleUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_uniform(self)
+    }
+
+    /// Uniform sample from an integer `a..b` / `a..=b` or float `a..b` range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_range(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.next_f64() < p
+    }
+
+    /// Standard normal via Box–Muller.
+    fn gen_gaussian(&mut self) -> f64 {
+        // 1 - U keeps the argument of ln() away from zero.
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Rayleigh sample with scale `sigma` (mode). `E[X²] = 2σ²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not positive.
+    fn gen_rayleigh(&mut self, sigma: f64) -> f64 {
+        assert!(sigma > 0.0, "Rayleigh scale must be positive");
+        let u = 1.0 - self.next_f64();
+        sigma * (-2.0 * u.ln()).sqrt()
+    }
+
+    /// Exponential sample with the given `rate` (mean `1/rate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    fn gen_exp(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        let u = 1.0 - self.next_f64();
+        -u.ln() / rate
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Unbiased uniform integer below `n` (Lemire's multiply-shift rejection).
+/// `n == 0` means the full 64-bit range.
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    if n == 0 {
+        return rng.next_u64();
+    }
+    let mut x = rng.next_u64();
+    let mut m = (x as u128) * (n as u128);
+    let mut low = m as u64;
+    if low < n {
+        let threshold = n.wrapping_neg() % n;
+        while low < threshold {
+            x = rng.next_u64();
+            m = (x as u128) * (n as u128);
+            low = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Types with a canonical "uniform" distribution for [`Rng::gen`].
+pub trait SampleUniform: Sized {
+    /// Draws one uniform sample.
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Top 24 bits scaled by 2^-24.
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl SampleUniform for bool {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait UniformRange {
+    /// Element type produced.
+    type Output;
+    /// Draws one sample from the range.
+    fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_uniform_range_int {
+    ($($t:ty),*) => {$(
+        impl UniformRange for Range<$t> {
+            type Output = $t;
+            fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+
+        impl UniformRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                // span = end - start + 1; 0 encodes the full u64 range.
+                let span = (end as i128 - start as i128 + 1) as u64;
+                start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformRange for Range<f64> {
+    type Output = f64;
+    fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // ---- golden values -------------------------------------------------
+    //
+    // These pin the exact bit streams. If any of them ever changes, every
+    // seeded Monte-Carlo result in the repository silently changes with it,
+    // so treat a failure here as a breaking change, not a test to update.
+
+    #[test]
+    fn golden_splitmix64_from_zero() {
+        // Reference vector from the SplitMix64 paper/prng.di.unimi.it.
+        let mut mix = SplitMix64::new(0);
+        assert_eq!(mix.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(mix.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(mix.next_u64(), 0x06C4_5D18_8009_454F);
+        assert_eq!(mix.next_u64(), 0xF88B_B8A8_724C_81EC);
+    }
+
+    #[test]
+    fn golden_splitmix64_from_seed_1234567() {
+        let mut mix = SplitMix64::new(1234567);
+        assert_eq!(mix.next_u64(), 0x599E_D017_FB08_FC85);
+        assert_eq!(mix.next_u64(), 0x2C73_F084_5854_0FA5);
+    }
+
+    #[test]
+    fn golden_xoshiro_seed_0() {
+        // Matches rand_xoshiro's Xoshiro256PlusPlus::seed_from_u64(0) test
+        // vector (5987356902031041503, ...), since both expand the seed with
+        // SplitMix64.
+        let mut rng = WlanRng::seed_from_u64(0);
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                0x5317_5D61_490B_23DF,
+                0x61DA_6F3D_C380_D507,
+                0x5C0F_DF91_EC9A_7BFC,
+                0x02EE_BF8C_3BBE_5E1A,
+            ]
+        );
+    }
+
+    #[test]
+    fn golden_xoshiro_seed_42() {
+        let mut rng = WlanRng::seed_from_u64(42);
+        let got: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![0xD076_4D4F_4476_689F, 0x519E_4174_576F_3791, 0xFBE0_7CFB_0C24_ED8C]
+        );
+    }
+
+    #[test]
+    fn golden_uniform_f64_seed_7() {
+        let mut rng = WlanRng::seed_from_u64(7);
+        let u: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&u));
+    }
+
+    // ---- determinism & stream independence -----------------------------
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = WlanRng::seed_from_u64(123);
+        let mut b = WlanRng::seed_from_u64(123);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = WlanRng::seed_from_u64(1);
+        let mut b = WlanRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_is_position_independent() {
+        let mut parent = WlanRng::seed_from_u64(99);
+        let early = parent.fork(5);
+        for _ in 0..100 {
+            parent.next_u64();
+        }
+        let late = parent.fork(5);
+        assert_eq!(early, late);
+    }
+
+    #[test]
+    fn forks_are_decorrelated() {
+        let master = WlanRng::seed_from_u64(2024);
+        let mut a = master.fork(0);
+        let mut b = master.fork(1);
+        let matches = (0..256).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(matches, 0, "adjacent forks must not share outputs");
+        // And neither fork replays the master stream.
+        let mut m = WlanRng::seed_from_u64(2024);
+        let mut c = master.fork(0);
+        let overlap = (0..256).filter(|_| m.next_u64() == c.next_u64()).count();
+        assert_eq!(overlap, 0);
+    }
+
+    #[test]
+    fn nested_forks_are_distinct() {
+        let master = WlanRng::seed_from_u64(5);
+        let mut ij = master.fork(1).fork(2);
+        let mut ji = master.fork(2).fork(1);
+        assert_ne!(ij.next_u64(), ji.next_u64());
+    }
+
+    // ---- distribution sanity (fixed seeds, generous tolerances) ---------
+
+    #[test]
+    fn uniform_f64_mean_and_range() {
+        let mut rng = WlanRng::seed_from_u64(11);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "uniform mean drifted: {mean}");
+    }
+
+    #[test]
+    fn gen_range_covers_and_stays_in_bounds() {
+        let mut rng = WlanRng::seed_from_u64(12);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..8u8);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..=10u32);
+            assert!((3..=10).contains(&v));
+        }
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5..5i64);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_unbiased_enough() {
+        // 3 buckets over 30k draws: each within 3% of 10k.
+        let mut rng = WlanRng::seed_from_u64(13);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[rng.gen_range(0..3usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 300, "bucket counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = WlanRng::seed_from_u64(14);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = rng.gen_gaussian();
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "gaussian mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "gaussian variance {var}");
+    }
+
+    #[test]
+    fn rayleigh_scale() {
+        // E[X] = σ√(π/2), E[X²] = 2σ².
+        let sigma = 1.7;
+        let mut rng = WlanRng::seed_from_u64(15);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = rng.gen_rayleigh(sigma);
+            assert!(x >= 0.0);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let second = sum_sq / n as f64;
+        let want_mean = sigma * (std::f64::consts::PI / 2.0).sqrt();
+        assert!((mean / want_mean - 1.0).abs() < 0.01, "rayleigh mean {mean}");
+        assert!(
+            (second / (2.0 * sigma * sigma) - 1.0).abs() < 0.01,
+            "rayleigh power {second}"
+        );
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let rate = 2.5;
+        let mut rng = WlanRng::seed_from_u64(16);
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.gen_exp(rate);
+            assert!(x >= 0.0);
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean * rate - 1.0).abs() < 0.01, "exp mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = WlanRng::seed_from_u64(17);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01, "p=0.3 hits {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        let mut rng = WlanRng::seed_from_u64(1);
+        let _ = rng.gen_range(5..5u32);
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        // The &mut blanket impl lets helpers take `&mut impl Rng` and
+        // forward references without reborrow gymnastics.
+        fn draw(rng: &mut impl Rng) -> f64 {
+            rng.gen()
+        }
+        let mut rng = WlanRng::seed_from_u64(3);
+        let via_ref = draw(&mut &mut rng);
+        let _ = via_ref;
+    }
+}

@@ -6,7 +6,7 @@
 
 use crate::metric::Metric;
 use crate::topology::{best_rate_for_snr, MeshNetwork};
-use rand::Rng;
+use wlan_math::rng::Rng;
 use wlan_channel::pathloss::{LinkBudget, PathLossModel};
 
 /// Coverage statistics over a sampled region.
@@ -105,8 +105,7 @@ pub fn estimate_single_ap_coverage(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use wlan_math::rng::WlanRng;
 
     /// A 2×2 grid of mesh nodes (170 m spacing, within the ~190 m usable
     /// range of each other) over a 450 m square, gateway in a corner.
@@ -116,7 +115,7 @@ mod tests {
 
     #[test]
     fn mesh_covers_more_area_than_single_ap() {
-        let mut rng = StdRng::seed_from_u64(210);
+        let mut rng = WlanRng::seed_from_u64(210);
         let side = 450.0;
         let mesh = estimate_coverage(&mesh_layout(), side, 400, &mut rng);
         let single = estimate_single_ap_coverage((50.0, 50.0), side, 400, &mut rng);
@@ -130,7 +129,7 @@ mod tests {
 
     #[test]
     fn tiny_region_is_fully_covered_either_way() {
-        let mut rng = StdRng::seed_from_u64(211);
+        let mut rng = WlanRng::seed_from_u64(211);
         let single = estimate_single_ap_coverage((10.0, 10.0), 20.0, 200, &mut rng);
         assert!((single.covered_fraction - 1.0).abs() < 1e-9);
         assert!(single.mean_throughput_mbps > 50.0, "short links run at 54");
@@ -138,7 +137,7 @@ mod tests {
 
     #[test]
     fn empty_region_far_from_gateway_is_uncovered() {
-        let mut rng = StdRng::seed_from_u64(212);
+        let mut rng = WlanRng::seed_from_u64(212);
         // Gateway 100 km away from the sampled square.
         let c = estimate_single_ap_coverage((1e5, 1e5), 100.0, 100, &mut rng);
         assert_eq!(c.covered_fraction, 0.0);
@@ -147,14 +146,14 @@ mod tests {
 
     #[test]
     fn coverage_is_deterministic_per_seed() {
-        let a = estimate_coverage(&mesh_layout(), 300.0, 100, &mut StdRng::seed_from_u64(5));
-        let b = estimate_coverage(&mesh_layout(), 300.0, 100, &mut StdRng::seed_from_u64(5));
+        let a = estimate_coverage(&mesh_layout(), 300.0, 100, &mut WlanRng::seed_from_u64(5));
+        let b = estimate_coverage(&mesh_layout(), 300.0, 100, &mut WlanRng::seed_from_u64(5));
         assert_eq!(a, b);
     }
 
     #[test]
     fn more_relays_increase_throughput_at_range() {
-        let mut rng = StdRng::seed_from_u64(213);
+        let mut rng = WlanRng::seed_from_u64(213);
         let side = 400.0;
         let sparse = estimate_coverage(&[(50.0, 50.0)], side, 300, &mut rng);
         let dense = estimate_coverage(

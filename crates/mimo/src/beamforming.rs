@@ -16,11 +16,11 @@ use wlan_math::{CMatrix, Complex};
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use wlan_math::rng::WlanRng;
 /// use wlan_channel::MimoChannel;
 /// use wlan_mimo::beamforming::SvdBeamformer;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = WlanRng::seed_from_u64(7);
 /// let ch = MimoChannel::iid_rayleigh(4, 4, &mut rng);
 /// let bf = SvdBeamformer::from_channel(ch.matrix(), 2);
 /// assert_eq!(bf.num_streams(), 2);
@@ -228,15 +228,14 @@ pub fn stale_beamforming_capacity(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use wlan_math::rng::WlanRng;
     use wlan_channel::MimoChannel;
 
     #[test]
     fn beamformed_channel_is_diagonal() {
         // Precoding then combining through the raw channel must recover the
         // stream symbols exactly (no inter-stream interference).
-        let mut rng = StdRng::seed_from_u64(150);
+        let mut rng = WlanRng::seed_from_u64(150);
         let ch = MimoChannel::iid_rayleigh(3, 3, &mut rng);
         let bf = SvdBeamformer::from_channel(ch.matrix(), 3);
         let s = [Complex::ONE, Complex::I, Complex::new(-0.5, 0.5)];
@@ -251,7 +250,7 @@ mod tests {
     #[test]
     fn precoding_preserves_power() {
         // V has orthonormal columns, so E‖x‖² = E‖s‖².
-        let mut rng = StdRng::seed_from_u64(151);
+        let mut rng = WlanRng::seed_from_u64(151);
         let ch = MimoChannel::iid_rayleigh(4, 4, &mut rng);
         let bf = SvdBeamformer::from_channel(ch.matrix(), 2);
         let s = [Complex::new(0.7, 0.1), Complex::new(-0.2, 0.9)];
@@ -284,7 +283,7 @@ mod tests {
 
     #[test]
     fn water_filling_beats_equal_power() {
-        let mut rng = StdRng::seed_from_u64(152);
+        let mut rng = WlanRng::seed_from_u64(152);
         let snr = wlan_math::special::db_to_lin(10.0);
         let mut wf_sum = 0.0;
         let mut eq_sum = 0.0;
@@ -306,7 +305,7 @@ mod tests {
     fn single_stream_beamforming_collects_full_array_gain() {
         // 4×2 beamforming on one stream: effective gain is σ₁², which for
         // i.i.d. Rayleigh is far above the single-antenna mean of 1.
-        let mut rng = StdRng::seed_from_u64(153);
+        let mut rng = WlanRng::seed_from_u64(153);
         let mut acc = 0.0;
         let trials = 2_000;
         for _ in 0..trials {
@@ -342,7 +341,7 @@ mod tests {
 
     #[test]
     fn fresh_estimate_matches_ideal_beamforming() {
-        let mut rng = StdRng::seed_from_u64(154);
+        let mut rng = WlanRng::seed_from_u64(154);
         let ch = MimoChannel::iid_rayleigh(3, 3, &mut rng);
         let snr = wlan_math::special::db_to_lin(15.0);
         let stale = stale_beamforming_capacity(ch.matrix(), ch.matrix(), 2, snr);
@@ -359,7 +358,7 @@ mod tests {
         // Decorrelate the estimate progressively (Jakes-style aging):
         // H_stale = ρ·H + √(1−ρ²)·W. Capacity must fall monotonically in
         // expectation as ρ drops.
-        let mut rng = StdRng::seed_from_u64(155);
+        let mut rng = WlanRng::seed_from_u64(155);
         let snr = wlan_math::special::db_to_lin(15.0);
         let trials = 400;
         let mut caps = Vec::new();

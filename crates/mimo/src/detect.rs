@@ -151,8 +151,7 @@ pub fn maximum_likelihood(h: &CMatrix, y: &[Complex], alphabet: &[Complex]) -> V
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use wlan_math::rng::WlanRng;
     use wlan_channel::noise::complex_gaussian;
     use wlan_channel::MimoChannel;
 
@@ -168,7 +167,7 @@ mod tests {
 
     #[test]
     fn zf_inverts_clean_channel() {
-        let mut rng = StdRng::seed_from_u64(120);
+        let mut rng = WlanRng::seed_from_u64(120);
         let ch = MimoChannel::iid_rayleigh(3, 3, &mut rng);
         let x = [Complex::ONE, Complex::I, -Complex::ONE];
         let y = ch.apply(&x);
@@ -180,7 +179,7 @@ mod tests {
 
     #[test]
     fn mmse_approaches_zf_at_high_snr() {
-        let mut rng = StdRng::seed_from_u64(121);
+        let mut rng = WlanRng::seed_from_u64(121);
         let ch = MimoChannel::iid_rayleigh(2, 2, &mut rng);
         let x = [Complex::new(0.7, 0.7), Complex::new(-0.7, 0.7)];
         let y = ch.apply(&x);
@@ -195,7 +194,7 @@ mod tests {
     #[test]
     fn mmse_beats_zf_at_low_snr() {
         // Average post-detection symbol MSE over random channels at 3 dB.
-        let mut rng = StdRng::seed_from_u64(122);
+        let mut rng = WlanRng::seed_from_u64(122);
         let n0: f64 = 0.5;
         let alphabet = qpsk_alphabet();
         let mut zf_err = 0.0;
@@ -235,9 +234,9 @@ mod tests {
 
     #[test]
     fn sinr_predicts_more_antennas_help() {
-        let mut rng = StdRng::seed_from_u64(123);
+        let mut rng = WlanRng::seed_from_u64(123);
         let n0 = 0.1;
-        let mean_sinr = |n_rx: usize, rng: &mut StdRng| -> f64 {
+        let mean_sinr = |n_rx: usize, rng: &mut WlanRng| -> f64 {
             let mut acc = 0.0;
             let trials = 2_000;
             for _ in 0..trials {
@@ -255,7 +254,7 @@ mod tests {
 
     #[test]
     fn ml_matches_truth_on_clean_2x2() {
-        let mut rng = StdRng::seed_from_u64(124);
+        let mut rng = WlanRng::seed_from_u64(124);
         let alphabet = qpsk_alphabet();
         for t in 0..64 {
             let ch = MimoChannel::iid_rayleigh(2, 2, &mut rng);
@@ -269,7 +268,7 @@ mod tests {
     #[test]
     fn ml_beats_zf_on_ill_conditioned_channel() {
         // A nearly rank-1 channel: ZF explodes the noise, ML does not.
-        let mut rng = StdRng::seed_from_u64(125);
+        let mut rng = WlanRng::seed_from_u64(125);
         let alphabet = qpsk_alphabet();
         let h = CMatrix::from_rows(&[
             &[Complex::ONE, Complex::new(0.95, 0.0)],

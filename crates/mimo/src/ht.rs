@@ -225,8 +225,7 @@ fn symbol_bins(samples: &[Complex]) -> Vec<Complex> {
 mod tests {
     use super::*;
     use crate::mcs::{Bandwidth, GuardInterval, HtMcs};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use wlan_math::rng::{Rng, WlanRng};
     use wlan_channel::{Awgn, MultipathChannel, PowerDelayProfile};
 
     #[test]
@@ -268,7 +267,7 @@ mod tests {
 
     #[test]
     fn clean_roundtrip_all_mcs() {
-        let mut rng = StdRng::seed_from_u64(500);
+        let mut rng = WlanRng::seed_from_u64(500);
         let payload: Vec<u8> = (0..90).map(|_| rng.gen()).collect();
         for (m, r) in [
             (Modulation::Bpsk, CodeRate::R1_2),
@@ -284,7 +283,7 @@ mod tests {
 
     #[test]
     fn roundtrip_through_noise_and_multipath() {
-        let mut rng = StdRng::seed_from_u64(501);
+        let mut rng = WlanRng::seed_from_u64(501);
         let payload: Vec<u8> = (0..80).map(|_| rng.gen()).collect();
         let phy = HtPhy::new(Modulation::Qpsk, CodeRate::R1_2);
         let pdp = PowerDelayProfile::tgn_model('B');

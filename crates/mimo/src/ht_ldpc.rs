@@ -218,8 +218,7 @@ fn symbol_bins(samples: &[Complex]) -> Vec<Complex> {
 mod tests {
     use super::*;
     use crate::ht::HtPhy;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use wlan_math::rng::{Rng, WlanRng};
     use wlan_channel::Awgn;
 
     #[test]
@@ -242,7 +241,7 @@ mod tests {
 
     #[test]
     fn clean_roundtrip() {
-        let mut rng = StdRng::seed_from_u64(510);
+        let mut rng = WlanRng::seed_from_u64(510);
         let payload: Vec<u8> = (0..100).map(|_| rng.gen()).collect();
         for (m, r) in [
             (Modulation::Qpsk, CodeRate::R1_2),
@@ -256,7 +255,7 @@ mod tests {
 
     #[test]
     fn roundtrip_through_noise() {
-        let mut rng = StdRng::seed_from_u64(511);
+        let mut rng = WlanRng::seed_from_u64(511);
         let payload: Vec<u8> = (0..120).map(|_| rng.gen()).collect();
         let phy = HtLdpcPhy::new(Modulation::Qpsk, CodeRate::R1_2);
         let mut ok = 0;
@@ -273,13 +272,16 @@ mod tests {
     #[test]
     fn ldpc_beats_bcc_at_low_snr() {
         // The paper's range argument: at equal rate and SNR near the BCC
-        // threshold, LDPC delivers more frames.
-        let mut rng = StdRng::seed_from_u64(512);
+        // threshold, LDPC delivers more frames. The crossover for these short
+        // codewords sits near 4.5 dB; at 4.75 dB the LDPC advantage is a
+        // solid 4-8 frames per 100 for every seed probed, while by 5.5 dB
+        // both coders saturate and the comparison degenerates into noise.
+        let mut rng = WlanRng::seed_from_u64(512);
         let payload: Vec<u8> = (0..80).map(|_| rng.gen()).collect();
         let ldpc = HtLdpcPhy::new(Modulation::Qpsk, CodeRate::R1_2);
         let bcc = HtPhy::new(Modulation::Qpsk, CodeRate::R1_2);
-        let snr_db = 5.0;
-        let trials = 30;
+        let snr_db = 4.75;
+        let trials = 100;
         let mut ldpc_ok = 0;
         let mut bcc_ok = 0;
         for _ in 0..trials {
@@ -295,8 +297,8 @@ mod tests {
             }
         }
         assert!(
-            ldpc_ok >= bcc_ok,
-            "LDPC ({ldpc_ok}/{trials}) should not lose to BCC ({bcc_ok}/{trials}) at {snr_db} dB"
+            ldpc_ok > bcc_ok,
+            "LDPC ({ldpc_ok}/{trials}) should beat BCC ({bcc_ok}/{trials}) at {snr_db} dB"
         );
     }
 

@@ -64,8 +64,7 @@ pub fn select_best(y: &[Complex], h: &[Complex]) -> (Complex, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use wlan_math::rng::WlanRng;
     use wlan_channel::noise::complex_gaussian;
 
     #[test]
@@ -82,7 +81,7 @@ mod tests {
     #[test]
     fn array_gain_is_n_fold() {
         // Mean effective gain over Rayleigh branches is N (each E|h|² = 1).
-        let mut rng = StdRng::seed_from_u64(140);
+        let mut rng = WlanRng::seed_from_u64(140);
         for n in [1usize, 2, 4] {
             let mut acc = 0.0;
             let trials = 20_000;
@@ -98,7 +97,7 @@ mod tests {
 
     #[test]
     fn mrc_reduces_ber_versus_single_branch() {
-        let mut rng = StdRng::seed_from_u64(141);
+        let mut rng = WlanRng::seed_from_u64(141);
         let n0 = wlan_math::special::db_to_lin(-8.0);
         let trials = 30_000;
         let mut errs = [0usize; 2]; // [single, mrc-2]
@@ -130,7 +129,7 @@ mod tests {
 
     #[test]
     fn selection_sits_between_single_and_mrc() {
-        let mut rng = StdRng::seed_from_u64(142);
+        let mut rng = WlanRng::seed_from_u64(142);
         let mut gains = [0.0f64; 3]; // single, selection-2, mrc-2
         let trials = 30_000;
         for _ in 0..trials {

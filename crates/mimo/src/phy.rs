@@ -20,6 +20,7 @@ use wlan_ofdm::params::{data_carriers, Modulation, N_CP, N_FFT, N_SYM_SAMPLES};
 use wlan_ofdm::preamble::ltf_value;
 use wlan_ofdm::qam;
 use wlan_ofdm::symbol::{assemble_symbol, tx_scale};
+use wlan_math::rng::Rng;
 use wlan_math::{fft, CMatrix, Complex};
 
 /// The 802.11n HT-LTF orthogonal cover matrix `P` (rows = streams,
@@ -357,7 +358,7 @@ pub fn propagate(
     channel: &wlan_channel::mimo::MimoMultipathChannel,
     tx: &[Vec<Complex>],
     n0: f64,
-    rng: &mut impl rand::Rng,
+    rng: &mut impl Rng,
 ) -> Vec<Vec<Complex>> {
     assert_eq!(tx.len(), channel.n_tx(), "transmit antenna count mismatch");
     let len = tx.iter().map(|t| t.len()).max().unwrap_or(0);
@@ -386,8 +387,7 @@ pub fn propagate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use wlan_math::rng::{Rng, WlanRng};
     use wlan_channel::mimo::MimoMultipathChannel;
     use wlan_channel::PowerDelayProfile;
 
@@ -412,7 +412,7 @@ mod tests {
 
     #[test]
     fn clean_roundtrip_all_stream_counts() {
-        let mut rng = StdRng::seed_from_u64(160);
+        let mut rng = WlanRng::seed_from_u64(160);
         let payload: Vec<u8> = (0..120).map(|_| rng.gen()).collect();
         for n_ss in 1..=4usize {
             let p = phy(n_ss, n_ss, Modulation::Qpsk);
@@ -448,7 +448,7 @@ mod tests {
 
     #[test]
     fn roundtrip_through_mimo_multipath() {
-        let mut rng = StdRng::seed_from_u64(161);
+        let mut rng = WlanRng::seed_from_u64(161);
         let payload: Vec<u8> = (0..80).map(|_| rng.gen()).collect();
         let p = phy(2, 2, Modulation::Qpsk);
         let pdp = PowerDelayProfile::tgn_model('B');
@@ -468,7 +468,7 @@ mod tests {
 
     #[test]
     fn extra_rx_antennas_help_at_low_snr() {
-        let mut rng = StdRng::seed_from_u64(162);
+        let mut rng = WlanRng::seed_from_u64(162);
         let payload: Vec<u8> = (0..60).map(|_| rng.gen()).collect();
         let pdp = PowerDelayProfile::flat();
         let n0 = wlan_math::special::db_to_lin(-14.0);

@@ -86,8 +86,7 @@ pub fn alamouti_decode(rx: &[Vec<Complex>], h: &CMatrix) -> (Vec<Complex>, f64) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use wlan_math::rng::WlanRng;
     use wlan_channel::noise::complex_gaussian;
     use wlan_channel::MimoChannel;
 
@@ -99,7 +98,7 @@ mod tests {
 
     #[test]
     fn clean_roundtrip_2x1() {
-        let mut rng = StdRng::seed_from_u64(130);
+        let mut rng = WlanRng::seed_from_u64(130);
         let symbols: Vec<Complex> = (0..20)
             .map(|i| Complex::from_polar(1.0, i as f64 * 0.9))
             .collect();
@@ -120,7 +119,7 @@ mod tests {
 
     #[test]
     fn clean_roundtrip_2x2() {
-        let mut rng = StdRng::seed_from_u64(131);
+        let mut rng = WlanRng::seed_from_u64(131);
         let symbols: Vec<Complex> = (0..40)
             .map(|i| Complex::from_polar(1.0, i as f64 * 1.7 + 0.2))
             .collect();
@@ -156,7 +155,7 @@ mod tests {
         // BER at a fixed SNR in Rayleigh fading: Alamouti 2×1 must clearly
         // beat SISO because deep fades on one antenna are covered by the
         // other (diversity order 2 vs 1).
-        let mut rng = StdRng::seed_from_u64(132);
+        let mut rng = WlanRng::seed_from_u64(132);
         let snr_db = 10.0;
         let n0 = wlan_math::special::db_to_lin(-snr_db);
         let frames = 4_000;

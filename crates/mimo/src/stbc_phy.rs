@@ -287,8 +287,7 @@ fn carrier_to_bin(k: i32) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use wlan_math::rng::{Rng, WlanRng};
     use wlan_channel::mimo::MimoMultipathChannel;
     use wlan_channel::PowerDelayProfile;
 
@@ -331,7 +330,7 @@ mod tests {
 
     #[test]
     fn roundtrip_through_fading_mimo_channel() {
-        let mut rng = StdRng::seed_from_u64(170);
+        let mut rng = WlanRng::seed_from_u64(170);
         let phy = StbcOfdmPhy::new(Modulation::Qpsk, CodeRate::R1_2, 2);
         let payload: Vec<u8> = (0..80).map(|_| rng.gen()).collect();
         let pdp = PowerDelayProfile::flat();
@@ -353,7 +352,7 @@ mod tests {
     fn stbc_beats_siso_in_deep_fades() {
         // At an SNR where flat-fading SISO frequently loses whole frames to
         // fades, STBC's diversity keeps most frames alive.
-        let mut rng = StdRng::seed_from_u64(171);
+        let mut rng = WlanRng::seed_from_u64(171);
         let payload: Vec<u8> = (0..50).map(|_| rng.gen()).collect();
         let pdp = PowerDelayProfile::flat();
         let snr_db = 12.0;

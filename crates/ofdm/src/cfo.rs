@@ -94,8 +94,7 @@ mod tests {
     use crate::phy::OfdmPhy;
     use crate::preamble::{long_training_field, short_training_field};
     use crate::OfdmRate;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use wlan_math::rng::WlanRng;
     use wlan_channel::Awgn;
 
     #[test]
@@ -115,7 +114,7 @@ mod tests {
         // Both stages observe the same 160-sample window, so their noise
         // performance is comparable; what matters is that each is unbiased
         // with an RMS error far below the 312.5 kHz subcarrier spacing.
-        let mut rng = StdRng::seed_from_u64(300);
+        let mut rng = WlanRng::seed_from_u64(300);
         let cfo = 30_000.0;
         let snr_db = 10.0;
         let mut coarse_err = 0.0;
@@ -150,7 +149,7 @@ mod tests {
 
     #[test]
     fn correction_restores_decodability() {
-        let mut rng = StdRng::seed_from_u64(301);
+        let mut rng = WlanRng::seed_from_u64(301);
         let phy = OfdmPhy::new(OfdmRate::R12);
         let payload = b"carrier offset hurts".to_vec();
         let clean = phy.transmit(&payload);

@@ -9,7 +9,7 @@
 
 use crate::params::{Modulation, N_DATA, N_FFT};
 use crate::qam;
-use rand::Rng;
+use wlan_math::rng::Rng;
 use wlan_math::stats::Ccdf;
 use wlan_math::{fft, Complex};
 
@@ -86,8 +86,7 @@ pub fn single_carrier_papr_ccdf(n_blocks: usize, rng: &mut impl Rng) -> Ccdf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use wlan_math::rng::WlanRng;
 
     #[test]
     fn constant_envelope_is_zero_db() {
@@ -113,7 +112,7 @@ mod tests {
 
     #[test]
     fn ofdm_papr_is_high() {
-        let mut rng = StdRng::seed_from_u64(110);
+        let mut rng = WlanRng::seed_from_u64(110);
         let mut acc = 0.0;
         let n = 200;
         for _ in 0..n {
@@ -127,7 +126,7 @@ mod tests {
 
     #[test]
     fn ofdm_beats_single_carrier_by_several_db() {
-        let mut rng = StdRng::seed_from_u64(111);
+        let mut rng = WlanRng::seed_from_u64(111);
         let ofdm = ofdm_papr_ccdf(Modulation::Qpsk, 300, &mut rng);
         let sc = single_carrier_papr_ccdf(100, &mut rng);
         // At the 5 dB threshold nearly all OFDM symbols exceed, almost no
@@ -138,7 +137,7 @@ mod tests {
 
     #[test]
     fn papr_ccdf_is_monotone() {
-        let mut rng = StdRng::seed_from_u64(112);
+        let mut rng = WlanRng::seed_from_u64(112);
         let ccdf = ofdm_papr_ccdf(Modulation::Bpsk, 100, &mut rng);
         let pts: Vec<(f64, f64)> = ccdf.points().collect();
         for w in pts.windows(2) {
@@ -151,8 +150,8 @@ mod tests {
     fn modulation_order_barely_affects_papr() {
         // PAPR is dominated by the carrier count, not the constellation:
         // BPSK and 64-QAM means should agree within ~1.5 dB.
-        let mut rng = StdRng::seed_from_u64(113);
-        let mean = |m: Modulation, rng: &mut StdRng| -> f64 {
+        let mut rng = WlanRng::seed_from_u64(113);
+        let mean = |m: Modulation, rng: &mut WlanRng| -> f64 {
             (0..150).map(|_| ofdm_symbol_papr_db(m, rng)).sum::<f64>() / 150.0
         };
         let bpsk = mean(Modulation::Bpsk, &mut rng);

@@ -266,8 +266,7 @@ impl OfdmPhy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use wlan_math::rng::{Rng, WlanRng};
     use wlan_channel::{Awgn, MultipathChannel, PowerDelayProfile};
 
     #[test]
@@ -323,7 +322,7 @@ mod tests {
 
     #[test]
     fn roundtrip_through_awgn_at_high_snr() {
-        let mut rng = StdRng::seed_from_u64(100);
+        let mut rng = WlanRng::seed_from_u64(100);
         let payload: Vec<u8> = (0..200).map(|_| rng.gen()).collect();
         for rate in [OfdmRate::R6, OfdmRate::R24, OfdmRate::R54] {
             let phy = OfdmPhy::new(rate);
@@ -335,7 +334,7 @@ mod tests {
 
     #[test]
     fn robust_rate_survives_low_snr_where_fast_rate_fails() {
-        let mut rng = StdRng::seed_from_u64(101);
+        let mut rng = WlanRng::seed_from_u64(101);
         let payload: Vec<u8> = (0..150).map(|_| rng.gen()).collect();
         let snr_db = 6.0;
         // 6 Mbps should be fine at 6 dB.
@@ -356,7 +355,7 @@ mod tests {
 
     #[test]
     fn roundtrip_through_multipath() {
-        let mut rng = StdRng::seed_from_u64(102);
+        let mut rng = WlanRng::seed_from_u64(102);
         let payload: Vec<u8> = (0..100).map(|_| rng.gen()).collect();
         let phy = OfdmPhy::new(OfdmRate::R12);
         let pdp = PowerDelayProfile::tgn_model('C');
@@ -400,11 +399,11 @@ mod tests {
         // stretching far past it leaves ~9 dB of irreducible ISI/ICI that
         // no equalizer can undo — fatal for the SINR-hungry high rates,
         // which is the design constraint that sized the CP.
-        let mut rng = StdRng::seed_from_u64(103);
+        let mut rng = WlanRng::seed_from_u64(103);
         let payload: Vec<u8> = (0..120).map(|_| rng.gen()).collect();
         let phy = OfdmPhy::new(OfdmRate::R36);
 
-        let run = |taps: Vec<Complex>, rng: &mut StdRng| -> usize {
+        let run = |taps: Vec<Complex>, rng: &mut WlanRng| -> usize {
             let ch = MultipathChannel::from_taps(taps);
             let mut ok = 0;
             for _ in 0..8 {

@@ -121,8 +121,7 @@ pub fn estimate_channel(received: &[Complex]) -> Vec<Complex> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use wlan_math::rng::WlanRng;
     use wlan_channel::MultipathChannel;
 
     #[test]
@@ -171,7 +170,7 @@ mod tests {
 
     #[test]
     fn estimates_multipath_channel() {
-        let mut rng = StdRng::seed_from_u64(90);
+        let mut rng = WlanRng::seed_from_u64(90);
         let pdp = wlan_channel::PowerDelayProfile::tgn_model('D');
         let ch = MultipathChannel::realize(&pdp, &mut rng);
         let mut rx = ch.filter(&long_training_field());
@@ -196,7 +195,7 @@ mod tests {
 
     #[test]
     fn estimation_averages_noise_down() {
-        let mut rng = StdRng::seed_from_u64(91);
+        let mut rng = WlanRng::seed_from_u64(91);
         let clean = long_training_field();
         let noisy = wlan_channel::Awgn::from_snr_db(10.0).apply(&clean, &mut rng);
         let est = estimate_channel(&noisy);

@@ -124,13 +124,12 @@ mod tests {
     use super::*;
     use crate::phy::OfdmPhy;
     use crate::OfdmRate;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use wlan_math::rng::{Rng, WlanRng};
 
     /// A long OFDM burst, 4× oversampled by zero-stuffing in frequency is
     /// not available here; instead evaluate the native-rate spectrum where
     /// the mask's ±10 MHz span is observable (fs = 20 MHz).
-    fn ofdm_burst(rng: &mut StdRng) -> Vec<Complex> {
+    fn ofdm_burst(rng: &mut WlanRng) -> Vec<Complex> {
         let phy = OfdmPhy::new(OfdmRate::R54);
         let mut out = Vec::new();
         for _ in 0..6 {
@@ -156,7 +155,7 @@ mod tests {
 
     #[test]
     fn ofdm_occupies_plus_minus_8mhz() {
-        let mut rng = StdRng::seed_from_u64(400);
+        let mut rng = WlanRng::seed_from_u64(400);
         let psd = welch_psd(&ofdm_burst(&mut rng), 256, 20e6);
         // In-band (±8 MHz, away from the nulled DC bin): within a few dB
         // of the peak.
@@ -172,7 +171,7 @@ mod tests {
 
     #[test]
     fn psd_is_normalized_to_peak() {
-        let mut rng = StdRng::seed_from_u64(401);
+        let mut rng = WlanRng::seed_from_u64(401);
         let psd = welch_psd(&ofdm_burst(&mut rng), 128, 20e6);
         let max = psd.power_dbr.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
         assert!((max - 0.0).abs() < 1e-9);

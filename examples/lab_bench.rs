@@ -4,15 +4,14 @@
 //!
 //! Run with: `cargo run --release --example lab_bench`
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use wlan_core::math::rng::{Rng, WlanRng};
 use wlan_core::channel::Awgn;
 use wlan_core::ofdm::cfo::{apply_cfo, correct_cfo, estimate_from_preamble};
 use wlan_core::ofdm::spectrum::{mask_margin_db, welch_psd};
 use wlan_core::ofdm::{OfdmPhy, OfdmRate};
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2005);
+    let mut rng = WlanRng::seed_from_u64(2005);
     let phy = OfdmPhy::new(OfdmRate::R54);
 
     // --- Spectrum analyzer view -------------------------------------------

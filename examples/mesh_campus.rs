@@ -6,13 +6,12 @@
 //!
 //! Run with: `cargo run --release --example mesh_campus`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use wlan_core::math::rng::WlanRng;
 use wlan_core::mesh::coverage::{estimate_coverage, estimate_single_ap_coverage};
 use wlan_core::mesh::{MeshNetwork, Metric};
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2005);
+    let mut rng = WlanRng::seed_from_u64(2005);
     let side = 450.0;
     let relays = [
         (50.0, 50.0), // gateway

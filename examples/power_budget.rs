@@ -5,8 +5,7 @@
 //!
 //! Run with: `cargo run --release --example power_budget`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use wlan_core::math::rng::WlanRng;
 use wlan_core::ofdm::papr::{ofdm_papr_ccdf, single_carrier_papr_ccdf};
 use wlan_core::ofdm::params::Modulation;
 use wlan_core::power::adaptive::{
@@ -16,7 +15,7 @@ use wlan_core::power::budget::PowerBudget;
 use wlan_core::power::pa::{required_backoff_db, PaClass};
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2005);
+    let mut rng = WlanRng::seed_from_u64(2005);
 
     println!("== E10: PAPR and PA efficiency ==\n");
     let ofdm = ofdm_papr_ccdf(Modulation::Qam64, 2000, &mut rng);

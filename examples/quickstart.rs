@@ -2,15 +2,14 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use wlan_core::math::rng::WlanRng;
 use wlan_core::channel::Awgn;
 use wlan_core::dsss::{DsssPhy, DsssRate};
 use wlan_core::ofdm::{OfdmPhy, OfdmRate};
 use wlan_core::standard::Standard;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2005);
+    let mut rng = WlanRng::seed_from_u64(2005);
     let message = b"Wireless LAN: Past, Present, and Future";
 
     println!("== The evolution the paper retraces ==\n");

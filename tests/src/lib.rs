@@ -2,6 +2,7 @@
 //!
 //! - `full_chains.rs` — end-to-end TX→channel→RX across every generation,
 //! - `paper_claims.rs` — the paper's quantitative claims, asserted,
-//! - `properties.rs` — proptest invariants over the coding/math substrates,
+//! - `properties.rs` — seeded-sweep property invariants over the
+//!   coding/math substrates (deterministic, dependency-free),
 //! - `system.rs` — MAC-over-PHY-consistent timing, mesh and power
 //!   cross-checks.

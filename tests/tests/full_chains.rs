@@ -1,8 +1,7 @@
 //! End-to-end integration: every generation's complete transmit → channel →
 //! receive chain, exercised across crates.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use wlan_core::math::rng::{Rng, WlanRng};
 use wlan_core::channel::mimo::MimoMultipathChannel;
 use wlan_core::channel::{Awgn, MultipathChannel, PowerDelayProfile};
 use wlan_core::coding::crc::{append_fcs, check_fcs};
@@ -14,13 +13,13 @@ use wlan_core::mimo::phy::{propagate, MimoOfdmConfig, MimoOfdmPhy};
 use wlan_core::ofdm::params::Modulation;
 use wlan_core::ofdm::{OfdmPhy, OfdmRate};
 
-fn random_payload(len: usize, rng: &mut StdRng) -> Vec<u8> {
+fn random_payload(len: usize, rng: &mut WlanRng) -> Vec<u8> {
     (0..len).map(|_| rng.gen()).collect()
 }
 
 #[test]
 fn dsss_generations_roundtrip_with_noise_and_fcs() {
-    let mut rng = StdRng::seed_from_u64(1000);
+    let mut rng = WlanRng::seed_from_u64(1000);
     for rate in DsssRate::all() {
         let phy = DsssPhy::new(rate);
         // A MAC frame with FCS rides over the PHY.
@@ -40,7 +39,7 @@ fn dsss_generations_roundtrip_with_noise_and_fcs() {
 
 #[test]
 fn ofdm_all_rates_through_multipath_and_noise() {
-    let mut rng = StdRng::seed_from_u64(1001);
+    let mut rng = WlanRng::seed_from_u64(1001);
     let payload = random_payload(300, &mut rng);
     // Model B is mild enough that 30 dB decodes every rate most of the time.
     let pdp = PowerDelayProfile::tgn_model('B');
@@ -64,7 +63,7 @@ fn ofdm_all_rates_through_multipath_and_noise() {
 
 #[test]
 fn mimo_4x4_64qam_full_chain() {
-    let mut rng = StdRng::seed_from_u64(1002);
+    let mut rng = WlanRng::seed_from_u64(1002);
     let payload = random_payload(500, &mut rng);
     let phy = MimoOfdmPhy::new(MimoOfdmConfig {
         n_streams: 4,
@@ -91,7 +90,7 @@ fn mimo_4x4_64qam_full_chain() {
 
 #[test]
 fn ofdm_receiver_rejects_wrong_generation_waveform() {
-    let mut rng = StdRng::seed_from_u64(1003);
+    let mut rng = WlanRng::seed_from_u64(1003);
     // Feed a DSSS chip stream to the OFDM receiver: it must error out, not
     // hallucinate a frame.
     let dsss = DsssPhy::new(DsssRate::Cck11M);

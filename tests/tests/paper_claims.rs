@@ -1,8 +1,7 @@
 //! The paper's quantitative claims, asserted one by one against the
 //! implemented systems (the EXPERIMENTS.md checklist in executable form).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use wlan_core::math::rng::WlanRng;
 use wlan_core::standard::Standard;
 
 /// Intro: "2 Mbps (802.11) to 11 Mbps (802.11b) and now to 54 Mbps
@@ -92,7 +91,7 @@ fn claim_mesh_multihop_efficiency() {
 #[test]
 fn claim_cooperative_diversity() {
     use wlan_core::coop::outage::{simulate_outage, Protocol};
-    let mut rng = StdRng::seed_from_u64(55);
+    let mut rng = WlanRng::seed_from_u64(55);
     let direct = simulate_outage(Protocol::Direct, 18.0, 1.0, 60_000, &mut rng);
     let coop = simulate_outage(Protocol::DecodeForward, 18.0, 1.0, 60_000, &mut rng);
     assert!(coop < 0.5 * direct, "coop {coop} vs direct {direct}");
@@ -105,7 +104,7 @@ fn claim_ofdm_papr_hurts_pa() {
     use wlan_core::ofdm::papr::ofdm_symbol_papr_db;
     use wlan_core::ofdm::params::Modulation;
     use wlan_core::power::pa::PaClass;
-    let mut rng = StdRng::seed_from_u64(56);
+    let mut rng = WlanRng::seed_from_u64(56);
     let mean_papr = (0..200)
         .map(|_| ofdm_symbol_papr_db(Modulation::Qam64, &mut rng))
         .sum::<f64>()

@@ -6,8 +6,7 @@
 //! deterministic) to the values recorded in EXPERIMENTS.md, within
 //! Monte-Carlo-appropriate tolerances.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use wlan_core::math::rng::WlanRng;
 
 #[test]
 fn golden_evolution_table() {
@@ -135,7 +134,7 @@ fn golden_ofdm54_needs_about_19db() {
 fn golden_mimo_capacity_scaling() {
     // Ergodic 4×4 i.i.d. capacity at 20 dB ≈ 21–23 bps/Hz (seeded).
     use wlan_core::channel::MimoChannel;
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = WlanRng::seed_from_u64(42);
     let mean: f64 = (0..2000)
         .map(|_| MimoChannel::iid_rayleigh(4, 4, &mut rng).capacity_bps_hz(20.0))
         .sum::<f64>()
@@ -145,10 +144,9 @@ fn golden_mimo_capacity_scaling() {
 
 #[test]
 fn golden_papr_at_one_permille() {
-    use rand::SeedableRng;
     use wlan_core::ofdm::papr::ofdm_papr_ccdf;
     use wlan_core::ofdm::params::Modulation;
-    let mut rng = StdRng::seed_from_u64(10);
+    let mut rng = WlanRng::seed_from_u64(10);
     let ccdf = ofdm_papr_ccdf(Modulation::Qam64, 3000, &mut rng);
     let papr = ccdf
         .points()
@@ -187,4 +185,44 @@ fn golden_scrambler_prefix() {
     use wlan_core::coding::scrambler::Scrambler;
     let seq = Scrambler::new(0x7F).sequence(16);
     assert_eq!(seq, vec![0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0]);
+}
+
+#[test]
+fn determinism_same_seed_identical_per_curve() {
+    // The reproducibility contract: a full 802.11a OFDM PHY chain
+    // (scramble → encode → interleave → QAM → IFFT → AWGN → receive) swept
+    // at fixed SNRs must give *bit-identical* PER for the same seed, and a
+    // different (but again deterministic) PER for a different seed.
+    use wlan_core::linksim::{sweep_per, OfdmLink};
+    use wlan_core::ofdm::OfdmRate;
+    // Mid-waterfall SNRs for 54 Mbps (cf. golden_ofdm54_needs_about_19db):
+    // PER is fractional here, so distinct seeds are visible in the curve.
+    let snrs = [17.0, 18.0, 19.0];
+    let run = |seed: u64| -> Vec<f64> {
+        sweep_per(&OfdmLink::awgn(OfdmRate::R54), &snrs, 100, 80, seed)
+            .points
+            .iter()
+            .map(|p| p.per)
+            .collect()
+    };
+    let a = run(42);
+    let b = run(42);
+    assert_eq!(a, b, "same seed must reproduce the PER curve bit-for-bit");
+    let c = run(43);
+    assert_ne!(a, c, "different seeds must explore different noise");
+}
+
+#[test]
+fn determinism_forked_streams_are_stable() {
+    // Forked sub-streams must not depend on the parent's draw position:
+    // that is what lets one master seed drive many independent links.
+    let master = WlanRng::seed_from_u64(7);
+    let mut parent = master.clone();
+    let before = parent.fork(3);
+    use wlan_core::math::rng::Rng;
+    for _ in 0..1000 {
+        let _: u64 = parent.gen();
+    }
+    let after = parent.fork(3);
+    assert_eq!(before, after);
 }

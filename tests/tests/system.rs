@@ -2,8 +2,7 @@
 //! rates consistent with the link budget, power consistent with the PAPR
 //! measurements — the places where two crates must agree about the world.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use wlan_core::math::rng::WlanRng;
 
 /// The MAC's frame-duration arithmetic must agree with the actual OFDM
 /// waveform length the PHY crate produces.
@@ -89,7 +88,7 @@ fn pa_backoff_consistent_with_measured_papr() {
     use wlan_core::ofdm::papr::ofdm_papr_ccdf;
     use wlan_core::ofdm::params::Modulation;
     use wlan_core::power::pa::{required_backoff_db, PaClass};
-    let mut rng = StdRng::seed_from_u64(60);
+    let mut rng = WlanRng::seed_from_u64(60);
     let ccdf = ofdm_papr_ccdf(Modulation::Qam64, 1500, &mut rng);
     let papr_01 = ccdf
         .points()
