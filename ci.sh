@@ -1,8 +1,28 @@
 #!/bin/sh
-# CI entry point. The workspace has zero external dependencies, so both
-# steps must succeed with no network access — --offline enforces that a
+# CI entry point. The workspace has zero external dependencies, so every
+# step must succeed with no network access — --offline enforces that a
 # registry dependency can never sneak back in.
 set -eux
 
 cargo build --release --offline
 cargo test -q --offline
+cargo clippy --workspace --offline -- -D warnings
+
+# Decode hot paths must stay panic-free: no new unwrap()/panic! outside
+# test code in the crates whose receivers the fault harness drives.
+# Test modules are trailing `#[cfg(test)]` blocks, so scanning stops at
+# that marker; `//` comment lines are skipped.
+for crate in coding mimo core; do
+    for f in crates/$crate/src/*.rs; do
+        awk '
+            /#\[cfg\(test\)\]/ { exit }
+            /^[[:space:]]*\/\// { next }
+            /\.unwrap\(\)|panic!\(/ {
+                printf "%s:%d: forbidden unwrap()/panic! in non-test code: %s\n",
+                       FILENAME, FNR, $0
+                found = 1
+            }
+            END { exit found }
+        ' "$f"
+    done
+done

@@ -68,6 +68,7 @@ fn experiment(c: &mut Timer) {
         "{:>14} {:>14} {:>12} {:>12}",
         "offered Mbps", "delivered", "mean delay", "p95 delay"
     );
+    use wlan_core::mac::arq::{ArqConfig, GeLossConfig};
     use wlan_core::mac::traffic::{simulate_traffic, TrafficConfig};
     for rate_hz in [20.0, 80.0, 140.0, 200.0, 300.0] {
         let out = simulate_traffic(&TrafficConfig {
@@ -77,6 +78,8 @@ fn experiment(c: &mut Timer) {
             arrival_rate_hz: rate_hz,
             sim_time_us: 3_000_000.0,
             seed: 13,
+            arq: ArqConfig::disabled(),
+            loss: GeLossConfig::clean(),
         });
         println!(
             "{:>14.1} {:>14.1} {:>9.1} ms {:>9.1} ms",

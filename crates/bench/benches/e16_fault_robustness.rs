@@ -1,0 +1,128 @@
+//! E16 — robustness under injected faults: every generation's PER under
+//! the fault catalog, and MAC goodput under bursty interference with and
+//! without ARQ and the RTS/CTS protection fallback.
+
+use wlan_bench::header;
+use wlan_bench::timing::Timer;
+use wlan_core::coding::CodeRate;
+use wlan_core::dsss::DsssRate;
+use wlan_core::fault::FaultKind;
+use wlan_core::linksim::{
+    sweep_per_faulted, DsssLink, FhssLink, HtLink, MimoLink, OfdmLink, PhyLink, StbcLink,
+};
+use wlan_core::mac::arq::{ArqConfig, GeLossConfig};
+use wlan_core::mac::params::MacProfile;
+use wlan_core::mac::traffic::{simulate_traffic, TrafficConfig};
+use wlan_core::ofdm::params::Modulation;
+use wlan_core::ofdm::OfdmRate;
+
+fn links() -> Vec<Box<dyn PhyLink>> {
+    vec![
+        Box::new(FhssLink),
+        Box::new(DsssLink {
+            rate: DsssRate::Cck11M,
+        }),
+        Box::new(OfdmLink::awgn(OfdmRate::R24)),
+        Box::new(HtLink {
+            modulation: Modulation::Qam16,
+            code_rate: CodeRate::R1_2,
+            ldpc: true,
+            fading: false,
+        }),
+        Box::new(MimoLink::flat(2, 2)),
+        Box::new(StbcLink::flat(1)),
+    ]
+}
+
+fn experiment(c: &mut Timer) {
+    header(
+        "E16",
+        "Fault robustness: PER under the fault catalog, goodput under bursty loss",
+    );
+
+    // ---- PHY: PER under each injector, severity 0 → 1 ------------------
+    let snr_db = 18.0;
+    println!("PER at {snr_db} dB, 100-byte frames, severity 0 / 0.5 / 1 (erasure share at 1):");
+    println!(
+        "{:>28} {:>20} {:>7} {:>7} {:>7} {:>9}",
+        "link", "fault", "s=0", "s=0.5", "s=1", "erasures"
+    );
+    for link in links() {
+        for kind in FaultKind::all() {
+            let pers: Vec<_> = [0.0, 0.5, 1.0]
+                .iter()
+                .map(|&s| {
+                    sweep_per_faulted(link.as_ref(), &kind.chain(s), &[snr_db], 100, 40, 16)
+                        .points[0]
+                })
+                .collect();
+            println!(
+                "{:>28} {:>20} {:>7.2} {:>7.2} {:>7.2} {:>9.2}",
+                link.name(),
+                kind.name(),
+                pers[0].per,
+                pers[1].per,
+                pers[2].per,
+                pers[2].erasure_rate
+            );
+        }
+    }
+
+    // ---- MAC: goodput under bursty interference -------------------------
+    println!("\nGoodput under bursty interference (802.11a 54 Mbps, 200 f/s Poisson per");
+    println!("station, microwave-style ~8 ms bursts killing 90 % of overlapping frames):");
+    let protect_all = ArqConfig {
+        max_retries: 6,
+        rts_cts_after: 0,
+        enabled: true,
+    };
+    let policies: [(&str, ArqConfig, GeLossConfig); 4] = [
+        ("clean channel", ArqConfig::disabled(), GeLossConfig::clean()),
+        ("bursty, no ARQ", ArqConfig::disabled(), GeLossConfig::bursty()),
+        ("bursty, ARQ", ArqConfig::basic(), GeLossConfig::bursty()),
+        ("bursty, ARQ+RTS/CTS", protect_all, GeLossConfig::bursty()),
+    ];
+    for n_stations in [10usize, 30] {
+        println!(
+            "\n{n_stations} stations:\n{:>22} {:>12} {:>9} {:>9} {:>11} {:>11}",
+            "MAC policy", "goodput Mbps", "retries", "dropped", "protected", "p95 delay"
+        );
+        for (label, arq, loss) in policies {
+            let out = simulate_traffic(&TrafficConfig {
+                profile: MacProfile::dot11a(54.0),
+                n_stations,
+                payload_bytes: 1500,
+                arrival_rate_hz: 200.0,
+                sim_time_us: 6_000_000.0,
+                seed: 16,
+                arq,
+                loss,
+            });
+            println!(
+                "{label:>22} {:>12.2} {:>9} {:>9} {:>11} {:>8.1} ms",
+                out.delivered_mbps,
+                out.retries,
+                out.dropped,
+                out.protected_tx,
+                out.p95_delay_us / 1000.0
+            );
+        }
+    }
+    println!(
+        "\nVerdict: bursts erase unprotected goodput and ARQ buys it back. RTS/CTS\n\
+         confines each burst hit to a 20-byte probe instead of a 1500-byte frame,\n\
+         which pays off once contention stacks collisions on top of the bursts;\n\
+         in a lightly contended cell the cheap fast retries burn the retry budget\n\
+         inside long bursts, so protection roughly breaks even there."
+    );
+
+    c.bench_function("e16_ofdm_burst_sweep", |b| {
+        let link = OfdmLink::awgn(OfdmRate::R24);
+        let chain = FaultKind::BurstInterference.chain(1.0);
+        b.iter(|| sweep_per_faulted(&link, &chain, &[snr_db], 100, 5, 16))
+    });
+}
+
+fn main() {
+    experiment(&mut Timer::from_env());
+}

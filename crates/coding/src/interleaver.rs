@@ -6,6 +6,8 @@
 //! less-significant constellation bit positions so deep fades do not wipe
 //! out runs of equally-unreliable bits.
 
+use wlan_math::WlanError;
+
 /// Block interleaver parameterized by coded bits per symbol (`n_cbps`) and
 /// coded bits per subcarrier (`n_bpsc`).
 ///
@@ -43,10 +45,9 @@ impl Interleaver {
 
         // Standard text defines where input bit k lands; build that map.
         let mut land = vec![0usize; n_cbps]; // land[k] = output index of input k
-        for k in 0..n_cbps {
+        for (k, slot) in land.iter_mut().enumerate() {
             let i = (n_cbps / 16) * (k % 16) + k / 16;
-            let j = s * (i / s) + (i + n_cbps - 16 * i / n_cbps) % s;
-            land[k] = j;
+            *slot = s * (i / s) + (i + n_cbps - 16 * i / n_cbps) % s;
         }
         let mut forward = vec![0usize; n_cbps];
         for (k, &j) in land.iter().enumerate() {
@@ -94,6 +95,18 @@ impl Interleaver {
         self.inverse.iter().map(|&k| llrs[k]).collect()
     }
 
+    /// Like [`Interleaver::deinterleave_soft`], but a wrong block size
+    /// returns [`WlanError::LengthMismatch`] instead of panicking.
+    pub fn try_deinterleave_soft(&self, llrs: &[f64]) -> Result<Vec<f64>, WlanError> {
+        if llrs.len() != self.n_cbps {
+            return Err(WlanError::LengthMismatch {
+                expected: self.n_cbps,
+                got: llrs.len(),
+            });
+        }
+        Ok(self.inverse.iter().map(|&k| llrs[k]).collect())
+    }
+
     /// Interleaves a multi-symbol stream symbol by symbol.
     ///
     /// # Panics
@@ -114,6 +127,22 @@ impl Interleaver {
         llrs.chunks(self.n_cbps)
             .flat_map(|c| self.deinterleave_soft(c))
             .collect()
+    }
+
+    /// Like [`Interleaver::deinterleave_stream_soft`], but a ragged stream
+    /// (truncated mid-symbol) returns [`WlanError::LengthMismatch`] instead
+    /// of panicking.
+    pub fn try_deinterleave_stream_soft(&self, llrs: &[f64]) -> Result<Vec<f64>, WlanError> {
+        if !llrs.len().is_multiple_of(self.n_cbps) {
+            return Err(WlanError::LengthMismatch {
+                expected: llrs.len().div_ceil(self.n_cbps) * self.n_cbps,
+                got: llrs.len(),
+            });
+        }
+        Ok(llrs
+            .chunks(self.n_cbps)
+            .flat_map(|c| self.deinterleave_soft(c))
+            .collect())
     }
 }
 
@@ -153,10 +182,9 @@ impl HtInterleaver {
         let n_cbps = n_col * n_row;
         let s = (n_bpsc / 2).max(1);
         let mut land = vec![0usize; n_cbps];
-        for k in 0..n_cbps {
+        for (k, slot) in land.iter_mut().enumerate() {
             let i = n_row * (k % n_col) + k / n_col;
-            let j = s * (i / s) + (i + n_cbps - n_col * i / n_cbps) % s;
-            land[k] = j;
+            *slot = s * (i / s) + (i + n_cbps - n_col * i / n_cbps) % s;
         }
         let mut forward = vec![0usize; n_cbps];
         for (k, &j) in land.iter().enumerate() {
@@ -227,6 +255,18 @@ impl HtInterleaver {
                 out
             })
             .collect()
+    }
+
+    /// Like [`HtInterleaver::deinterleave_stream_soft`], but a ragged
+    /// stream returns [`WlanError::LengthMismatch`] instead of panicking.
+    pub fn try_deinterleave_stream_soft(&self, llrs: &[f64]) -> Result<Vec<f64>, WlanError> {
+        if !llrs.len().is_multiple_of(self.n_cbps) {
+            return Err(WlanError::LengthMismatch {
+                expected: llrs.len().div_ceil(self.n_cbps) * self.n_cbps,
+                got: llrs.len(),
+            });
+        }
+        Ok(self.deinterleave_stream_soft(llrs))
     }
 }
 
@@ -314,6 +354,23 @@ mod tests {
     #[should_panic(expected = "multiple of 16")]
     fn rejects_bad_block_size() {
         let _ = Interleaver::new(50, 1);
+    }
+
+    #[test]
+    fn try_deinterleave_reports_ragged_blocks() {
+        let il = Interleaver::new(48, 1);
+        assert!(il.try_deinterleave_soft(&[0.0; 47]).is_err());
+        assert!(il.try_deinterleave_stream_soft(&[0.0; 49]).is_err());
+        let ok = il.try_deinterleave_stream_soft(&[0.5; 96]).unwrap();
+        assert_eq!(ok, il.deinterleave_stream_soft(&[0.5; 96]));
+
+        let ht = HtInterleaver::new_20mhz(2);
+        assert!(ht.try_deinterleave_stream_soft(&[0.0; 100]).is_err());
+        let n = ht.block_size();
+        assert_eq!(
+            ht.try_deinterleave_stream_soft(&vec![1.0; n]).unwrap().len(),
+            n
+        );
     }
 
     #[test]

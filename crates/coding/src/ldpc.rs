@@ -83,7 +83,7 @@ impl LdpcCode {
         // bounded retry.
         let mut rng = SplitMix64::new(seed.wrapping_add(0x9E37_79B9_7F4A_7C15));
         let mut pair_used = std::collections::HashSet::new();
-        for col in 0..k {
+        for (col, col_rows) in cols.iter_mut().enumerate().take(k) {
             let mut picked: Vec<usize> = Vec::with_capacity(3);
             let mut attempts = 0;
             while picked.len() < 3 {
@@ -109,18 +109,18 @@ impl LdpcCode {
             }
             for &r in &picked {
                 rows[r].push(col);
-                cols[col].push(r);
+                col_rows.push(r);
             }
         }
 
         // Dual-diagonal accumulator P: check i touches parity cols i and i−1.
-        for i in 0..m {
+        for (i, row) in rows.iter_mut().enumerate() {
             let pc = k + i;
-            rows[i].push(pc);
+            row.push(pc);
             cols[pc].push(i);
             if i > 0 {
                 let prev = k + i - 1;
-                rows[i].push(prev);
+                row.push(prev);
                 cols[prev].push(i);
             }
         }
@@ -207,6 +207,28 @@ impl LdpcCode {
     pub fn decode(&self, llrs: &[f64], max_iters: usize, variant: MinSum) -> LdpcDecode {
         let n = self.codeword_len();
         assert_eq!(llrs.len(), n, "LLR length mismatch");
+        self.decode_checked(llrs, max_iters, variant)
+    }
+
+    /// Like [`LdpcCode::decode`], but a mis-sized LLR block (a truncated
+    /// codeword) returns [`wlan_math::WlanError::LengthMismatch`] instead
+    /// of panicking.
+    pub fn try_decode(
+        &self,
+        llrs: &[f64],
+        max_iters: usize,
+        variant: MinSum,
+    ) -> Result<LdpcDecode, wlan_math::WlanError> {
+        if llrs.len() != self.codeword_len() {
+            return Err(wlan_math::WlanError::LengthMismatch {
+                expected: self.codeword_len(),
+                got: llrs.len(),
+            });
+        }
+        Ok(self.decode_checked(llrs, max_iters, variant))
+    }
+
+    fn decode_checked(&self, llrs: &[f64], max_iters: usize, variant: MinSum) -> LdpcDecode {
         let alpha = match variant {
             MinSum::Plain => 1.0,
             MinSum::Normalized(a) => a,
@@ -452,5 +474,27 @@ mod tests {
     #[should_panic(expected = "information length mismatch")]
     fn encode_length_checked() {
         let _ = test_code().encode(&[0, 1]);
+    }
+
+    #[test]
+    fn try_decode_reports_truncated_codewords() {
+        let code = test_code();
+        let err = code
+            .try_decode(&vec![0.0; code.codeword_len() - 3], 10, MinSum::Plain)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            wlan_math::WlanError::LengthMismatch {
+                expected: code.codeword_len(),
+                got: code.codeword_len() - 3,
+            }
+        );
+        // The happy path agrees with the panicking decoder.
+        let info: Vec<u8> = (0..code.info_len()).map(|i| (i % 2) as u8).collect();
+        let cw = code.encode(&info);
+        let llrs: Vec<f64> = cw.iter().map(|&b| if b == 0 { 4.0 } else { -4.0 }).collect();
+        let out = code.try_decode(&llrs, 20, MinSum::Plain).unwrap();
+        assert_eq!(out, code.decode(&llrs, 20, MinSum::Plain));
+        assert!(out.converged);
     }
 }

@@ -5,6 +5,7 @@
 //! is one of the design-choice ablations benchmarked in experiment E6.
 
 use crate::convolutional::{trellis_step, NUM_STATES};
+use wlan_math::WlanError;
 
 /// Viterbi decoder for the K=7, (133, 171) code with zero termination.
 ///
@@ -39,11 +40,20 @@ impl ViterbiDecoder {
     ///
     /// # Panics
     ///
-    /// Panics if `coded.len() != (num_info + 6) * 2`.
+    /// Panics if `coded.len() != (num_info + 6) * 2`; see
+    /// [`ViterbiDecoder::try_decode_hard`] for the non-panicking variant.
     pub fn decode_hard(&self, coded: &[u8], num_info: usize) -> Vec<u8> {
         // Map hard bits to bipolar soft values: 0 → +1, 1 → −1.
         let llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
         self.decode_soft(&llrs, num_info)
+    }
+
+    /// Like [`ViterbiDecoder::decode_hard`], but reports a truncated or
+    /// mis-sized input as a typed error instead of panicking — the form the
+    /// fault-injection sweeps rely on.
+    pub fn try_decode_hard(&self, coded: &[u8], num_info: usize) -> Result<Vec<u8>, WlanError> {
+        let llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+        self.try_decode_soft(&llrs, num_info)
     }
 
     /// Decodes soft log-likelihood ratios.
@@ -53,7 +63,8 @@ impl ViterbiDecoder {
     ///
     /// # Panics
     ///
-    /// Panics if `llrs.len() != (num_info + 6) * 2`.
+    /// Panics if `llrs.len() != (num_info + 6) * 2`; see
+    /// [`ViterbiDecoder::try_decode_soft`] for the non-panicking variant.
     pub fn decode_soft(&self, llrs: &[f64], num_info: usize) -> Vec<u8> {
         let total_steps = num_info + 6;
         assert_eq!(
@@ -64,6 +75,19 @@ impl ViterbiDecoder {
         self.run_trellis(llrs, total_steps, num_info, true)
     }
 
+    /// Like [`ViterbiDecoder::decode_soft`], but a mis-sized LLR block
+    /// returns [`WlanError::LengthMismatch`] instead of panicking.
+    pub fn try_decode_soft(&self, llrs: &[f64], num_info: usize) -> Result<Vec<u8>, WlanError> {
+        let total_steps = num_info + 6;
+        if llrs.len() != total_steps * 2 {
+            return Err(WlanError::LengthMismatch {
+                expected: total_steps * 2,
+                got: llrs.len(),
+            });
+        }
+        Ok(self.run_trellis(llrs, total_steps, num_info, true))
+    }
+
     /// Decodes a stream that is *not* zero-terminated (e.g. the 802.11a DATA
     /// field, whose pad bits follow the tail): traceback starts from the
     /// best-metric end state instead of state 0. All `num_bits` inputs are
@@ -71,10 +95,28 @@ impl ViterbiDecoder {
     ///
     /// # Panics
     ///
-    /// Panics if `llrs.len() != num_bits * 2`.
+    /// Panics if `llrs.len() != num_bits * 2`; see
+    /// [`ViterbiDecoder::try_decode_soft_unterminated`] for the
+    /// non-panicking variant.
     pub fn decode_soft_unterminated(&self, llrs: &[f64], num_bits: usize) -> Vec<u8> {
         assert_eq!(llrs.len(), num_bits * 2, "coded length must be num_bits * 2");
         self.run_trellis(llrs, num_bits, num_bits, false)
+    }
+
+    /// Like [`ViterbiDecoder::decode_soft_unterminated`], but a mis-sized
+    /// LLR block returns [`WlanError::LengthMismatch`] instead of panicking.
+    pub fn try_decode_soft_unterminated(
+        &self,
+        llrs: &[f64],
+        num_bits: usize,
+    ) -> Result<Vec<u8>, WlanError> {
+        if llrs.len() != num_bits * 2 {
+            return Err(WlanError::LengthMismatch {
+                expected: num_bits * 2,
+                got: llrs.len(),
+            });
+        }
+        Ok(self.run_trellis(llrs, num_bits, num_bits, false))
     }
 
     fn run_trellis(
@@ -235,5 +277,36 @@ mod tests {
     #[should_panic(expected = "(num_info + 6) * 2")]
     fn length_mismatch_panics() {
         let _ = ViterbiDecoder::new().decode_hard(&[0, 1, 0], 4);
+    }
+
+    #[test]
+    fn try_variants_report_typed_errors() {
+        use wlan_math::WlanError;
+        let dec = ViterbiDecoder::new();
+        assert_eq!(
+            dec.try_decode_hard(&[0, 1, 0], 4).unwrap_err(),
+            WlanError::LengthMismatch { expected: 20, got: 3 }
+        );
+        assert_eq!(
+            dec.try_decode_soft_unterminated(&[0.0; 5], 4).unwrap_err(),
+            WlanError::LengthMismatch { expected: 8, got: 5 }
+        );
+    }
+
+    #[test]
+    fn try_variants_agree_with_panicking_ones() {
+        let data: Vec<u8> = (0..32).map(|i| (i % 3 == 0) as u8).collect();
+        let coded = ConvEncoder::new().encode_terminated(&data);
+        let dec = ViterbiDecoder::new();
+        assert_eq!(
+            dec.try_decode_hard(&coded, data.len()).unwrap(),
+            dec.decode_hard(&coded, data.len())
+        );
+        let stream = ConvEncoder::new().encode(&data);
+        let llrs: Vec<f64> = stream.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+        assert_eq!(
+            dec.try_decode_soft_unterminated(&llrs, data.len()).unwrap(),
+            dec.decode_soft_unterminated(&llrs, data.len())
+        );
     }
 }

@@ -48,6 +48,7 @@ pub use wlan_channel as channel;
 pub use wlan_coding as coding;
 pub use wlan_coop as coop;
 pub use wlan_dsss as dsss;
+pub use wlan_fault as fault;
 pub use wlan_mac as mac;
 pub use wlan_math as math;
 pub use wlan_mesh as mesh;

@@ -14,7 +14,9 @@ use wlan_math::rng::{Rng, WlanRng};
 use wlan_channel::mimo::MimoMultipathChannel;
 use wlan_channel::{Awgn, MultipathChannel, PowerDelayProfile};
 use wlan_dsss::{DsssPhy, DsssRate};
+use wlan_fault::FaultChain;
 use wlan_math::special::db_to_lin;
+use wlan_math::WlanError;
 use wlan_mimo::detect::Detector;
 use wlan_mimo::phy::{propagate, MimoOfdmConfig, MimoOfdmPhy};
 use wlan_ofdm::params::Modulation;
@@ -43,8 +45,25 @@ pub struct PerCurve {
 impl PerCurve {
     /// The lowest swept SNR achieving `per_target`, linearly interpolated;
     /// `None` when even the top of the sweep fails.
+    ///
+    /// The curve is *assumed* monotone non-increasing in SNR — more signal
+    /// never hurts a sane receiver. Measured curves can still wiggle from
+    /// Monte-Carlo noise, so this scans for the first bracketing pair
+    /// rather than bisecting, which keeps the answer at the *lowest*
+    /// qualifying SNR even through a local non-monotonic dip. Points whose
+    /// PER is NaN (e.g. placeholder entries from an aborted sweep) are
+    /// skipped rather than poisoning every comparison around them.
     pub fn snr_for_per(&self, per_target: f64) -> Option<f64> {
-        for w in self.points.windows(2) {
+        if !per_target.is_finite() {
+            return None;
+        }
+        let pts: Vec<&PerPoint> = self.points.iter().filter(|p| p.per.is_finite()).collect();
+        if let Some(first) = pts.first() {
+            if first.per <= per_target {
+                return Some(first.snr_db);
+            }
+        }
+        for w in pts.windows(2) {
             if w[0].per >= per_target && w[1].per <= per_target {
                 let span = w[0].per - w[1].per;
                 if span <= 0.0 {
@@ -54,8 +73,7 @@ impl PerCurve {
                 return Some(w[0].snr_db + frac * (w[1].snr_db - w[0].snr_db));
             }
         }
-        self.points
-            .last()
+        pts.last()
             .filter(|p| p.per <= per_target)
             .map(|p| p.snr_db)
     }
@@ -69,9 +87,76 @@ pub trait PhyLink {
     /// Nominal PHY rate in Mbps.
     fn rate_mbps(&self) -> f64;
 
-    /// Transmits one frame of `payload` bytes at `snr_db`; returns `true`
-    /// when the receiver recovered it bit-exactly.
-    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut WlanRng) -> bool;
+    /// Transmits one frame of `payload` bytes at `snr_db` with `faults`
+    /// applied to the received samples (after the channel and noise, i.e.
+    /// at the receiver front end).
+    ///
+    /// Returns `Ok(true)` when the receiver recovered the payload
+    /// bit-exactly, `Ok(false)` when it produced the wrong bits, and
+    /// `Err` when the receiver *detected* the frame was undecodable (a
+    /// typed erasure — truncated stream, singular channel, bad SIGNAL
+    /// field). Implementations must never panic on faulted input, and
+    /// with a clean chain must consume exactly the RNG draws the
+    /// pre-fault [`PhyLink::frame_trial`] consumed, so seeded sweeps stay
+    /// bit-identical.
+    fn frame_trial_faulted(
+        &self,
+        snr_db: f64,
+        payload: &[u8],
+        faults: &FaultChain,
+        rng: &mut WlanRng,
+    ) -> Result<bool, WlanError>;
+
+    /// Transmits one frame of `payload` bytes at `snr_db` over the clean
+    /// (fault-free) link; returns `true` when the receiver recovered it
+    /// bit-exactly. Erasures count as failures.
+    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut WlanRng) -> bool {
+        self.frame_trial_faulted(snr_db, payload, &FaultChain::clean(), rng)
+            .unwrap_or(false)
+    }
+}
+
+/// One point of a faulted PER sweep: the PER plus how much of it the
+/// receiver *detected* (typed erasures) versus silently got wrong.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSweepPoint {
+    /// SNR in dB.
+    pub snr_db: f64,
+    /// Measured frame error rate (erasures plus wrong payloads).
+    pub per: f64,
+    /// Fraction of trials ending in a typed erasure ([`WlanError`]).
+    pub erasure_rate: f64,
+}
+
+/// A PER-versus-SNR curve measured under a fault chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSweep {
+    /// Link name (for reports).
+    pub name: String,
+    /// Fault chain name ("clean" when no faults).
+    pub fault: String,
+    /// PHY rate in Mbps.
+    pub rate_mbps: f64,
+    /// Sweep points, ascending in SNR.
+    pub points: Vec<FaultSweepPoint>,
+}
+
+impl FaultSweep {
+    /// Drops the erasure accounting, leaving the plain PER curve.
+    pub fn into_per_curve(self) -> PerCurve {
+        PerCurve {
+            name: self.name,
+            rate_mbps: self.rate_mbps,
+            points: self
+                .points
+                .into_iter()
+                .map(|p| PerPoint {
+                    snr_db: p.snr_db,
+                    per: p.per,
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Sweeps SNR and measures PER with `frames` trials per point.
@@ -86,6 +171,28 @@ pub fn sweep_per(
     frames: usize,
     seed: u64,
 ) -> PerCurve {
+    sweep_per_faulted(link, &FaultChain::clean(), snrs_db, payload_len, frames, seed)
+        .into_per_curve()
+}
+
+/// Sweeps SNR under a fault chain, counting typed erasures separately
+/// from silent payload corruption.
+///
+/// With a clean chain this draws exactly the same RNG sequence as
+/// [`sweep_per`] (the chain consumes no draws), so the two agree
+/// bit-for-bit for a given seed.
+///
+/// # Panics
+///
+/// Panics if `frames` is zero or `payload_len` is zero.
+pub fn sweep_per_faulted(
+    link: &dyn PhyLink,
+    faults: &FaultChain,
+    snrs_db: &[f64],
+    payload_len: usize,
+    frames: usize,
+    seed: u64,
+) -> FaultSweep {
     assert!(frames > 0, "need at least one frame per point");
     assert!(payload_len > 0, "payload must be nonempty");
     let mut rng = WlanRng::seed_from_u64(seed);
@@ -93,20 +200,28 @@ pub fn sweep_per(
         .iter()
         .map(|&snr| {
             let mut errors = 0usize;
+            let mut erasures = 0usize;
             for _ in 0..frames {
                 let payload: Vec<u8> = (0..payload_len).map(|_| rng.gen()).collect();
-                if !link.frame_trial(snr, &payload, &mut rng) {
-                    errors += 1;
+                match link.frame_trial_faulted(snr, &payload, faults, &mut rng) {
+                    Ok(true) => {}
+                    Ok(false) => errors += 1,
+                    Err(_) => {
+                        errors += 1;
+                        erasures += 1;
+                    }
                 }
             }
-            PerPoint {
+            FaultSweepPoint {
                 snr_db: snr,
                 per: errors as f64 / frames as f64,
+                erasure_rate: erasures as f64 / frames as f64,
             }
         })
         .collect();
-    PerCurve {
+    FaultSweep {
         name: link.name(),
+        fault: faults.name(),
         rate_mbps: link.rate_mbps(),
         points,
     }
@@ -128,13 +243,29 @@ impl PhyLink for DsssLink {
         self.rate.rate_mbps()
     }
 
-    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut WlanRng) -> bool {
+    fn frame_trial_faulted(
+        &self,
+        snr_db: f64,
+        payload: &[u8],
+        faults: &FaultChain,
+        rng: &mut WlanRng,
+    ) -> Result<bool, WlanError> {
         let phy = DsssPhy::new(self.rate);
         let bits = wlan_coding::bits::bytes_to_bits(payload);
         let chips = phy.transmit(&bits);
-        let noisy = Awgn::from_snr_db(snr_db).apply(&chips, rng);
+        let sent = chips.len();
+        let mut noisy = Awgn::from_snr_db(snr_db).apply(&chips, rng);
+        faults.inject(&mut noisy, rng);
+        // The despreaders demand whole symbols; a shortened chip stream is
+        // a detected loss, not a panic.
+        if noisy.len() < sent {
+            return Err(WlanError::FrameTruncated {
+                needed: sent,
+                got: noisy.len(),
+            });
+        }
         let rx = phy.receive(&noisy);
-        rx[..bits.len()] == bits[..]
+        Ok(rx[..bits.len()] == bits[..])
     }
 }
 
@@ -169,7 +300,13 @@ impl PhyLink for OfdmLink {
         self.rate.rate_mbps()
     }
 
-    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut WlanRng) -> bool {
+    fn frame_trial_faulted(
+        &self,
+        snr_db: f64,
+        payload: &[u8],
+        faults: &FaultChain,
+        rng: &mut WlanRng,
+    ) -> Result<bool, WlanError> {
         let phy = OfdmPhy::new(self.rate);
         let frame = phy.transmit(payload);
         let faded = match &self.multipath {
@@ -181,8 +318,14 @@ impl PhyLink for OfdmLink {
             }
             None => frame,
         };
-        let noisy = Awgn::from_snr_db(snr_db).apply(&faded, rng);
-        phy.receive(&noisy).map(|p| p == payload).unwrap_or(false)
+        let mut noisy = Awgn::from_snr_db(snr_db).apply(&faded, rng);
+        faults.inject(&mut noisy, rng);
+        // The OFDM receiver is already fallible: a stream it cannot frame
+        // (short, bad SIGNAL parity, rate mismatch) is a detected erasure.
+        match phy.receive(&noisy) {
+            Ok(p) => Ok(p == payload),
+            Err(_) => Err(WlanError::SignalInvalid),
+        }
     }
 }
 
@@ -240,13 +383,20 @@ impl PhyLink for MimoLink {
         self.phy().rate_mbps()
     }
 
-    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut WlanRng) -> bool {
+    fn frame_trial_faulted(
+        &self,
+        snr_db: f64,
+        payload: &[u8],
+        faults: &FaultChain,
+        rng: &mut WlanRng,
+    ) -> Result<bool, WlanError> {
         let phy = self.phy();
         let n0 = db_to_lin(-snr_db);
         let ch = MimoMultipathChannel::realize(self.n_rx, self.n_streams, &self.pdp, rng);
         let tx = phy.transmit(payload);
-        let rx = propagate(&ch, &tx, n0, rng);
-        phy.receive(&rx, n0, payload.len()) == payload
+        let mut rx = propagate(&ch, &tx, n0, rng);
+        faults.inject_streams(&mut rx, rng);
+        Ok(phy.try_receive(&rx, n0, payload.len())? == payload)
     }
 }
 
@@ -282,7 +432,13 @@ impl PhyLink for HtLink {
         }
     }
 
-    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut WlanRng) -> bool {
+    fn frame_trial_faulted(
+        &self,
+        snr_db: f64,
+        payload: &[u8],
+        faults: &FaultChain,
+        rng: &mut WlanRng,
+    ) -> Result<bool, WlanError> {
         let fade = if self.fading {
             wlan_channel::noise::complex_gaussian(rng)
         } else {
@@ -291,16 +447,18 @@ impl PhyLink for HtLink {
         let apply = |frame: Vec<wlan_math::Complex>, rng: &mut WlanRng| {
             let faded: Vec<wlan_math::Complex> =
                 frame.into_iter().map(|s| s * fade).collect();
-            Awgn::from_snr_db(snr_db).apply(&faded, rng)
+            let mut noisy = Awgn::from_snr_db(snr_db).apply(&faded, rng);
+            faults.inject(&mut noisy, rng);
+            noisy
         };
         if self.ldpc {
             let phy = wlan_mimo::ht_ldpc::HtLdpcPhy::new(self.modulation, self.code_rate);
             let rx = apply(phy.transmit(payload), rng);
-            phy.receive(&rx, payload.len()) == payload
+            Ok(phy.try_receive(&rx, payload.len())? == payload)
         } else {
             let phy = wlan_mimo::ht::HtPhy::new(self.modulation, self.code_rate);
             let rx = apply(phy.transmit(payload), rng);
-            phy.receive(&rx, payload.len()) == payload
+            Ok(phy.try_receive(&rx, payload.len())? == payload)
         }
     }
 }
@@ -319,13 +477,29 @@ impl PhyLink for FhssLink {
         1.0
     }
 
-    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut WlanRng) -> bool {
+    fn frame_trial_faulted(
+        &self,
+        snr_db: f64,
+        payload: &[u8],
+        faults: &FaultChain,
+        rng: &mut WlanRng,
+    ) -> Result<bool, WlanError> {
         use wlan_dsss::fhss::FskModem;
         let modem = FskModem::new(8);
         let bits = wlan_coding::bits::bytes_to_bits(payload);
         let samples = modem.modulate(&bits);
-        let noisy = Awgn::from_snr_db(snr_db).apply(&samples, rng);
-        modem.demodulate(&noisy) == bits
+        let sent = samples.len();
+        let mut noisy = Awgn::from_snr_db(snr_db).apply(&samples, rng);
+        faults.inject(&mut noisy, rng);
+        // The noncoherent detector demands whole FSK symbols; a shortened
+        // dwell is a detected loss, not a panic.
+        if noisy.len() < sent {
+            return Err(WlanError::FrameTruncated {
+                needed: sent,
+                got: noisy.len(),
+            });
+        }
+        Ok(modem.demodulate(&noisy) == bits)
     }
 }
 
@@ -368,13 +542,20 @@ impl PhyLink for StbcLink {
         self.phy().rate_mbps()
     }
 
-    fn frame_trial(&self, snr_db: f64, payload: &[u8], rng: &mut WlanRng) -> bool {
+    fn frame_trial_faulted(
+        &self,
+        snr_db: f64,
+        payload: &[u8],
+        faults: &FaultChain,
+        rng: &mut WlanRng,
+    ) -> Result<bool, WlanError> {
         let phy = self.phy();
         let n0 = db_to_lin(-snr_db);
         let ch = MimoMultipathChannel::realize(self.n_rx, 2, &self.pdp, rng);
         let tx = phy.transmit(payload);
-        let rx = propagate(&ch, &tx, n0, rng);
-        phy.receive(&rx, n0, payload.len()) == payload
+        let mut rx = propagate(&ch, &tx, n0, rng);
+        faults.inject_streams(&mut rx, rng);
+        Ok(phy.try_receive(&rx, n0, payload.len())? == payload)
     }
 }
 
@@ -506,5 +687,99 @@ mod tests {
         let a = sweep_per(&link, &[5.0], 30, 20, 9);
         let b = sweep_per(&link, &[5.0], 30, 20, 9);
         assert_eq!(a, b);
+    }
+
+    fn curve_of(pairs: &[(f64, f64)]) -> PerCurve {
+        PerCurve {
+            name: "test".into(),
+            rate_mbps: 1.0,
+            points: pairs
+                .iter()
+                .map(|&(snr_db, per)| PerPoint { snr_db, per })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn snr_for_per_skips_nan_points() {
+        let curve = curve_of(&[(0.0, 1.0), (5.0, f64::NAN), (10.0, 0.0)]);
+        let snr = curve.snr_for_per(0.5).unwrap();
+        assert!((snr - 5.0).abs() < 1e-9, "interpolated across NaN: {snr}");
+        assert_eq!(curve_of(&[(0.0, f64::NAN)]).snr_for_per(0.1), None);
+    }
+
+    #[test]
+    fn snr_for_per_survives_monte_carlo_wiggle() {
+        // A non-monotonic dip below target followed by a bounce back up:
+        // the first bracketing pair wins, and nothing panics or lies.
+        let curve = curve_of(&[(0.0, 0.9), (2.0, 0.05), (4.0, 0.2), (6.0, 0.0)]);
+        let snr = curve.snr_for_per(0.1).unwrap();
+        assert!(snr > 0.0 && snr < 2.0, "first crossing, got {snr}");
+    }
+
+    #[test]
+    fn snr_for_per_honours_an_already_good_first_point() {
+        let curve = curve_of(&[(3.0, 0.02), (6.0, 0.0)]);
+        assert_eq!(curve.snr_for_per(0.1), Some(3.0));
+    }
+
+    #[test]
+    fn snr_for_per_rejects_nan_target() {
+        let curve = curve_of(&[(0.0, 1.0), (10.0, 0.0)]);
+        assert_eq!(curve.snr_for_per(f64::NAN), None);
+    }
+
+    #[test]
+    fn clean_faulted_sweep_matches_sweep_per_bit_for_bit() {
+        use wlan_fault::FaultChain;
+        let link = OfdmLink::awgn(OfdmRate::R12);
+        let plain = sweep_per(&link, &[6.0, 10.0], 40, 15, 31);
+        let faulted =
+            sweep_per_faulted(&link, &FaultChain::clean(), &[6.0, 10.0], 40, 15, 31);
+        assert_eq!(faulted.fault, "clean");
+        assert_eq!(faulted.clone().into_per_curve(), plain);
+        assert!(faulted.points.iter().all(|p| p.erasure_rate == 0.0));
+    }
+
+    #[test]
+    fn truncation_faults_surface_as_erasures_not_panics() {
+        use wlan_fault::FaultKind;
+        let chain = FaultKind::FrameTruncation.chain(1.0);
+        for link in [
+            &DsssLink {
+                rate: DsssRate::Dbpsk1M,
+            } as &dyn PhyLink,
+            &FhssLink,
+        ] {
+            let sweep = sweep_per_faulted(link, &chain, &[20.0], 30, 10, 5);
+            let p = sweep.points[0];
+            assert!(p.per >= p.erasure_rate);
+            assert!(
+                p.erasure_rate > 0.0,
+                "{}: hard truncation must be detected",
+                sweep.name
+            );
+        }
+    }
+
+    #[test]
+    fn burst_interference_degrades_ofdm() {
+        use wlan_fault::FaultKind;
+        let link = OfdmLink::awgn(OfdmRate::R24);
+        let clean = sweep_per(&link, &[12.0], 60, 20, 11);
+        let jammed = sweep_per_faulted(
+            &link,
+            &FaultKind::BurstInterference.chain(1.0),
+            &[12.0],
+            60,
+            20,
+            11,
+        );
+        assert!(
+            jammed.points[0].per >= clean.points[0].per,
+            "jammed {} vs clean {}",
+            jammed.points[0].per,
+            clean.points[0].per
+        );
     }
 }

@@ -1,0 +1,96 @@
+//! ADC clipping/saturation of the receive front end.
+
+use crate::FaultInjector;
+use wlan_math::complex::mean_power;
+use wlan_math::rng::WlanRng;
+use wlan_math::Complex;
+
+/// Clips sample magnitudes at a threshold relative to the frame's RMS
+/// level, preserving phase — the classic saturating-ADC nonlinearity.
+///
+/// A threshold of `2.5` barely grazes OFDM peaks; `0.3` crushes the whole
+/// constellation. The injector is fully deterministic (zero RNG draws),
+/// so it is trivially CRN-safe.
+#[derive(Debug, Clone)]
+pub struct AdcClip {
+    threshold_rel: f64,
+}
+
+impl AdcClip {
+    /// Creates a clipper with the given threshold in units of frame RMS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is NaN or non-positive (`+inf` is allowed
+    /// and acts as the identity).
+    pub fn new(threshold_rel: f64) -> Self {
+        assert!(
+            !threshold_rel.is_nan() && threshold_rel > 0.0,
+            "clip threshold must be positive"
+        );
+        AdcClip { threshold_rel }
+    }
+}
+
+impl FaultInjector for AdcClip {
+    fn name(&self) -> &'static str {
+        "adc-clip"
+    }
+
+    fn inject(&self, samples: &mut Vec<Complex>, _rng: &mut WlanRng) {
+        let power = mean_power(samples);
+        if power <= 0.0 || !power.is_finite() {
+            return;
+        }
+        let threshold = self.threshold_rel * power.sqrt();
+        for s in samples.iter_mut() {
+            let mag = s.norm();
+            if mag > threshold {
+                *s = s.scale(threshold / mag);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_channel::noise::complex_gaussian;
+
+    #[test]
+    fn clipping_caps_peak_magnitude() {
+        let mut rng = WlanRng::seed_from_u64(8);
+        let mut samples: Vec<Complex> = (0..512).map(|_| complex_gaussian(&mut rng)).collect();
+        let rms = mean_power(&samples).sqrt();
+        let inj = AdcClip::new(0.5);
+        inj.inject(&mut samples, &mut WlanRng::seed_from_u64(0));
+        let peak = samples.iter().map(|s| s.norm()).fold(0.0, f64::max);
+        assert!(peak <= 0.5 * rms * (1.0 + 1e-9), "peak {peak} vs rms {rms}");
+    }
+
+    #[test]
+    fn phases_survive_clipping() {
+        let mut samples = vec![Complex::new(3.0, 4.0), Complex::new(0.1, 0.0)];
+        let inj = AdcClip::new(0.5);
+        let arg_before = samples[0].arg();
+        inj.inject(&mut samples, &mut WlanRng::seed_from_u64(0));
+        assert!((samples[0].arg() - arg_before).abs() < 1e-12);
+        // The small sample is under the threshold and untouched.
+        assert_eq!(samples[1], Complex::new(0.1, 0.0));
+    }
+
+    #[test]
+    fn infinite_threshold_is_identity() {
+        let mut samples = vec![Complex::new(10.0, -10.0); 8];
+        let before = samples.clone();
+        AdcClip::new(f64::INFINITY).inject(&mut samples, &mut WlanRng::seed_from_u64(0));
+        assert_eq!(samples, before);
+    }
+
+    #[test]
+    fn all_zero_frame_is_tolerated() {
+        let mut samples = vec![Complex::ZERO; 16];
+        AdcClip::new(0.3).inject(&mut samples, &mut WlanRng::seed_from_u64(0));
+        assert!(samples.iter().all(|s| *s == Complex::ZERO));
+    }
+}

@@ -1,0 +1,105 @@
+//! A co-channel collision pulse: one contiguous burst of strong Gaussian
+//! interference, modelling a hidden terminal's frame landing on top of
+//! ours.
+
+use crate::FaultInjector;
+use wlan_channel::noise::complex_gaussian;
+use wlan_math::rng::{Rng, WlanRng};
+use wlan_math::Complex;
+
+/// Adds one interference pulse of configurable power over a window
+/// covering a fixed fraction of the frame, at a seeded random offset.
+///
+/// The window *position* and the interference realization are drawn from
+/// the RNG for every frame regardless of `power`, so sweeping power with a
+/// fixed seed jams the same window harder (common random numbers).
+#[derive(Debug, Clone)]
+pub struct CollisionPulse {
+    power: f64,
+    duty: f64,
+}
+
+impl CollisionPulse {
+    /// Creates a pulse of the given power covering `duty` of the frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `power >= 0` and `duty` lies in `(0, 1]`, all finite.
+    pub fn new(power: f64, duty: f64) -> Self {
+        assert!(
+            power.is_finite() && power >= 0.0,
+            "pulse power must be finite and non-negative"
+        );
+        assert!(
+            duty.is_finite() && duty > 0.0 && duty <= 1.0,
+            "pulse duty cycle must lie in (0, 1]"
+        );
+        CollisionPulse { power, duty }
+    }
+}
+
+impl FaultInjector for CollisionPulse {
+    fn name(&self) -> &'static str {
+        "collision-pulse"
+    }
+
+    fn inject(&self, samples: &mut Vec<Complex>, rng: &mut WlanRng) {
+        let n = samples.len();
+        if n == 0 {
+            return;
+        }
+        let win = ((n as f64 * self.duty).round() as usize).clamp(1, n);
+        let start = rng.gen_range(0..=(n - win));
+        let amp = self.power.sqrt();
+        for s in &mut samples[start..start + win] {
+            let z = complex_gaussian(rng);
+            *s += z.scale(amp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_math::complex::mean_power;
+
+    #[test]
+    fn pulse_is_confined_to_one_window() {
+        let inj = CollisionPulse::new(9.0, 0.25);
+        let mut samples = vec![Complex::ZERO; 1000];
+        inj.inject(&mut samples, &mut WlanRng::seed_from_u64(3));
+        let hit: Vec<usize> = samples
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.norm_sqr() > 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(hit.len(), 250, "window covers exactly duty * n samples");
+        assert_eq!(hit.last().unwrap() - hit.first().unwrap() + 1, hit.len());
+    }
+
+    #[test]
+    fn zero_power_is_identity() {
+        let inj = CollisionPulse::new(0.0, 0.25);
+        let mut samples = vec![Complex::ONE; 64];
+        inj.inject(&mut samples, &mut WlanRng::seed_from_u64(4));
+        assert!(samples.iter().all(|s| *s == Complex::ONE));
+    }
+
+    #[test]
+    fn pulse_power_matches_configuration() {
+        let inj = CollisionPulse::new(16.0, 1.0);
+        let mut samples = vec![Complex::ZERO; 20_000];
+        inj.inject(&mut samples, &mut WlanRng::seed_from_u64(5));
+        let p = mean_power(&samples);
+        assert!((p - 16.0).abs() < 1.0, "mean pulse power {p}");
+    }
+
+    #[test]
+    fn empty_frame_is_tolerated() {
+        let inj = CollisionPulse::new(4.0, 0.5);
+        let mut samples: Vec<Complex> = Vec::new();
+        inj.inject(&mut samples, &mut WlanRng::seed_from_u64(6));
+        assert!(samples.is_empty());
+    }
+}

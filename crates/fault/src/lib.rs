@@ -1,0 +1,232 @@
+//! `wlan-fault` — deterministic, seeded fault injection for link simulation.
+//!
+//! The paper's robustness story is about *hostile* channels: bursty
+//! co-channel interference, radar-triggered channel switches, saturating
+//! front ends. This crate models those as composable [`FaultInjector`]s
+//! that perturb a frame's post-channel baseband samples before the
+//! receiver sees them, so every generation's full TX→channel→RX chain can
+//! be swept through the same catalog of faults in `wlan_core::linksim`.
+//!
+//! Design rules that every injector obeys:
+//!
+//! 1. **Determinism** — all randomness comes from the caller's
+//!    [`WlanRng`]; the same seed reproduces the same fault bit-exactly.
+//! 2. **Common random numbers** — the number of RNG draws an injector
+//!    consumes does not depend on its severity, only on the frame length.
+//!    Sweeping severity with a fixed seed therefore perturbs *the same*
+//!    realization harder, which makes PER monotone in severity without
+//!    Monte-Carlo noise fighting the comparison.
+//! 3. **Severity scale** — [`FaultKind::chain`] maps a severity in
+//!    `[0, 1]` onto each injector's natural parameter; severity 0 is the
+//!    identity (or negligibly close), severity 1 is destructive.
+//!
+//! # Examples
+//!
+//! ```
+//! use wlan_fault::{FaultKind, FaultChain};
+//! use wlan_math::rng::WlanRng;
+//! use wlan_math::Complex;
+//!
+//! let chain = FaultKind::BurstInterference.chain(0.8);
+//! let mut rng = WlanRng::seed_from_u64(7);
+//! let mut frame = vec![Complex::ONE; 320];
+//! chain.inject(&mut frame, &mut rng);
+//! // Same seed, same fault:
+//! let mut rng2 = WlanRng::seed_from_u64(7);
+//! let mut frame2 = vec![Complex::ONE; 320];
+//! chain.inject(&mut frame2, &mut rng2);
+//! assert_eq!(frame, frame2);
+//! ```
+
+pub mod chain;
+pub mod clip;
+pub mod collision;
+pub mod frequency;
+pub mod ge;
+pub mod switch;
+pub mod truncate;
+
+pub use chain::FaultChain;
+pub use clip::AdcClip;
+pub use collision::CollisionPulse;
+pub use frequency::CfoJump;
+pub use ge::{GeParams, GeProcess, GilbertElliottInterference};
+pub use switch::ChannelSwitch;
+pub use truncate::FrameTruncation;
+
+use wlan_math::rng::WlanRng;
+use wlan_math::Complex;
+
+/// A deterministic perturbation of one frame's received samples.
+///
+/// Injectors run after the channel and noise, i.e. they model impairments
+/// the receiver cannot simply be told about. They mutate the sample vector
+/// in place (and may shorten it — see [`FrameTruncation`]).
+pub trait FaultInjector {
+    /// Short identifier for reports.
+    fn name(&self) -> &'static str;
+
+    /// Applies the fault to one frame of samples.
+    fn inject(&self, samples: &mut Vec<Complex>, rng: &mut WlanRng);
+}
+
+/// The catalog of fault families the no-panic harness sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Gilbert–Elliott two-state bursty co-channel interference.
+    BurstInterference,
+    /// A single strong collision pulse over a contiguous window.
+    CollisionPulse,
+    /// ADC clipping/saturation of the receive front end.
+    AdcClip,
+    /// A mid-frame carrier-frequency-offset jump.
+    CfoJump,
+    /// A mid-frame channel switch (gain decorrelates abruptly).
+    ChannelSwitch,
+    /// Mid-frame loss of the remaining samples.
+    FrameTruncation,
+}
+
+impl FaultKind {
+    /// Every fault family, in sweep order.
+    pub fn all() -> [FaultKind; 6] {
+        [
+            FaultKind::BurstInterference,
+            FaultKind::CollisionPulse,
+            FaultKind::AdcClip,
+            FaultKind::CfoJump,
+            FaultKind::ChannelSwitch,
+            FaultKind::FrameTruncation,
+        ]
+    }
+
+    /// Short identifier for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::BurstInterference => "burst-interference",
+            FaultKind::CollisionPulse => "collision-pulse",
+            FaultKind::AdcClip => "adc-clip",
+            FaultKind::CfoJump => "cfo-jump",
+            FaultKind::ChannelSwitch => "channel-switch",
+            FaultKind::FrameTruncation => "frame-truncation",
+        }
+    }
+
+    /// A single-injector chain at the given severity in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `severity` is not finite or outside `[0, 1]`.
+    pub fn chain(&self, severity: f64) -> FaultChain {
+        FaultChain::of(self.injector(severity))
+    }
+
+    /// The boxed injector behind [`FaultKind::chain`], for composing
+    /// multi-fault chains via [`FaultChain::with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `severity` is not finite or outside `[0, 1]`.
+    pub fn injector(&self, severity: f64) -> Box<dyn FaultInjector> {
+        assert!(
+            severity.is_finite() && (0.0..=1.0).contains(&severity),
+            "severity must be in [0, 1]"
+        );
+        match self {
+            // Interference 6 dB above the unit-power signal at severity 1,
+            // in bursts averaging ~120 samples every ~1900 samples.
+            FaultKind::BurstInterference => Box::new(GilbertElliottInterference::new(
+                GeParams::new(1.0 / 1800.0, 1.0 / 120.0),
+                4.0 * severity,
+            )),
+            // A 9 dB co-channel pulse covering a fifth of the frame.
+            FaultKind::CollisionPulse => Box::new(CollisionPulse::new(8.0 * severity, 0.2)),
+            // Clip threshold walks from 2.5× RMS (rare peaks) to 0.3× RMS
+            // (brutal saturation).
+            FaultKind::AdcClip => Box::new(AdcClip::new(2.5 - 2.2 * severity)),
+            // Up to 0.004 cycles/sample ≈ 80 kHz at 20 MHz sampling — a
+            // quarter of an OFDM subcarrier spacing.
+            FaultKind::CfoJump => Box::new(CfoJump::new(0.004 * severity)),
+            // Blend from the trained gain to a fresh Rayleigh draw.
+            FaultKind::ChannelSwitch => Box::new(ChannelSwitch::new(severity)),
+            // Lose up to 60 % of the frame tail.
+            FaultKind::FrameTruncation => Box::new(FrameTruncation::new(0.6 * severity)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_math::rng::Rng;
+
+    fn test_frame(len: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = WlanRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| wlan_channel::noise::complex_gaussian(&mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn every_kind_is_deterministic_per_seed() {
+        for kind in FaultKind::all() {
+            for severity in [0.0, 0.3, 1.0] {
+                let chain = kind.chain(severity);
+                let mut a = test_frame(400, 1);
+                let mut b = test_frame(400, 1);
+                chain.inject(&mut a, &mut WlanRng::seed_from_u64(9));
+                chain.inject(&mut b, &mut WlanRng::seed_from_u64(9));
+                assert_eq!(a, b, "{} severity {severity}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn severity_zero_is_negligible() {
+        for kind in FaultKind::all() {
+            let chain = kind.chain(0.0);
+            let clean = test_frame(400, 2);
+            let mut faulted = clean.clone();
+            chain.inject(&mut faulted, &mut WlanRng::seed_from_u64(3));
+            assert_eq!(faulted.len(), clean.len(), "{}", kind.name());
+            let dist: f64 = clean
+                .iter()
+                .zip(&faulted)
+                .map(|(a, b)| (*a - *b).norm_sqr())
+                .sum::<f64>()
+                / clean.len() as f64;
+            // Only the mild severity-0 clip may touch an outlier sample.
+            assert!(dist < 1e-2, "{}: distortion {dist}", kind.name());
+        }
+    }
+
+    #[test]
+    fn rng_consumption_is_severity_independent() {
+        // Common-random-numbers contract: after injecting the same frame at
+        // two severities, the RNG must sit at the same position.
+        for kind in FaultKind::all() {
+            let mut draws = Vec::new();
+            for severity in [0.1, 0.9] {
+                let chain = kind.chain(severity);
+                let mut frame = test_frame(300, 4);
+                let mut rng = WlanRng::seed_from_u64(11);
+                chain.inject(&mut frame, &mut rng);
+                draws.push(rng.gen::<u64>());
+            }
+            assert_eq!(draws[0], draws[1], "{} consumed differently", kind.name());
+        }
+    }
+
+    #[test]
+    fn catalog_covers_six_distinct_names() {
+        let names: std::collections::HashSet<&str> =
+            FaultKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "severity must be in [0, 1]")]
+    fn severity_out_of_range_rejected() {
+        let _ = FaultKind::AdcClip.chain(1.5);
+    }
+}

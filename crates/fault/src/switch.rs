@@ -1,0 +1,89 @@
+//! A mid-frame channel switch: the complex gain decorrelates abruptly,
+//! as after a DFS-style channel change or a deep, fast fade.
+
+use crate::FaultInjector;
+use wlan_channel::noise::complex_gaussian;
+use wlan_math::rng::{Rng, WlanRng};
+use wlan_math::Complex;
+
+/// From a seeded random sample onward, blends the channel gain from the
+/// preamble-trained value (unity, since injectors run post-channel)
+/// toward a fresh Rayleigh draw: `g = (1-blend)·1 + blend·CN(0,1)`.
+///
+/// At `blend = 0` the injector is the identity; at `blend = 1` the tail
+/// of the frame rides a channel the equalizer has never seen. Exactly two
+/// RNG draws' worth of state (position + new gain) are consumed per frame
+/// regardless of `blend`.
+#[derive(Debug, Clone)]
+pub struct ChannelSwitch {
+    blend: f64,
+}
+
+impl ChannelSwitch {
+    /// Creates a switch blending `blend ∈ [0, 1]` toward the new gain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blend` is outside `[0, 1]` or non-finite.
+    pub fn new(blend: f64) -> Self {
+        assert!(
+            blend.is_finite() && (0.0..=1.0).contains(&blend),
+            "blend must lie in [0, 1]"
+        );
+        ChannelSwitch { blend }
+    }
+}
+
+impl FaultInjector for ChannelSwitch {
+    fn name(&self) -> &'static str {
+        "channel-switch"
+    }
+
+    fn inject(&self, samples: &mut Vec<Complex>, rng: &mut WlanRng) {
+        let n = samples.len();
+        if n == 0 {
+            return;
+        }
+        let start = rng.gen_range(0..n);
+        let fresh = complex_gaussian(rng);
+        let gain = Complex::ONE.scale(1.0 - self.blend) + fresh.scale(self.blend);
+        for s in samples[start..].iter_mut() {
+            *s *= gain;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_blend_is_identity() {
+        let mut samples = vec![Complex::new(0.5, -0.5); 64];
+        let before = samples.clone();
+        ChannelSwitch::new(0.0).inject(&mut samples, &mut WlanRng::seed_from_u64(1));
+        assert_eq!(samples, before);
+    }
+
+    #[test]
+    fn tail_shares_one_gain() {
+        let mut samples = vec![Complex::ONE; 256];
+        ChannelSwitch::new(1.0).inject(&mut samples, &mut WlanRng::seed_from_u64(2));
+        let tail_gain = *samples.last().unwrap();
+        let switched: Vec<&Complex> =
+            samples.iter().filter(|s| **s != Complex::ONE).collect();
+        assert!(!switched.is_empty(), "a switch must occur somewhere");
+        assert!(switched.iter().all(|s| (**s - tail_gain).norm() < 1e-12));
+    }
+
+    #[test]
+    fn prefix_before_the_switch_is_untouched() {
+        let mut samples = vec![Complex::ONE; 256];
+        ChannelSwitch::new(1.0).inject(&mut samples, &mut WlanRng::seed_from_u64(3));
+        let first_switched = samples
+            .iter()
+            .position(|s| *s != Complex::ONE)
+            .expect("switch occurs");
+        assert!(samples[..first_switched].iter().all(|s| *s == Complex::ONE));
+    }
+}

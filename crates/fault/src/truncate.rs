@@ -1,0 +1,93 @@
+//! Mid-frame truncation: the tail of the sample stream is lost, as when
+//! an AGC glitch, a DMA underrun or a channel switch cuts capture short.
+//!
+//! Unlike the additive injectors, truncation *changes the frame length*,
+//! which is precisely what exercises the typed `WlanError::FrameTruncated`
+//! paths through the receivers: a truncated frame must surface as a
+//! counted erasure, never as an out-of-bounds panic.
+
+use crate::FaultInjector;
+use wlan_math::rng::{Rng, WlanRng};
+use wlan_math::Complex;
+
+/// Drops a tail fraction of the frame, with a seeded ±25 % jitter so
+/// different frames are cut at different points.
+///
+/// One RNG draw is consumed per frame regardless of `fraction`, and for a
+/// fixed seed the realized cut grows monotonically with `fraction` —
+/// severity sweeps compare the same frame cut shorter.
+#[derive(Debug, Clone)]
+pub struct FrameTruncation {
+    fraction: f64,
+}
+
+impl FrameTruncation {
+    /// Creates a truncator removing about `fraction` of the frame tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 0.8]` — cutting more than
+    /// 80 % of a frame leaves nothing meaningful to decode and usually
+    /// signals a units mistake.
+    pub fn new(fraction: f64) -> Self {
+        assert!(
+            fraction.is_finite() && (0.0..=0.8).contains(&fraction),
+            "truncation fraction must lie in [0, 0.8]"
+        );
+        FrameTruncation { fraction }
+    }
+}
+
+impl FaultInjector for FrameTruncation {
+    fn name(&self) -> &'static str {
+        "frame-truncation"
+    }
+
+    fn inject(&self, samples: &mut Vec<Complex>, rng: &mut WlanRng) {
+        // Draw the jitter unconditionally: CRN requires identical RNG
+        // consumption at every severity, including zero.
+        let jitter = 0.75 + 0.5 * rng.gen::<f64>();
+        let n = samples.len();
+        let cut = ((n as f64 * self.fraction * jitter) as usize).min(n);
+        samples.truncate(n - cut);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fraction_keeps_everything() {
+        let mut samples = vec![Complex::ONE; 123];
+        FrameTruncation::new(0.0).inject(&mut samples, &mut WlanRng::seed_from_u64(1));
+        assert_eq!(samples.len(), 123);
+    }
+
+    #[test]
+    fn cut_length_tracks_fraction_with_jitter() {
+        let mut samples = vec![Complex::ONE; 1000];
+        FrameTruncation::new(0.4).inject(&mut samples, &mut WlanRng::seed_from_u64(2));
+        let kept = samples.len();
+        // 40 % nominal cut, jittered by ±25 %: keep between 500 and 700.
+        assert!((500..=700).contains(&kept), "kept {kept}");
+    }
+
+    #[test]
+    fn higher_fraction_cuts_no_less_for_same_seed() {
+        let mut prev_kept = usize::MAX;
+        for fraction in [0.0, 0.2, 0.4, 0.6, 0.8] {
+            let mut samples = vec![Complex::ONE; 800];
+            FrameTruncation::new(fraction).inject(&mut samples, &mut WlanRng::seed_from_u64(3));
+            assert!(samples.len() <= prev_kept, "fraction {fraction}");
+            prev_kept = samples.len();
+        }
+    }
+
+    #[test]
+    fn empty_frame_is_tolerated() {
+        let mut samples: Vec<Complex> = Vec::new();
+        FrameTruncation::new(0.5).inject(&mut samples, &mut WlanRng::seed_from_u64(4));
+        assert!(samples.is_empty());
+    }
+}

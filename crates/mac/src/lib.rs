@@ -12,7 +12,10 @@
 //! - [`aggregation`] — A-MPDU aggregation with block ACK, the mechanism
 //!   that keeps MAC efficiency alive at 802.11n rates (experiment E14),
 //! - [`powersave`] — the legacy power-save mode (beacons, TIM, doze/awake
-//!   scheduling) feeding the energy models of experiment E12.
+//!   scheduling) feeding the energy models of experiment E12,
+//! - [`arq`] — stop-and-wait retransmission with retry limits and the
+//!   RTS/CTS protection fallback, over an airtime-driven Gilbert–Elliott
+//!   frame-loss channel (experiment E16).
 //!
 //! # Examples
 //!
@@ -33,6 +36,7 @@
 //! ```
 
 pub mod aggregation;
+pub mod arq;
 pub mod bianchi;
 pub mod dcf;
 pub mod params;

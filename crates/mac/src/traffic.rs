@@ -7,6 +7,7 @@
 //! the delivered-vs-offered curve (linear until the knee, flat after) and
 //! the queueing delay exploding at the knee.
 
+use crate::arq::{ArqConfig, FrameLossProcess, GeLossConfig};
 use crate::params::MacProfile;
 use wlan_math::rng::{Rng, WlanRng};
 use std::collections::VecDeque;
@@ -26,6 +27,12 @@ pub struct TrafficConfig {
     pub sim_time_us: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Retransmission policy ([`ArqConfig::disabled`] = drop on loss).
+    pub arq: ArqConfig,
+    /// Interference-driven frame loss ([`GeLossConfig::clean`] = none;
+    /// a clean channel draws no extra RNG values, so results then match
+    /// the loss-free simulator bit for bit).
+    pub loss: GeLossConfig,
 }
 
 /// Results of an unsaturated run.
@@ -41,6 +48,13 @@ pub struct TrafficResult {
     pub p95_delay_us: f64,
     /// Frames still queued at the end (backlog).
     pub backlog: usize,
+    /// Retransmission attempts beyond each frame's first (ARQ work).
+    pub retries: u64,
+    /// Frames abandoned after exhausting the retry limit (or lost with
+    /// ARQ disabled).
+    pub dropped: u64,
+    /// Transmissions that went out under RTS/CTS protection.
+    pub protected_tx: u64,
 }
 
 struct Station {
@@ -48,6 +62,8 @@ struct Station {
     next_arrival_us: f64,
     backoff: u32,
     stage: u32,
+    /// Attempts already spent on the head-of-line frame.
+    attempts: u32,
 }
 
 /// Runs the unsaturated-DCF simulation.
@@ -77,6 +93,7 @@ pub fn simulate_traffic(cfg: &TrafficConfig) -> TrafficResult {
             next_arrival_us: 0.0,
             backoff: 0,
             stage: 0,
+            attempts: 0,
         })
         .collect();
     for s in stations.iter_mut() {
@@ -84,11 +101,25 @@ pub fn simulate_traffic(cfg: &TrafficConfig) -> TrafficResult {
         s.backoff = draw(0, &mut rng);
     }
 
+    // A clean channel skips the loss chain entirely so the RNG sequence —
+    // and therefore every statistic — matches the pre-ARQ simulator.
+    let mut loss = (!cfg.loss.is_clean()).then(|| FrameLossProcess::new(cfg.loss));
+
     let mut now_us = p.difs_us();
+    let mut advanced_us = now_us;
     let mut delivered = 0u64;
+    let mut retries = 0u64;
+    let mut dropped = 0u64;
+    let mut protected_tx = 0u64;
     let mut delays = Vec::new();
 
     while now_us < cfg.sim_time_us {
+        // Interference bursts evolve with airtime, not with events.
+        if let Some(l) = loss.as_mut() {
+            l.advance(now_us - advanced_us, &mut rng);
+        }
+        advanced_us = now_us;
+
         // Deliver arrivals due by now.
         for s in stations.iter_mut() {
             while s.next_arrival_us <= now_us {
@@ -116,20 +147,79 @@ pub fn simulate_traffic(cfg: &TrafficConfig) -> TrafficResult {
 
         if contenders.len() == 1 {
             let i = contenders[0];
-            let arrival = stations[i].queue.pop_front().expect("nonempty");
-            let duration = p.success_duration_us(cfg.payload_bytes);
-            now_us += duration;
-            delivered += 1;
-            delays.push(now_us - arrival);
-            stations[i].stage = 0;
-            stations[i].backoff = draw(0, &mut rng);
-        } else {
-            for &i in &contenders {
-                stations[i].stage = (stations[i].stage + 1).min(10);
-                let stage = stations[i].stage;
-                stations[i].backoff = draw(stage, &mut rng);
+            let s = &mut stations[i];
+            let protected = cfg.arq.protects(s.attempts);
+            protected_tx += protected as u64;
+            let lost = match loss.as_mut() {
+                Some(l) => l.frame_lost(&mut rng),
+                None => false,
+            };
+            if !lost {
+                let arrival = s.queue.pop_front().expect("nonempty");
+                now_us += if protected {
+                    p.rts_success_duration_us(cfg.payload_bytes)
+                } else {
+                    p.success_duration_us(cfg.payload_bytes)
+                };
+                delivered += 1;
+                delays.push(now_us - arrival);
+                s.stage = 0;
+                s.attempts = 0;
+                s.backoff = draw(0, &mut rng);
+            } else {
+                // A burst ate the frame. Under protection only the short
+                // RTS burned; unprotected, the full data frame plus its
+                // ACK timeout are gone.
+                now_us += if protected {
+                    p.rts_collision_duration_us()
+                } else {
+                    p.collision_duration_us(cfg.payload_bytes)
+                };
+                if cfg.arq.enabled && s.attempts < cfg.arq.max_retries {
+                    retries += 1;
+                    s.attempts += 1;
+                    s.stage = (s.stage + 1).min(10);
+                } else {
+                    s.queue.pop_front();
+                    dropped += 1;
+                    s.attempts = 0;
+                    s.stage = 0;
+                }
+                let stage = s.stage;
+                s.backoff = draw(stage, &mut rng);
             }
-            now_us += p.collision_duration_us(cfg.payload_bytes);
+        } else {
+            // Collision. The channel is busy for the longest participant:
+            // only when every contender sent a protected probe is the
+            // damage limited to RTS length.
+            let all_protected = cfg.arq.enabled
+                && contenders.iter().all(|&i| cfg.arq.protects(stations[i].attempts));
+            for &i in &contenders {
+                let s = &mut stations[i];
+                protected_tx += cfg.arq.protects(s.attempts) as u64;
+                if cfg.arq.enabled {
+                    // The retry counter also ticks on collisions; past the
+                    // limit the frame is abandoned like a real MAC would.
+                    if s.attempts < cfg.arq.max_retries {
+                        s.attempts += 1;
+                    } else {
+                        s.queue.pop_front();
+                        dropped += 1;
+                        s.attempts = 0;
+                        s.stage = 0;
+                        s.backoff = draw(0, &mut rng);
+                        continue;
+                    }
+                }
+                s.stage = (s.stage + 1).min(10);
+                let stage = s.stage;
+                s.backoff = draw(stage, &mut rng);
+            }
+            now_us += if all_protected {
+                p.rts_collision_duration_us()
+            } else {
+                p.collision_duration_us(cfg.payload_bytes)
+            };
         }
     }
 
@@ -154,6 +244,9 @@ pub fn simulate_traffic(cfg: &TrafficConfig) -> TrafficResult {
         mean_delay_us,
         p95_delay_us,
         backlog,
+        retries,
+        dropped,
+        protected_tx,
     }
 }
 
@@ -172,6 +265,8 @@ mod tests {
             // inside the 5% delivered-vs-offered tolerance below.
             sim_time_us: 12_000_000.0,
             seed: 77,
+            arq: ArqConfig::disabled(),
+            loss: GeLossConfig::clean(),
         }
     }
 
@@ -241,5 +336,101 @@ mod tests {
         let a = simulate_traffic(&cfg(50.0));
         let b = simulate_traffic(&cfg(50.0));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clean_channel_never_retries_or_drops() {
+        let out = simulate_traffic(&TrafficConfig {
+            arq: ArqConfig::basic(),
+            ..cfg(50.0)
+        });
+        assert_eq!(out.retries, 0);
+        assert_eq!(out.dropped, 0);
+        assert_eq!(out.protected_tx, 0);
+    }
+
+    #[test]
+    fn bursty_loss_without_arq_drops_frames() {
+        let out = simulate_traffic(&TrafficConfig {
+            loss: GeLossConfig::bursty(),
+            sim_time_us: 3_000_000.0,
+            ..cfg(100.0)
+        });
+        assert!(out.dropped > 0, "unprotected losses must drop frames");
+        assert_eq!(out.retries, 0, "ARQ disabled");
+        let clean = simulate_traffic(&TrafficConfig {
+            sim_time_us: 3_000_000.0,
+            ..cfg(100.0)
+        });
+        assert!(
+            out.delivered_mbps < clean.delivered_mbps,
+            "bursts must cost goodput: {} vs {}",
+            out.delivered_mbps,
+            clean.delivered_mbps
+        );
+    }
+
+    #[test]
+    fn arq_recovers_goodput_under_bursts() {
+        let lossy = |arq: ArqConfig| {
+            simulate_traffic(&TrafficConfig {
+                arq,
+                loss: GeLossConfig::bursty(),
+                sim_time_us: 3_000_000.0,
+                ..cfg(100.0)
+            })
+        };
+        let none = lossy(ArqConfig::disabled());
+        let basic = lossy(ArqConfig::basic());
+        assert!(basic.retries > 0, "retries must happen under loss");
+        assert!(
+            basic.delivered_mbps > none.delivered_mbps,
+            "ARQ {} vs none {}",
+            basic.delivered_mbps,
+            none.delivered_mbps
+        );
+        assert!(
+            basic.dropped < none.dropped,
+            "retry limit must save frames: {} vs {}",
+            basic.dropped,
+            none.dropped
+        );
+    }
+
+    #[test]
+    fn rts_fallback_engages_and_limits_burst_damage() {
+        let lossy = |arq: ArqConfig| {
+            simulate_traffic(&TrafficConfig {
+                arq,
+                loss: GeLossConfig::bursty(),
+                sim_time_us: 3_000_000.0,
+                ..cfg(100.0)
+            })
+        };
+        let basic = lossy(ArqConfig::basic());
+        let rts = lossy(ArqConfig::with_rts_fallback(1));
+        assert!(rts.protected_tx > 0, "fallback must engage under bursts");
+        assert_eq!(basic.protected_tx, 0);
+        // Retried frames now burn a short RTS inside bursts instead of a
+        // full data frame, so delivery must not get materially worse.
+        assert!(
+            rts.delivered_mbps > 0.9 * basic.delivered_mbps,
+            "RTS fallback {} vs basic ARQ {}",
+            rts.delivered_mbps,
+            basic.delivered_mbps
+        );
+    }
+
+    #[test]
+    fn lossy_results_are_deterministic_per_seed() {
+        let run = || {
+            simulate_traffic(&TrafficConfig {
+                arq: ArqConfig::with_rts_fallback(1),
+                loss: GeLossConfig::bursty(),
+                sim_time_us: 2_000_000.0,
+                ..cfg(80.0)
+            })
+        };
+        assert_eq!(run(), run());
     }
 }

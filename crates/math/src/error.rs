@@ -1,0 +1,98 @@
+//! The workspace-wide typed error substrate.
+//!
+//! Decode chains historically aborted on degenerate inputs (singular
+//! channel matrices, truncated sample streams, mismatched block lengths).
+//! Under fault injection those inputs are *expected*, so every fallible
+//! stage reports a [`WlanError`] instead: the link simulator counts the
+//! frame as an erasure and the sweep keeps running. The variants are
+//! deliberately coarse — callers branch on "which stage gave up", not on
+//! numeric detail, and the payload fields exist for diagnostics.
+
+use crate::matrix::SingularMatrixError;
+use std::fmt;
+
+/// A typed, non-panicking failure anywhere in a TX→channel→RX chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WlanError {
+    /// A channel matrix (or its Gram) is singular / numerically
+    /// rank-deficient, so linear detection cannot separate the streams.
+    SingularChannel,
+    /// The receive stream ends before the advertised frame does
+    /// (mid-frame truncation, dropped samples).
+    FrameTruncated {
+        /// Samples the frame format requires.
+        needed: usize,
+        /// Samples actually available.
+        got: usize,
+    },
+    /// A block has the wrong length for the processing stage
+    /// (interleaver block, codeword, antenna count).
+    LengthMismatch {
+        /// Length the stage expects.
+        expected: usize,
+        /// Length it was handed.
+        got: usize,
+    },
+    /// A header/control field failed its integrity check (e.g. the OFDM
+    /// SIGNAL parity) so the frame cannot be parsed further.
+    SignalInvalid,
+    /// A numeric input that must be finite (noise variance, channel
+    /// coefficient) is NaN or infinite; the stage names the culprit.
+    NonFinite(&'static str),
+    /// A configuration value outside the supported envelope.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for WlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WlanError::SingularChannel => {
+                write!(f, "channel matrix is singular or rank-deficient")
+            }
+            WlanError::FrameTruncated { needed, got } => {
+                write!(f, "frame truncated: need {needed} samples, got {got}")
+            }
+            WlanError::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: expected {expected}, got {got}")
+            }
+            WlanError::SignalInvalid => write!(f, "signal/header field failed validation"),
+            WlanError::NonFinite(what) => write!(f, "non-finite input: {what}"),
+            WlanError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WlanError {}
+
+impl From<SingularMatrixError> for WlanError {
+    fn from(_: SingularMatrixError) -> Self {
+        WlanError::SingularChannel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CMatrix, Complex};
+
+    #[test]
+    fn singular_matrix_converts() {
+        let h = CMatrix::from_rows(&[
+            &[Complex::ONE, Complex::ONE],
+            &[Complex::ONE, Complex::ONE],
+        ]);
+        let err: WlanError = h.inverse().unwrap_err().into();
+        assert_eq!(err, WlanError::SingularChannel);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = WlanError::FrameTruncated {
+            needed: 400,
+            got: 100,
+        };
+        let s = e.to_string();
+        assert!(s.contains("400") && s.contains("100"), "{s}");
+        assert!(WlanError::SingularChannel.to_string().contains("singular"));
+    }
+}

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod complex;
+pub mod error;
 pub mod fft;
 pub mod matrix;
 pub mod rng;
@@ -41,5 +42,6 @@ pub mod stats;
 pub mod svd;
 
 pub use complex::Complex;
+pub use error::WlanError;
 pub use matrix::CMatrix;
 pub use rng::{Rng, WlanRng};

@@ -6,8 +6,7 @@
 //! noise level, and exhaustive ML is provided for 2×2 as the optimal
 //! reference. The ZF/MMSE gap at low SNR is one of the E7 ablations.
 
-use wlan_math::matrix::SingularMatrixError;
-use wlan_math::{CMatrix, Complex};
+use wlan_math::{CMatrix, Complex, WlanError};
 
 /// Detector choice for the spatial-multiplexing receiver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -28,19 +27,46 @@ pub struct Detected {
     pub sinr: Vec<f64>,
 }
 
+/// Validates the shared preconditions of the linear detectors: consistent
+/// dimensions, a positive finite noise variance, and finite inputs. A
+/// singular realization under fault injection must surface as a typed
+/// decode failure, never as a panic in the hot loop.
+fn check_inputs(h: &CMatrix, y: &[Complex], n0: f64) -> Result<(), WlanError> {
+    if y.len() != h.rows() {
+        return Err(WlanError::LengthMismatch {
+            expected: h.rows(),
+            got: y.len(),
+        });
+    }
+    if !n0.is_finite() {
+        return Err(WlanError::NonFinite("noise variance"));
+    }
+    if n0 <= 0.0 {
+        return Err(WlanError::InvalidConfig("noise variance must be positive"));
+    }
+    if !y.iter().all(|v| v.is_finite()) {
+        return Err(WlanError::NonFinite("received vector"));
+    }
+    for r in 0..h.rows() {
+        for c in 0..h.cols() {
+            if !h.get(r, c).is_finite() {
+                return Err(WlanError::NonFinite("channel matrix"));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Zero-forcing detection: `x̂ = (HᴴH)⁻¹Hᴴ·y`.
 ///
 /// # Errors
 ///
-/// Returns [`SingularMatrixError`] when `HᴴH` is singular (rank-deficient
-/// channel).
-///
-/// # Panics
-///
-/// Panics if dimensions are inconsistent or `n0 <= 0`.
-pub fn zero_forcing(h: &CMatrix, y: &[Complex], n0: f64) -> Result<Detected, SingularMatrixError> {
-    assert_eq!(y.len(), h.rows(), "observation length mismatch");
-    assert!(n0 > 0.0, "noise variance must be positive");
+/// Returns [`WlanError::SingularChannel`] when `HᴴH` is singular
+/// (rank-deficient channel), [`WlanError::LengthMismatch`] on inconsistent
+/// dimensions, and [`WlanError::NonFinite`] / [`WlanError::InvalidConfig`]
+/// on degenerate inputs. Never panics.
+pub fn zero_forcing(h: &CMatrix, y: &[Complex], n0: f64) -> Result<Detected, WlanError> {
+    check_inputs(h, y, n0)?;
     let gram = h.gram();
     let gram_inv = gram.inverse()?;
     let hh = h.hermitian();
@@ -61,15 +87,11 @@ pub fn zero_forcing(h: &CMatrix, y: &[Complex], n0: f64) -> Result<Detected, Sin
 ///
 /// # Errors
 ///
-/// Returns [`SingularMatrixError`] only in pathological cases (the
-/// regularized matrix is almost always invertible).
-///
-/// # Panics
-///
-/// Panics if dimensions are inconsistent or `n0 <= 0`.
-pub fn mmse(h: &CMatrix, y: &[Complex], n0: f64) -> Result<Detected, SingularMatrixError> {
-    assert_eq!(y.len(), h.rows(), "observation length mismatch");
-    assert!(n0 > 0.0, "noise variance must be positive");
+/// Returns [`WlanError::SingularChannel`] only in pathological cases (the
+/// regularized matrix is almost always invertible); input validation
+/// matches [`zero_forcing`]. Never panics.
+pub fn mmse(h: &CMatrix, y: &[Complex], n0: f64) -> Result<Detected, WlanError> {
+    check_inputs(h, y, n0)?;
     let gram = h.gram();
     let reg_inv = gram.add_diagonal(n0).inverse()?;
     let matched = h.hermitian().mul_vec(y);
@@ -79,11 +101,11 @@ pub fn mmse(h: &CMatrix, y: &[Complex], n0: f64) -> Result<Detected, SingularMat
     // SINR_i = 1/E_ii − 1; bias factor of stream i is (1 − E_ii).
     let mut symbols = Vec::with_capacity(h.cols());
     let mut sinr = Vec::with_capacity(h.cols());
-    for i in 0..h.cols() {
+    for (i, &b) in biased.iter().enumerate() {
         let e_ii = (n0 * reg_inv.get(i, i).re).clamp(1e-12, 1.0);
         let s = (1.0 / e_ii - 1.0).max(0.0);
         sinr.push(s);
-        symbols.push(biased[i] / (1.0 - e_ii).max(1e-12));
+        symbols.push(b / (1.0 - e_ii).max(1e-12));
     }
     Ok(Detected { symbols, sinr })
 }
@@ -92,13 +114,13 @@ pub fn mmse(h: &CMatrix, y: &[Complex], n0: f64) -> Result<Detected, SingularMat
 ///
 /// # Errors
 ///
-/// Propagates [`SingularMatrixError`] from the underlying detector.
+/// Propagates [`WlanError`] from the underlying detector.
 pub fn detect(
     detector: Detector,
     h: &CMatrix,
     y: &[Complex],
     n0: f64,
-) -> Result<Detected, SingularMatrixError> {
+) -> Result<Detected, WlanError> {
     match detector {
         Detector::ZeroForcing => zero_forcing(h, y, n0),
         Detector::Mmse => mmse(h, y, n0),
@@ -314,8 +336,46 @@ mod tests {
             &[Complex::ONE, Complex::ONE],
         ]);
         let y = [Complex::ONE, Complex::ONE];
-        assert!(zero_forcing(&h, &y, 0.1).is_err());
+        assert_eq!(
+            zero_forcing(&h, &y, 0.1).unwrap_err(),
+            WlanError::SingularChannel
+        );
         // MMSE regularization handles it.
         assert!(mmse(&h, &y, 0.1).is_ok());
+    }
+
+    #[test]
+    fn degenerate_inputs_are_typed_errors_not_panics() {
+        let h = CMatrix::identity(2);
+        let y = [Complex::ONE, Complex::ONE];
+        for det in [Detector::ZeroForcing, Detector::Mmse] {
+            // Wrong observation length.
+            assert_eq!(
+                detect(det, &h, &y[..1], 0.1).unwrap_err(),
+                WlanError::LengthMismatch { expected: 2, got: 1 }
+            );
+            // Degenerate noise variance.
+            assert_eq!(
+                detect(det, &h, &y, 0.0).unwrap_err(),
+                WlanError::InvalidConfig("noise variance must be positive")
+            );
+            assert_eq!(
+                detect(det, &h, &y, f64::NAN).unwrap_err(),
+                WlanError::NonFinite("noise variance")
+            );
+            // Non-finite observation.
+            let bad_y = [Complex::new(f64::NAN, 0.0), Complex::ONE];
+            assert_eq!(
+                detect(det, &h, &bad_y, 0.1).unwrap_err(),
+                WlanError::NonFinite("received vector")
+            );
+            // Non-finite channel coefficient.
+            let mut bad_h = CMatrix::identity(2);
+            bad_h.set(1, 0, Complex::new(0.0, f64::INFINITY));
+            assert_eq!(
+                detect(det, &bad_h, &y, 0.1).unwrap_err(),
+                WlanError::NonFinite("channel matrix")
+            );
+        }
     }
 }

@@ -12,7 +12,7 @@ use wlan_coding::interleaver::HtInterleaver;
 use wlan_coding::puncture::{depuncture, puncture};
 use wlan_coding::scrambler::Scrambler;
 use wlan_coding::{bits, CodeRate, ConvEncoder, ViterbiDecoder};
-use wlan_math::{fft, Complex};
+use wlan_math::{fft, Complex, WlanError};
 use wlan_ofdm::params::{Modulation, N_CP, N_FFT, N_SYM_SAMPLES};
 use wlan_ofdm::preamble::ltf_value;
 use wlan_ofdm::qam;
@@ -133,10 +133,27 @@ impl HtPhy {
     ///
     /// # Panics
     ///
-    /// Panics if the stream is shorter than the frame.
+    /// Panics if the stream is shorter than the frame; see
+    /// [`HtPhy::try_receive`] for the non-panicking form.
     pub fn receive(&self, samples: &[Complex], payload_len: usize) -> Vec<u8> {
+        self.try_receive(samples, payload_len)
+            .expect("receive stream too short")
+    }
+
+    /// Like [`HtPhy::receive`], but a truncated stream returns
+    /// [`WlanError::FrameTruncated`] instead of panicking.
+    pub fn try_receive(
+        &self,
+        samples: &[Complex],
+        payload_len: usize,
+    ) -> Result<Vec<u8>, WlanError> {
         let needed = self.frame_samples(payload_len);
-        assert!(samples.len() >= needed, "receive stream too short");
+        if samples.len() < needed {
+            return Err(WlanError::FrameTruncated {
+                needed,
+                got: samples.len(),
+            });
+        }
 
         // LS channel estimate from the single HT-LTF.
         let train = symbol_bins(&samples[..N_SYM_SAMPLES]);
@@ -162,12 +179,12 @@ impl HtPhy {
                 llrs.extend(qam::demap_soft(self.modulation, y, h2));
             }
         }
-        let deinterleaved = self.interleaver().deinterleave_stream_soft(&llrs);
+        let deinterleaved = self.interleaver().try_deinterleave_stream_soft(&llrs)?;
         let total_bits = n_sym * self.data_bits_per_symbol();
         let mother = depuncture(&deinterleaved, self.code_rate, total_bits * 2);
-        let scrambled = ViterbiDecoder::new().decode_soft_unterminated(&mother, total_bits);
+        let scrambled = ViterbiDecoder::new().try_decode_soft_unterminated(&mother, total_bits)?;
         let descrambled = Scrambler::new(self.scrambler_seed).scramble(&scrambled);
-        bits::bits_to_bytes(&descrambled[16..16 + 8 * payload_len])
+        Ok(bits::bits_to_bytes(&descrambled[16..16 + 8 * payload_len]))
     }
 }
 
@@ -325,5 +342,20 @@ mod tests {
     fn short_stream_rejected() {
         let phy = HtPhy::new(Modulation::Bpsk, CodeRate::R1_2);
         let _ = phy.receive(&[Complex::ZERO; 100], 50);
+    }
+
+    #[test]
+    fn try_receive_turns_truncation_into_typed_error() {
+        let phy = HtPhy::new(Modulation::Qpsk, CodeRate::R1_2);
+        let payload = b"typed erasure";
+        let frame = phy.transmit(payload);
+        assert_eq!(
+            phy.try_receive(&frame, payload.len()).unwrap(),
+            payload.to_vec()
+        );
+        let err = phy
+            .try_receive(&frame[..frame.len() / 3], payload.len())
+            .unwrap_err();
+        assert!(matches!(err, WlanError::FrameTruncated { .. }), "{err:?}");
     }
 }

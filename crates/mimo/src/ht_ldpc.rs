@@ -11,7 +11,7 @@ use crate::ht::{ht20_data_carriers, ht_ltf_value, N_DATA_HT20, PILOT_CARRIERS_HT
 use wlan_coding::ldpc::{LdpcCode, MinSum};
 use wlan_coding::scrambler::Scrambler;
 use wlan_coding::{bits, CodeRate};
-use wlan_math::{fft, Complex};
+use wlan_math::{fft, Complex, WlanError};
 use wlan_ofdm::params::{Modulation, N_CP, N_FFT, N_SYM_SAMPLES};
 use wlan_ofdm::qam;
 
@@ -127,12 +127,27 @@ impl HtLdpcPhy {
     ///
     /// # Panics
     ///
-    /// Panics if the stream is shorter than the frame.
+    /// Panics if the stream is shorter than the frame; see
+    /// [`HtLdpcPhy::try_receive`] for the non-panicking form.
     pub fn receive(&self, samples: &[Complex], payload_len: usize) -> Vec<u8> {
-        assert!(
-            samples.len() >= self.frame_samples(payload_len),
-            "receive stream too short"
-        );
+        self.try_receive(samples, payload_len)
+            .expect("receive stream too short")
+    }
+
+    /// Like [`HtLdpcPhy::receive`], but a truncated stream returns
+    /// [`WlanError::FrameTruncated`] instead of panicking.
+    pub fn try_receive(
+        &self,
+        samples: &[Complex],
+        payload_len: usize,
+    ) -> Result<Vec<u8>, WlanError> {
+        let needed = self.frame_samples(payload_len);
+        if samples.len() < needed {
+            return Err(WlanError::FrameTruncated {
+                needed,
+                got: samples.len(),
+            });
+        }
         let train = symbol_bins(&samples[..N_SYM_SAMPLES]);
         let carriers = ht20_data_carriers();
         let channel: Vec<Complex> = carriers
@@ -159,11 +174,11 @@ impl HtLdpcPhy {
                     llrs.extend(qam::demap_soft(self.modulation, y, h2));
                 }
             }
-            let decoded = self.code.decode(&llrs, self.max_iters, MinSum::Normalized(0.8));
+            let decoded = self.code.try_decode(&llrs, self.max_iters, MinSum::Normalized(0.8))?;
             scrambled.extend(decoded.info_bits);
         }
         let descrambled = Scrambler::new(self.scrambler_seed).scramble(&scrambled);
-        bits::bits_to_bytes(&descrambled[16..16 + 8 * payload_len])
+        Ok(bits::bits_to_bytes(&descrambled[16..16 + 8 * payload_len]))
     }
 }
 
@@ -312,6 +327,19 @@ mod tests {
         let fit = (k_cw - 16) / 8;
         assert_eq!(phy.num_data_symbols(fit), span);
         assert_eq!(phy.num_data_symbols(fit + 1), 2 * span);
+    }
+
+    #[test]
+    fn try_receive_turns_truncation_into_typed_error() {
+        let phy = HtLdpcPhy::new(Modulation::Qpsk, CodeRate::R1_2);
+        let payload = b"ldpc erasure path";
+        let frame = phy.transmit(payload);
+        assert_eq!(
+            phy.try_receive(&frame, payload.len()).unwrap(),
+            payload.to_vec()
+        );
+        let err = phy.try_receive(&frame[..50], payload.len()).unwrap_err();
+        assert!(matches!(err, WlanError::FrameTruncated { .. }), "{err:?}");
     }
 
     #[test]

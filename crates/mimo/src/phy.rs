@@ -21,7 +21,7 @@ use wlan_ofdm::preamble::ltf_value;
 use wlan_ofdm::qam;
 use wlan_ofdm::symbol::{assemble_symbol, tx_scale};
 use wlan_math::rng::Rng;
-use wlan_math::{fft, CMatrix, Complex};
+use wlan_math::{fft, CMatrix, Complex, WlanError};
 
 /// The 802.11n HT-LTF orthogonal cover matrix `P` (rows = streams,
 /// columns = training symbols).
@@ -137,11 +137,14 @@ impl MimoOfdmPhy {
         let mut antennas: Vec<Vec<Complex>> =
             vec![Vec::with_capacity(self.frame_samples(payload.len())); n_ss];
 
-        // HT-LTF training with orthogonal P covers.
+        // HT-LTF training with orthogonal P covers. Each antenna's stream
+        // is independent, so filling antenna-by-antenna preserves the
+        // symbol order m = 0, 1, … within every stream.
         let ltf_sym = ltf_frequency_symbol();
-        for m in 0..self.num_training_symbols() {
-            for (i, ant) in antennas.iter_mut().enumerate() {
-                let scale = P_HTLTF[i][m] * power_scale;
+        let n_ltf = self.num_training_symbols();
+        for (i, ant) in antennas.iter_mut().enumerate() {
+            for &p in P_HTLTF[i].iter().take(n_ltf) {
+                let scale = p * power_scale;
                 ant.extend(ltf_sym.iter().map(|&s| s.scale(scale)));
             }
         }
@@ -174,14 +177,37 @@ impl MimoOfdmPhy {
     /// # Panics
     ///
     /// Panics if `rx.len() != n_rx` or the streams are shorter than the
-    /// frame.
+    /// frame; see [`MimoOfdmPhy::try_receive`] for the non-panicking form.
     pub fn receive(&self, rx: &[Vec<Complex>], n0: f64, payload_len: usize) -> Vec<u8> {
+        self.try_receive(rx, n0, payload_len)
+            .expect("receive stream too short or malformed")
+    }
+
+    /// Like [`MimoOfdmPhy::receive`], but malformed input — a wrong antenna
+    /// count or truncated sample streams — returns a typed [`WlanError`]
+    /// instead of panicking, so injected faults become counted erasures.
+    pub fn try_receive(
+        &self,
+        rx: &[Vec<Complex>],
+        n0: f64,
+        payload_len: usize,
+    ) -> Result<Vec<u8>, WlanError> {
         let n_rx = self.cfg.n_rx;
         let n_ss = self.cfg.n_streams;
-        assert_eq!(rx.len(), n_rx, "receive antenna count mismatch");
+        if rx.len() != n_rx {
+            return Err(WlanError::LengthMismatch {
+                expected: n_rx,
+                got: rx.len(),
+            });
+        }
         let needed = self.frame_samples(payload_len);
         for r in rx {
-            assert!(r.len() >= needed, "receive stream too short");
+            if r.len() < needed {
+                return Err(WlanError::FrameTruncated {
+                    needed,
+                    got: r.len(),
+                });
+            }
         }
 
         // Channel estimation from the orthogonal training.
@@ -205,10 +231,10 @@ impl MimoOfdmPhy {
                 let l = ltf_value(k);
                 let mut h = CMatrix::zeros(n_rx, n_ss);
                 for r in 0..n_rx {
-                    for i in 0..n_ss {
+                    for (i, p_row) in P_HTLTF.iter().enumerate().take(n_ss) {
                         let mut acc = Complex::ZERO;
                         for (m, tb) in train_bins.iter().enumerate() {
-                            acc += tb[r][bin].scale(P_HTLTF[i][m]);
+                            acc += tb[r][bin].scale(p_row[m]);
                         }
                         h.set(r, i, acc.scale(1.0 / (n_ltf as f64 * l)));
                     }
@@ -237,8 +263,8 @@ impl MimoOfdmPhy {
                 let n0_eff = (n0 / (tx_scale() * tx_scale())).max(1e-12);
                 match detect(self.cfg.detector, &channel[c], &y, n0_eff) {
                     Ok(d) => {
-                        for i in 0..n_ss {
-                            stream_llrs[i].extend(qam::demap_soft(
+                        for (i, llrs) in stream_llrs.iter_mut().enumerate() {
+                            llrs.extend(qam::demap_soft(
                                 self.cfg.modulation,
                                 d.symbols[i],
                                 d.sinr[i],
@@ -265,9 +291,9 @@ impl MimoOfdmPhy {
         let coded = self.merge_streams_soft(&deinterleaved, merged_len);
         let total_bits = n_sym * self.data_bits_per_symbol();
         let mother = depuncture(&coded, self.cfg.code_rate, total_bits * 2);
-        let scrambled = ViterbiDecoder::new().decode_soft_unterminated(&mother, total_bits);
+        let scrambled = ViterbiDecoder::new().try_decode_soft_unterminated(&mother, total_bits)?;
         let descrambled = Scrambler::new(self.scrambler_seed).scramble(&scrambled);
-        bits::bits_to_bytes(&descrambled[16..16 + 8 * payload_len])
+        Ok(bits::bits_to_bytes(&descrambled[16..16 + 8 * payload_len]))
     }
 
     fn per_stream_coded_bits(&self, payload_len: usize) -> usize {
@@ -507,5 +533,31 @@ mod tests {
     #[should_panic(expected = "stream count must be 1-4")]
     fn stream_count_validated() {
         let _ = phy(5, 5, Modulation::Bpsk);
+    }
+
+    #[test]
+    fn try_receive_reports_truncation_as_typed_error() {
+        let p = phy(2, 2, Modulation::Qpsk);
+        let payload = vec![0x3Cu8; 50];
+        let mut tx = p.transmit(&payload);
+        // Healthy frame decodes identically through both entry points.
+        assert_eq!(
+            p.try_receive(&tx, 1e-9, payload.len()).unwrap(),
+            p.receive(&tx, 1e-9, payload.len())
+        );
+        // Truncate one antenna mid-frame: typed error, no panic.
+        let cut = tx[1].len() / 2;
+        tx[1].truncate(cut);
+        let err = p.try_receive(&tx, 1e-9, payload.len()).unwrap_err();
+        assert_eq!(
+            err,
+            WlanError::FrameTruncated {
+                needed: p.frame_samples(payload.len()),
+                got: cut,
+            }
+        );
+        // Wrong antenna count is a length mismatch.
+        let err = p.try_receive(&tx[..1], 1e-9, payload.len()).unwrap_err();
+        assert_eq!(err, WlanError::LengthMismatch { expected: 2, got: 1 });
     }
 }

@@ -12,7 +12,7 @@ use wlan_coding::interleaver::Interleaver;
 use wlan_coding::puncture::{depuncture, puncture};
 use wlan_coding::scrambler::Scrambler;
 use wlan_coding::{bits, CodeRate, ConvEncoder, ViterbiDecoder};
-use wlan_math::{fft, Complex};
+use wlan_math::{fft, Complex, WlanError};
 use wlan_ofdm::params::{data_carriers, Modulation, N_CP, N_FFT, N_SYM_SAMPLES};
 use wlan_ofdm::preamble::ltf_value;
 use wlan_ofdm::qam;
@@ -112,13 +112,19 @@ impl StbcOfdmPhy {
         debug_assert_eq!(symbols.len(), n_sym);
 
         let g = std::f64::consts::FRAC_1_SQRT_2;
-        let mut ant = vec![Vec::with_capacity(self.frame_samples(payload.len())); 2];
+        let mut ant: Vec<Vec<Complex>> = std::iter::repeat_with(|| {
+            Vec::with_capacity(self.frame_samples(payload.len()))
+        })
+        .take(2)
+        .collect();
 
-        // Two training symbols with the 2×2 P cover.
+        // Two training symbols with the 2×2 P cover. Streams are
+        // independent, so filling antenna-by-antenna keeps each stream's
+        // symbol order m = 0, 1.
         let ltf = training_symbol();
-        for m in 0..2 {
-            for (i, stream) in ant.iter_mut().enumerate() {
-                let scale = P_HTLTF[i][m] * g;
+        for (i, stream) in ant.iter_mut().enumerate() {
+            for &p in P_HTLTF[i].iter().take(2) {
+                let scale = p * g;
                 stream.extend(ltf.iter().map(|&s| s.scale(scale)));
             }
         }
@@ -145,12 +151,36 @@ impl StbcOfdmPhy {
     ///
     /// # Panics
     ///
-    /// Panics if `rx.len() != n_rx` or streams are shorter than the frame.
+    /// Panics if `rx.len() != n_rx` or streams are shorter than the frame;
+    /// see [`StbcOfdmPhy::try_receive`] for the non-panicking form.
     pub fn receive(&self, rx: &[Vec<Complex>], n0: f64, payload_len: usize) -> Vec<u8> {
-        assert_eq!(rx.len(), self.n_rx, "receive antenna count mismatch");
+        self.try_receive(rx, n0, payload_len)
+            .expect("receive antenna count mismatch or stream too short")
+    }
+
+    /// Like [`StbcOfdmPhy::receive`], but malformed input — wrong antenna
+    /// count or truncated streams — returns a typed [`WlanError`] instead
+    /// of panicking.
+    pub fn try_receive(
+        &self,
+        rx: &[Vec<Complex>],
+        n0: f64,
+        payload_len: usize,
+    ) -> Result<Vec<u8>, WlanError> {
+        if rx.len() != self.n_rx {
+            return Err(WlanError::LengthMismatch {
+                expected: self.n_rx,
+                got: rx.len(),
+            });
+        }
         let needed = self.frame_samples(payload_len);
         for r in rx {
-            assert!(r.len() >= needed, "receive stream too short");
+            if r.len() < needed {
+                return Err(WlanError::FrameTruncated {
+                    needed,
+                    got: r.len(),
+                });
+            }
         }
         let _ = n0; // kept for interface symmetry with MimoOfdmPhy
 
@@ -231,12 +261,12 @@ impl StbcOfdmPhy {
             48 * self.modulation.bits_per_subcarrier(),
             self.modulation.bits_per_subcarrier(),
         );
-        let deinterleaved = il.deinterleave_stream_soft(&llrs);
+        let deinterleaved = il.try_deinterleave_stream_soft(&llrs)?;
         let total_bits = n_sym * self.data_bits_per_symbol();
         let mother = depuncture(&deinterleaved, self.code_rate, total_bits * 2);
-        let scrambled = ViterbiDecoder::new().decode_soft_unterminated(&mother, total_bits);
+        let scrambled = ViterbiDecoder::new().try_decode_soft_unterminated(&mother, total_bits)?;
         let descrambled = Scrambler::new(self.scrambler_seed).scramble(&scrambled);
-        bits::bits_to_bytes(&descrambled[16..16 + 8 * payload_len])
+        Ok(bits::bits_to_bytes(&descrambled[16..16 + 8 * payload_len]))
     }
 }
 
@@ -391,6 +421,24 @@ mod tests {
             stbc_ok > siso_ok,
             "STBC ({stbc_ok}/{trials}) must beat SISO ({siso_ok}/{trials}) in fading"
         );
+    }
+
+    #[test]
+    fn try_receive_reports_typed_errors() {
+        let phy = StbcOfdmPhy::new(Modulation::Qpsk, CodeRate::R1_2, 1);
+        let payload = b"stbc erasure";
+        let tx = phy.transmit(payload);
+        let rx = identity_rx(&tx);
+        assert_eq!(
+            phy.try_receive(&[rx.clone()], 1e-9, payload.len()).unwrap(),
+            payload.to_vec()
+        );
+        let err = phy
+            .try_receive(&[rx[..100].to_vec()], 1e-9, payload.len())
+            .unwrap_err();
+        assert!(matches!(err, WlanError::FrameTruncated { .. }), "{err:?}");
+        let err = phy.try_receive(&[], 1e-9, payload.len()).unwrap_err();
+        assert_eq!(err, WlanError::LengthMismatch { expected: 1, got: 0 });
     }
 
     #[test]
