@@ -5,15 +5,24 @@
 set -eux
 
 cargo build --release --offline
+
+# The tier-1 suite runs twice: pinned serial (WLAN_THREADS=1) and the
+# machine default. The parallel_determinism harness asserts sweeps are
+# bit-identical across thread counts *inside* each run; running the whole
+# suite at both settings additionally fails the build if any test result
+# (pinned regression values included) diverges with the thread count.
+WLAN_THREADS=1 cargo test -q --offline
 cargo test -q --offline
 cargo clippy --workspace --offline -- -D warnings
 
 # Decode hot paths must stay panic-free: no new unwrap()/panic! outside
-# test code in the crates whose receivers the fault harness drives.
+# test code in the crates whose receivers the fault harness drives. The
+# thread pool (math/par.rs) is held to the same bar: a panicking scheduler
+# would take down every sweep at once.
 # Test modules are trailing `#[cfg(test)]` blocks, so scanning stops at
 # that marker; `//` comment lines are skipped.
-for crate in coding mimo core; do
-    for f in crates/$crate/src/*.rs; do
+for f in crates/coding/src/*.rs crates/mimo/src/*.rs crates/core/src/*.rs \
+         crates/math/src/par.rs; do
         awk '
             /#\[cfg\(test\)\]/ { exit }
             /^[[:space:]]*\/\// { next }
@@ -24,5 +33,4 @@ for crate in coding mimo core; do
             }
             END { exit found }
         ' "$f"
-    done
 done

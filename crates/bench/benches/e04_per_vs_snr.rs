@@ -38,6 +38,7 @@ fn experiment(c: &mut Timer) {
         print!("{s:>6.0}");
     }
     println!();
+    let sweep_started = std::time::Instant::now();
     let mut required = Vec::new();
     for link in &links {
         let curve = sweep_per(link.as_ref(), &snrs, payload, frames, 4);
@@ -48,6 +49,14 @@ fn experiment(c: &mut Timer) {
         println!();
         required.push((curve.name.clone(), curve.snr_for_per(0.1)));
     }
+    // Trials fan out over (SNR point, frame batch) work items with
+    // per-trial forked RNG streams, so this wall-clock scales with
+    // WLAN_THREADS while the table above stays bit-identical.
+    println!(
+        "\nfull sweep wall-clock: {:.2} s at WLAN_THREADS={}",
+        sweep_started.elapsed().as_secs_f64(),
+        wlan_core::math::par::num_threads()
+    );
 
     println!("\nSNR required for PER <= 10 %:");
     for (name, snr) in required {

@@ -5,7 +5,7 @@
 use wlan_bench::timing::Timer;
 use wlan_core::math::rng::WlanRng;
 use wlan_bench::header;
-use wlan_core::mesh::coverage::{estimate_coverage, estimate_single_ap_coverage};
+use wlan_core::mesh::coverage::{estimate_coverage_seeded, estimate_single_ap_coverage};
 use wlan_core::mesh::{MeshNetwork, Metric};
 
 fn experiment(c: &mut Timer) {
@@ -35,7 +35,9 @@ fn experiment(c: &mut Timer) {
         single.mean_throughput_mbps
     );
     for n in [4usize, 9] {
-        let cov = estimate_coverage(&relays[..n], side, 1500, &mut rng);
+        // Seed-addressed parallel estimator: 1500 per-sample mesh builds
+        // fan out over WLAN_THREADS with bit-identical results.
+        let cov = estimate_coverage_seeded(&relays[..n], side, 1500, 8);
         println!(
             "{:>12} {:>9.1}% {:>16.1}",
             format!("{n}-node mesh"),
@@ -90,7 +92,7 @@ fn experiment(c: &mut Timer) {
     }
 
     c.bench_function("e08_coverage_100pts", |b| {
-        b.iter(|| estimate_coverage(&relays, side, 100, &mut rng))
+        b.iter(|| estimate_coverage_seeded(&relays, side, 100, 8))
     });
     c.bench_function("e08_hwmp_discovery", |b| {
         b.iter(|| wlan_core::mesh::hwmp::discover(&mesh9, 0, 8, Metric::Airtime))

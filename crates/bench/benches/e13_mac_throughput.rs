@@ -90,6 +90,32 @@ fn experiment(c: &mut Timer) {
         );
     }
 
+    // Multi-seed ensemble near the knee: independently seeded runs fan
+    // out over WLAN_THREADS (fork-per-run streams, bit-identical at any
+    // thread count) and put an error bar on the single-seed row above.
+    use wlan_core::mac::traffic::simulate_traffic_multi;
+    let knee = simulate_traffic_multi(
+        &TrafficConfig {
+            profile: MacProfile::dot11a(54.0),
+            n_stations: 10,
+            payload_bytes: payload,
+            arrival_rate_hz: 140.0,
+            sim_time_us: 3_000_000.0,
+            seed: 13,
+            arq: ArqConfig::disabled(),
+            loss: GeLossConfig::clean(),
+        },
+        8,
+    );
+    println!(
+        "\nknee confidence (140 f/s, 8 seeds): delivered {:.1} ± {:.1} Mbps, \
+         mean delay {:.1} ± {:.1} ms",
+        knee.delivered_mbps.mean(),
+        knee.delivered_mbps.std_dev(),
+        knee.mean_delay_us.mean() / 1000.0,
+        knee.mean_delay_us.std_dev() / 1000.0
+    );
+
     println!("\nRTS/CTS ablation (2000-byte frames, heavy contention):");
     for n in [10usize, 50] {
         let base = DcfConfig {

@@ -42,6 +42,7 @@ fn experiment(c: &mut Timer) {
 
     // ---- PHY: PER under each injector, severity 0 → 1 ------------------
     let snr_db = 18.0;
+    let phy_started = std::time::Instant::now();
     println!("PER at {snr_db} dB, 100-byte frames, severity 0 / 0.5 / 1 (erasure share at 1):");
     println!(
         "{:>28} {:>20} {:>7} {:>7} {:>7} {:>9}",
@@ -67,6 +68,14 @@ fn experiment(c: &mut Timer) {
             );
         }
     }
+
+    // Single-point sweeps still fan out (8-frame batches, per-trial
+    // streams): the table is bit-identical at any WLAN_THREADS.
+    println!(
+        "\nfault-catalog wall-clock: {:.2} s at WLAN_THREADS={}",
+        phy_started.elapsed().as_secs_f64(),
+        wlan_core::math::par::num_threads()
+    );
 
     // ---- MAC: goodput under bursty interference -------------------------
     println!("\nGoodput under bursty interference (802.11a 54 Mbps, 200 f/s Poisson per");

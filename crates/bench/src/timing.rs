@@ -54,15 +54,37 @@ impl Default for Timer {
     }
 }
 
+/// Floor for `WLAN_BENCH_MIN_TIME_MS`: below this a "calibrated" batch is
+/// one noisy iteration and the report is meaningless.
+const MIN_BENCH_TIME_MS: u64 = 10;
+
 impl Timer {
     /// Builds a timer honouring `WLAN_BENCH_MIN_TIME_MS` if set.
+    ///
+    /// Values below [`MIN_BENCH_TIME_MS`] (notably `0`, which would collapse
+    /// calibration to a single 1-iteration batch) are clamped up to the
+    /// floor; unparsable values warn on stderr and keep the default rather
+    /// than silently falling back.
     pub fn from_env() -> Self {
         let mut t = Timer::default();
-        if let Some(ms) = std::env::var("WLAN_BENCH_MIN_TIME_MS")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-        {
-            t.min_time = Duration::from_millis(ms);
+        if let Ok(raw) = std::env::var("WLAN_BENCH_MIN_TIME_MS") {
+            match raw.trim().parse::<u64>() {
+                Ok(ms) => {
+                    let clamped = ms.max(MIN_BENCH_TIME_MS);
+                    if clamped != ms {
+                        eprintln!(
+                            "warning: WLAN_BENCH_MIN_TIME_MS={ms} is below the \
+                             {MIN_BENCH_TIME_MS} ms calibration floor; clamping"
+                        );
+                    }
+                    t.min_time = Duration::from_millis(clamped);
+                }
+                Err(_) => eprintln!(
+                    "warning: ignoring unparsable WLAN_BENCH_MIN_TIME_MS={raw:?}; \
+                     keeping the default {} ms",
+                    t.min_time.as_millis()
+                ),
+            }
         }
         t
     }
@@ -130,6 +152,33 @@ mod tests {
             max_iters: 1 << 12,
         };
         t.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn from_env_clamps_and_rejects_garbage() {
+        // One test drives every env case sequentially: the variable is
+        // process-global, so spreading cases over parallel #[test]s races.
+        let var = "WLAN_BENCH_MIN_TIME_MS";
+        let cases: [(Option<&str>, u64); 5] = [
+            (None, 200),                       // unset → default
+            (Some("0"), MIN_BENCH_TIME_MS),    // the calibration-collapse bug
+            (Some("3"), MIN_BENCH_TIME_MS),    // below floor → clamped
+            (Some("500"), 500),                // sane → honoured
+            (Some("two hundred"), 200),        // garbage → warn, keep default
+        ];
+        for (value, want_ms) in cases {
+            match value {
+                Some(v) => std::env::set_var(var, v),
+                None => std::env::remove_var(var),
+            }
+            let t = Timer::from_env();
+            assert_eq!(
+                t.min_time,
+                Duration::from_millis(want_ms),
+                "WLAN_BENCH_MIN_TIME_MS={value:?}"
+            );
+        }
+        std::env::remove_var(var);
     }
 
     #[test]

@@ -323,9 +323,9 @@ mod tests {
         let il = Interleaver::new(n, 1);
         let bits: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
         let out = il.interleave(&bits);
-        for k in 0..n {
+        for (k, bit) in bits.iter().enumerate() {
             let i = (n / 16) * (k % 16) + k / 16;
-            assert_eq!(out[i], bits[k], "input bit {k} should land at {i}");
+            assert_eq!(out[i], *bit, "input bit {k} should land at {i}");
         }
     }
 

@@ -9,7 +9,20 @@
 //! complex sample (per receive antenna), i.e. Es/N0 at the channel
 //! bandwidth. Transmit chains in this workspace are unit-power, so noise
 //! variance is simply `10^(−SNR/10)`.
+//!
+//! # Parallel determinism
+//!
+//! Sweeps fan frame trials out over [`wlan_math::par`]: each trial `(point
+//! i, frame j)` runs on its own RNG stream `master.fork(i).fork(j)`, so a
+//! trial's noise depends only on the master seed and its coordinates —
+//! never on which thread ran it, how frames were batched, or how many
+//! trials ran before it. Error counts are integers summed per point, so
+//! the reduction is order-independent too, and a sweep is **bit-identical
+//! at any `WLAN_THREADS` setting** (`1` = the serial loop, no threads
+//! spawned). The tier-1 harness `tests/tests/parallel_determinism.rs`
+//! asserts this for every generation and every fault injector.
 
+use wlan_math::par;
 use wlan_math::rng::{Rng, WlanRng};
 use wlan_channel::mimo::MimoMultipathChannel;
 use wlan_channel::{Awgn, MultipathChannel, PowerDelayProfile};
@@ -53,6 +66,13 @@ impl PerCurve {
     /// qualifying SNR even through a local non-monotonic dip. Points whose
     /// PER is NaN (e.g. placeholder entries from an aborted sweep) are
     /// skipped rather than poisoning every comparison around them.
+    ///
+    /// Endpoint contract: when the lowest (finite-PER) swept point already
+    /// meets `per_target` — including meeting it exactly — the answer is
+    /// that point's SNR, returned bit-exactly with **no extrapolation
+    /// below the sweep** (the sweep carries no evidence about lower SNRs).
+    /// `tests/tests/regression.rs::golden_snr_for_per_endpoint_contract`
+    /// pins this.
     pub fn snr_for_per(&self, per_target: f64) -> Option<f64> {
         if !per_target.is_finite() {
             return None;
@@ -80,7 +100,11 @@ impl PerCurve {
 }
 
 /// A physical link that can attempt one frame at a given SNR.
-pub trait PhyLink {
+///
+/// `Send + Sync` so sweeps can share the link across the `wlan_math::par`
+/// workers; links are immutable parameter bundles (all per-trial state
+/// lives in the `rng` argument and locals).
+pub trait PhyLink: Send + Sync {
     /// Human-readable link name.
     fn name(&self) -> String;
 
@@ -161,6 +185,10 @@ impl FaultSweep {
 
 /// Sweeps SNR and measures PER with `frames` trials per point.
 ///
+/// Trials run in parallel on the `WLAN_THREADS` pool with per-trial forked
+/// RNG streams; the curve is bit-identical at any thread count (see the
+/// module docs).
+///
 /// # Panics
 ///
 /// Panics if `frames` is zero or `payload_len` is zero.
@@ -175,12 +203,58 @@ pub fn sweep_per(
         .into_per_curve()
 }
 
+/// Frames per parallel work item. Small enough that a single-point sweep
+/// still fans out, large enough that scheduling overhead stays invisible
+/// next to a PHY chain. Results never depend on this value — only
+/// wall-clock does — because every frame has its own forked stream.
+const FRAMES_PER_BATCH: usize = 8;
+
+/// Error counts from one batch of frame trials at one SNR point.
+#[derive(Debug, Clone, Copy, Default)]
+struct TrialTally {
+    errors: usize,
+    erasures: usize,
+}
+
+/// Runs frames `frame_range` of point `point` (integer counts only, so the
+/// per-point reduction over batches is order-independent).
+fn run_frame_batch(
+    link: &dyn PhyLink,
+    faults: &FaultChain,
+    snr_db: f64,
+    payload_len: usize,
+    point_rng: &WlanRng,
+    frame_range: std::ops::Range<usize>,
+) -> TrialTally {
+    let mut tally = TrialTally::default();
+    for frame in frame_range {
+        // The trial's whole universe — payload bits, channel realization,
+        // noise, fault draws — comes from its own (point, frame) stream.
+        let mut rng = point_rng.fork(frame as u64);
+        let payload: Vec<u8> = (0..payload_len).map(|_| rng.gen()).collect();
+        match link.frame_trial_faulted(snr_db, &payload, faults, &mut rng) {
+            Ok(true) => {}
+            Ok(false) => tally.errors += 1,
+            Err(_) => {
+                tally.errors += 1;
+                tally.erasures += 1;
+            }
+        }
+    }
+    tally
+}
+
 /// Sweeps SNR under a fault chain, counting typed erasures separately
 /// from silent payload corruption.
 ///
 /// With a clean chain this draws exactly the same RNG sequence as
 /// [`sweep_per`] (the chain consumes no draws), so the two agree
 /// bit-for-bit for a given seed.
+///
+/// Work items are `(SNR point, frame batch)` pairs with batch boundaries a
+/// pure function of `frames` — never of the thread count — and every frame
+/// trial derives its RNG as `master.fork(point).fork(frame)`, so the sweep
+/// is bit-identical across `WLAN_THREADS` settings.
 ///
 /// # Panics
 ///
@@ -195,28 +269,44 @@ pub fn sweep_per_faulted(
 ) -> FaultSweep {
     assert!(frames > 0, "need at least one frame per point");
     assert!(payload_len > 0, "payload must be nonempty");
-    let mut rng = WlanRng::seed_from_u64(seed);
+    let master = WlanRng::seed_from_u64(seed);
+
+    // Flatten the sweep into (point, frame-batch) work items so a
+    // single-point robustness sweep parallelizes as well as a 12-point
+    // waterfall.
+    let batches = par::batches(frames, FRAMES_PER_BATCH);
+    let work: Vec<(usize, std::ops::Range<usize>)> = snrs_db
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| batches.iter().map(move |b| (i, b.clone())))
+        .collect();
+
+    let tallies = par::parallel_map(&work, |_, (point, frame_range)| {
+        run_frame_batch(
+            link,
+            faults,
+            snrs_db[*point],
+            payload_len,
+            &master.fork(*point as u64),
+            frame_range.clone(),
+        )
+    });
+
+    // Deterministic reduction: integer sums per point, folded in work-item
+    // order.
+    let mut totals: Vec<TrialTally> = vec![TrialTally::default(); snrs_db.len()];
+    for ((point, _), tally) in work.iter().zip(&tallies) {
+        totals[*point].errors += tally.errors;
+        totals[*point].erasures += tally.erasures;
+    }
+
     let points = snrs_db
         .iter()
-        .map(|&snr| {
-            let mut errors = 0usize;
-            let mut erasures = 0usize;
-            for _ in 0..frames {
-                let payload: Vec<u8> = (0..payload_len).map(|_| rng.gen()).collect();
-                match link.frame_trial_faulted(snr, &payload, faults, &mut rng) {
-                    Ok(true) => {}
-                    Ok(false) => errors += 1,
-                    Err(_) => {
-                        errors += 1;
-                        erasures += 1;
-                    }
-                }
-            }
-            FaultSweepPoint {
-                snr_db: snr,
-                per: errors as f64 / frames as f64,
-                erasure_rate: erasures as f64 / frames as f64,
-            }
+        .zip(&totals)
+        .map(|(&snr, t)| FaultSweepPoint {
+            snr_db: snr,
+            per: t.errors as f64 / frames as f64,
+            erasure_rate: t.erasures as f64 / frames as f64,
         })
         .collect();
     FaultSweep {

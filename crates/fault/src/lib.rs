@@ -62,7 +62,11 @@ use wlan_math::Complex;
 /// Injectors run after the channel and noise, i.e. they model impairments
 /// the receiver cannot simply be told about. They mutate the sample vector
 /// in place (and may shorten it — see [`FrameTruncation`]).
-pub trait FaultInjector {
+///
+/// `Send + Sync` so a [`FaultChain`] can be shared across the sweep
+/// workers of `wlan_math::par`; injectors hold only immutable parameters
+/// (all per-frame randomness comes through the `rng` argument).
+pub trait FaultInjector: Send + Sync {
     /// Short identifier for reports.
     fn name(&self) -> &'static str;
 

@@ -11,7 +11,10 @@
 //! - [`special`] — Q-function, erfc and dB conversions for analytic BER/SNR
 //!   work,
 //! - [`stats`] — running statistics, percentiles and CCDF estimation used by
-//!   the experiment harness (e.g. PAPR CCDFs).
+//!   the experiment harness (e.g. PAPR CCDFs),
+//! - [`par`] — the deterministic scoped thread pool behind every parallel
+//!   Monte-Carlo sweep (`WLAN_THREADS` knob; bit-identical at any thread
+//!   count).
 //!
 //! # Examples
 //!
@@ -36,6 +39,7 @@ pub mod complex;
 pub mod error;
 pub mod fft;
 pub mod matrix;
+pub mod par;
 pub mod rng;
 pub mod special;
 pub mod stats;

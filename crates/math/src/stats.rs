@@ -63,7 +63,11 @@ impl RunningStats {
         }
     }
 
-    /// Unbiased sample variance (0 with fewer than two observations).
+    /// Unbiased sample variance.
+    ///
+    /// Contract: with fewer than two observations there is no spread
+    /// evidence, so this returns `0.0` (never NaN from a `0/0`), which is
+    /// what a report wants for a degenerate one-sample ensemble.
     pub fn variance(&self) -> f64 {
         if self.n < 2 {
             0.0
@@ -88,6 +92,12 @@ impl RunningStats {
     }
 
     /// Merges another accumulator into this one (parallel Welford).
+    ///
+    /// Contract: merging an empty `other` is the identity (no `0/0` NaN
+    /// can leak into the mean), merging into an empty `self` copies
+    /// `other`, and merging two empties leaves an empty accumulator —
+    /// so per-batch partials from a parallel sweep can always be folded
+    /// without special-casing batches that saw no data.
     pub fn merge(&mut self, other: &RunningStats) {
         if other.n == 0 {
             return;
@@ -127,18 +137,21 @@ impl FromIterator<f64> for RunningStats {
 /// Estimates the `p`-quantile (0 ≤ p ≤ 1) by linear interpolation on the
 /// sorted sample.
 ///
-/// Returns `None` for an empty slice.
+/// Contract: NaN observations are treated as missing data and ignored —
+/// a placeholder entry from an aborted sweep must not poison a whole
+/// delay report. Returns `None` when no finite-or-infinite observations
+/// remain (empty slice, or all NaN).
 ///
 /// # Panics
 ///
-/// Panics if `p` is outside `[0, 1]` or data contains NaN.
+/// Panics if `p` is outside `[0, 1]` (including NaN `p`).
 pub fn percentile(data: &[f64], p: f64) -> Option<f64> {
     assert!((0.0..=1.0).contains(&p), "p must be within [0, 1]");
-    if data.is_empty() {
+    let mut sorted: Vec<f64> = data.iter().copied().filter(|x| !x.is_nan()).collect();
+    if sorted.is_empty() {
         return None;
     }
-    let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile data"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let idx = p * (sorted.len() - 1) as f64;
     let lo = idx.floor() as usize;
     let hi = idx.ceil() as usize;
@@ -271,6 +284,37 @@ mod tests {
         let before = s;
         s.merge(&RunningStats::new());
         assert_eq!(s, before);
+        assert!(!s.mean().is_nan() && !s.variance().is_nan());
+    }
+
+    #[test]
+    fn merge_empty_into_empty_stays_empty_and_nan_free() {
+        let mut s = RunningStats::new();
+        s.merge(&RunningStats::new());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        // min/max keep their empty-identity sentinels, ready for more merges.
+        assert_eq!(s.min(), f64::INFINITY);
+        assert_eq!(s.max(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn merge_into_empty_copies_other() {
+        let other: RunningStats = [1.0, 3.0, 5.0].iter().copied().collect();
+        let mut s = RunningStats::new();
+        s.merge(&other);
+        assert_eq!(s, other);
+    }
+
+    #[test]
+    fn single_sample_variance_is_zero_not_nan() {
+        let mut s = RunningStats::new();
+        s.push(4.2);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.mean(), 4.2);
     }
 
     #[test]
@@ -280,6 +324,24 @@ mod tests {
         assert_eq!(percentile(&data, 1.0), Some(4.0));
         assert_eq!(percentile(&data, 0.5), Some(2.5));
         assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn percentile_ignores_nan_observations() {
+        // NaN entries are missing data, not poison: the quantile is taken
+        // over the remaining observations.
+        let data = [f64::NAN, 1.0, 2.0, f64::NAN, 3.0, 4.0];
+        assert_eq!(percentile(&data, 0.5), Some(2.5));
+        assert_eq!(percentile(&data, 0.0), Some(1.0));
+        assert_eq!(percentile(&data, 1.0), Some(4.0));
+        // All-NaN behaves like an empty sample.
+        assert_eq!(percentile(&[f64::NAN, f64::NAN], 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be within")]
+    fn percentile_rejects_nan_p() {
+        let _ = percentile(&[1.0, 2.0], f64::NAN);
     }
 
     #[test]

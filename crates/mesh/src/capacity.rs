@@ -9,6 +9,7 @@
 
 use crate::metric::Metric;
 use crate::topology::MeshNetwork;
+use wlan_math::par;
 
 /// Aggregate capacity analysis of a gateway-rooted mesh.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,26 +32,36 @@ pub struct GatewayCapacity {
 /// medium for its airtime; a full "round" delivers one 8192-bit frame per
 /// connected client; fair throughput = frame bits / round airtime.
 ///
+/// Each client's route (a per-client `MeshNetwork` build plus a shortest
+/// path) is computed on the `WLAN_THREADS` pool; the airtime sum folds the
+/// per-client results in client order, so the analysis is deterministic —
+/// and because the fold order equals the old serial loop's order, the
+/// floats are bit-identical to the serial computation at any thread count.
+///
 /// # Panics
 ///
 /// Panics if `infrastructure` is empty.
 pub fn gateway_capacity(infrastructure: &[(f64, f64)], clients: &[(f64, f64)]) -> GatewayCapacity {
     assert!(!infrastructure.is_empty(), "need at least the gateway");
-    let mut round_airtime_us = 0.0;
-    let mut connected = 0usize;
-    let mut hop_sum = 0usize;
 
-    for &client in clients {
+    // (airtime, hops) per connected client; None when unreachable.
+    let per_client = par::parallel_map(clients, |_, &client| {
         let mut nodes = infrastructure.to_vec();
         nodes.push(client);
         let net = MeshNetwork::from_positions(&nodes);
         let client_idx = nodes.len() - 1;
-        if let Some(path) = net.best_path(client_idx, 0, Metric::Airtime) {
+        net.best_path(client_idx, 0, Metric::Airtime)
             // Each hop of the path occupies the shared medium once.
-            round_airtime_us += net.path_airtime_us(&path);
-            connected += 1;
-            hop_sum += path.num_links();
-        }
+            .map(|path| (net.path_airtime_us(&path), path.num_links()))
+    });
+
+    let mut round_airtime_us = 0.0;
+    let mut connected = 0usize;
+    let mut hop_sum = 0usize;
+    for (airtime_us, hops) in per_client.iter().flatten() {
+        round_airtime_us += airtime_us;
+        connected += 1;
+        hop_sum += hops;
     }
 
     let per_client_mbps = if connected > 0 && round_airtime_us > 0.0 {

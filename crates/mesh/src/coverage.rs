@@ -6,7 +6,8 @@
 
 use crate::metric::Metric;
 use crate::topology::{best_rate_for_snr, MeshNetwork};
-use wlan_math::rng::Rng;
+use wlan_math::par;
+use wlan_math::rng::{Rng, WlanRng};
 use wlan_channel::pathloss::{LinkBudget, PathLossModel};
 
 /// Coverage statistics over a sampled region.
@@ -44,19 +45,82 @@ pub fn estimate_coverage(
     let mut throughput_sum = 0.0;
     for _ in 0..samples {
         let client = (rng.gen::<f64>() * side_m, rng.gen::<f64>() * side_m);
-        let mut nodes = infrastructure.to_vec();
-        nodes.push(client);
-        let net = MeshNetwork::with_models(&nodes, &pathloss, &budget);
-        let client_idx = nodes.len() - 1;
-        if let Some(path) = net.best_path(client_idx, 0, Metric::Airtime) {
-            let t = net.path_throughput_mbps(&path, 3);
-            if t > 0.0 {
-                covered += 1;
-                throughput_sum += t;
-            }
-        }
+        let (hit, t) = mesh_sample(infrastructure, client, &pathloss, &budget);
+        covered += hit as usize;
+        throughput_sum += t;
     }
 
+    Coverage {
+        covered_fraction: covered as f64 / samples as f64,
+        mean_throughput_mbps: if covered > 0 {
+            throughput_sum / covered as f64
+        } else {
+            0.0
+        },
+        samples,
+    }
+}
+
+/// One sampled client's contribution: covered flag plus its end-to-end
+/// throughput (0 when uncovered).
+fn mesh_sample(
+    infrastructure: &[(f64, f64)],
+    client: (f64, f64),
+    pathloss: &PathLossModel,
+    budget: &LinkBudget,
+) -> (bool, f64) {
+    let mut nodes = infrastructure.to_vec();
+    nodes.push(client);
+    let net = MeshNetwork::with_models(&nodes, pathloss, budget);
+    let client_idx = nodes.len() - 1;
+    if let Some(path) = net.best_path(client_idx, 0, Metric::Airtime) {
+        let t = net.path_throughput_mbps(&path, 3);
+        if t > 0.0 {
+            return (true, t);
+        }
+    }
+    (false, 0.0)
+}
+
+/// Parallel, seed-addressed variant of [`estimate_coverage`].
+///
+/// Sample `i` draws its client position from `master.fork(i)`, and the
+/// covered-count/throughput reduction folds per-sample results in sample
+/// order, so the estimate is a pure function of `(infrastructure, side_m,
+/// samples, seed)` — bit-identical at any `WLAN_THREADS` setting. (The
+/// `&mut impl Rng` variant threads one stream through the samples and so
+/// cannot fan out; both derivations are deterministic, they just differ.)
+///
+/// # Panics
+///
+/// Panics if `infrastructure` is empty or `samples` is zero.
+pub fn estimate_coverage_seeded(
+    infrastructure: &[(f64, f64)],
+    side_m: f64,
+    samples: usize,
+    seed: u64,
+) -> Coverage {
+    assert!(!infrastructure.is_empty(), "need at least a gateway node");
+    assert!(samples > 0, "need at least one sample");
+    let pathloss = PathLossModel::tgn_model_d();
+    let budget = LinkBudget::typical_wlan();
+    let master = WlanRng::seed_from_u64(seed);
+
+    let ids: Vec<usize> = (0..samples).collect();
+    let per_sample = par::parallel_map(&ids, |i, _| {
+        let mut rng = master.fork(i as u64);
+        let client = (rng.gen::<f64>() * side_m, rng.gen::<f64>() * side_m);
+        mesh_sample(infrastructure, client, &pathloss, &budget)
+    });
+
+    // Fixed-order fold: the float sum is associated the same way at any
+    // thread count.
+    let mut covered = 0usize;
+    let mut throughput_sum = 0.0;
+    for &(hit, t) in &per_sample {
+        covered += hit as usize;
+        throughput_sum += t;
+    }
     Coverage {
         covered_fraction: covered as f64 / samples as f64,
         mean_throughput_mbps: if covered > 0 {
@@ -149,6 +213,22 @@ mod tests {
         let a = estimate_coverage(&mesh_layout(), 300.0, 100, &mut WlanRng::seed_from_u64(5));
         let b = estimate_coverage(&mesh_layout(), 300.0, 100, &mut WlanRng::seed_from_u64(5));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeded_coverage_is_deterministic_and_agrees_statistically() {
+        let a = estimate_coverage_seeded(&mesh_layout(), 300.0, 400, 5);
+        let b = estimate_coverage_seeded(&mesh_layout(), 300.0, 400, 5);
+        assert_eq!(a, b);
+        // Different derivation than the &mut Rng variant, same estimand.
+        let serial =
+            estimate_coverage(&mesh_layout(), 300.0, 400, &mut WlanRng::seed_from_u64(5));
+        assert!(
+            (a.covered_fraction - serial.covered_fraction).abs() < 0.1,
+            "seeded {} vs serial {}",
+            a.covered_fraction,
+            serial.covered_fraction
+        );
     }
 
     #[test]

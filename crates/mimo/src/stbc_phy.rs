@@ -430,7 +430,8 @@ mod tests {
         let tx = phy.transmit(payload);
         let rx = identity_rx(&tx);
         assert_eq!(
-            phy.try_receive(&[rx.clone()], 1e-9, payload.len()).unwrap(),
+            phy.try_receive(std::slice::from_ref(&rx), 1e-9, payload.len())
+                .unwrap(),
             payload.to_vec()
         );
         let err = phy

@@ -40,6 +40,11 @@ fn main() {
         Box::new(MimoLink::flat(2, 2)),
     ];
 
+    println!(
+        "(PER sweeps run on {} thread(s) — set WLAN_THREADS to change; \
+         the numbers cannot.)",
+        wlan_core::math::par::num_threads()
+    );
     print!("{:>28}", "SNR(dB):");
     for s in &snrs {
         print!("{s:>7.0}");

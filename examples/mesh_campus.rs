@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example mesh_campus`
 
 use wlan_core::math::rng::WlanRng;
-use wlan_core::mesh::coverage::{estimate_coverage, estimate_single_ap_coverage};
+use wlan_core::mesh::coverage::{estimate_coverage_seeded, estimate_single_ap_coverage};
 use wlan_core::mesh::{MeshNetwork, Metric};
 
 fn main() {
@@ -27,7 +27,9 @@ fn main() {
 
     println!("== E8a: coverage of a {side:.0} m campus square ==\n");
     let single = estimate_single_ap_coverage(relays[0], side, 800, &mut rng);
-    let mesh = estimate_coverage(&relays, side, 800, &mut rng);
+    // Seed-addressed parallel estimator: per-sample forked streams, so the
+    // numbers are bit-identical at any WLAN_THREADS setting.
+    let mesh = estimate_coverage_seeded(&relays, side, 800, 2005);
     println!(
         "single AP : {:>5.1} % covered, mean rate {:>5.1} Mbps",
         100.0 * single.covered_fraction,

@@ -188,6 +188,30 @@ fn golden_scrambler_prefix() {
 }
 
 #[test]
+fn golden_snr_for_per_endpoint_contract() {
+    // When the lowest swept point already meets the target, the answer is
+    // that exact SNR — bit-exact, no extrapolation below the sweep.
+    use wlan_core::linksim::{PerCurve, PerPoint};
+    let curve = |pairs: &[(f64, f64)]| PerCurve {
+        name: "endpoint".into(),
+        rate_mbps: 1.0,
+        points: pairs
+            .iter()
+            .map(|&(snr_db, per)| PerPoint { snr_db, per })
+            .collect(),
+    };
+    let c = curve(&[(2.0, 0.08), (5.0, 0.01), (8.0, 0.0)]);
+    assert_eq!(c.snr_for_per(0.1), Some(2.0), "first point below target");
+    assert_eq!(c.snr_for_per(0.08), Some(2.0), "meeting the target exactly counts");
+    // A NaN placeholder at lower SNR neither extrapolates nor poisons.
+    let with_nan = curve(&[(-1.0, f64::NAN), (2.0, 0.05), (5.0, 0.0)]);
+    assert_eq!(with_nan.snr_for_per(0.1), Some(2.0));
+    // Degenerate single-point curves obey the same contract.
+    assert_eq!(curve(&[(3.0, 0.02)]).snr_for_per(0.1), Some(3.0));
+    assert_eq!(curve(&[(3.0, 0.2)]).snr_for_per(0.1), None);
+}
+
+#[test]
 fn determinism_same_seed_identical_per_curve() {
     // The reproducibility contract: a full 802.11a OFDM PHY chain
     // (scramble → encode → interleave → QAM → IFFT → AWGN → receive) swept
