@@ -15,14 +15,39 @@ WLAN_THREADS=1 cargo test -q --offline
 cargo test -q --offline
 cargo clippy --workspace --offline -- -D warnings
 
+# Kill-and-resume smoke: a campaign SIGKILLed mid-flight must resume from
+# its checkpoint journal and print a result table byte-identical to a run
+# that was never interrupted. This exercises the real signal path (no
+# in-process shortcuts): spawn, SIGKILL, re-invoke, diff.
+cargo build --release --offline -p wlan-runner --example survivable_campaign
+SMOKE=target/release/examples/survivable_campaign
+SMOKE_DIR=$(mktemp -d)
+"$SMOKE" "$SMOKE_DIR/uninterrupted.journal" > "$SMOKE_DIR/expected.txt" 2>/dev/null
+"$SMOKE" "$SMOKE_DIR/killed.journal" > /dev/null 2>&1 &
+SMOKE_PID=$!
+sleep 2
+kill -9 "$SMOKE_PID" 2>/dev/null || true
+wait "$SMOKE_PID" 2>/dev/null || true
+# Resume until complete (the example exits 3 while work remains, e.g.
+# when WLAN_BUDGET_MS is set in the environment).
+for _ in 1 2 3 4 5; do
+    if "$SMOKE" "$SMOKE_DIR/killed.journal" > "$SMOKE_DIR/resumed.txt" 2>/dev/null; then
+        break
+    fi
+done
+diff "$SMOKE_DIR/expected.txt" "$SMOKE_DIR/resumed.txt"
+rm -rf "$SMOKE_DIR"
+
 # Decode hot paths must stay panic-free: no new unwrap()/panic! outside
 # test code in the crates whose receivers the fault harness drives. The
 # thread pool (math/par.rs) is held to the same bar: a panicking scheduler
-# would take down every sweep at once.
+# would take down every sweep at once — and so is the whole campaign
+# runner (crates/runner) plus the CI math it stops on: a campaign that
+# survives SIGKILL must not die to a malformed journal line.
 # Test modules are trailing `#[cfg(test)]` blocks, so scanning stops at
 # that marker; `//` comment lines are skipped.
 for f in crates/coding/src/*.rs crates/mimo/src/*.rs crates/core/src/*.rs \
-         crates/math/src/par.rs; do
+         crates/runner/src/*.rs crates/math/src/ci.rs crates/math/src/par.rs; do
         awk '
             /#\[cfg\(test\)\]/ { exit }
             /^[[:space:]]*\/\// { next }

@@ -2,11 +2,13 @@
 //! spectral-efficiency boost, with the airtime-vs-hop-count routing
 //! ablation.
 
+use wlan_bench::header;
 use wlan_bench::timing::Timer;
 use wlan_core::math::rng::WlanRng;
-use wlan_bench::header;
 use wlan_core::mesh::coverage::{estimate_coverage_seeded, estimate_single_ap_coverage};
 use wlan_core::mesh::{MeshNetwork, Metric};
+use wlan_runner::capacity::{run_capacity_campaign, CapacityCampaignConfig};
+use wlan_runner::coverage::{run_coverage_campaign, CoverageCampaignConfig};
 
 fn experiment(c: &mut Timer) {
     header(
@@ -35,14 +37,22 @@ fn experiment(c: &mut Timer) {
         single.mean_throughput_mbps
     );
     for n in [4usize, 9] {
-        // Seed-addressed parallel estimator: 1500 per-sample mesh builds
-        // fan out over WLAN_THREADS with bit-identical results.
-        let cov = estimate_coverage_seeded(&relays[..n], side, 1500, 8);
+        // Survivable coverage campaign: per-sample mesh builds fan out
+        // over WLAN_THREADS with bit-identical results, and each
+        // deployment stops as soon as the Wilson 95% half-width on the
+        // covered fraction reaches 0.025 (max 1500 samples).
+        let cfg = CoverageCampaignConfig::new(&relays[..n], side, 1500, 8)
+            .with_target_half_width(0.025);
+        let report = run_coverage_campaign(&cfg);
+        let cov = report.to_coverage();
+        let hw = report.ci().map(|ci| ci.half_width()).unwrap_or(f64::NAN);
         println!(
-            "{:>12} {:>9.1}% {:>16.1}",
+            "{:>12} {:>9.1}% {:>16.1}   ({} samples, ±{:.1}% at 95%)",
             format!("{n}-node mesh"),
             100.0 * cov.covered_fraction,
-            cov.mean_throughput_mbps
+            cov.mean_throughput_mbps,
+            report.samples,
+            100.0 * hw
         );
     }
 
@@ -72,7 +82,10 @@ fn experiment(c: &mut Timer) {
                 (40.0 + 360.0 * t, 60.0 + 300.0 * (1.0 - t))
             })
             .collect();
-        let cap = wlan_core::mesh::capacity::gateway_capacity(&relays, &clients);
+        // Budgeted capacity campaign: same fold as gateway_capacity,
+        // interruptible at 16-client wave boundaries.
+        let report = run_capacity_campaign(&CapacityCampaignConfig::new(&relays, &clients));
+        let cap = report.to_gateway_capacity();
         println!(
             "  {n_clients:>3} clients: {:>5.2} Mbps each ({} connected, {:.1} mean hops)",
             cap.per_client_mbps, cap.connected, cap.mean_hops

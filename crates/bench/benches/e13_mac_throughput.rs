@@ -90,12 +90,14 @@ fn experiment(c: &mut Timer) {
         );
     }
 
-    // Multi-seed ensemble near the knee: independently seeded runs fan
-    // out over WLAN_THREADS (fork-per-run streams, bit-identical at any
-    // thread count) and put an error bar on the single-seed row above.
-    use wlan_core::mac::traffic::simulate_traffic_multi;
-    let knee = simulate_traffic_multi(
-        &TrafficConfig {
+    // Multi-seed ensemble near the knee, as a survivable campaign:
+    // independently seeded runs fan out over WLAN_THREADS (fork-per-run
+    // streams, bit-identical at any thread count), a per-run step budget
+    // quarantines any runaway run instead of wedging the table, and
+    // WLAN_BUDGET_MS / WLAN_MAX_TRIALS bound the ensemble if set.
+    use wlan_runner::traffic::{run_traffic_campaign, TrafficCampaignConfig};
+    let knee_cfg = TrafficCampaignConfig::new(
+        TrafficConfig {
             profile: MacProfile::dot11a(54.0),
             n_stations: 10,
             payload_bytes: payload,
@@ -106,10 +108,14 @@ fn experiment(c: &mut Timer) {
             loss: GeLossConfig::clean(),
         },
         8,
-    );
+    )
+    .with_max_steps(50_000_000);
+    let knee = run_traffic_campaign(&knee_cfg);
     println!(
-        "\nknee confidence (140 f/s, 8 seeds): delivered {:.1} ± {:.1} Mbps, \
-         mean delay {:.1} ± {:.1} ms",
+        "\nknee confidence (140 f/s, {} of 8 seeds, {} quarantined): \
+         delivered {:.1} ± {:.1} Mbps, mean delay {:.1} ± {:.1} ms",
+        knee.runs.len(),
+        knee.quarantine.len(),
         knee.delivered_mbps.mean(),
         knee.delivered_mbps.std_dev(),
         knee.mean_delay_us.mean() / 1000.0,

@@ -15,6 +15,7 @@ use wlan_core::mac::params::MacProfile;
 use wlan_core::mac::traffic::{simulate_traffic, TrafficConfig};
 use wlan_core::ofdm::params::Modulation;
 use wlan_core::ofdm::OfdmRate;
+use wlan_runner::per::{run_per_campaign, PerCampaignConfig};
 
 fn links() -> Vec<Box<dyn PhyLink>> {
     vec![
@@ -48,13 +49,20 @@ fn experiment(c: &mut Timer) {
         "{:>28} {:>20} {:>7} {:>7} {:>7} {:>9}",
         "link", "fault", "s=0", "s=0.5", "s=1", "erasures"
     );
+    let mut quarantined = 0usize;
     for link in links() {
         for kind in FaultKind::all() {
+            // Each severity runs as a survivable campaign (identical
+            // tallies to sweep_per_faulted, but budget-boundable and
+            // quarantine-ledgered): typed-error trials land in the
+            // ledger with replayable (seed, point, frame) coordinates.
             let pers: Vec<_> = [0.0, 0.5, 1.0]
                 .iter()
                 .map(|&s| {
-                    sweep_per_faulted(link.as_ref(), &kind.chain(s), &[snr_db], 100, 40, 16)
-                        .points[0]
+                    let cfg = PerCampaignConfig::new(&[snr_db], 100, 40, 16);
+                    let report = run_per_campaign(link.as_ref(), &kind.chain(s), &cfg);
+                    quarantined += report.quarantine.len();
+                    report.to_fault_sweep().points[0]
                 })
                 .collect();
             println!(
@@ -68,6 +76,7 @@ fn experiment(c: &mut Timer) {
             );
         }
     }
+    println!("\nquarantine ledger: {quarantined} typed-error trials recorded for replay");
 
     // Single-point sweeps still fan out (8-frame batches, per-trial
     // streams): the table is bit-identical at any WLAN_THREADS.

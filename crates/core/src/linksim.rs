@@ -216,6 +216,28 @@ struct TrialTally {
     erasures: usize,
 }
 
+/// Runs the single sweep trial at stream coordinates `(point, frame)`.
+///
+/// The trial's whole universe — payload bits, channel realization, noise,
+/// fault draws — comes from `point_rng.fork(frame)`, where `point_rng =
+/// master.fork(point)` and `master = WlanRng::seed_from_u64(seed)`. This
+/// is *the* addressing scheme every sweep uses, exposed so campaign
+/// runners can resume a sweep mid-point and quarantine replay can
+/// re-execute any trial from its `(seed, point, frame)` coordinates alone
+/// — both bit-identical to the trial's first execution.
+pub fn frame_trial_at(
+    link: &dyn PhyLink,
+    faults: &FaultChain,
+    snr_db: f64,
+    payload_len: usize,
+    point_rng: &WlanRng,
+    frame: u64,
+) -> Result<bool, WlanError> {
+    let mut rng = point_rng.fork(frame);
+    let payload: Vec<u8> = (0..payload_len).map(|_| rng.gen()).collect();
+    link.frame_trial_faulted(snr_db, &payload, faults, &mut rng)
+}
+
 /// Runs frames `frame_range` of point `point` (integer counts only, so the
 /// per-point reduction over batches is order-independent).
 fn run_frame_batch(
@@ -228,11 +250,7 @@ fn run_frame_batch(
 ) -> TrialTally {
     let mut tally = TrialTally::default();
     for frame in frame_range {
-        // The trial's whole universe — payload bits, channel realization,
-        // noise, fault draws — comes from its own (point, frame) stream.
-        let mut rng = point_rng.fork(frame as u64);
-        let payload: Vec<u8> = (0..payload_len).map(|_| rng.gen()).collect();
-        match link.frame_trial_faulted(snr_db, &payload, faults, &mut rng) {
+        match frame_trial_at(link, faults, snr_db, payload_len, point_rng, frame as u64) {
             Ok(true) => {}
             Ok(false) => tally.errors += 1,
             Err(_) => {

@@ -45,6 +45,10 @@ pub struct DcfResult {
     pub per_station: Vec<u64>,
     /// Jain fairness index over per-station successes.
     pub fairness: f64,
+    /// Events abandoned when the horizon cut the run (from
+    /// [`Scheduler::drain_until`]): the run ended mid-backoff, not by
+    /// draining naturally, and budgeted campaigns report it as truncation.
+    pub truncated_events: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,10 +99,16 @@ pub fn simulate_dcf(cfg: &DcfConfig) -> DcfResult {
     let mut colliding_attempts = 0u64;
     let mut per_station = vec![0u64; cfg.n_stations];
 
-    while let Some((t, Event::SlotBoundary)) = sim.pop() {
-        if t >= horizon {
-            break;
+    loop {
+        // Peek before popping: a boundary at/past the horizon stays queued
+        // so the drain below can report it as truncated work.
+        match sim.peek_time() {
+            Some(t) if t < horizon => {}
+            _ => break,
         }
+        let Some((_, Event::SlotBoundary)) = sim.pop() else {
+            break;
+        };
         let transmitters: Vec<usize> = stations
             .iter()
             .enumerate()
@@ -144,6 +154,7 @@ pub fn simulate_dcf(cfg: &DcfConfig) -> DcfResult {
         // busy period, then resume after it (freeze = no decrement here).
         sim.schedule_in(to_ns(duration_us), Event::SlotBoundary);
     }
+    let truncated_events = sim.drain_until(horizon) as u64;
 
     let delivered_bits = successes as f64 * (cfg.payload_bytes * 8) as f64;
     let throughput_mbps = delivered_bits / cfg.sim_time_us;
@@ -166,6 +177,7 @@ pub fn simulate_dcf(cfg: &DcfConfig) -> DcfResult {
         },
         per_station,
         fairness,
+        truncated_events,
     }
 }
 
@@ -290,6 +302,14 @@ mod tests {
         let gain = fast.throughput_mbps / slow.throughput_mbps;
         assert!(gain < 7.0, "9x PHY rate gave {gain}x MAC throughput");
         assert!(gain > 2.0, "rate increase should still help: {gain}x");
+    }
+
+    #[test]
+    fn horizon_cut_is_reported_not_silent() {
+        // A saturated run always has the next slot boundary queued, so the
+        // horizon necessarily cuts mid-backoff — and says so.
+        let out = simulate_dcf(&base_cfg());
+        assert_eq!(out.truncated_events, 1, "abandoned boundary must be counted");
     }
 
     #[test]

@@ -68,12 +68,44 @@ struct Station {
     attempts: u32,
 }
 
+/// A [`simulate_traffic`] run with its step accounting: how many
+/// contention-loop iterations it took and whether a step budget cut it
+/// short of `sim_time_us`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteppedTraffic {
+    /// The run's statistics (over the simulated span actually covered).
+    pub result: TrafficResult,
+    /// Contention-loop iterations executed.
+    pub steps: u64,
+    /// `true` when `max_steps` ended the run before `sim_time_us` — the
+    /// statistics then cover a truncated span and campaign runners must
+    /// quarantine or flag the run rather than average it in silently.
+    pub truncated: bool,
+}
+
 /// Runs the unsaturated-DCF simulation.
 ///
 /// # Panics
 ///
 /// Panics if `n_stations` is zero or rates/times are not positive.
 pub fn simulate_traffic(cfg: &TrafficConfig) -> TrafficResult {
+    simulate_traffic_stepped(cfg, u64::MAX).result
+}
+
+/// [`simulate_traffic`] under a per-run step budget.
+///
+/// Each iteration of the contention loop (one idle slot, success, or
+/// collision) is a step. A pathological configuration — e.g. a loss
+/// process that keeps every station in backoff — can make a run's event
+/// count explode even though simulated time barely advances; the step
+/// budget bounds the work deterministically (steps are simulation events,
+/// never wall clock, so truncation is a pure function of the config) and
+/// reports the cut instead of wedging a campaign.
+///
+/// # Panics
+///
+/// Panics if `n_stations` is zero or rates/times are not positive.
+pub fn simulate_traffic_stepped(cfg: &TrafficConfig, max_steps: u64) -> SteppedTraffic {
     assert!(cfg.n_stations > 0, "need at least one station");
     assert!(cfg.arrival_rate_hz > 0.0, "arrival rate must be positive");
     assert!(cfg.sim_time_us > 0.0, "simulation time must be positive");
@@ -114,8 +146,15 @@ pub fn simulate_traffic(cfg: &TrafficConfig) -> TrafficResult {
     let mut dropped = 0u64;
     let mut protected_tx = 0u64;
     let mut delays = Vec::new();
+    let mut steps = 0u64;
+    let mut truncated = false;
 
     while now_us < cfg.sim_time_us {
+        if steps >= max_steps {
+            truncated = true;
+            break;
+        }
+        steps += 1;
         // Interference bursts evolve with airtime, not with events.
         if let Some(l) = loss.as_mut() {
             l.advance(now_us - advanced_us, &mut rng);
@@ -237,19 +276,37 @@ pub fn simulate_traffic(cfg: &TrafficConfig) -> TrafficResult {
         .unwrap_or(mean_delay_us);
     let backlog = stations.iter().map(|s| s.queue.len()).sum();
 
-    TrafficResult {
+    // A truncated run only simulated up to `now_us`; normalizing by the
+    // full requested span would understate throughput on top of the cut.
+    let spanned_us = if truncated { now_us } else { cfg.sim_time_us };
+    let result = TrafficResult {
         offered_mbps: cfg.n_stations as f64
             * cfg.arrival_rate_hz
             * (cfg.payload_bytes * 8) as f64
             / 1e6,
-        delivered_mbps: delivered as f64 * (cfg.payload_bytes * 8) as f64 / cfg.sim_time_us,
+        delivered_mbps: delivered as f64 * (cfg.payload_bytes * 8) as f64 / spanned_us,
         mean_delay_us,
         p95_delay_us,
         backlog,
         retries,
         dropped,
         protected_tx,
+    };
+    SteppedTraffic {
+        result,
+        steps,
+        truncated,
     }
+}
+
+/// The seed run `r` of a `master_seed`-keyed ensemble uses: run streams
+/// are forked off the master seed by run index, so the set of per-run
+/// results is a pure function of `(cfg, runs)` and adding runs never
+/// perturbs earlier ones. Shared by [`simulate_traffic_multi`] and the
+/// campaign runner so both address bit-identical per-run streams — and so
+/// a quarantined run can be replayed from `(master_seed, r)` alone.
+pub fn ensemble_seed(master_seed: u64, run: usize) -> u64 {
+    WlanRng::seed_from_u64(master_seed).fork(run as u64).seed()
 }
 
 /// Statistics over an ensemble of independently seeded traffic runs.
@@ -283,8 +340,7 @@ pub struct TrafficEnsemble {
 /// Panics if `runs` is zero, or on any [`simulate_traffic`] precondition.
 pub fn simulate_traffic_multi(cfg: &TrafficConfig, runs: usize) -> TrafficEnsemble {
     assert!(runs > 0, "need at least one run");
-    let master = WlanRng::seed_from_u64(cfg.seed);
-    let seeds: Vec<u64> = (0..runs).map(|r| master.fork(r as u64).seed()).collect();
+    let seeds: Vec<u64> = (0..runs).map(|r| ensemble_seed(cfg.seed, r)).collect();
     let results = par::parallel_map(&seeds, |_, &seed| {
         simulate_traffic(&TrafficConfig { seed, ..*cfg })
     });
@@ -510,6 +566,44 @@ mod tests {
         for r in &e.runs {
             assert_eq!(r.offered_mbps, e.runs[0].offered_mbps);
             assert!((r.delivered_mbps / r.offered_mbps - 1.0).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn step_budget_truncates_deterministically_and_reports_it() {
+        let base = cfg(50.0);
+        let full = simulate_traffic_stepped(&base, u64::MAX);
+        assert!(!full.truncated);
+        assert!(full.steps > 1000, "a 12 s run takes many steps: {}", full.steps);
+        assert_eq!(full.result, simulate_traffic(&base), "uncapped = legacy");
+        let cut = simulate_traffic_stepped(&base, 500);
+        assert!(cut.truncated, "500 steps cannot cover 12 s");
+        assert_eq!(cut.steps, 500);
+        assert_eq!(
+            cut,
+            simulate_traffic_stepped(&base, 500),
+            "truncation is a pure function of the config"
+        );
+        // Throughput is normalized over the span actually simulated, so a
+        // truncated light-load run still shows sane delivery.
+        assert!(
+            (cut.result.delivered_mbps / cut.result.offered_mbps - 1.0).abs() < 0.3,
+            "delivered {} vs offered {}",
+            cut.result.delivered_mbps,
+            cut.result.offered_mbps
+        );
+    }
+
+    #[test]
+    fn ensemble_seed_matches_multi_derivation() {
+        let base = TrafficConfig {
+            sim_time_us: 200_000.0,
+            ..cfg(80.0)
+        };
+        let e = simulate_traffic_multi(&base, 3);
+        for (r, res) in e.runs.iter().enumerate() {
+            let seed = ensemble_seed(base.seed, r);
+            assert_eq!(*res, simulate_traffic(&TrafficConfig { seed, ..base }));
         }
     }
 

@@ -14,7 +14,10 @@
 //!   the experiment harness (e.g. PAPR CCDFs),
 //! - [`par`] — the deterministic scoped thread pool behind every parallel
 //!   Monte-Carlo sweep (`WLAN_THREADS` knob; bit-identical at any thread
-//!   count).
+//!   count),
+//! - [`ci`] — Wilson score and Hoeffding confidence bounds on Bernoulli
+//!   tallies, the substrate for sequential early stopping and the CI
+//!   half-widths campaign reports quote.
 //!
 //! # Examples
 //!
@@ -35,6 +38,7 @@
 //! assert_eq!(peak, Some(3));
 //! ```
 
+pub mod ci;
 pub mod complex;
 pub mod error;
 pub mod fft;

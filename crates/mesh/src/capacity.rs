@@ -25,6 +25,22 @@ pub struct GatewayCapacity {
     pub mean_hops: f64,
 }
 
+/// Routes one client (airtime metric) to the gateway at node 0 of
+/// `infrastructure`: `(path airtime µs, hop count)`, or `None` when the
+/// client cannot reach the gateway at any rate. This is the per-client
+/// unit [`gateway_capacity`] fans out over, exposed so budgeted campaign
+/// runners can process the client list incrementally with a fold
+/// bit-identical to the one-shot analysis.
+pub fn client_route(infrastructure: &[(f64, f64)], client: (f64, f64)) -> Option<(f64, usize)> {
+    let mut nodes = infrastructure.to_vec();
+    nodes.push(client);
+    let net = MeshNetwork::from_positions(&nodes);
+    let client_idx = nodes.len() - 1;
+    net.best_path(client_idx, 0, Metric::Airtime)
+        // Each hop of the path occupies the shared medium once.
+        .map(|path| (net.path_airtime_us(&path), path.num_links()))
+}
+
 /// Computes the fair-share capacity of clients at `clients` positions all
 /// routed (airtime metric) to node 0 of `infrastructure`.
 ///
@@ -45,15 +61,7 @@ pub fn gateway_capacity(infrastructure: &[(f64, f64)], clients: &[(f64, f64)]) -
     assert!(!infrastructure.is_empty(), "need at least the gateway");
 
     // (airtime, hops) per connected client; None when unreachable.
-    let per_client = par::parallel_map(clients, |_, &client| {
-        let mut nodes = infrastructure.to_vec();
-        nodes.push(client);
-        let net = MeshNetwork::from_positions(&nodes);
-        let client_idx = nodes.len() - 1;
-        net.best_path(client_idx, 0, Metric::Airtime)
-            // Each hop of the path occupies the shared medium once.
-            .map(|path| (net.path_airtime_us(&path), path.num_links()))
-    });
+    let per_client = par::parallel_map(clients, |_, &client| client_route(infrastructure, client));
 
     let mut round_airtime_us = 0.0;
     let mut connected = 0usize;

@@ -82,6 +82,28 @@ fn mesh_sample(
     (false, 0.0)
 }
 
+/// Draws and evaluates the single seed-addressed coverage sample `sample`:
+/// the client position and everything downstream come from
+/// `master.fork(sample)`, so the sample is a pure function of
+/// `(infrastructure, side_m, seed, sample)` — the addressing scheme
+/// [`estimate_coverage_seeded`] fans out over, exposed so campaign
+/// runners can resume a coverage estimate mid-sweep bit-identically.
+///
+/// Returns `(covered, end_to_end_throughput_mbps)` (throughput 0 when
+/// uncovered).
+pub fn coverage_sample(
+    infrastructure: &[(f64, f64)],
+    side_m: f64,
+    master: &WlanRng,
+    sample: u64,
+) -> (bool, f64) {
+    let pathloss = PathLossModel::tgn_model_d();
+    let budget = LinkBudget::typical_wlan();
+    let mut rng = master.fork(sample);
+    let client = (rng.gen::<f64>() * side_m, rng.gen::<f64>() * side_m);
+    mesh_sample(infrastructure, client, &pathloss, &budget)
+}
+
 /// Parallel, seed-addressed variant of [`estimate_coverage`].
 ///
 /// Sample `i` draws its client position from `master.fork(i)`, and the
@@ -102,15 +124,11 @@ pub fn estimate_coverage_seeded(
 ) -> Coverage {
     assert!(!infrastructure.is_empty(), "need at least a gateway node");
     assert!(samples > 0, "need at least one sample");
-    let pathloss = PathLossModel::tgn_model_d();
-    let budget = LinkBudget::typical_wlan();
     let master = WlanRng::seed_from_u64(seed);
 
     let ids: Vec<usize> = (0..samples).collect();
     let per_sample = par::parallel_map(&ids, |i, _| {
-        let mut rng = master.fork(i as u64);
-        let client = (rng.gen::<f64>() * side_m, rng.gen::<f64>() * side_m);
-        mesh_sample(infrastructure, client, &pathloss, &budget)
+        coverage_sample(infrastructure, side_m, &master, i as u64)
     });
 
     // Fixed-order fold: the float sum is associated the same way at any

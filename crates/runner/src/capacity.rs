@@ -1,0 +1,328 @@
+//! Survivable gateway-capacity campaigns.
+//!
+//! Wraps `wlan_mesh::capacity::gateway_capacity` in budgets and
+//! checkpoint/resume. The per-client routing unit is
+//! `wlan_mesh::capacity::client_route`; clients are processed in list
+//! order in fixed-size waves and the airtime sum folds client-by-client
+//! — the same association as the one-shot analysis — so a campaign run
+//! over all clients equals `gateway_capacity` bit-for-bit and a resumed
+//! campaign (airtime sum journaled as an IEEE bit pattern) continues the
+//! fold bit-identically.
+
+use std::path::PathBuf;
+
+use wlan_mesh::capacity::{client_route, GatewayCapacity};
+use wlan_math::par;
+
+use crate::budget::{Budget, BudgetMeter, Outcome};
+use crate::journal::{self, f64_to_hex, kv_f64, kv_u64, JournalError};
+use crate::Resume;
+
+/// Clients routed per wave.
+pub const CLIENTS_PER_WAVE: usize = 16;
+
+/// Configuration for a survivable capacity campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityCampaignConfig {
+    /// Mesh node positions (node 0 is the gateway).
+    pub infrastructure: Vec<(f64, f64)>,
+    /// Client positions to route, in order.
+    pub clients: Vec<(f64, f64)>,
+    /// Trial (= client) and wall-clock limits for this invocation.
+    pub budget: Budget,
+    /// Checkpoint journal path; `None` disables checkpointing.
+    pub journal: Option<PathBuf>,
+    /// Worker threads; `None` = the `WLAN_THREADS` pool.
+    pub threads: Option<usize>,
+}
+
+impl CapacityCampaignConfig {
+    /// A campaign equivalent to `gateway_capacity(infrastructure,
+    /// clients)`: budget from the environment, no journal.
+    pub fn new(infrastructure: &[(f64, f64)], clients: &[(f64, f64)]) -> Self {
+        Self {
+            infrastructure: infrastructure.to_vec(),
+            clients: clients.to_vec(),
+            budget: Budget::from_env(),
+            journal: None,
+            threads: None,
+        }
+    }
+
+    /// Sets the checkpoint journal path.
+    pub fn with_journal(mut self, path: PathBuf) -> Self {
+        self.journal = Some(path);
+        self
+    }
+
+    /// Replaces the budget (default: from the environment).
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Pins the worker thread count (results are identical at any value).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    fn key(&self) -> String {
+        let pos = |v: &[(f64, f64)]| -> String {
+            v.iter()
+                .map(|&(x, y)| format!("{},{}", f64_to_hex(x), f64_to_hex(y)))
+                .collect::<Vec<_>>()
+                .join(";")
+        };
+        format!(
+            "capacity v1 infra={} clients={}",
+            pos(&self.infrastructure),
+            pos(&self.clients)
+        )
+    }
+}
+
+/// The full result of a capacity campaign invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityCampaignReport {
+    /// Clients routed so far (in list order; a prefix when partial).
+    pub routed: u64,
+    /// Routed clients that reached the gateway.
+    pub connected: u64,
+    /// Total round airtime over connected clients, µs.
+    pub round_airtime_us: f64,
+    /// Total hops over connected clients.
+    pub hop_sum: u64,
+    /// Whether the campaign finished or hit a budget.
+    pub outcome: Outcome,
+    /// How this invocation started.
+    pub resume: Resume,
+    /// Set when a checkpoint failed to write.
+    pub journal_error: Option<JournalError>,
+}
+
+impl CapacityCampaignReport {
+    /// Compatibility view as the one-shot analysis' result type (over the
+    /// clients routed so far).
+    pub fn to_gateway_capacity(&self) -> GatewayCapacity {
+        let connected = self.connected as usize;
+        let per_client_mbps = if connected > 0 && self.round_airtime_us > 0.0 {
+            wlan_mesh::metric::AIRTIME_TEST_FRAME_BITS / self.round_airtime_us
+        } else {
+            0.0
+        };
+        GatewayCapacity {
+            connected,
+            round_airtime_us: self.round_airtime_us,
+            per_client_mbps,
+            mean_hops: if connected > 0 {
+                self.hop_sum as f64 / connected as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Runs (or resumes) a survivable capacity campaign.
+///
+/// # Panics
+///
+/// Panics if `infrastructure` is empty.
+pub fn run_capacity_campaign(cfg: &CapacityCampaignConfig) -> CapacityCampaignReport {
+    assert!(!cfg.infrastructure.is_empty(), "need at least the gateway");
+
+    let key = cfg.key();
+    let (mut routed, mut connected, mut airtime, mut hop_sum, resume) = restore(cfg, &key);
+    let mut meter = BudgetMeter::new(cfg.budget);
+    let mut journal_error: Option<JournalError> = None;
+    let total = cfg.clients.len() as u64;
+
+    let stop_reason = loop {
+        if routed >= total {
+            break None;
+        }
+        if let Some(reason) = meter.exhausted() {
+            break Some(reason);
+        }
+
+        let start = routed as usize;
+        let end = cfg.clients.len().min(start + CLIENTS_PER_WAVE);
+        let wave = &cfg.clients[start..end];
+        let route_one =
+            |_: usize, &client: &(f64, f64)| client_route(&cfg.infrastructure, client);
+        let routes = match cfg.threads {
+            Some(t) => par::parallel_map_with_threads(t, wave, route_one),
+            None => par::parallel_map(wave, route_one),
+        };
+        // Client-order fold, one client at a time — the one-shot
+        // analysis' float association.
+        for (airtime_us, hops) in routes.iter().flatten() {
+            airtime += airtime_us;
+            connected += 1;
+            hop_sum += *hops as u64;
+        }
+        routed = end as u64;
+        meter.add_trials((end - start) as u64);
+
+        if let Err(e) = checkpoint(cfg, &key, routed, connected, airtime, hop_sum) {
+            journal_error.get_or_insert(e);
+        }
+    };
+
+    let outcome = match stop_reason {
+        None => Outcome::Complete,
+        Some(reason) => Outcome::Partial {
+            completed: routed,
+            remaining: total - routed,
+            reason,
+        },
+    };
+
+    CapacityCampaignReport {
+        routed,
+        connected,
+        round_airtime_us: airtime,
+        hop_sum,
+        outcome,
+        resume,
+        journal_error,
+    }
+}
+
+type CapacityState = (u64, u64, f64, u64, Resume);
+
+fn restore(cfg: &CapacityCampaignConfig, key: &str) -> CapacityState {
+    let fresh = (0u64, 0u64, 0.0f64, 0u64, Resume::Fresh);
+    let Some(path) = cfg.journal.as_deref() else {
+        return fresh;
+    };
+    match journal::load(path, key) {
+        Ok(body) => match parse_body(cfg, &body) {
+            Ok((routed, connected, airtime, hops)) => {
+                (routed, connected, airtime, hops, Resume::Resumed { trials: routed })
+            }
+            Err(error) => (0, 0, 0.0, 0, Resume::ColdStart { error }),
+        },
+        Err(JournalError::Io(std::io::ErrorKind::NotFound)) => fresh,
+        Err(error) => (0, 0, 0.0, 0, Resume::ColdStart { error }),
+    }
+}
+
+fn parse_body(
+    cfg: &CapacityCampaignConfig,
+    body: &[String],
+) -> Result<(u64, u64, f64, u64), JournalError> {
+    let malformed = JournalError::Malformed { line: 3 };
+    let [line] = body else {
+        return Err(JournalError::Truncated);
+    };
+    let rest = line.strip_prefix("cap ").ok_or(malformed.clone())?;
+    let mut t = rest.split_whitespace();
+    let parsed = (|| {
+        let routed = kv_u64(t.next()?, "routed")?;
+        let connected = kv_u64(t.next()?, "connected")?;
+        let airtime = kv_f64(t.next()?, "airtime")?;
+        let hops = kv_u64(t.next()?, "hops")?;
+        if t.next().is_some() {
+            return None;
+        }
+        Some((routed, connected, airtime, hops))
+    })();
+    let Some((routed, connected, airtime, hops)) = parsed else {
+        return Err(malformed);
+    };
+    if routed > cfg.clients.len() as u64 || connected > routed || !airtime.is_finite() {
+        return Err(malformed);
+    }
+    Ok((routed, connected, airtime, hops))
+}
+
+fn checkpoint(
+    cfg: &CapacityCampaignConfig,
+    key: &str,
+    routed: u64,
+    connected: u64,
+    airtime: f64,
+    hops: u64,
+) -> Result<(), JournalError> {
+    let Some(path) = cfg.journal.as_deref() else {
+        return Ok(());
+    };
+    let body = vec![format!(
+        "cap routed={routed} connected={connected} airtime={} hops={hops}",
+        f64_to_hex(airtime)
+    )];
+    journal::save(path, key, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_mesh::capacity::gateway_capacity;
+
+    fn infra() -> Vec<(f64, f64)> {
+        vec![(0.0, 0.0), (150.0, 0.0), (0.0, 150.0), (150.0, 150.0)]
+    }
+
+    fn clients(n: usize) -> Vec<(f64, f64)> {
+        (0..n).map(|i| (10.0 * (i % 20) as f64, 15.0 * (i / 20) as f64)).collect()
+    }
+
+    #[test]
+    fn complete_campaign_matches_one_shot_analysis() {
+        let c = clients(40);
+        let cfg = CapacityCampaignConfig::new(&infra(), &c)
+            .with_budget(Budget::unlimited())
+            .with_threads(1);
+        let report = run_capacity_campaign(&cfg);
+        assert!(report.outcome.is_complete());
+        let one_shot = gateway_capacity(&infra(), &c);
+        assert_eq!(report.to_gateway_capacity(), one_shot);
+    }
+
+    #[test]
+    fn budget_stops_on_wave_boundary_and_resume_completes() {
+        let path = std::env::temp_dir()
+            .join(format!("wlan_cap_resume_{}.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let c = clients(40);
+
+        let mut loops = 0;
+        let resumed = loop {
+            let cfg = CapacityCampaignConfig::new(&infra(), &c)
+                .with_budget(Budget::unlimited().with_max_trials(CLIENTS_PER_WAVE as u64))
+                .with_journal(path.clone())
+                .with_threads(1);
+            let r = run_capacity_campaign(&cfg);
+            loops += 1;
+            assert!(loops < 10, "failed to converge");
+            match r.outcome {
+                Outcome::Complete => break r,
+                Outcome::Partial { completed, .. } => {
+                    assert_eq!(completed % CLIENTS_PER_WAVE as u64, 0);
+                }
+            }
+        };
+        assert!(loops > 1);
+        let one_shot = gateway_capacity(&infra(), &c);
+        let got = resumed.to_gateway_capacity();
+        assert_eq!(got, one_shot);
+        assert_eq!(
+            got.round_airtime_us.to_bits(),
+            one_shot.round_airtime_us.to_bits(),
+            "resumed fold must be bit-identical"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_client_list_is_complete_with_nothing_routed() {
+        let cfg = CapacityCampaignConfig::new(&infra(), &[])
+            .with_budget(Budget::unlimited())
+            .with_threads(1);
+        let report = run_capacity_campaign(&cfg);
+        assert!(report.outcome.is_complete());
+        assert_eq!(report.to_gateway_capacity(), gateway_capacity(&infra(), &[]));
+    }
+}

@@ -1,0 +1,304 @@
+//! Checkpoint journal: versioned, checksummed, written atomically.
+//!
+//! A campaign checkpoints its integer tallies (and only its tallies — no
+//! floats that depend on fold order are derived at load time from stored
+//! bit patterns) into a small line-oriented text file:
+//!
+//! ```text
+//! WLANJRNL 1
+//! key per v1 seed=7 ...
+//! point i=0 trials=96 errors=12 erasures=3 status=active
+//! sum 1f2e3d4c5b6a7988
+//! ```
+//!
+//! The trailing `sum` line is the FNV-1a 64 digest of every byte before
+//! it, so a torn, truncated, or hand-edited file is detected rather than
+//! trusted. Writes go to a temporary sibling file which is then renamed
+//! over the target, so a `SIGKILL` mid-checkpoint leaves either the old
+//! journal or the new one — never a hybrid.
+//!
+//! Loading never panics: every failure mode maps to a typed
+//! [`JournalError`], and campaign runners treat any load failure as a
+//! cold start (the journal is an optimisation, not a source of truth).
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// File magic for campaign journals.
+pub const MAGIC: &str = "WLANJRNL";
+/// Current journal format version.
+pub const VERSION: u32 = 1;
+
+/// Everything that can go wrong loading a journal. `Io(NotFound)` is the
+/// ordinary "no checkpoint yet" case; all other variants mean a journal
+/// exists but cannot be trusted, and the campaign should cold-start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The file could not be read or written.
+    Io(std::io::ErrorKind),
+    /// The first line is not `WLANJRNL <version>`.
+    MissingHeader,
+    /// The header names a format version this build does not speak.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// The file lacks the trailing `sum` line (e.g. cut short).
+    Truncated,
+    /// The `sum` line does not match the digest of the preceding bytes.
+    ChecksumMismatch,
+    /// A body line failed to parse (1-based line number in the file).
+    Malformed {
+        /// Line number of the offending line.
+        line: usize,
+    },
+    /// The journal's `key` line describes a different campaign
+    /// configuration than the one trying to resume from it.
+    KeyMismatch,
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(kind) => write!(f, "journal i/o error: {kind}"),
+            JournalError::MissingHeader => write!(f, "journal missing {MAGIC} header"),
+            JournalError::VersionMismatch { found } => {
+                write!(f, "journal version {found}, this build speaks {VERSION}")
+            }
+            JournalError::Truncated => write!(f, "journal truncated (no sum line)"),
+            JournalError::ChecksumMismatch => write!(f, "journal checksum mismatch"),
+            JournalError::Malformed { line } => write!(f, "journal line {line} malformed"),
+            JournalError::KeyMismatch => {
+                write!(f, "journal belongs to a different campaign configuration")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// FNV-1a 64-bit digest — tiny, dependency-free, and plenty to catch
+/// torn writes and hand edits (this is corruption detection, not crypto).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Renders `value` as the 16-hex-digit bit pattern of its IEEE-754
+/// encoding, so journal round-trips are bit-exact (no decimal drift).
+pub fn f64_to_hex(value: f64) -> String {
+    format!("{:016x}", value.to_bits())
+}
+
+/// Inverse of [`f64_to_hex`].
+pub fn f64_from_hex(hex: &str) -> Option<f64> {
+    u64::from_str_radix(hex, 16).ok().map(f64::from_bits)
+}
+
+/// Saves a journal atomically: header + `key` line + `body` lines +
+/// checksum are written to `<path>.tmp`, then renamed over `path`.
+pub fn save(path: &Path, key: &str, body: &[String]) -> Result<(), JournalError> {
+    let mut text = format!("{MAGIC} {VERSION}\nkey {key}\n");
+    for line in body {
+        text.push_str(line);
+        text.push('\n');
+    }
+    let digest = fnv1a64(text.as_bytes());
+    text.push_str(&format!("sum {digest:016x}\n"));
+
+    let tmp = tmp_path(path);
+    fs::write(&tmp, &text).map_err(|e| JournalError::Io(e.kind()))?;
+    fs::rename(&tmp, path).map_err(|e| JournalError::Io(e.kind()))
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".tmp");
+    PathBuf::from(name)
+}
+
+/// Loads and verifies a journal, returning its body lines.
+///
+/// Verification order: readability, checksum over everything before the
+/// `sum` line, magic + version header, then the campaign `key`. Only a
+/// fully verified journal yields body lines; any defect is a typed error
+/// and the caller cold-starts.
+pub fn load(path: &Path, expected_key: &str) -> Result<Vec<String>, JournalError> {
+    let text = fs::read_to_string(path).map_err(|e| JournalError::Io(e.kind()))?;
+
+    // Peel the final `sum` line and verify the digest of what precedes it.
+    let stripped = text.strip_suffix('\n').ok_or(JournalError::Truncated)?;
+    let (prefix, sum_line) = match stripped.rfind('\n') {
+        Some(i) => (&stripped[..=i], &stripped[i + 1..]),
+        None => return Err(JournalError::Truncated),
+    };
+    let sum_hex = sum_line.strip_prefix("sum ").ok_or(JournalError::Truncated)?;
+    let recorded = u64::from_str_radix(sum_hex, 16).map_err(|_| JournalError::ChecksumMismatch)?;
+    if fnv1a64(prefix.as_bytes()) != recorded {
+        return Err(JournalError::ChecksumMismatch);
+    }
+
+    let mut lines = prefix.lines();
+    let header = lines.next().ok_or(JournalError::MissingHeader)?;
+    let version_str = header
+        .strip_prefix(MAGIC)
+        .map(str::trim)
+        .ok_or(JournalError::MissingHeader)?;
+    let found: u32 = version_str.parse().map_err(|_| JournalError::MissingHeader)?;
+    if found != VERSION {
+        return Err(JournalError::VersionMismatch { found });
+    }
+
+    let key_line = lines.next().ok_or(JournalError::Truncated)?;
+    let key = key_line.strip_prefix("key ").ok_or(JournalError::Malformed { line: 2 })?;
+    if key != expected_key {
+        return Err(JournalError::KeyMismatch);
+    }
+
+    Ok(lines.map(str::to_owned).collect())
+}
+
+/// Parses `name=value` out of one whitespace-separated journal token,
+/// checking the name. Campaign modules build their line parsers on this.
+pub fn kv<'a>(token: &'a str, name: &str) -> Option<&'a str> {
+    let (k, v) = token.split_once('=')?;
+    (k == name).then_some(v)
+}
+
+/// `kv` for `u64` fields.
+pub fn kv_u64(token: &str, name: &str) -> Option<u64> {
+    kv(token, name)?.parse().ok()
+}
+
+/// `kv` for bit-exact `f64` fields (hex bit patterns, see [`f64_to_hex`]).
+pub fn kv_f64(token: &str, name: &str) -> Option<f64> {
+    f64_from_hex(kv(token, name)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_file(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wlan_journal_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_body_lines() {
+        let path = tmp_file("roundtrip");
+        let body = vec!["point i=0 trials=3".to_owned(), "quar point=1 frame=2".to_owned()];
+        save(&path, "test v1 seed=7", &body).unwrap();
+        let loaded = load(&path, "test v1 seed=7").unwrap();
+        assert_eq!(loaded, body);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_not_found_io() {
+        let err = load(Path::new("/nonexistent/journal"), "k").unwrap_err();
+        assert_eq!(err, JournalError::Io(std::io::ErrorKind::NotFound));
+    }
+
+    #[test]
+    fn flipped_byte_is_checksum_mismatch() {
+        let path = tmp_file("corrupt");
+        save(&path, "k", &["point i=0 trials=3".to_owned()]).unwrap();
+        let mut text = fs::read_to_string(&path).unwrap();
+        text = text.replace("trials=3", "trials=4");
+        fs::write(&path, text).unwrap();
+        assert_eq!(load(&path, "k").unwrap_err(), JournalError::ChecksumMismatch);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_file_is_detected() {
+        let path = tmp_file("trunc");
+        save(&path, "k", &["point i=0".to_owned(), "point i=1".to_owned()]).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let err = load(&path, "k").unwrap_err();
+        assert!(
+            matches!(err, JournalError::Truncated | JournalError::ChecksumMismatch),
+            "{err:?}"
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn version_bump_is_rejected_with_found_version() {
+        let path = tmp_file("version");
+        // Hand-build a well-checksummed file with a future version.
+        let mut text = String::from("WLANJRNL 9\nkey k\n");
+        let digest = fnv1a64(text.as_bytes());
+        text.push_str(&format!("sum {digest:016x}\n"));
+        fs::write(&path, text).unwrap();
+        assert_eq!(
+            load(&path, "k").unwrap_err(),
+            JournalError::VersionMismatch { found: 9 }
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_key_is_key_mismatch() {
+        let path = tmp_file("key");
+        save(&path, "campaign A", &[]).unwrap();
+        assert_eq!(load(&path, "campaign B").unwrap_err(), JournalError::KeyMismatch);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn garbage_file_is_missing_header_or_checksum() {
+        let path = tmp_file("garbage");
+        fs::write(&path, "not a journal at all\n").unwrap();
+        let err = load(&path, "k").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                JournalError::MissingHeader | JournalError::Truncated | JournalError::ChecksumMismatch
+            ),
+            "{err:?}"
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_is_truncated() {
+        let path = tmp_file("empty");
+        fs::write(&path, "").unwrap();
+        assert_eq!(load(&path, "k").unwrap_err(), JournalError::Truncated);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn f64_hex_round_trip_is_bit_exact() {
+        for v in [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, 1e-308, 0.1 + 0.2] {
+            let back = f64_from_hex(&f64_to_hex(v)).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn kv_helpers_parse_and_reject() {
+        assert_eq!(kv("trials=12", "trials"), Some("12"));
+        assert_eq!(kv("trials=12", "errors"), None);
+        assert_eq!(kv_u64("trials=12", "trials"), Some(12));
+        assert_eq!(kv_u64("trials=x", "trials"), None);
+        assert_eq!(kv_f64(&format!("t={}", f64_to_hex(2.5)), "t"), Some(2.5));
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,730 @@
+//! Survivable PER campaigns over any [`PhyLink`].
+//!
+//! Wraps `wlan_core::linksim::sweep_per_faulted`'s trial streams in the
+//! four robustness mechanisms: budgets, checkpoint/resume, sequential
+//! early stopping (Wilson score), and trial quarantine.
+//!
+//! # Determinism contract
+//!
+//! A campaign advances every active SNR point by one *round* of
+//! [`ROUND_TRIALS`] frame trials per wave. Trial `(point, frame)` draws
+//! its whole universe from `master.fork(point).fork(frame)` — identical
+//! to the one-shot sweep — and tallies are integers folded in work-item
+//! order, so:
+//!
+//! * run to completion with early stopping disabled, the campaign's
+//!   per-point tallies equal `sweep_per_faulted`'s bit-for-bit at any
+//!   `WLAN_THREADS` setting;
+//! * stopping decisions are pure functions of the integer tallies `(k,
+//!   n)` evaluated only at round boundaries, so a campaign interrupted
+//!   (budget, `SIGKILL`) and resumed from its journal reaches the same
+//!   final report, bit-identically, as one that never stopped;
+//! * a budget-terminated campaign's partial tallies are an exact prefix
+//!   of the uninterrupted campaign's (the wave schedule never depends on
+//!   wall-clock — only *how many* waves ran does).
+
+use std::path::PathBuf;
+
+use wlan_core::linksim::{frame_trial_at, FaultSweep, FaultSweepPoint, PhyLink};
+use wlan_fault::FaultChain;
+use wlan_math::ci::{wilson95, Interval};
+use wlan_math::par;
+use wlan_math::rng::WlanRng;
+
+use crate::budget::{Budget, BudgetMeter, Outcome};
+use crate::journal::{self, f64_to_hex, kv, kv_u64, JournalError};
+use crate::quarantine::QuarantinedTrial;
+use crate::Resume;
+
+/// Frame trials one wave adds to each active point: four 8-frame batches,
+/// matching the one-shot sweep's batch grain. Stopping rules and
+/// checkpoints land only on round boundaries, so the set of trials a
+/// point executes is a pure function of its tallies — never of where an
+/// interruption fell.
+pub const ROUND_TRIALS: u64 = 32;
+const FRAMES_PER_BATCH: usize = 8;
+
+/// Configuration for a survivable PER campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerCampaignConfig {
+    /// SNR points to sweep, in dB.
+    pub snrs_db: Vec<f64>,
+    /// Payload bytes per frame trial.
+    pub payload_len: usize,
+    /// Hard cap on frame trials per point.
+    pub max_frames: u64,
+    /// No early stop before this many trials per point.
+    pub min_frames: u64,
+    /// Early-stop a point once its Wilson 95 % half-width reaches this;
+    /// `None` disables early stopping (every point runs `max_frames`).
+    pub target_half_width: Option<f64>,
+    /// Master seed; trial `(i, j)` uses stream `seed → fork(i) → fork(j)`.
+    pub seed: u64,
+    /// Trial/wall-clock limits for this invocation.
+    pub budget: Budget,
+    /// Checkpoint journal path; `None` disables checkpointing.
+    pub journal: Option<PathBuf>,
+    /// Checkpoint every this many waves (and always on exit).
+    pub checkpoint_every_rounds: u64,
+    /// Worker threads; `None` = the `WLAN_THREADS` pool. Results are
+    /// identical either way — this exists so tests can pin a thread count
+    /// without racing on the environment.
+    pub threads: Option<usize>,
+}
+
+impl PerCampaignConfig {
+    /// A campaign equivalent to `sweep_per_faulted(link, faults, snrs,
+    /// payload_len, max_frames, seed)`: no early stopping, budget from
+    /// the environment, no journal.
+    pub fn new(snrs_db: &[f64], payload_len: usize, max_frames: u64, seed: u64) -> Self {
+        Self {
+            snrs_db: snrs_db.to_vec(),
+            payload_len,
+            max_frames,
+            min_frames: ROUND_TRIALS,
+            target_half_width: None,
+            seed,
+            budget: Budget::from_env(),
+            journal: None,
+            checkpoint_every_rounds: 1,
+            threads: None,
+        }
+    }
+
+    /// Enables Wilson-score early stopping at the given 95 % half-width.
+    pub fn with_target_half_width(mut self, hw: f64) -> Self {
+        self.target_half_width = Some(hw);
+        self
+    }
+
+    /// Sets the checkpoint journal path.
+    pub fn with_journal(mut self, path: PathBuf) -> Self {
+        self.journal = Some(path);
+        self
+    }
+
+    /// Replaces the budget (default: from the environment).
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Pins the worker thread count (results are identical at any value).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The journal key: every parameter that shapes trial streams or
+    /// stopping decisions. Budgets, thread counts, and checkpoint cadence
+    /// are deliberately absent — resuming under a different budget or
+    /// thread count is the whole point.
+    fn key(&self, link: &dyn PhyLink, faults: &FaultChain) -> String {
+        let snrs: Vec<String> = self.snrs_db.iter().map(|&s| f64_to_hex(s)).collect();
+        let target = match self.target_half_width {
+            Some(t) => f64_to_hex(t),
+            None => "none".to_owned(),
+        };
+        format!(
+            "per v1 seed={} payload={} max={} min={} target={} snrs={} link={} fault={}",
+            self.seed,
+            self.payload_len,
+            self.max_frames,
+            self.min_frames,
+            target,
+            snrs.join(","),
+            link.name(),
+            faults.name(),
+        )
+    }
+}
+
+/// Where one SNR point stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointStatus {
+    /// Still accumulating trials.
+    Active,
+    /// Hit the target CI half-width before `max_frames`.
+    StoppedEarly,
+    /// Ran the full `max_frames` trials.
+    Exhausted,
+}
+
+impl PointStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            PointStatus::Active => "active",
+            PointStatus::StoppedEarly => "early",
+            PointStatus::Exhausted => "full",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "active" => Some(PointStatus::Active),
+            "early" => Some(PointStatus::StoppedEarly),
+            "full" => Some(PointStatus::Exhausted),
+            _ => None,
+        }
+    }
+}
+
+/// Tallies and status of one SNR point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointProgress {
+    /// SNR in dB.
+    pub snr_db: f64,
+    /// Frame trials executed.
+    pub trials: u64,
+    /// Frames the receiver got wrong (silent corruption plus erasures).
+    pub errors: u64,
+    /// Trials ending in a typed [`wlan_math::WlanError`] erasure.
+    pub erasures: u64,
+    /// Whether the point is done, and why.
+    pub status: PointStatus,
+}
+
+impl PointProgress {
+    /// Measured PER so far (`NaN` before any trial has run, matching the
+    /// aborted-sweep placeholder convention `snr_for_per` skips).
+    pub fn per(&self) -> f64 {
+        if self.trials == 0 {
+            f64::NAN
+        } else {
+            self.errors as f64 / self.trials as f64
+        }
+    }
+
+    /// Erasure fraction so far (`NaN` before any trial).
+    pub fn erasure_rate(&self) -> f64 {
+        if self.trials == 0 {
+            f64::NAN
+        } else {
+            self.erasures as f64 / self.trials as f64
+        }
+    }
+
+    /// Wilson 95 % confidence interval on the PER; `None` before any
+    /// trial has run.
+    pub fn ci(&self) -> Option<Interval> {
+        (self.trials > 0).then(|| wilson95(self.errors, self.trials))
+    }
+
+    fn to_line(self, index: usize) -> String {
+        format!(
+            "point i={index} trials={} errors={} erasures={} status={}",
+            self.trials,
+            self.errors,
+            self.erasures,
+            self.status.as_str()
+        )
+    }
+}
+
+/// The full result of a campaign invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerCampaignReport {
+    /// Link name.
+    pub name: String,
+    /// Fault chain name.
+    pub fault: String,
+    /// PHY rate in Mbps.
+    pub rate_mbps: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Per-point tallies, one per configured SNR.
+    pub points: Vec<PointProgress>,
+    /// Ledger of trials that returned typed errors, in execution order.
+    pub quarantine: Vec<QuarantinedTrial>,
+    /// Whether the campaign finished or hit a budget.
+    pub outcome: Outcome,
+    /// How this invocation started (fresh / resumed / cold start).
+    pub resume: Resume,
+    /// Set when a checkpoint failed to write (the campaign continues —
+    /// checkpointing is an optimisation, not a correctness requirement).
+    pub journal_error: Option<JournalError>,
+}
+
+impl PerCampaignReport {
+    /// Compatibility view as the one-shot sweep's result type. Rates are
+    /// relative to trials actually run, so an early-stopped point reports
+    /// its measured PER, and an untouched point reports `NaN`.
+    pub fn to_fault_sweep(&self) -> FaultSweep {
+        FaultSweep {
+            name: self.name.clone(),
+            fault: self.fault.clone(),
+            rate_mbps: self.rate_mbps,
+            points: self
+                .points
+                .iter()
+                .map(|p| FaultSweepPoint {
+                    snr_db: p.snr_db,
+                    per: p.per(),
+                    erasure_rate: p.erasure_rate(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Total trials banked across all points (including resumed ones).
+    pub fn completed_trials(&self) -> u64 {
+        self.points.iter().map(|p| p.trials).sum()
+    }
+}
+
+/// Runs (or resumes) a survivable PER campaign.
+///
+/// # Panics
+///
+/// Panics if the configuration is vacuous: no SNR points, zero
+/// `payload_len`, zero `max_frames`, or `min_frames == 0`.
+pub fn run_per_campaign(
+    link: &dyn PhyLink,
+    faults: &FaultChain,
+    cfg: &PerCampaignConfig,
+) -> PerCampaignReport {
+    assert!(!cfg.snrs_db.is_empty(), "need at least one SNR point");
+    assert!(cfg.payload_len > 0, "payload must be nonempty");
+    assert!(cfg.max_frames > 0, "need at least one frame per point");
+    assert!(cfg.min_frames > 0, "min_frames must be at least 1");
+
+    let master = WlanRng::seed_from_u64(cfg.seed);
+    let key = cfg.key(link, faults);
+
+    let (mut points, mut quarantine, resume) = restore(cfg, &key);
+    let mut meter = BudgetMeter::new(cfg.budget);
+    let mut journal_error: Option<JournalError> = None;
+    let mut waves_since_checkpoint: u64 = 0;
+
+    // A resumed journal stores statuses, but they are cheap to recompute
+    // and recomputing makes the loop's invariant ("statuses are current
+    // at every wave boundary") independent of what was stored.
+    for p in &mut points {
+        p.status = evaluate_status(p, cfg);
+    }
+
+    let stop_reason = loop {
+        let active: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.status == PointStatus::Active)
+            .map(|(i, _)| i)
+            .collect();
+        if active.is_empty() {
+            break None;
+        }
+        if let Some(reason) = meter.exhausted() {
+            break Some(reason);
+        }
+
+        // One wave: up to ROUND_TRIALS new frames for every active point,
+        // split into the same 8-frame batch grain as the one-shot sweep.
+        let mut work: Vec<(usize, std::ops::Range<u64>)> = Vec::new();
+        for &i in &active {
+            let start = points[i].trials;
+            let end = cfg.max_frames.min(start + ROUND_TRIALS);
+            for b in par::batches((end - start) as usize, FRAMES_PER_BATCH) {
+                work.push((i, start + b.start as u64..start + b.end as u64));
+            }
+        }
+
+        let run_batch = |_: usize, (point, frames): &(usize, std::ops::Range<u64>)| {
+            let point_rng = master.fork(*point as u64);
+            let snr_db = cfg.snrs_db[*point];
+            let mut tally = (0u64, 0u64, 0u64); // (trials, errors, erasures)
+            let mut quars: Vec<(u64, String)> = Vec::new();
+            for frame in frames.clone() {
+                tally.0 += 1;
+                match frame_trial_at(link, faults, snr_db, cfg.payload_len, &point_rng, frame) {
+                    Ok(true) => {}
+                    Ok(false) => tally.1 += 1,
+                    Err(e) => {
+                        tally.1 += 1;
+                        tally.2 += 1;
+                        quars.push((frame, e.to_string()));
+                    }
+                }
+            }
+            (tally, quars)
+        };
+        let results = match cfg.threads {
+            Some(t) => par::parallel_map_with_threads(t, &work, run_batch),
+            None => par::parallel_map(&work, run_batch),
+        };
+
+        // Deterministic fold in work-item order.
+        let mut wave_trials = 0u64;
+        for ((point, _), ((trials, errors, erasures), quars)) in work.iter().zip(&results) {
+            let p = &mut points[*point];
+            p.trials += trials;
+            p.errors += errors;
+            p.erasures += erasures;
+            wave_trials += trials;
+            for (frame, error) in quars {
+                quarantine.push(QuarantinedTrial {
+                    seed: cfg.seed,
+                    point: *point,
+                    snr_db: cfg.snrs_db[*point],
+                    frame: *frame,
+                    error: error.clone(),
+                });
+            }
+        }
+        meter.add_trials(wave_trials);
+
+        // Stopping rules: pure functions of the integer tallies, applied
+        // only here at the round boundary.
+        for &i in &active {
+            points[i].status = evaluate_status(&points[i], cfg);
+        }
+
+        waves_since_checkpoint += 1;
+        if waves_since_checkpoint >= cfg.checkpoint_every_rounds {
+            waves_since_checkpoint = 0;
+            if let Err(e) = checkpoint(cfg, &key, &points, &quarantine) {
+                journal_error.get_or_insert(e);
+            }
+        }
+    };
+
+    // Final checkpoint so a budget-stopped campaign can resume from its
+    // exact exit state (and a complete one can be re-loaded as complete).
+    if waves_since_checkpoint > 0 || points.iter().all(|p| p.status != PointStatus::Active) {
+        if let Err(e) = checkpoint(cfg, &key, &points, &quarantine) {
+            journal_error.get_or_insert(e);
+        }
+    }
+
+    let outcome = match stop_reason {
+        None => Outcome::Complete,
+        Some(reason) => Outcome::Partial {
+            completed: points.iter().map(|p| p.trials).sum(),
+            remaining: points
+                .iter()
+                .filter(|p| p.status == PointStatus::Active)
+                .map(|p| cfg.max_frames - p.trials)
+                .sum(),
+            reason,
+        },
+    };
+
+    PerCampaignReport {
+        name: link.name(),
+        fault: faults.name(),
+        rate_mbps: link.rate_mbps(),
+        seed: cfg.seed,
+        points,
+        quarantine,
+        outcome,
+        resume,
+        journal_error,
+    }
+}
+
+/// Re-executes one quarantined trial from its ledger coordinates,
+/// bit-identical to its first execution.
+pub fn replay_trial(
+    link: &dyn PhyLink,
+    faults: &FaultChain,
+    payload_len: usize,
+    entry: &QuarantinedTrial,
+) -> Result<bool, wlan_math::WlanError> {
+    let point_rng = WlanRng::seed_from_u64(entry.seed).fork(entry.point as u64);
+    frame_trial_at(link, faults, entry.snr_db, payload_len, &point_rng, entry.frame)
+}
+
+fn evaluate_status(p: &PointProgress, cfg: &PerCampaignConfig) -> PointStatus {
+    if p.trials >= cfg.max_frames {
+        return PointStatus::Exhausted;
+    }
+    if let Some(target) = cfg.target_half_width {
+        if p.trials >= cfg.min_frames && wilson95(p.errors, p.trials).half_width() <= target {
+            return PointStatus::StoppedEarly;
+        }
+    }
+    PointStatus::Active
+}
+
+fn fresh_points(cfg: &PerCampaignConfig) -> Vec<PointProgress> {
+    cfg.snrs_db
+        .iter()
+        .map(|&snr_db| PointProgress {
+            snr_db,
+            trials: 0,
+            errors: 0,
+            erasures: 0,
+            status: PointStatus::Active,
+        })
+        .collect()
+}
+
+/// Loads campaign state from the journal, or cold-starts. Never panics:
+/// a missing journal is a fresh start, any other load failure is a cold
+/// start carrying the typed error.
+fn restore(
+    cfg: &PerCampaignConfig,
+    key: &str,
+) -> (Vec<PointProgress>, Vec<QuarantinedTrial>, Resume) {
+    let Some(path) = cfg.journal.as_deref() else {
+        return (fresh_points(cfg), Vec::new(), Resume::Fresh);
+    };
+    match journal::load(path, key) {
+        Ok(body) => match parse_body(cfg, &body) {
+            Ok((points, quarantine)) => {
+                let trials = points.iter().map(|p| p.trials).sum();
+                (points, quarantine, Resume::Resumed { trials })
+            }
+            Err(error) => (fresh_points(cfg), Vec::new(), Resume::ColdStart { error }),
+        },
+        Err(JournalError::Io(std::io::ErrorKind::NotFound)) => {
+            (fresh_points(cfg), Vec::new(), Resume::Fresh)
+        }
+        Err(error) => (fresh_points(cfg), Vec::new(), Resume::ColdStart { error }),
+    }
+}
+
+fn parse_body(
+    cfg: &PerCampaignConfig,
+    body: &[String],
+) -> Result<(Vec<PointProgress>, Vec<QuarantinedTrial>), JournalError> {
+    let mut points = Vec::with_capacity(cfg.snrs_db.len());
+    let mut quarantine = Vec::new();
+    for (idx, line) in body.iter().enumerate() {
+        // Body line `idx` sits at file line `idx + 3` (header, key first).
+        let malformed = JournalError::Malformed { line: idx + 3 };
+        if line.starts_with("point ") {
+            let mut tokens = line.split_whitespace().skip(1);
+            let parsed = (|| {
+                let i = kv_u64(tokens.next()?, "i")? as usize;
+                let trials = kv_u64(tokens.next()?, "trials")?;
+                let errors = kv_u64(tokens.next()?, "errors")?;
+                let erasures = kv_u64(tokens.next()?, "erasures")?;
+                let status = PointStatus::parse(kv(tokens.next()?, "status")?)?;
+                Some((i, trials, errors, erasures, status))
+            })();
+            let Some((i, trials, errors, erasures, status)) = parsed else {
+                return Err(malformed);
+            };
+            let in_bounds =
+                i == points.len() && i < cfg.snrs_db.len() && trials <= cfg.max_frames;
+            if !in_bounds || errors > trials || erasures > errors {
+                return Err(malformed);
+            }
+            points.push(PointProgress {
+                snr_db: cfg.snrs_db[i],
+                trials,
+                errors,
+                erasures,
+                status,
+            });
+        } else if line.starts_with("quar ") {
+            let Some(q) = QuarantinedTrial::from_line(line, cfg.seed) else {
+                return Err(malformed);
+            };
+            quarantine.push(q);
+        } else {
+            return Err(malformed);
+        }
+    }
+    if points.len() != cfg.snrs_db.len() {
+        return Err(JournalError::Truncated);
+    }
+    Ok((points, quarantine))
+}
+
+fn checkpoint(
+    cfg: &PerCampaignConfig,
+    key: &str,
+    points: &[PointProgress],
+    quarantine: &[QuarantinedTrial],
+) -> Result<(), JournalError> {
+    let Some(path) = cfg.journal.as_deref() else {
+        return Ok(());
+    };
+    let mut body: Vec<String> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| p.to_line(i))
+        .collect();
+    body.extend(quarantine.iter().map(QuarantinedTrial::to_line));
+    journal::save(path, key, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_core::linksim::{sweep_per_faulted, FhssLink};
+    use wlan_fault::FaultChain;
+
+    fn link() -> FhssLink {
+        FhssLink
+    }
+
+    fn base_cfg() -> PerCampaignConfig {
+        PerCampaignConfig::new(&[2.0, 5.0, 8.0], 20, 64, 99)
+            .with_budget(Budget::unlimited())
+            .with_threads(1)
+    }
+
+    #[test]
+    fn complete_campaign_matches_one_shot_sweep() {
+        let l = link();
+        let cfg = base_cfg();
+        let report = run_per_campaign(&l, &FaultChain::clean(), &cfg);
+        assert!(report.outcome.is_complete());
+        assert_eq!(report.resume, Resume::Fresh);
+
+        let sweep = sweep_per_faulted(&l, &FaultChain::clean(), &cfg.snrs_db, 20, 64, 99);
+        let view = report.to_fault_sweep();
+        assert_eq!(view, sweep, "campaign tallies must equal the one-shot sweep");
+    }
+
+    #[test]
+    fn trial_budget_yields_partial_prefix() {
+        let l = link();
+        let full = run_per_campaign(&l, &FaultChain::clean(), &base_cfg());
+        // 3 points × 32 trials = 96 per wave; cap at one wave.
+        let cfg = base_cfg().with_budget(Budget::unlimited().with_max_trials(96));
+        let partial = run_per_campaign(&l, &FaultChain::clean(), &cfg);
+        let Outcome::Partial {
+            completed,
+            remaining,
+            reason,
+        } = partial.outcome
+        else {
+            panic!("expected partial outcome, got {:?}", partial.outcome);
+        };
+        assert_eq!(completed, 96);
+        assert_eq!(remaining, 96);
+        assert_eq!(reason, crate::budget::StopReason::TrialBudget);
+        // The partial tallies are a prefix: first 32 trials of each point
+        // were also the first 32 of the full run (same streams), so
+        // errors so far can never exceed the full-run errors.
+        for (p, f) in partial.points.iter().zip(&full.points) {
+            assert_eq!(p.trials, 32);
+            assert!(p.errors <= f.errors);
+        }
+    }
+
+    #[test]
+    fn early_stopping_stops_before_max_and_reports_ci() {
+        let l = link();
+        // At high SNR the PER is ~0, so Wilson collapses fast; a loose
+        // target must stop well before max_frames.
+        let mut cfg = PerCampaignConfig::new(&[12.0], 20, 4096, 7)
+            .with_budget(Budget::unlimited())
+            .with_threads(1)
+            .with_target_half_width(0.05);
+        cfg.min_frames = 32;
+        let report = run_per_campaign(&l, &FaultChain::clean(), &cfg);
+        assert!(report.outcome.is_complete());
+        let p = &report.points[0];
+        assert_eq!(p.status, PointStatus::StoppedEarly);
+        assert!(p.trials < 4096, "stopped at {}", p.trials);
+        assert_eq!(p.trials % ROUND_TRIALS, 0, "stops land on round boundaries");
+        let ci = p.ci().unwrap();
+        assert!(ci.half_width() <= 0.05, "achieved {}", ci.half_width());
+    }
+
+    #[test]
+    fn campaign_is_thread_count_invariant() {
+        let l = link();
+        let serial = run_per_campaign(&l, &FaultChain::clean(), &base_cfg().with_threads(1));
+        let parallel = run_per_campaign(&l, &FaultChain::clean(), &base_cfg().with_threads(4));
+        assert_eq!(serial.points, parallel.points);
+        assert_eq!(serial.quarantine, parallel.quarantine);
+    }
+
+    #[test]
+    fn resume_from_journal_is_bit_identical() {
+        let l = link();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("wlan_per_resume_{}.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let uninterrupted = run_per_campaign(&l, &FaultChain::clean(), &base_cfg());
+
+        // Interrupt after every wave until done, resuming each time.
+        let mut rounds = 0;
+        let report = loop {
+            let cfg = base_cfg()
+                .with_journal(path.clone())
+                .with_budget(Budget::unlimited().with_max_trials(1));
+            let r = run_per_campaign(&l, &FaultChain::clean(), &cfg);
+            assert!(r.journal_error.is_none(), "{:?}", r.journal_error);
+            rounds += 1;
+            assert!(rounds < 100, "campaign failed to converge");
+            if r.outcome.is_complete() {
+                break r;
+            }
+        };
+        assert!(rounds > 1, "interruption never happened");
+        assert_eq!(report.points, uninterrupted.points);
+        assert_eq!(report.quarantine, uninterrupted.quarantine);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_journal_cold_starts_with_typed_error() {
+        let l = link();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("wlan_per_corrupt_{}.journal", std::process::id()));
+        std::fs::write(&path, "WLANJRNL 1\nkey nonsense\nsum 0000000000000000\n").unwrap();
+
+        let cfg = base_cfg().with_journal(path.clone());
+        let report = run_per_campaign(&l, &FaultChain::clean(), &cfg);
+        assert!(
+            matches!(report.resume, Resume::ColdStart { .. }),
+            "{:?}",
+            report.resume
+        );
+        // Cold start must still produce the exact campaign result.
+        let fresh = run_per_campaign(&l, &FaultChain::clean(), &base_cfg());
+        assert_eq!(report.points, fresh.points);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn config_change_invalidates_journal_key() {
+        let l = link();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("wlan_per_key_{}.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let r1 = run_per_campaign(&l, &FaultChain::clean(), &base_cfg().with_journal(path.clone()));
+        assert!(r1.outcome.is_complete());
+
+        // Different seed → same journal path must be rejected as a
+        // different campaign, not silently reused.
+        let mut cfg2 = base_cfg().with_journal(path.clone());
+        cfg2.seed = 100;
+        let r2 = run_per_campaign(&l, &FaultChain::clean(), &cfg2);
+        assert_eq!(
+            r2.resume,
+            Resume::ColdStart {
+                error: JournalError::KeyMismatch
+            }
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_reproduces_quarantined_trials() {
+        // Hard truncation forces FrameTruncated erasures, so the
+        // quarantine ledger is nonempty and each entry must replay to the
+        // same typed error.
+        let l = link();
+        let faults = wlan_fault::FaultKind::FrameTruncation.chain(1.0);
+        let cfg = base_cfg();
+        let report = run_per_campaign(&l, &faults, &cfg);
+        assert!(
+            !report.quarantine.is_empty(),
+            "sample-drop chain should quarantine some trials"
+        );
+        for q in report.quarantine.iter().take(8) {
+            let replayed = replay_trial(&l, &faults, cfg.payload_len, q);
+            let err = replayed.expect_err("quarantined trial must replay to an error");
+            assert_eq!(err.to_string(), q.error);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Trial quarantine: failures become ledger entries, not campaign deaths.
+//!
+//! A Monte-Carlo campaign should survive a pathological trial the way a
+//! MAC survives a corrupted frame: record it, route around it, keep
+//! serving. Each quarantined trial is logged with the *exact stream
+//! coordinates* that produced it — enough to re-execute that one trial
+//! bit-identically (see `examples/replay_quarantine.rs`) without
+//! rerunning the campaign.
+
+use crate::journal::{f64_from_hex, f64_to_hex, kv_u64};
+
+/// One quarantined PER trial. `(seed, point, frame)` are the RNG stream
+/// coordinates: replay with
+/// `frame_trial_at(link, faults, snr_db, payload_len,
+/// &WlanRng::seed_from_u64(seed).fork(point), frame)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedTrial {
+    /// Campaign master seed.
+    pub seed: u64,
+    /// SNR point index within the sweep.
+    pub point: usize,
+    /// SNR in dB at that point.
+    pub snr_db: f64,
+    /// Frame index within the point.
+    pub frame: u64,
+    /// Display form of the typed [`wlan_math::WlanError`] chain.
+    pub error: String,
+}
+
+impl QuarantinedTrial {
+    /// Journal body line for this entry. The free-text error rides last
+    /// so it may contain spaces and `=` without escaping.
+    pub fn to_line(&self) -> String {
+        format!(
+            "quar point={} frame={} snr={} error={}",
+            self.point,
+            self.frame,
+            f64_to_hex(self.snr_db),
+            self.error
+        )
+    }
+
+    /// Parses [`QuarantinedTrial::to_line`] output. `seed` is supplied by
+    /// the campaign (it is part of the journal key, not repeated per
+    /// line). Returns `None` on any malformation.
+    pub fn from_line(line: &str, seed: u64) -> Option<Self> {
+        let rest = line.strip_prefix("quar ")?;
+        let (coords, error) = rest.split_once(" error=")?;
+        let mut tokens = coords.split_whitespace();
+        let point = kv_u64(tokens.next()?, "point")? as usize;
+        let frame = kv_u64(tokens.next()?, "frame")?;
+        let snr_db = f64_from_hex(tokens.next()?.strip_prefix("snr=")?)?;
+        if tokens.next().is_some() {
+            return None;
+        }
+        Some(Self {
+            seed,
+            point,
+            snr_db,
+            frame,
+            error: error.to_owned(),
+        })
+    }
+}
+
+/// One quarantined MAC ensemble run: it exceeded the per-run step budget
+/// (runaway contention) and was excluded from the ensemble statistics.
+/// `seed` is the run's own [`wlan_mac::traffic::ensemble_seed`] stream,
+/// so the run can be re-executed standalone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedRun {
+    /// Run index within the ensemble.
+    pub run: usize,
+    /// The run's derived seed (`ensemble_seed(master_seed, run)`).
+    pub seed: u64,
+    /// Steps executed before the budget cut it off.
+    pub steps: u64,
+}
+
+impl QuarantinedRun {
+    /// Journal body line for this entry.
+    pub fn to_line(&self) -> String {
+        format!("quarrun run={} seed={} steps={}", self.run, self.seed, self.steps)
+    }
+
+    /// Parses [`QuarantinedRun::to_line`] output; `None` on malformation.
+    pub fn from_line(line: &str) -> Option<Self> {
+        let rest = line.strip_prefix("quarrun ")?;
+        let mut tokens = rest.split_whitespace();
+        let run = kv_u64(tokens.next()?, "run")? as usize;
+        let seed = kv_u64(tokens.next()?, "seed")?;
+        let steps = kv_u64(tokens.next()?, "steps")?;
+        if tokens.next().is_some() {
+            return None;
+        }
+        Some(Self { run, seed, steps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_line_round_trips_including_spaces_in_error() {
+        let q = QuarantinedTrial {
+            seed: 42,
+            point: 3,
+            snr_db: -2.5,
+            frame: 77,
+            error: "stream ended mid-frame: wanted 64 bits, got 12".to_owned(),
+        };
+        let back = QuarantinedTrial::from_line(&q.to_line(), 42).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn trial_line_rejects_malformed() {
+        assert!(QuarantinedTrial::from_line("quar point=x frame=1 snr=0 error=e", 0).is_none());
+        assert!(QuarantinedTrial::from_line("point=1 frame=1", 0).is_none());
+        assert!(QuarantinedTrial::from_line("quar point=1 frame=2", 0).is_none());
+    }
+
+    #[test]
+    fn run_line_round_trips() {
+        let q = QuarantinedRun {
+            run: 9,
+            seed: 0xdeadbeef,
+            steps: 100_000,
+        };
+        assert_eq!(QuarantinedRun::from_line(&q.to_line()).unwrap(), q);
+        assert!(QuarantinedRun::from_line("quarrun run=1 seed=2").is_none());
+    }
+}

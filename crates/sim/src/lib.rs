@@ -148,6 +148,30 @@ impl<E> Scheduler<E> {
         None
     }
 
+    /// Truncates the run at `deadline`: discards **every** still-pending
+    /// event, advances the clock to `deadline` (clamped to never move
+    /// backwards), and returns how many uncancelled events were dropped.
+    ///
+    /// This is the budget cut for event-driven runs: when wall-clock or
+    /// trial budgets end a simulation early, the abandoned queue is work
+    /// the run *would* have done — backoff ticks mid-countdown, pending
+    /// ACK timeouts — and the caller must report that truncation instead
+    /// of silently pretending the run drained naturally. Events scheduled
+    /// beyond the deadline count too: they are exactly the "mid-backoff"
+    /// state a truncated MAC run abandons.
+    ///
+    /// The scheduler remains usable afterwards (empty, at `deadline`).
+    pub fn drain_until(&mut self, deadline: Time) -> usize {
+        let mut dropped = 0;
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if !self.cancelled.remove(&entry.id) {
+                dropped += 1;
+            }
+        }
+        self.now = self.now.max(deadline);
+        dropped
+    }
+
     /// Number of pending (uncancelled) events.
     pub fn len(&self) -> usize {
         self.heap.len() - self.cancelled.len()
@@ -257,6 +281,48 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, 10_000);
+    }
+
+    #[test]
+    fn drain_until_counts_dropped_and_advances_clock() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(10, 1);
+        s.schedule_at(50, 2);
+        s.schedule_at(200, 3); // beyond the deadline: still abandoned work
+        assert_eq!(s.drain_until(100), 3);
+        assert_eq!(s.now(), 100);
+        assert!(s.is_empty());
+        assert_eq!(s.pop(), None);
+        // Still usable after the cut.
+        s.schedule_in(5, 9);
+        assert_eq!(s.pop(), Some((105, 9)));
+    }
+
+    #[test]
+    fn drain_until_does_not_count_cancelled_events() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let a = s.schedule_at(10, 1);
+        s.schedule_at(20, 2);
+        s.cancel(a);
+        assert_eq!(s.drain_until(30), 1, "cancelled events were never work");
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn drain_until_never_moves_the_clock_backwards() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(100, 1);
+        s.pop();
+        assert_eq!(s.now(), 100);
+        assert_eq!(s.drain_until(50), 0, "nothing pending, nothing dropped");
+        assert_eq!(s.now(), 100, "deadline in the past is clamped");
+    }
+
+    #[test]
+    fn drain_until_on_empty_scheduler_is_zero() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        assert_eq!(s.drain_until(1_000), 0);
+        assert_eq!(s.now(), 1_000);
     }
 
     #[test]

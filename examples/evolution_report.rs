@@ -1,20 +1,24 @@
 //! Evolution report: the paper's quantitative story, regenerated.
 //!
 //! Prints the E1/E2 evolution tables, the Barker processing gain (E3) and a
-//! compact PER-vs-SNR comparison across generations (E4).
+//! compact PER-vs-SNR comparison across generations (E4). The PER sweeps
+//! run as survivable campaigns: each SNR point stops as soon as its Wilson
+//! 95 % half-width reaches the target, so easy points finish in a couple of
+//! rounds and the table reports an explicit ± uncertainty instead of a bare
+//! point estimate.
 //!
 //! Run with: `cargo run --release --example evolution_report`
 
-use wlan_core::dsss::{barker, DsssRate};
-use wlan_core::linksim::{sweep_per, DsssLink, MimoLink, OfdmLink};
+use wlan_core::dsss::DsssRate;
+use wlan_core::fault::FaultChain;
+use wlan_core::linksim::{DsssLink, MimoLink, OfdmLink};
 use wlan_core::ofdm::OfdmRate;
+use wlan_core::{dsss::barker, evolution};
+use wlan_runner::per::{run_per_campaign, PerCampaignConfig};
 
 fn main() {
     println!("== E1/E2: rate and spectral-efficiency evolution ==\n");
-    println!(
-        "{}",
-        wlan_core::evolution::format_table(&wlan_core::evolution::evolution_table())
-    );
+    println!("{}", evolution::format_table(&evolution::evolution_table()));
 
     println!("== E3: DSSS processing gain ==\n");
     println!(
@@ -23,9 +27,8 @@ fn main() {
         barker::processing_gain_db()
     );
 
-    println!("== E4: PER vs SNR across generations (1000-bit frames) ==\n");
+    println!("== E4: PER vs SNR across generations (800-bit frames) ==\n");
     let snrs: Vec<f64> = (0..9).map(|i| -2.0 + 4.0 * i as f64).collect();
-    let frames = 60;
     let payload = 100;
 
     let links: Vec<Box<dyn wlan_core::linksim::PhyLink>> = vec![
@@ -41,20 +44,23 @@ fn main() {
     ];
 
     println!(
-        "(PER sweeps run on {} thread(s) — set WLAN_THREADS to change; \
-         the numbers cannot.)",
+        "(campaigns run on {} thread(s) — set WLAN_THREADS to change; \
+         the numbers cannot. Each point stops at a Wilson 95% \
+         half-width of 0.06 or 96 frames, whichever comes first.)",
         wlan_core::math::par::num_threads()
     );
     print!("{:>28}", "SNR(dB):");
     for s in &snrs {
-        print!("{s:>7.0}");
+        print!("{s:>12.0}");
     }
     println!();
     for link in &links {
-        let curve = sweep_per(link.as_ref(), &snrs, payload, frames, 2005);
-        print!("{:>28}", curve.name);
-        for p in &curve.points {
-            print!("{:>7.2}", p.per);
+        let cfg = PerCampaignConfig::new(&snrs, payload, 96, 2005).with_target_half_width(0.06);
+        let report = run_per_campaign(link.as_ref(), &FaultChain::clean(), &cfg);
+        print!("{:>28}", report.name);
+        for p in &report.points {
+            let hw = p.ci().map(|ci| ci.half_width()).unwrap_or(f64::NAN);
+            print!("{:>6.2}{:>6}", p.per(), format!("±{hw:.2}"));
         }
         println!();
     }

@@ -1,0 +1,270 @@
+//! Tier-1 survivability harness: interrupted-and-resumed campaigns must
+//! reproduce uninterrupted campaigns bit-for-bit.
+//!
+//! The contract under test (see DESIGN.md "Survivable campaigns"):
+//!
+//! 1. a campaign run to completion equals the one-shot sweep it wraps —
+//!    same trial streams, same tallies, at any thread count;
+//! 2. a campaign interrupted at an arbitrary wave boundary (trial budget
+//!    here; `SIGKILL` in the ci.sh smoke) and resumed from its journal,
+//!    as many times as it takes, produces the same final report —
+//!    per-point tallies *and* CI bounds — as one that never stopped;
+//! 3. a corrupted, truncated, or mismatched journal is a typed
+//!    [`JournalError`] plus a clean cold start, never a panic, and the
+//!    cold-started campaign still produces the exact result.
+
+use std::path::PathBuf;
+
+use wlan_core::fault::{FaultChain, FaultKind};
+use wlan_core::linksim::{sweep_per_faulted, FhssLink, OfdmLink};
+use wlan_core::mac::arq::{ArqConfig, GeLossConfig};
+use wlan_core::mac::traffic::{simulate_traffic_multi, TrafficConfig};
+use wlan_core::mac::MacProfile;
+use wlan_core::mesh::coverage::estimate_coverage_seeded;
+use wlan_core::ofdm::OfdmRate;
+use wlan_runner::budget::Budget;
+use wlan_runner::coverage::{run_coverage_campaign, CoverageCampaignConfig};
+use wlan_runner::per::{run_per_campaign, PerCampaignConfig, PointStatus};
+use wlan_runner::traffic::{run_traffic_campaign, TrafficCampaignConfig};
+use wlan_runner::{JournalError, Outcome, Resume};
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("wlan_kr_{}_{name}.journal", std::process::id()))
+}
+
+const SNRS: [f64; 4] = [2.0, 5.0, 8.0, 11.0];
+
+fn per_cfg(threads: Option<usize>) -> PerCampaignConfig {
+    let mut cfg = PerCampaignConfig::new(&SNRS, 25, 96, 2005).with_budget(Budget::unlimited());
+    cfg.threads = threads;
+    cfg
+}
+
+#[test]
+fn complete_campaign_equals_one_shot_sweep_at_any_thread_count() {
+    let link = FhssLink;
+    let chain = FaultKind::FrameTruncation.chain(0.5);
+    let sweep = sweep_per_faulted(&link, &chain, &SNRS, 25, 96, 2005);
+    for threads in [Some(1), None] {
+        let report = run_per_campaign(&link, &chain, &per_cfg(threads));
+        assert!(report.outcome.is_complete());
+        assert_eq!(
+            report.to_fault_sweep(),
+            sweep,
+            "threads={threads:?}: campaign tallies must equal sweep_per_faulted"
+        );
+    }
+}
+
+/// Interrupt a PER campaign after every single wave via a trial budget,
+/// resuming from the journal each time, and require the converged report
+/// — tallies, statuses, CI bounds, quarantine ledger — to be
+/// bit-identical to the uninterrupted campaign's. Run at pinned serial
+/// and default threading.
+#[test]
+fn killed_and_resumed_per_campaign_is_bit_identical() {
+    let link = FhssLink;
+    let chain = FaultKind::FrameTruncation.chain(0.5);
+    for threads in [Some(1), None] {
+        let path = tmp(&format!("per_{threads:?}"));
+        let _ = std::fs::remove_file(&path);
+
+        let mut uninterrupted_cfg = per_cfg(threads).with_target_half_width(0.08);
+        uninterrupted_cfg.max_frames = 256;
+        // Guarantee several waves per point so the one-wave budget below
+        // really interrupts the campaign mid-flight.
+        uninterrupted_cfg.min_frames = 96;
+        let uninterrupted = run_per_campaign(&link, &chain, &uninterrupted_cfg);
+
+        let mut loops = 0;
+        let resumed = loop {
+            // One wave per invocation: the harshest interruption pattern
+            // a budget can produce.
+            let cfg = uninterrupted_cfg
+                .clone()
+                .with_journal(path.clone())
+                .with_budget(Budget::unlimited().with_max_trials(1));
+            let r = run_per_campaign(&link, &chain, &cfg);
+            assert_eq!(r.journal_error, None);
+            loops += 1;
+            assert!(loops < 200, "campaign failed to converge");
+            match r.outcome {
+                Outcome::Complete => break r,
+                Outcome::Partial { .. } => {}
+            }
+        };
+        assert!(loops > 2, "budget never actually interrupted the campaign");
+        assert!(matches!(resumed.resume, Resume::Resumed { .. }));
+
+        assert_eq!(resumed.points, uninterrupted.points, "threads={threads:?}");
+        assert_eq!(resumed.quarantine, uninterrupted.quarantine);
+        for (a, b) in resumed.points.iter().zip(&uninterrupted.points) {
+            let (ca, cb) = (a.ci().unwrap(), b.ci().unwrap());
+            assert_eq!(ca.lo.to_bits(), cb.lo.to_bits(), "CI lower bound must be bit-identical");
+            assert_eq!(ca.hi.to_bits(), cb.hi.to_bits(), "CI upper bound must be bit-identical");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn early_stopping_survives_interruption() {
+    // With a CI target, the resumed campaign must stop each point at the
+    // same round as the uninterrupted one (stopping is a pure function
+    // of tallies at round boundaries).
+    let link = OfdmLink::awgn(OfdmRate::R12);
+    let chain = FaultChain::clean();
+    let path = tmp("early");
+    let _ = std::fs::remove_file(&path);
+
+    let mut base = PerCampaignConfig::new(&[3.0, 6.0], 40, 512, 7)
+        .with_budget(Budget::unlimited())
+        .with_target_half_width(0.07);
+    base.threads = Some(1);
+    let uninterrupted = run_per_campaign(&link, &chain, &base);
+    assert!(uninterrupted
+        .points
+        .iter()
+        .any(|p| p.status == PointStatus::StoppedEarly));
+
+    let mut loops = 0;
+    let resumed = loop {
+        let cfg = base
+            .clone()
+            .with_journal(path.clone())
+            .with_budget(Budget::unlimited().with_max_trials(32));
+        let r = run_per_campaign(&link, &chain, &cfg);
+        loops += 1;
+        assert!(loops < 100, "failed to converge");
+        if r.outcome.is_complete() {
+            break r;
+        }
+    };
+    assert_eq!(resumed.points, uninterrupted.points);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupted_journal_is_typed_error_and_clean_cold_start() {
+    let link = FhssLink;
+    let chain = FaultChain::clean();
+    let path = tmp("corrupt");
+
+    // A half-finished campaign writes a valid journal...
+    let cfg = per_cfg(Some(1))
+        .with_journal(path.clone())
+        .with_budget(Budget::unlimited().with_max_trials(1));
+    let partial = run_per_campaign(&link, &chain, &cfg);
+    assert!(!partial.outcome.is_complete());
+
+    // ...which then gets a byte flipped.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] = bytes[mid].wrapping_add(1);
+    std::fs::write(&path, &bytes).unwrap();
+
+    let report = run_per_campaign(&link, &chain, &cfg.clone().with_budget(Budget::unlimited()));
+    let Resume::ColdStart { error } = &report.resume else {
+        panic!("expected cold start, got {:?}", report.resume);
+    };
+    assert!(
+        matches!(
+            error,
+            JournalError::ChecksumMismatch
+                | JournalError::Malformed { .. }
+                | JournalError::Truncated
+                | JournalError::KeyMismatch
+                | JournalError::MissingHeader
+        ),
+        "{error:?}"
+    );
+    // The cold start still converges to the exact uninterrupted result.
+    let fresh = run_per_campaign(&link, &chain, &per_cfg(Some(1)));
+    assert_eq!(report.points, fresh.points);
+
+    // Truncation (torn tail) is likewise typed and non-fatal.
+    let valid = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &valid[..valid.len() * 2 / 3]).unwrap();
+    let report = run_per_campaign(&link, &chain, &cfg.clone().with_budget(Budget::unlimited()));
+    assert!(matches!(report.resume, Resume::ColdStart { .. }));
+
+    // An empty journal file too.
+    std::fs::write(&path, b"").unwrap();
+    let report = run_per_campaign(&link, &chain, &cfg.clone().with_budget(Budget::unlimited()));
+    assert_eq!(
+        report.resume,
+        Resume::ColdStart {
+            error: JournalError::Truncated
+        }
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn traffic_campaign_resumes_to_ensemble_equality() {
+    let base = TrafficConfig {
+        profile: MacProfile::dot11a(54.0),
+        n_stations: 5,
+        payload_bytes: 700,
+        arrival_rate_hz: 80.0,
+        sim_time_us: 150_000.0,
+        seed: 13,
+        arq: ArqConfig::disabled(),
+        loss: GeLossConfig::clean(),
+    };
+    let ensemble = simulate_traffic_multi(&base, 8);
+
+    let path = tmp("traffic");
+    let _ = std::fs::remove_file(&path);
+    let mut loops = 0;
+    let resumed = loop {
+        let cfg = TrafficCampaignConfig::new(base, 8)
+            .with_budget(Budget::unlimited().with_max_trials(4))
+            .with_journal(path.clone())
+            .with_threads(1);
+        let r = run_traffic_campaign(&cfg);
+        loops += 1;
+        assert!(loops < 10, "failed to converge");
+        if r.outcome.is_complete() {
+            break r;
+        }
+    };
+    assert!(loops > 1);
+    assert_eq!(
+        resumed.to_ensemble(),
+        ensemble,
+        "resumed traffic campaign must equal simulate_traffic_multi bit-for-bit"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn coverage_campaign_resumes_to_estimator_equality() {
+    let mesh = [(50.0, 50.0), (220.0, 50.0), (50.0, 220.0), (220.0, 220.0)];
+    let one_shot = estimate_coverage_seeded(&mesh, 450.0, 192, 8);
+
+    let path = tmp("coverage");
+    let _ = std::fs::remove_file(&path);
+    let mut loops = 0;
+    let resumed = loop {
+        let cfg = CoverageCampaignConfig::new(&mesh, 450.0, 192, 8)
+            .with_budget(Budget::unlimited().with_max_trials(64))
+            .with_journal(path.clone())
+            .with_threads(1);
+        let r = run_coverage_campaign(&cfg);
+        loops += 1;
+        assert!(loops < 10, "failed to converge");
+        if r.outcome.is_complete() {
+            break r;
+        }
+    };
+    assert!(loops > 1);
+    let got = resumed.to_coverage();
+    assert_eq!(got, one_shot, "resumed coverage must equal the one-shot estimator");
+    assert_eq!(
+        got.mean_throughput_mbps.to_bits(),
+        one_shot.mean_throughput_mbps.to_bits(),
+        "float fold must be bit-identical, not merely approximately equal"
+    );
+    let _ = std::fs::remove_file(&path);
+}
