@@ -36,7 +36,30 @@ for _ in 1 2 3 4 5; do
     fi
 done
 diff "$SMOKE_DIR/expected.txt" "$SMOKE_DIR/resumed.txt"
+
+# Observability must be a pure observer (DESIGN.md "Observability"): the
+# same campaign with the recorder hard-off must print the same bytes.
+# (tests/obs_determinism.rs pins this in-process; this checks the real
+# WLAN_OBS env path end to end.)
+WLAN_OBS=0 "$SMOKE" "$SMOKE_DIR/obs_off.journal" > "$SMOKE_DIR/obs_off.txt" 2>/dev/null
+diff "$SMOKE_DIR/expected.txt" "$SMOKE_DIR/obs_off.txt"
 rm -rf "$SMOKE_DIR"
+
+# Instrumented bench smoke: the experiments that carry wlan-obs emission
+# (E4 PHY sweeps, E13 MAC, E16 fault catalog) must produce schema-valid
+# BENCH_<EXP>.json files and a well-formed WLAN_OBS_JSONL event stream.
+cargo build --release --offline -p wlan-bench --benches --examples
+BENCH_DIR=$(mktemp -d)
+for exp in e04_per_vs_snr e13_mac_throughput e16_fault_robustness; do
+    WLAN_BENCH_MIN_TIME_MS=10 WLAN_BENCH_JSON_DIR="$BENCH_DIR" \
+        WLAN_OBS_JSONL="$BENCH_DIR/events.jsonl" \
+        cargo bench -q --offline -p wlan-bench --bench "$exp" > /dev/null
+done
+cargo run -q --release --offline -p wlan-bench --example check_bench_json -- \
+    "$BENCH_DIR/BENCH_E04.json" "$BENCH_DIR/BENCH_E13.json" "$BENCH_DIR/BENCH_E16.json"
+cargo run -q --release --offline -p wlan-bench --example check_bench_json -- \
+    --jsonl "$BENCH_DIR/events.jsonl"
+rm -rf "$BENCH_DIR"
 
 # Decode hot paths must stay panic-free: no new unwrap()/panic! outside
 # test code in the crates whose receivers the fault harness drives. The
@@ -46,8 +69,12 @@ rm -rf "$SMOKE_DIR"
 # survives SIGKILL must not die to a malformed journal line.
 # Test modules are trailing `#[cfg(test)]` blocks, so scanning stops at
 # that marker; `//` comment lines are skipped.
+# crates/obs sits inside every instrumented hot loop, so it gets the
+# same no-panic bar (its lock helper recovers from poisoning instead of
+# unwrapping).
 for f in crates/coding/src/*.rs crates/mimo/src/*.rs crates/core/src/*.rs \
-         crates/runner/src/*.rs crates/math/src/ci.rs crates/math/src/par.rs; do
+         crates/runner/src/*.rs crates/obs/src/*.rs \
+         crates/math/src/ci.rs crates/math/src/par.rs; do
         awk '
             /#\[cfg\(test\)\]/ { exit }
             /^[[:space:]]*\/\// { next }

@@ -1,6 +1,7 @@
 //! E4 — PER versus SNR for every generation's representative rates: the
 //! robustness-for-rate trade that each fivefold step paid.
 
+use wlan_bench::emit::BenchRun;
 use wlan_bench::header;
 use wlan_bench::timing::Timer;
 use wlan_core::dsss::DsssRate;
@@ -10,6 +11,7 @@ use wlan_core::ofdm::OfdmRate;
 use wlan_runner::per::{run_per_campaign, PerCampaignConfig};
 
 fn experiment(c: &mut Timer) {
+    let run = BenchRun::start("e04");
     header(
         "E4",
         "PER vs SNR by generation (100-byte frames, AWGN / flat fading)",
@@ -82,6 +84,9 @@ fn experiment(c: &mut Timer) {
     c.bench_function("e04_ofdm24_frame_at_15db", |b| {
         b.iter(|| sweep_per(&link, &[15.0], payload, 5, 1))
     });
+
+    // Each E4 trial is one frame, so the two rates coincide.
+    run.finish(trial_total, trial_total);
 }
 
 fn main() {

@@ -2,15 +2,19 @@
 //! the MAC-efficiency wall that motivates aggregation, validated against
 //! Bianchi's analytic model.
 
-use wlan_bench::timing::Timer;
+use wlan_bench::emit::BenchRun;
 use wlan_bench::header;
+use wlan_bench::timing::Timer;
 use wlan_core::mac::bianchi::saturation_throughput;
 use wlan_core::mac::dcf::{simulate_dcf, DcfConfig};
 use wlan_core::mac::params::MacProfile;
 
 fn experiment(c: &mut Timer) {
+    let run = BenchRun::start("e13");
     header("E13", "DCF saturation throughput: simulation vs Bianchi model");
     let payload = 1500;
+    // One trial = one simulated MAC run (a table cell or ensemble seed).
+    let mut sims = 0u64;
 
     println!("802.11a @ 54 Mbps, 1500-byte frames:");
     println!(
@@ -27,6 +31,7 @@ fn experiment(c: &mut Timer) {
             sim_time_us: 3_000_000.0,
             seed: 13,
         });
+        sims += 1;
         let model = saturation_throughput(&profile, n, payload, false);
         println!(
             "{n:>10} {:>10.2} {:>10.2} {:>9.3} {:>9.3}",
@@ -56,6 +61,7 @@ fn experiment(c: &mut Timer) {
             sim_time_us: 3_000_000.0,
             seed: 13,
         });
+        sims += 1;
         println!(
             "{rate:>12.0} {:>12.1} {:>10.0}%",
             sim.throughput_mbps,
@@ -81,6 +87,7 @@ fn experiment(c: &mut Timer) {
             arq: ArqConfig::disabled(),
             loss: GeLossConfig::clean(),
         });
+        sims += 1;
         println!(
             "{:>14.1} {:>14.1} {:>9.1} ms {:>9.1} ms",
             out.offered_mbps,
@@ -111,6 +118,7 @@ fn experiment(c: &mut Timer) {
     )
     .with_max_steps(50_000_000);
     let knee = run_traffic_campaign(&knee_cfg);
+    sims += knee.runs.len() as u64;
     println!(
         "\nknee confidence (140 f/s, {} of 8 seeds, {} quarantined): \
          delivered {:.1} ± {:.1} Mbps, mean delay {:.1} ± {:.1} ms",
@@ -137,6 +145,7 @@ fn experiment(c: &mut Timer) {
             rts_cts: true,
             ..base
         });
+        sims += 2;
         println!(
             "  {n:>3} stations: basic {:>6.2} Mbps, RTS/CTS {:>6.2} Mbps",
             basic.throughput_mbps, rts.throughput_mbps
@@ -160,6 +169,12 @@ fn experiment(c: &mut Timer) {
             })
         })
     });
+
+    // Frames delivered across every simulation in the run, straight from
+    // the MAC-layer counters (includes the timing loop's work).
+    let obs = wlan_obs::global();
+    let frames = obs.counter("dcf.successes").value() + obs.counter("mac.delivered").value();
+    run.finish(frames, sims);
 }
 
 fn main() {

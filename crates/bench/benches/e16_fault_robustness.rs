@@ -2,6 +2,7 @@
 //! the fault catalog, and MAC goodput under bursty interference with and
 //! without ARQ and the RTS/CTS protection fallback.
 
+use wlan_bench::emit::BenchRun;
 use wlan_bench::header;
 use wlan_bench::timing::Timer;
 use wlan_core::coding::CodeRate;
@@ -36,6 +37,7 @@ fn links() -> Vec<Box<dyn PhyLink>> {
 }
 
 fn experiment(c: &mut Timer) {
+    let run = BenchRun::start("e16");
     header(
         "E16",
         "Fault robustness: PER under the fault catalog, goodput under bursty loss",
@@ -50,6 +52,7 @@ fn experiment(c: &mut Timer) {
         "link", "fault", "s=0", "s=0.5", "s=1", "erasures"
     );
     let mut quarantined = 0usize;
+    let mut trials = 0u64;
     for link in links() {
         for kind in FaultKind::all() {
             // Each severity runs as a survivable campaign (identical
@@ -61,6 +64,7 @@ fn experiment(c: &mut Timer) {
                 .map(|&s| {
                     let cfg = PerCampaignConfig::new(&[snr_db], 100, 40, 16);
                     let report = run_per_campaign(link.as_ref(), &kind.chain(s), &cfg);
+                    trials += report.completed_trials();
                     quarantined += report.quarantine.len();
                     report.to_fault_sweep().points[0]
                 })
@@ -139,6 +143,12 @@ fn experiment(c: &mut Timer) {
         let chain = FaultKind::BurstInterference.chain(1.0);
         b.iter(|| sweep_per_faulted(&link, &chain, &[snr_db], 100, 5, 16))
     });
+
+    // Frames actually simulated at the PHY (fault-catalog campaigns plus
+    // the MAC tables' per-frame attempts live under `counters`); trials
+    // counts the campaign trials the robustness table allocated.
+    let frames = wlan_obs::global().counter("linksim.frames").value();
+    run.finish(frames, trials);
 }
 
 fn main() {

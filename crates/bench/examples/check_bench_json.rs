@@ -1,0 +1,92 @@
+//! Validates machine-readable bench emission, for ci.sh.
+//!
+//! Two modes:
+//!
+//! * `check_bench_json FILE...` — each file must parse as JSON and pass
+//!   the `BENCH_<EXP>.json` schema (`wlan_bench::emit::REQUIRED_KEYS`).
+//! * `check_bench_json --jsonl FILE...` — each file is a `wlan-obs`
+//!   event stream: every non-empty line must parse as a JSON object
+//!   carrying a non-empty string `"event"` key.
+//!
+//! Prints one line per file and exits non-zero on the first kind of
+//! violation found anywhere, so a CI step is just
+//! `cargo run --example check_bench_json -- BENCH_E04.json ...`.
+
+use std::process::ExitCode;
+
+use wlan_bench::emit::schema_violations;
+use wlan_obs::json::Value;
+
+fn check_bench_file(path: &str) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let doc = Value::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let errs = schema_violations(&doc);
+    if !errs.is_empty() {
+        return Err(errs.join("; "));
+    }
+    let experiment = doc
+        .get("experiment")
+        .and_then(Value::as_str)
+        .unwrap_or("?")
+        .to_string();
+    let counters = match doc.get("counters") {
+        Some(Value::Obj(entries)) => entries.len(),
+        _ => 0,
+    };
+    Ok(format!("{experiment}: schema ok, {counters} counters"))
+}
+
+fn check_jsonl_file(path: &str) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let mut events = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = Value::parse(line)
+            .map_err(|e| format!("line {}: invalid JSON: {e}", i + 1))?;
+        match doc.get("event").and_then(Value::as_str) {
+            Some(name) if !name.is_empty() => events += 1,
+            _ => return Err(format!("line {}: missing \"event\" key", i + 1)),
+        }
+    }
+    if events == 0 {
+        return Err("no events in stream".into());
+    }
+    Ok(format!("{events} events, all well-formed"))
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jsonl = args.first().is_some_and(|a| a == "--jsonl");
+    if jsonl {
+        args.remove(0);
+    }
+    if args.is_empty() {
+        eprintln!("usage: check_bench_json [--jsonl] FILE...");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for path in &args {
+        let result = if jsonl {
+            check_jsonl_file(path)
+        } else {
+            check_bench_file(path)
+        };
+        match result {
+            Ok(msg) => println!("ok   {path}: {msg}"),
+            Err(msg) => {
+                eprintln!("FAIL {path}: {msg}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

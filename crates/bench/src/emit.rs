@@ -1,0 +1,256 @@
+//! Machine-readable bench emission: `BENCH_<EXP>.json`.
+//!
+//! [`BenchRun`] brackets an experiment's `main`: [`BenchRun::start`]
+//! switches the global `wlan-obs` recorder on (a bench exists to be
+//! measured; observability never changes simulated results, so forcing
+//! it on is safe) and starts a wall clock; [`BenchRun::finish`]
+//! snapshots every counter and stage histogram the run recorded and
+//! writes one self-describing JSON file next to the working directory
+//! (or under [`JSON_DIR_ENV`] if set):
+//!
+//! ```text
+//! {
+//!   "experiment": "E04",
+//!   "schema": 1,
+//!   "threads": 8,
+//!   "wall_s": 1.42,
+//!   "frames": 36864,
+//!   "trials": 36864,
+//!   "frames_per_s": 25961.3,
+//!   "trials_per_s": 25961.3,
+//!   "stages": { "linksim.tx": { "count": ..., "sum_ns": ..., ... } },
+//!   "counters": { "linksim.frames": ..., "par.calls": ..., ... }
+//! }
+//! ```
+//!
+//! The schema is validated by the `check_bench_json` example, which
+//! ci.sh runs against a smoke campaign's emission. `frames` and
+//! `trials` are passed by the experiment (each knows its own unit of
+//! work); rates are derived from the wall clock and are the only
+//! machine-dependent fields — everything under `counters` is
+//! deterministic for a fixed configuration.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use wlan_obs::json::Value;
+
+/// Environment knob: directory receiving `BENCH_<EXP>.json` files
+/// (default: the current working directory).
+pub const JSON_DIR_ENV: &str = "WLAN_BENCH_JSON_DIR";
+
+/// Version stamped into the `schema` field; bump on breaking changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Keys every `BENCH_<EXP>.json` must carry (checked by
+/// `check_bench_json`).
+pub const REQUIRED_KEYS: [&str; 10] = [
+    "experiment",
+    "schema",
+    "threads",
+    "wall_s",
+    "frames",
+    "trials",
+    "frames_per_s",
+    "trials_per_s",
+    "stages",
+    "counters",
+];
+
+/// One timed, instrumented experiment run.
+pub struct BenchRun {
+    experiment: String,
+    started: Instant,
+}
+
+impl BenchRun {
+    /// Starts the wall clock and enables the global recorder so stage
+    /// timers and counters populate even without `WLAN_OBS=1`.
+    pub fn start(experiment: &str) -> Self {
+        wlan_obs::global().set_enabled(true);
+        BenchRun {
+            experiment: experiment.to_ascii_uppercase(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Stops the clock, snapshots the recorder, and writes
+    /// `BENCH_<EXP>.json`. Returns the path written, or `None` after
+    /// printing a warning if the write failed (a bench must still
+    /// report its table on a read-only filesystem).
+    pub fn finish(self, frames: u64, trials: u64) -> Option<PathBuf> {
+        let wall_s = self.started.elapsed().as_secs_f64();
+        let snap = wlan_obs::global().snapshot();
+
+        // Guard the rate division: a sub-resolution wall clock must not
+        // emit inf/NaN (which the JSON layer would null out anyway).
+        let rate = |n: u64| {
+            if wall_s > 0.0 {
+                n as f64 / wall_s
+            } else {
+                0.0
+            }
+        };
+
+        let doc = Value::Obj(vec![
+            ("experiment".into(), Value::Str(self.experiment.clone())),
+            ("schema".into(), Value::U64(SCHEMA_VERSION)),
+            (
+                "threads".into(),
+                Value::U64(wlan_core::math::par::num_threads() as u64),
+            ),
+            ("wall_s".into(), Value::F64(wall_s)),
+            ("frames".into(), Value::U64(frames)),
+            ("trials".into(), Value::U64(trials)),
+            ("frames_per_s".into(), Value::F64(rate(frames))),
+            ("trials_per_s".into(), Value::F64(rate(trials))),
+            (
+                "stages".into(),
+                Value::Obj(
+                    snap.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_value()))
+                        .collect(),
+                ),
+            ),
+            (
+                "counters".into(),
+                Value::Obj(
+                    snap.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::U64(*v)))
+                        .collect(),
+                ),
+            ),
+        ]);
+
+        let dir = std::env::var_os(JSON_DIR_ENV)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        let path = dir.join(format!("BENCH_{}.json", self.experiment));
+        let mut body = doc.to_json();
+        body.push('\n');
+        match std::fs::write(&path, body) {
+            Ok(()) => {
+                println!("\nbench emission: {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("warning: could not write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// Validates one parsed `BENCH_<EXP>.json` document against the schema;
+/// returns every violation found (empty = valid). Shared by the
+/// `check_bench_json` example and the unit tests.
+pub fn schema_violations(doc: &Value) -> Vec<String> {
+    let mut errs = Vec::new();
+    if !doc.is_obj() {
+        return vec!["document is not a JSON object".into()];
+    }
+    for key in REQUIRED_KEYS {
+        if doc.get(key).is_none() {
+            errs.push(format!("missing required key {key:?}"));
+        }
+    }
+    if let Some(v) = doc.get("experiment") {
+        match v.as_str() {
+            Some(s) if !s.is_empty() => {}
+            _ => errs.push("experiment must be a non-empty string".into()),
+        }
+    }
+    if let Some(v) = doc.get("schema") {
+        if v.as_u64() != Some(SCHEMA_VERSION) {
+            errs.push(format!("schema must be {SCHEMA_VERSION}"));
+        }
+    }
+    for key in ["threads", "frames", "trials"] {
+        if let Some(v) = doc.get(key) {
+            if v.as_u64().is_none() {
+                errs.push(format!("{key} must be a non-negative integer"));
+            }
+        }
+    }
+    for key in ["wall_s", "frames_per_s", "trials_per_s"] {
+        if let Some(v) = doc.get(key) {
+            match v.as_f64() {
+                Some(x) if x.is_finite() && x >= 0.0 => {}
+                _ => errs.push(format!("{key} must be a finite non-negative number")),
+            }
+        }
+    }
+    for key in ["stages", "counters"] {
+        if let Some(v) = doc.get(key) {
+            if !v.is_obj() {
+                errs.push(format!("{key} must be an object"));
+            }
+        }
+    }
+    if let Some(Value::Obj(stages)) = doc.get("stages") {
+        for (name, h) in stages {
+            for field in ["count", "sum_ns", "mean_ns", "min_ns", "max_ns", "buckets"] {
+                if h.get(field).is_none() {
+                    errs.push(format!("stage {name:?} missing {field:?}"));
+                }
+            }
+        }
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid_doc() -> Value {
+        Value::parse(
+            r#"{"experiment":"E99","schema":1,"threads":4,"wall_s":0.5,
+                "frames":100,"trials":10,"frames_per_s":200.0,
+                "trials_per_s":20.0,"stages":{},"counters":{"x":3}}"#,
+        )
+        .expect("valid test document")
+    }
+
+    #[test]
+    fn schema_accepts_a_well_formed_document() {
+        assert_eq!(schema_violations(&valid_doc()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn schema_rejects_missing_and_mistyped_keys() {
+        let missing = Value::parse(r#"{"experiment":"E99"}"#).expect("parse");
+        let errs = schema_violations(&missing);
+        assert!(errs.iter().any(|e| e.contains("\"frames\"")), "{errs:?}");
+
+        let bad =
+            Value::parse(r#"{"experiment":"","schema":2,"threads":-1,"wall_s":null,
+                "frames":1,"trials":1,"frames_per_s":1.0,"trials_per_s":1.0,
+                "stages":[],"counters":{}}"#)
+                .expect("parse");
+        let errs = schema_violations(&bad);
+        assert!(errs.iter().any(|e| e.contains("non-empty string")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("schema must be")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("stages must be an object")), "{errs:?}");
+    }
+
+    #[test]
+    fn emitted_file_round_trips_through_the_validator() {
+        let dir = std::env::temp_dir().join(format!("wlan_bench_emit_{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        std::env::set_var(JSON_DIR_ENV, &dir);
+        let run = BenchRun::start("e99");
+        let path = run.finish(120, 12).expect("emission must succeed");
+        std::env::remove_var(JSON_DIR_ENV);
+
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let doc = Value::parse(&text).expect("parse back");
+        assert_eq!(schema_violations(&doc), Vec::<String>::new());
+        assert_eq!(doc.get("experiment").and_then(Value::as_str), Some("E99"));
+        assert_eq!(doc.get("frames").and_then(Value::as_u64), Some(120));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

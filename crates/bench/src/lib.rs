@@ -14,6 +14,7 @@
 //! same and can be moved onto a full statistics harness later without
 //! touching the measurement sites.
 
+pub mod emit;
 pub mod timing;
 
 /// Prints a standard experiment header so bench output is self-describing.

@@ -22,6 +22,8 @@
 //! spawned). The tier-1 harness `tests/tests/parallel_determinism.rs`
 //! asserts this for every generation and every fault injector.
 
+use std::sync::OnceLock;
+
 use wlan_math::par;
 use wlan_math::rng::{Rng, WlanRng};
 use wlan_channel::mimo::MimoMultipathChannel;
@@ -34,6 +36,49 @@ use wlan_mimo::detect::Detector;
 use wlan_mimo::phy::{propagate, MimoOfdmConfig, MimoOfdmPhy};
 use wlan_ofdm::params::Modulation;
 use wlan_ofdm::{OfdmPhy, OfdmRate};
+
+/// Per-stage wall-clock histograms for the TX→channel→RX pipeline, in
+/// nanoseconds. `tx` covers modulation and FEC encoding, `channel`
+/// covers channel realization, noise and fault injection, and `rx`
+/// covers the receiver — Viterbi/LDPC decoding, FFT demodulation and
+/// MIMO detection all land there. Observability is strictly write-only
+/// (see the `wlan_obs` determinism guarantee): clocks are read only
+/// while the recorder is enabled, and readings never feed back into a
+/// simulation decision.
+struct StageTimers {
+    tx: wlan_obs::Histogram,
+    channel: wlan_obs::Histogram,
+    rx: wlan_obs::Histogram,
+}
+
+fn stage_timers() -> &'static StageTimers {
+    static TIMERS: OnceLock<StageTimers> = OnceLock::new();
+    TIMERS.get_or_init(|| {
+        let obs = wlan_obs::global();
+        StageTimers {
+            tx: obs.histogram("linksim.tx"),
+            channel: obs.histogram("linksim.channel"),
+            rx: obs.histogram("linksim.rx"),
+        }
+    })
+}
+
+/// Trial-outcome counters, bumped in [`frame_trial_at`] so every frame
+/// path — sweeps, campaigns, quarantine replay — is counted. A frame
+/// trial runs a full PHY pipeline, so the 1–3 relaxed atomic adds (one
+/// gate load when disabled) are noise next to the work they count.
+fn trial_counters() -> &'static (wlan_obs::Counter, wlan_obs::Counter, wlan_obs::Counter) {
+    static COUNTERS: OnceLock<(wlan_obs::Counter, wlan_obs::Counter, wlan_obs::Counter)> =
+        OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let obs = wlan_obs::global();
+        (
+            obs.counter("linksim.frames"),
+            obs.counter("linksim.frame_errors"),
+            obs.counter("linksim.erasures"),
+        )
+    })
+}
 
 /// One point of a PER sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -235,7 +280,18 @@ pub fn frame_trial_at(
 ) -> Result<bool, WlanError> {
     let mut rng = point_rng.fork(frame);
     let payload: Vec<u8> = (0..payload_len).map(|_| rng.gen()).collect();
-    link.frame_trial_faulted(snr_db, &payload, faults, &mut rng)
+    let result = link.frame_trial_faulted(snr_db, &payload, faults, &mut rng);
+    let (c_frames, c_errors, c_erasures) = trial_counters();
+    c_frames.inc();
+    match &result {
+        Ok(true) => {}
+        Ok(false) => c_errors.inc(),
+        Err(_) => {
+            c_errors.inc();
+            c_erasures.inc();
+        }
+    }
+    result
 }
 
 /// Runs frames `frame_range` of point `point` (integer counts only, so the
@@ -358,12 +414,17 @@ impl PhyLink for DsssLink {
         faults: &FaultChain,
         rng: &mut WlanRng,
     ) -> Result<bool, WlanError> {
+        let timers = stage_timers();
+        let span = timers.tx.start();
         let phy = DsssPhy::new(self.rate);
         let bits = wlan_coding::bits::bytes_to_bits(payload);
         let chips = phy.transmit(&bits);
+        span.stop();
         let sent = chips.len();
+        let span = timers.channel.start();
         let mut noisy = Awgn::from_snr_db(snr_db).apply(&chips, rng);
         faults.inject(&mut noisy, rng);
+        span.stop();
         // The despreaders demand whole symbols; a shortened chip stream is
         // a detected loss, not a panic.
         if noisy.len() < sent {
@@ -372,7 +433,9 @@ impl PhyLink for DsssLink {
                 got: noisy.len(),
             });
         }
+        let span = timers.rx.start();
         let rx = phy.receive(&noisy);
+        span.stop();
         Ok(rx[..bits.len()] == bits[..])
     }
 }
@@ -415,8 +478,12 @@ impl PhyLink for OfdmLink {
         faults: &FaultChain,
         rng: &mut WlanRng,
     ) -> Result<bool, WlanError> {
+        let timers = stage_timers();
         let phy = OfdmPhy::new(self.rate);
+        let span = timers.tx.start();
         let frame = phy.transmit(payload);
+        span.stop();
+        let span = timers.channel.start();
         let faded = match &self.multipath {
             Some(pdp) => {
                 let ch = MultipathChannel::realize(pdp, rng);
@@ -428,9 +495,13 @@ impl PhyLink for OfdmLink {
         };
         let mut noisy = Awgn::from_snr_db(snr_db).apply(&faded, rng);
         faults.inject(&mut noisy, rng);
+        span.stop();
+        let span = timers.rx.start();
         // The OFDM receiver is already fallible: a stream it cannot frame
         // (short, bad SIGNAL parity, rate mismatch) is a detected erasure.
-        match phy.receive(&noisy) {
+        let received = phy.receive(&noisy);
+        span.stop();
+        match received {
             Ok(p) => Ok(p == payload),
             Err(_) => Err(WlanError::SignalInvalid),
         }
@@ -498,13 +569,21 @@ impl PhyLink for MimoLink {
         faults: &FaultChain,
         rng: &mut WlanRng,
     ) -> Result<bool, WlanError> {
+        let timers = stage_timers();
         let phy = self.phy();
         let n0 = db_to_lin(-snr_db);
         let ch = MimoMultipathChannel::realize(self.n_rx, self.n_streams, &self.pdp, rng);
+        let span = timers.tx.start();
         let tx = phy.transmit(payload);
+        span.stop();
+        let span = timers.channel.start();
         let mut rx = propagate(&ch, &tx, n0, rng);
         faults.inject_streams(&mut rx, rng);
-        Ok(phy.try_receive(&rx, n0, payload.len())? == payload)
+        span.stop();
+        let span = timers.rx.start();
+        let decoded = phy.try_receive(&rx, n0, payload.len());
+        span.stop();
+        Ok(decoded? == payload)
     }
 }
 
@@ -552,21 +631,36 @@ impl PhyLink for HtLink {
         } else {
             wlan_math::Complex::ONE
         };
+        let timers = stage_timers();
         let apply = |frame: Vec<wlan_math::Complex>, rng: &mut WlanRng| {
+            let span = timers.channel.start();
             let faded: Vec<wlan_math::Complex> =
                 frame.into_iter().map(|s| s * fade).collect();
             let mut noisy = Awgn::from_snr_db(snr_db).apply(&faded, rng);
             faults.inject(&mut noisy, rng);
+            span.stop();
             noisy
         };
         if self.ldpc {
             let phy = wlan_mimo::ht_ldpc::HtLdpcPhy::new(self.modulation, self.code_rate);
-            let rx = apply(phy.transmit(payload), rng);
-            Ok(phy.try_receive(&rx, payload.len())? == payload)
+            let span = timers.tx.start();
+            let tx = phy.transmit(payload);
+            span.stop();
+            let rx = apply(tx, rng);
+            let span = timers.rx.start();
+            let decoded = phy.try_receive(&rx, payload.len());
+            span.stop();
+            Ok(decoded? == payload)
         } else {
             let phy = wlan_mimo::ht::HtPhy::new(self.modulation, self.code_rate);
-            let rx = apply(phy.transmit(payload), rng);
-            Ok(phy.try_receive(&rx, payload.len())? == payload)
+            let span = timers.tx.start();
+            let tx = phy.transmit(payload);
+            span.stop();
+            let rx = apply(tx, rng);
+            let span = timers.rx.start();
+            let decoded = phy.try_receive(&rx, payload.len());
+            span.stop();
+            Ok(decoded? == payload)
         }
     }
 }
@@ -593,12 +687,17 @@ impl PhyLink for FhssLink {
         rng: &mut WlanRng,
     ) -> Result<bool, WlanError> {
         use wlan_dsss::fhss::FskModem;
+        let timers = stage_timers();
+        let span = timers.tx.start();
         let modem = FskModem::new(8);
         let bits = wlan_coding::bits::bytes_to_bits(payload);
         let samples = modem.modulate(&bits);
+        span.stop();
         let sent = samples.len();
+        let span = timers.channel.start();
         let mut noisy = Awgn::from_snr_db(snr_db).apply(&samples, rng);
         faults.inject(&mut noisy, rng);
+        span.stop();
         // The noncoherent detector demands whole FSK symbols; a shortened
         // dwell is a detected loss, not a panic.
         if noisy.len() < sent {
@@ -607,7 +706,10 @@ impl PhyLink for FhssLink {
                 got: noisy.len(),
             });
         }
-        Ok(modem.demodulate(&noisy) == bits)
+        let span = timers.rx.start();
+        let demodulated = modem.demodulate(&noisy);
+        span.stop();
+        Ok(demodulated == bits)
     }
 }
 
@@ -657,13 +759,21 @@ impl PhyLink for StbcLink {
         faults: &FaultChain,
         rng: &mut WlanRng,
     ) -> Result<bool, WlanError> {
+        let timers = stage_timers();
         let phy = self.phy();
         let n0 = db_to_lin(-snr_db);
         let ch = MimoMultipathChannel::realize(self.n_rx, 2, &self.pdp, rng);
+        let span = timers.tx.start();
         let tx = phy.transmit(payload);
+        span.stop();
+        let span = timers.channel.start();
         let mut rx = propagate(&ch, &tx, n0, rng);
         faults.inject_streams(&mut rx, rng);
-        Ok(phy.try_receive(&rx, n0, payload.len())? == payload)
+        span.stop();
+        let span = timers.rx.start();
+        let decoded = phy.try_receive(&rx, n0, payload.len());
+        span.stop();
+        Ok(decoded? == payload)
     }
 }
 

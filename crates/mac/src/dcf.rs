@@ -97,6 +97,7 @@ pub fn simulate_dcf(cfg: &DcfConfig) -> DcfResult {
     let mut collisions = 0u64;
     let mut attempts = 0u64;
     let mut colliding_attempts = 0u64;
+    let mut idle_slots = 0u64;
     let mut per_station = vec![0u64; cfg.n_stations];
 
     loop {
@@ -116,6 +117,7 @@ pub fn simulate_dcf(cfg: &DcfConfig) -> DcfResult {
             .collect();
 
         if transmitters.is_empty() {
+            idle_slots += 1;
             for s in stations.iter_mut() {
                 s.backoff -= 1;
             }
@@ -155,6 +157,15 @@ pub fn simulate_dcf(cfg: &DcfConfig) -> DcfResult {
         sim.schedule_in(to_ns(duration_us), Event::SlotBoundary);
     }
     let truncated_events = sim.drain_until(horizon) as u64;
+
+    // Observability totals, recorded once per run (zero cost inside the
+    // virtual-slot loop; a few relaxed atomic adds here). Write-only:
+    // nothing reads these back into the simulation.
+    let obs = wlan_obs::global();
+    obs.counter("dcf.backoff_slots").add(idle_slots);
+    obs.counter("dcf.attempts").add(attempts);
+    obs.counter("dcf.successes").add(successes);
+    obs.counter("dcf.collisions").add(collisions);
 
     let delivered_bits = successes as f64 * (cfg.payload_bytes * 8) as f64;
     let throughput_mbps = delivered_bits / cfg.sim_time_us;

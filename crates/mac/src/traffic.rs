@@ -276,6 +276,15 @@ pub fn simulate_traffic_stepped(cfg: &TrafficConfig, max_steps: u64) -> SteppedT
         .unwrap_or(mean_delay_us);
     let backlog = stations.iter().map(|s| s.queue.len()).sum();
 
+    // Observability totals, recorded once per run: ARQ retries, retry-
+    // budget drops, RTS/CTS-protected transmissions and delivered
+    // frames. Write-only — never read back into the simulation.
+    let obs = wlan_obs::global();
+    obs.counter("mac.delivered").add(delivered);
+    obs.counter("mac.retries").add(retries);
+    obs.counter("mac.dropped").add(dropped);
+    obs.counter("mac.protected_tx").add(protected_tx);
+
     // A truncated run only simulated up to `now_us`; normalizing by the
     // full requested span would understate throughput on top of the cut.
     let spanned_us = if truncated { now_us } else { cfg.sim_time_us };

@@ -59,13 +59,22 @@ pub const Z_95: f64 = 1.959963984540054;
 /// `n` clean trials genuinely bound the rate), and it stays inside
 /// `[0, 1]` by construction (clamped against last-ulp rounding).
 ///
+/// `n == 0` returns the full-width interval `[0, 1]`: zero trials carry
+/// zero information about the proportion, so the only honest bound is
+/// vacuous. (This keeps degenerate tallies — an empty resumed journal, a
+/// point whose every trial was quarantined — finite instead of dividing
+/// by zero, and no stopping rule can fire on it: the half-width is `0.5`,
+/// above any meaningful target.)
+///
 /// # Panics
 ///
-/// Panics if `n == 0`, `k > n`, or `z` is not positive and finite.
+/// Panics if `k > n` or `z` is not positive and finite.
 pub fn wilson(k: u64, n: u64, z: f64) -> Interval {
-    assert!(n > 0, "Wilson interval needs at least one trial");
     assert!(k <= n, "successes cannot exceed trials");
     assert!(z.is_finite() && z > 0.0, "z-score must be positive and finite");
+    if n == 0 {
+        return Interval { lo: 0.0, hi: 1.0 };
+    }
     let (k, n) = (k as f64, n as f64);
     let z2 = z * z;
     let denom = n + z2;
@@ -88,27 +97,39 @@ pub fn wilson95(k: u64, n: u64) -> Interval {
 /// Distribution-free and non-asymptotic: `P(|p̂ − p| ≥ hw) ≤ δ` for every
 /// `n`, at the price of being wider than Wilson away from `p = 1/2`.
 ///
+/// `n == 0` returns `f64::INFINITY` — the `n → 0` limit of the formula
+/// and the honest answer (no trials, no bound). Clamped consumers like
+/// [`hoeffding`] still produce the finite full-width interval.
+///
 /// # Panics
 ///
-/// Panics if `n == 0` or `delta` is outside `(0, 1)`.
+/// Panics if `delta` is outside `(0, 1)`.
 pub fn hoeffding_half_width(n: u64, delta: f64) -> f64 {
-    assert!(n > 0, "Hoeffding bound needs at least one trial");
     assert!(
         delta > 0.0 && delta < 1.0,
         "confidence parameter must be in (0, 1)"
     );
+    if n == 0 {
+        return f64::INFINITY;
+    }
     ((2.0 / delta).ln() / (2.0 * n as f64)).sqrt()
 }
 
 /// Hoeffding interval around the empirical proportion `k / n`, clamped to
 /// `[0, 1]`.
 ///
+/// `n == 0` returns the full-width interval `[0, 1]` (see [`wilson`] for
+/// the rationale — zero trials admit only the vacuous bound).
+///
 /// # Panics
 ///
-/// Panics if `n == 0`, `k > n`, or `delta` is outside `(0, 1)`.
+/// Panics if `k > n` or `delta` is outside `(0, 1)`.
 pub fn hoeffding(k: u64, n: u64, delta: f64) -> Interval {
     assert!(k <= n, "successes cannot exceed trials");
     let hw = hoeffding_half_width(n, delta);
+    if n == 0 {
+        return Interval { lo: 0.0, hi: 1.0 };
+    }
     let p = k as f64 / n as f64;
     Interval {
         lo: (p - hw).max(0.0),
@@ -119,6 +140,11 @@ pub fn hoeffding(k: u64, n: u64, delta: f64) -> Interval {
 /// Trials needed for a Hoeffding half-width of at most `target` at
 /// confidence `1 − delta` — the planning inverse of
 /// [`hoeffding_half_width`].
+///
+/// Always returns at least 1: a target so loose that zero trials would
+/// satisfy the formula still needs one trial before
+/// [`hoeffding_half_width`] is finite, and a plan of "run zero trials"
+/// deadlocks any campaign that sizes its waves from this.
 ///
 /// # Panics
 ///
@@ -133,7 +159,7 @@ pub fn hoeffding_trials(target: f64, delta: f64) -> u64 {
         delta > 0.0 && delta < 1.0,
         "confidence parameter must be in (0, 1)"
     );
-    ((2.0 / delta).ln() / (2.0 * target * target)).ceil() as u64
+    (((2.0 / delta).ln() / (2.0 * target * target)).ceil() as u64).max(1)
 }
 
 #[cfg(test)]
@@ -258,18 +284,46 @@ mod tests {
         }
     }
 
-    // ---- precondition panics --------------------------------------------
+    // ---- degenerate tallies ---------------------------------------------
 
+    /// Zero trials carry zero information: both interval families return
+    /// the documented full-width `[0, 1]` — finite bounds, no NaN, no
+    /// division by zero — and no half-width target can fire on them.
     #[test]
-    #[should_panic(expected = "at least one trial")]
-    fn wilson_zero_trials_rejected() {
-        let _ = wilson95(0, 0);
+    fn zero_trials_give_full_width_intervals() {
+        for ci in [wilson95(0, 0), hoeffding(0, 0, 0.05)] {
+            assert_eq!(ci.lo, 0.0);
+            assert_eq!(ci.hi, 1.0);
+            assert!(ci.lo.is_finite() && ci.hi.is_finite());
+            assert_eq!(ci.half_width(), 0.5);
+            assert!(ci.contains(0.0) && ci.contains(0.5) && ci.contains(1.0));
+        }
+        // The raw half-width is the n → 0 limit of the formula, and the
+        // interval construction still clamps it to full width.
+        assert_eq!(hoeffding_half_width(0, 0.05), f64::INFINITY);
     }
+
+    /// The planning inverse never prescribes zero trials, even for
+    /// targets loose enough that the raw formula rounds to zero.
+    #[test]
+    fn hoeffding_trials_is_at_least_one() {
+        assert_eq!(hoeffding_trials(1e6, 0.05), 1);
+        assert_eq!(hoeffding_trials(2.0, 0.5), 1);
+        assert!(hoeffding_trials(0.01, 0.05) > 1);
+    }
+
+    // ---- precondition panics --------------------------------------------
 
     #[test]
     #[should_panic(expected = "cannot exceed trials")]
     fn wilson_k_above_n_rejected() {
         let _ = wilson95(5, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed trials")]
+    fn hoeffding_k_above_n_rejected() {
+        let _ = hoeffding(1, 0, 0.05);
     }
 
     #[test]

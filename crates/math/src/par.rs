@@ -52,10 +52,23 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Once;
+use std::sync::{Once, OnceLock};
 
 /// Environment variable selecting the worker count.
 pub const THREADS_ENV: &str = "WLAN_THREADS";
+
+/// Pool-level observability counters (`par.calls` fan-out invocations,
+/// `par.items` work items scheduled). Resolved once per process; a
+/// disabled recorder makes each update a single relaxed load. Recording
+/// is write-only — it can never influence scheduling or results (see
+/// the `wlan_obs` determinism guarantee).
+fn obs_counters() -> &'static (wlan_obs::Counter, wlan_obs::Counter) {
+    static COUNTERS: OnceLock<(wlan_obs::Counter, wlan_obs::Counter)> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let obs = wlan_obs::global();
+        (obs.counter("par.calls"), obs.counter("par.items"))
+    })
+}
 
 /// The worker count the harness will use: `WLAN_THREADS` if set and sane,
 /// otherwise the machine's available parallelism.
@@ -116,6 +129,9 @@ where
     F: Fn(usize, &T) -> U + Sync,
 {
     let n = items.len();
+    let (calls, scheduled) = obs_counters();
+    calls.inc();
+    scheduled.add(n as u64);
     let workers = threads.max(1).min(n);
     if workers <= 1 {
         // The exact serial path: same calls, same order, no threads.

@@ -7,6 +7,26 @@
 //! *Which* boundary a wall-clock budget lands on is machine-dependent —
 //! the bit-identity guarantee is about the tallies at each boundary, and
 //! about the final report once a resumed campaign runs to completion.
+//!
+//! # The resume contract
+//!
+//! The two limits deliberately meter different things:
+//!
+//! * **`max_trials` (`WLAN_MAX_TRIALS`) is cumulative across
+//!   checkpoint/resume**: trials restored from a journal count against
+//!   the cap, so "at most N trials of compute for this campaign" means
+//!   N in total, no matter how many times the process is killed and
+//!   re-invoked. Campaign runners seed their meter with the banked
+//!   trial count ([`BudgetMeter::resumed`]); a re-invocation whose
+//!   journal already holds `>= max_trials` makes zero new progress.
+//!   (Before PR 5 the meter reset to zero on every resume, silently
+//!   re-spending the trial budget each invocation.)
+//! * **`wall_ms` (`WLAN_BUDGET_MS`) is per-invocation**: the journal
+//!   stores no wall-clock, and a resumed campaign gets a fresh clock —
+//!   which is what makes "run 30 s, checkpoint, rerun" loops converge.
+//!
+//! `tests/tests/kill_and_resume.rs::trial_budget_is_cumulative_across_resume`
+//! pins the cumulative half of this contract.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -18,14 +38,17 @@ pub const MAX_TRIALS_ENV: &str = "WLAN_MAX_TRIALS";
 
 static WARNED_BAD_ENV: AtomicBool = AtomicBool::new(false);
 
-/// Resource limits for one campaign invocation. Budgets meter the work
-/// *this process* does: a resumed campaign gets a fresh budget, which is
-/// what makes "run 30 s, checkpoint, rerun" loops converge.
+/// Resource limits for a campaign. `max_trials` is cumulative across
+/// checkpoint/resume (journal-restored trials count against it);
+/// `wall_ms` meters only the current invocation's wall clock — see the
+/// module docs for why the two differ.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Budget {
-    /// Stop after this many trials (campaign-wide), `None` = unlimited.
+    /// Stop once the campaign has banked this many trials in total —
+    /// restored-from-journal plus newly run. `None` = unlimited.
     pub max_trials: Option<u64>,
-    /// Stop after this much wall-clock time, `None` = unlimited.
+    /// Stop after this much wall-clock time in *this invocation*,
+    /// `None` = unlimited.
     pub wall_ms: Option<u64>,
 }
 
@@ -46,7 +69,7 @@ impl Budget {
         }
     }
 
-    /// Caps total trials for this invocation.
+    /// Caps total campaign trials (cumulative across resume).
     pub fn with_max_trials(mut self, trials: u64) -> Self {
         self.max_trials = Some(trials);
         self
@@ -115,7 +138,10 @@ impl Outcome {
     }
 }
 
-/// Meters one campaign invocation against its [`Budget`].
+/// Meters one campaign invocation against its [`Budget`]. The wall
+/// clock starts at construction (per-invocation); the trial count
+/// starts at whatever the campaign restored from its journal
+/// (cumulative) — see [`BudgetMeter::resumed`].
 #[derive(Debug)]
 pub struct BudgetMeter {
     budget: Budget,
@@ -124,12 +150,22 @@ pub struct BudgetMeter {
 }
 
 impl BudgetMeter {
-    /// Starts the wall clock now with zero trials spent.
+    /// Starts the wall clock now with zero trials banked (a fresh,
+    /// journal-less campaign).
     pub fn new(budget: Budget) -> Self {
+        Self::resumed(budget, 0)
+    }
+
+    /// Starts the wall clock now with `banked` trials already counted
+    /// against the trial budget. Campaign runners pass the trial total
+    /// restored from the journal here, which is what makes
+    /// `max_trials` a *campaign-wide* cap rather than a per-invocation
+    /// allowance that resets on every resume.
+    pub fn resumed(budget: Budget, banked: u64) -> Self {
         Self {
             budget,
             started: Instant::now(),
-            trials: 0,
+            trials: banked,
         }
     }
 
@@ -138,7 +174,8 @@ impl BudgetMeter {
         self.trials = self.trials.saturating_add(n);
     }
 
-    /// Trials spent by this invocation so far.
+    /// Trials counted against the budget so far: journal-restored plus
+    /// spent by this invocation.
     pub fn trials(&self) -> u64 {
         self.trials
     }
@@ -194,6 +231,21 @@ mod tests {
         m.add_trials(1);
         std::thread::sleep(Duration::from_millis(5));
         assert_eq!(m.exhausted(), Some(StopReason::TrialBudget));
+    }
+
+    #[test]
+    fn resumed_meter_counts_banked_trials_against_the_cap() {
+        // The cumulative contract: a resume that restores 90 trials
+        // under a 100-trial cap has only 10 left, and a resume at or
+        // past the cap is exhausted before any new work.
+        let mut m = BudgetMeter::resumed(Budget::unlimited().with_max_trials(100), 90);
+        assert_eq!(m.trials(), 90);
+        assert_eq!(m.exhausted(), None);
+        m.add_trials(10);
+        assert_eq!(m.exhausted(), Some(StopReason::TrialBudget));
+
+        let spent = BudgetMeter::resumed(Budget::unlimited().with_max_trials(100), 100);
+        assert_eq!(spent.exhausted(), Some(StopReason::TrialBudget));
     }
 
     #[test]

@@ -28,7 +28,8 @@ pub struct CapacityCampaignConfig {
     pub infrastructure: Vec<(f64, f64)>,
     /// Client positions to route, in order.
     pub clients: Vec<(f64, f64)>,
-    /// Trial (= client) and wall-clock limits for this invocation.
+    /// Resource limits: `max_trials` (= clients) is cumulative across
+    /// resume, `wall_ms` is per-invocation (see [`crate::budget`]).
     pub budget: Budget,
     /// Checkpoint journal path; `None` disables checkpointing.
     pub journal: Option<PathBuf>,
@@ -134,9 +135,16 @@ pub fn run_capacity_campaign(cfg: &CapacityCampaignConfig) -> CapacityCampaignRe
 
     let key = cfg.key();
     let (mut routed, mut connected, mut airtime, mut hop_sum, resume) = restore(cfg, &key);
-    let mut meter = BudgetMeter::new(cfg.budget);
+    // Journal-restored clients are banked trials: the trial budget is
+    // cumulative across resume (see `budget` module docs).
+    let mut meter = BudgetMeter::resumed(cfg.budget, routed);
     let mut journal_error: Option<JournalError> = None;
     let total = cfg.clients.len() as u64;
+
+    let obs = wlan_obs::global();
+    let c_waves = obs.counter("runner.waves");
+    let c_trials = obs.counter("runner.trials");
+    let t_journal = obs.histogram("runner.journal_write");
 
     let stop_reason = loop {
         if routed >= total {
@@ -164,8 +172,13 @@ pub fn run_capacity_campaign(cfg: &CapacityCampaignConfig) -> CapacityCampaignRe
         }
         routed = end as u64;
         meter.add_trials((end - start) as u64);
+        c_waves.inc();
+        c_trials.add((end - start) as u64);
 
-        if let Err(e) = checkpoint(cfg, &key, routed, connected, airtime, hop_sum) {
+        let span = t_journal.start();
+        let saved = checkpoint(cfg, &key, routed, connected, airtime, hop_sum);
+        span.stop();
+        if let Err(e) = saved {
             journal_error.get_or_insert(e);
         }
     };
@@ -288,10 +301,14 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let c = clients(40);
 
-        let mut loops = 0;
+        let mut loops: u64 = 0;
         let resumed = loop {
+            // Cumulative trial budget: each invocation may route one more
+            // wave beyond what the journal already holds.
             let cfg = CapacityCampaignConfig::new(&infra(), &c)
-                .with_budget(Budget::unlimited().with_max_trials(CLIENTS_PER_WAVE as u64))
+                .with_budget(
+                    Budget::unlimited().with_max_trials(CLIENTS_PER_WAVE as u64 * (loops + 1)),
+                )
                 .with_journal(path.clone())
                 .with_threads(1);
             let r = run_capacity_campaign(&cfg);

@@ -41,7 +41,8 @@ pub struct CoverageCampaignConfig {
     pub target_half_width: Option<f64>,
     /// Master seed; sample `i` uses stream `seed → fork(i)`.
     pub seed: u64,
-    /// Trial (= sample) and wall-clock limits for this invocation.
+    /// Resource limits: `max_trials` (= samples) is cumulative across
+    /// resume, `wall_ms` is per-invocation (see [`crate::budget`]).
     pub budget: Budget,
     /// Checkpoint journal path; `None` disables checkpointing.
     pub journal: Option<PathBuf>,
@@ -172,8 +173,16 @@ pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig) -> CoverageCampaignRe
     let master = WlanRng::seed_from_u64(cfg.seed);
     let key = cfg.key();
     let (mut samples, mut covered, mut throughput_sum, mut done, resume) = restore(cfg, &key);
-    let mut meter = BudgetMeter::new(cfg.budget);
+    // Journal-restored samples are banked trials: the trial budget is
+    // cumulative across resume (see `budget` module docs).
+    let mut meter = BudgetMeter::resumed(cfg.budget, samples);
     let mut journal_error: Option<JournalError> = None;
+
+    let obs = wlan_obs::global();
+    let c_waves = obs.counter("runner.waves");
+    let c_trials = obs.counter("runner.trials");
+    let c_early = obs.counter("runner.early_stops");
+    let t_journal = obs.histogram("runner.journal_write");
 
     let stop_reason = loop {
         done = done
@@ -211,11 +220,20 @@ pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig) -> CoverageCampaignRe
         }
         samples = end;
         meter.add_trials(end - start);
+        c_waves.inc();
+        c_trials.add(end - start);
 
-        if let Err(e) = checkpoint(cfg, &key, samples, covered, throughput_sum, false) {
+        let span = t_journal.start();
+        let saved = checkpoint(cfg, &key, samples, covered, throughput_sum, false);
+        span.stop();
+        if let Err(e) = saved {
             journal_error.get_or_insert(e);
         }
     };
+
+    if stop_reason.is_none() && samples < cfg.max_samples {
+        c_early.inc();
+    }
 
     let stopped_early = samples < cfg.max_samples && stop_reason.is_none();
     if stop_reason.is_none() {
@@ -374,10 +392,12 @@ mod tests {
                 .with_threads(1),
         );
 
-        let mut loops = 0;
+        let mut loops: u64 = 0;
         let resumed = loop {
+            // Cumulative trial budget: each invocation may bank one more
+            // round beyond what the journal already holds.
             let cfg = CoverageCampaignConfig::new(&mesh(), 450.0, 256, 5)
-                .with_budget(Budget::unlimited().with_max_trials(SAMPLES_PER_ROUND))
+                .with_budget(Budget::unlimited().with_max_trials(SAMPLES_PER_ROUND * (loops + 1)))
                 .with_journal(path.clone())
                 .with_threads(1);
             let r = run_coverage_campaign(&cfg);

@@ -31,6 +31,8 @@ use wlan_math::ci::{wilson95, Interval};
 use wlan_math::par;
 use wlan_math::rng::WlanRng;
 
+use wlan_obs::json;
+
 use crate::budget::{Budget, BudgetMeter, Outcome};
 use crate::journal::{self, f64_to_hex, kv, kv_u64, JournalError};
 use crate::quarantine::QuarantinedTrial;
@@ -60,7 +62,8 @@ pub struct PerCampaignConfig {
     pub target_half_width: Option<f64>,
     /// Master seed; trial `(i, j)` uses stream `seed → fork(i) → fork(j)`.
     pub seed: u64,
-    /// Trial/wall-clock limits for this invocation.
+    /// Resource limits: `max_trials` is cumulative across resume,
+    /// `wall_ms` is per-invocation (see [`crate::budget`] module docs).
     pub budget: Budget,
     /// Checkpoint journal path; `None` disables checkpointing.
     pub journal: Option<PathBuf>,
@@ -292,9 +295,30 @@ pub fn run_per_campaign(
     let key = cfg.key(link, faults);
 
     let (mut points, mut quarantine, resume) = restore(cfg, &key);
-    let mut meter = BudgetMeter::new(cfg.budget);
+    // The trial budget is cumulative across resume: trials restored from
+    // the journal are already spent. The wall clock is per-invocation.
+    let banked: u64 = points.iter().map(|p| p.trials).sum();
+    let mut meter = BudgetMeter::resumed(cfg.budget, banked);
     let mut journal_error: Option<JournalError> = None;
     let mut waves_since_checkpoint: u64 = 0;
+
+    // Observability: write-only counters/timers plus JSONL events; none
+    // of it feeds back into trial streams or stopping decisions.
+    let obs = wlan_obs::global();
+    let c_waves = obs.counter("runner.waves");
+    let c_trials = obs.counter("runner.trials");
+    let c_early = obs.counter("runner.early_stops");
+    let c_quar = obs.counter("runner.quarantined");
+    let t_journal = obs.histogram("runner.journal_write");
+    obs.event(
+        "campaign_start",
+        &[
+            ("kind", json::Value::Str("per".into())),
+            ("link", json::Value::Str(link.name())),
+            ("points", json::Value::U64(cfg.snrs_db.len() as u64)),
+            ("banked_trials", json::Value::U64(banked)),
+        ],
+    );
 
     // A resumed journal stores statuses, but they are cheap to recompute
     // and recomputing makes the loop's invariant ("statuses are current
@@ -354,12 +378,14 @@ pub fn run_per_campaign(
 
         // Deterministic fold in work-item order.
         let mut wave_trials = 0u64;
+        let mut wave_quarantined = 0u64;
         for ((point, _), ((trials, errors, erasures), quars)) in work.iter().zip(&results) {
             let p = &mut points[*point];
             p.trials += trials;
             p.errors += errors;
             p.erasures += erasures;
             wave_trials += trials;
+            wave_quarantined += quars.len() as u64;
             for (frame, error) in quars {
                 quarantine.push(QuarantinedTrial {
                     seed: cfg.seed,
@@ -371,17 +397,45 @@ pub fn run_per_campaign(
             }
         }
         meter.add_trials(wave_trials);
+        c_waves.inc();
+        c_trials.add(wave_trials);
+        c_quar.add(wave_quarantined);
 
         // Stopping rules: pure functions of the integer tallies, applied
         // only here at the round boundary.
         for &i in &active {
-            points[i].status = evaluate_status(&points[i], cfg);
+            let status = evaluate_status(&points[i], cfg);
+            if status == PointStatus::StoppedEarly {
+                c_early.inc();
+                obs.event(
+                    "early_stop",
+                    &[
+                        ("kind", json::Value::Str("per".into())),
+                        ("point", json::Value::U64(i as u64)),
+                        ("trials", json::Value::U64(points[i].trials)),
+                    ],
+                );
+            }
+            points[i].status = status;
         }
+        obs.event(
+            "wave",
+            &[
+                ("kind", json::Value::Str("per".into())),
+                ("trials", json::Value::U64(wave_trials)),
+                ("banked_trials", json::Value::U64(meter.trials())),
+                ("active_points", json::Value::U64(active.len() as u64)),
+                ("quarantined", json::Value::U64(wave_quarantined)),
+            ],
+        );
 
         waves_since_checkpoint += 1;
         if waves_since_checkpoint >= cfg.checkpoint_every_rounds {
             waves_since_checkpoint = 0;
-            if let Err(e) = checkpoint(cfg, &key, &points, &quarantine) {
+            let span = t_journal.start();
+            let written = checkpoint(cfg, &key, &points, &quarantine);
+            span.stop();
+            if let Err(e) = written {
                 journal_error.get_or_insert(e);
             }
         }
@@ -390,7 +444,10 @@ pub fn run_per_campaign(
     // Final checkpoint so a budget-stopped campaign can resume from its
     // exact exit state (and a complete one can be re-loaded as complete).
     if waves_since_checkpoint > 0 || points.iter().all(|p| p.status != PointStatus::Active) {
-        if let Err(e) = checkpoint(cfg, &key, &points, &quarantine) {
+        let span = t_journal.start();
+        let written = checkpoint(cfg, &key, &points, &quarantine);
+        span.stop();
+        if let Err(e) = written {
             journal_error.get_or_insert(e);
         }
     }
@@ -407,6 +464,19 @@ pub fn run_per_campaign(
             reason,
         },
     };
+
+    obs.event(
+        "campaign_done",
+        &[
+            ("kind", json::Value::Str("per".into())),
+            ("complete", json::Value::Bool(outcome.is_complete())),
+            (
+                "banked_trials",
+                json::Value::U64(points.iter().map(|p| p.trials).sum()),
+            ),
+            ("quarantined", json::Value::U64(quarantine.len() as u64)),
+        ],
+    );
 
     PerCampaignReport {
         name: link.name(),
@@ -644,16 +714,21 @@ mod tests {
 
         let uninterrupted = run_per_campaign(&l, &FaultChain::clean(), &base_cfg());
 
-        // Interrupt after every wave until done, resuming each time.
+        // Interrupt after every wave until done, resuming each time. The
+        // trial budget is cumulative across resume, so each invocation
+        // gets a cap one past what the journal already banked: exactly
+        // one more wave runs per invocation.
         let mut rounds = 0;
+        let mut completed = 0u64;
         let report = loop {
             let cfg = base_cfg()
                 .with_journal(path.clone())
-                .with_budget(Budget::unlimited().with_max_trials(1));
+                .with_budget(Budget::unlimited().with_max_trials(completed + 1));
             let r = run_per_campaign(&l, &FaultChain::clean(), &cfg);
             assert!(r.journal_error.is_none(), "{:?}", r.journal_error);
             rounds += 1;
             assert!(rounds < 100, "campaign failed to converge");
+            completed = r.completed_trials();
             if r.outcome.is_complete() {
                 break r;
             }

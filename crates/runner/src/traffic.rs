@@ -43,7 +43,8 @@ pub struct TrafficCampaignConfig {
     /// Per-run step budget; a run exceeding it is quarantined.
     /// `u64::MAX` disables quarantine.
     pub max_steps_per_run: u64,
-    /// Trial (= run) and wall-clock limits for this invocation.
+    /// Resource limits: `max_trials` (= runs) is cumulative across
+    /// resume, `wall_ms` is per-invocation (see [`crate::budget`]).
     pub budget: Budget,
     /// Checkpoint journal path; `None` disables checkpointing.
     pub journal: Option<PathBuf>,
@@ -209,8 +210,16 @@ pub fn run_traffic_campaign(cfg: &TrafficCampaignConfig) -> TrafficCampaignRepor
 
     let key = cfg.key();
     let (mut records, resume) = restore(cfg, &key);
-    let mut meter = BudgetMeter::new(cfg.budget);
+    // Trials (= simulated runs) restored from the journal count against
+    // the cumulative trial budget; the wall clock is per-invocation.
+    let mut meter = BudgetMeter::resumed(cfg.budget, records.len() as u64);
     let mut journal_error: Option<JournalError> = None;
+
+    let obs = wlan_obs::global();
+    let c_waves = obs.counter("runner.waves");
+    let c_trials = obs.counter("runner.trials");
+    let c_quar = obs.counter("runner.quarantined");
+    let t_journal = obs.histogram("runner.journal_write");
 
     let stop_reason = loop {
         let done = records.len();
@@ -246,9 +255,20 @@ pub fn run_traffic_campaign(cfg: &TrafficCampaignConfig) -> TrafficCampaignRepor
             None => par::parallel_map(&wave, run_one),
         };
         meter.add_trials(wave_records.len() as u64);
+        c_waves.inc();
+        c_trials.add(wave_records.len() as u64);
+        c_quar.add(
+            wave_records
+                .iter()
+                .filter(|r| matches!(r, RunRecord::Quarantined(_)))
+                .count() as u64,
+        );
         records.extend(wave_records);
 
-        if let Err(e) = checkpoint(cfg, &key, &records) {
+        let span = t_journal.start();
+        let written = checkpoint(cfg, &key, &records);
+        span.stop();
+        if let Err(e) = written {
             journal_error.get_or_insert(e);
         }
     };
@@ -400,10 +420,12 @@ mod tests {
                 .with_threads(1),
         );
 
-        let mut loops = 0;
+        // The trial budget is cumulative across resume, so each loop
+        // raises the cap by one wave's worth of runs.
+        let mut loops: u64 = 0;
         let resumed = loop {
             let cfg = TrafficCampaignConfig::new(base(), 8)
-                .with_budget(Budget::unlimited().with_max_trials(4))
+                .with_budget(Budget::unlimited().with_max_trials(4 * (loops + 1)))
                 .with_journal(path.clone())
                 .with_threads(1);
             let r = run_traffic_campaign(&cfg);

@@ -26,7 +26,7 @@ use wlan_runner::budget::Budget;
 use wlan_runner::coverage::{run_coverage_campaign, CoverageCampaignConfig};
 use wlan_runner::per::{run_per_campaign, PerCampaignConfig, PointStatus};
 use wlan_runner::traffic::{run_traffic_campaign, TrafficCampaignConfig};
-use wlan_runner::{JournalError, Outcome, Resume};
+use wlan_runner::{JournalError, Outcome, Resume, StopReason};
 
 fn tmp(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("wlan_kr_{}_{name}.journal", std::process::id()))
@@ -77,15 +77,18 @@ fn killed_and_resumed_per_campaign_is_bit_identical() {
         let uninterrupted = run_per_campaign(&link, &chain, &uninterrupted_cfg);
 
         let mut loops = 0;
+        let mut completed = 0u64;
         let resumed = loop {
             // One wave per invocation: the harshest interruption pattern
-            // a budget can produce.
+            // a budget can produce. The trial budget is cumulative across
+            // resume, so each invocation's cap is one past the journal.
             let cfg = uninterrupted_cfg
                 .clone()
                 .with_journal(path.clone())
-                .with_budget(Budget::unlimited().with_max_trials(1));
+                .with_budget(Budget::unlimited().with_max_trials(completed + 1));
             let r = run_per_campaign(&link, &chain, &cfg);
             assert_eq!(r.journal_error, None);
+            completed = r.completed_trials();
             loops += 1;
             assert!(loops < 200, "campaign failed to converge");
             match r.outcome {
@@ -128,12 +131,15 @@ fn early_stopping_survives_interruption() {
         .any(|p| p.status == PointStatus::StoppedEarly));
 
     let mut loops = 0;
+    let mut completed = 0u64;
     let resumed = loop {
+        // Cumulative cap: one more round of trials than already banked.
         let cfg = base
             .clone()
             .with_journal(path.clone())
-            .with_budget(Budget::unlimited().with_max_trials(32));
+            .with_budget(Budget::unlimited().with_max_trials(completed + 32));
         let r = run_per_campaign(&link, &chain, &cfg);
+        completed = r.completed_trials();
         loops += 1;
         assert!(loops < 100, "failed to converge");
         if r.outcome.is_complete() {
@@ -200,6 +206,61 @@ fn corrupted_journal_is_typed_error_and_clean_cold_start() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// `WLAN_MAX_TRIALS` meters the whole campaign, not each invocation:
+/// trials restored from the journal count against the cap, so a
+/// re-invocation under an already-spent budget makes zero new progress.
+/// (Before PR 5 the meter reset on every resume, silently re-spending
+/// the trial budget each time the process was killed and re-run.)
+/// Referenced by the `wlan_runner::budget` module docs.
+#[test]
+fn trial_budget_is_cumulative_across_resume() {
+    let link = FhssLink;
+    let chain = FaultChain::clean();
+    let path = tmp("cumulative");
+    let _ = std::fs::remove_file(&path);
+
+    let capped = per_cfg(Some(1))
+        .with_journal(path.clone())
+        .with_budget(Budget::unlimited().with_max_trials(64));
+
+    let first = run_per_campaign(&link, &chain, &capped);
+    assert!(!first.outcome.is_complete());
+    let banked = first.completed_trials();
+    assert!(banked >= 64, "expected the cap to be reached, banked {banked}");
+
+    // Re-invoking with the same cap finds the budget already spent: no
+    // new trials, same tallies, a typed TrialBudget stop.
+    let second = run_per_campaign(&link, &chain, &capped);
+    assert!(matches!(second.resume, Resume::Resumed { .. }));
+    assert_eq!(
+        second.completed_trials(),
+        banked,
+        "a resumed invocation must not re-spend the trial budget"
+    );
+    assert_eq!(second.points, first.points);
+    assert!(matches!(
+        second.outcome,
+        Outcome::Partial {
+            reason: StopReason::TrialBudget,
+            ..
+        }
+    ));
+
+    // Raising the cap lets the campaign continue from the journal.
+    let third = run_per_campaign(
+        &link,
+        &chain,
+        &capped
+            .clone()
+            .with_budget(Budget::unlimited().with_max_trials(banked + 1)),
+    );
+    assert!(
+        third.completed_trials() > banked,
+        "a raised cap must buy new progress"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
 #[test]
 fn traffic_campaign_resumes_to_ensemble_equality() {
     let base = TrafficConfig {
@@ -216,10 +277,11 @@ fn traffic_campaign_resumes_to_ensemble_equality() {
 
     let path = tmp("traffic");
     let _ = std::fs::remove_file(&path);
-    let mut loops = 0;
+    let mut loops: u64 = 0;
     let resumed = loop {
+        // Cumulative cap: one more wave of runs per invocation.
         let cfg = TrafficCampaignConfig::new(base, 8)
-            .with_budget(Budget::unlimited().with_max_trials(4))
+            .with_budget(Budget::unlimited().with_max_trials(4 * (loops + 1)))
             .with_journal(path.clone())
             .with_threads(1);
         let r = run_traffic_campaign(&cfg);
@@ -245,10 +307,11 @@ fn coverage_campaign_resumes_to_estimator_equality() {
 
     let path = tmp("coverage");
     let _ = std::fs::remove_file(&path);
-    let mut loops = 0;
+    let mut loops: u64 = 0;
     let resumed = loop {
+        // Cumulative cap: one more round of samples per invocation.
         let cfg = CoverageCampaignConfig::new(&mesh, 450.0, 192, 8)
-            .with_budget(Budget::unlimited().with_max_trials(64))
+            .with_budget(Budget::unlimited().with_max_trials(64 * (loops + 1)))
             .with_journal(path.clone())
             .with_threads(1);
         let r = run_coverage_campaign(&cfg);
