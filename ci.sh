@@ -59,10 +59,35 @@ cargo run -q --release --offline -p wlan-bench --example check_bench_json -- \
     "$BENCH_DIR/BENCH_E04.json" "$BENCH_DIR/BENCH_E13.json" "$BENCH_DIR/BENCH_E16.json"
 cargo run -q --release --offline -p wlan-bench --example check_bench_json -- \
     --jsonl "$BENCH_DIR/events.jsonl"
+
+# Bench-regression guard: freshly emitted E04/E16 frames/s must not fall
+# below the PR-5 seed floors (1.0×; the batched RX kernels land far above
+# them in a quiet window). The floors are the seed emissions' values, kept
+# as constants rather than read from the regenerated committed files so a
+# busy machine cannot flake CI — the committed files carry post-kernel
+# numbers several times higher than the bar. Schema validity of the
+# committed files is enforced alongside.
+cargo run -q --release --offline -p wlan-bench --example check_bench_json -- \
+    BENCH_E04.json BENCH_E13.json BENCH_E16.json
+E04_SEED_FLOOR=1191.8745122932226
+E16_SEED_FLOOR=1144.2658027124764
+for exp in E04 E16; do
+    if [ "$exp" = E04 ]; then floor="$E04_SEED_FLOOR"; else floor="$E16_SEED_FLOOR"; fi
+    fresh=$(sed -n 's/.*"frames_per_s":\([0-9.eE+-]*\).*/\1/p' "$BENCH_DIR/BENCH_$exp.json")
+    awk -v fresh="$fresh" -v floor="$floor" -v name="$exp" 'BEGIN {
+        if (fresh == "" || fresh + 0 < floor + 0) {
+            printf "bench regression: %s frames/s \"%s\" below seed floor %.1f\n", name, fresh, floor
+            exit 1
+        }
+        printf "bench guard: %s frames/s %.1f >= seed floor %.1f (%.2fx)\n", name, fresh, floor, fresh / floor
+    }'
+done
 rm -rf "$BENCH_DIR"
 
-# Decode hot paths must stay panic-free: no new unwrap()/panic! outside
-# test code in the crates whose receivers the fault harness drives. The
+# Decode hot paths must stay panic-free: no new unwrap()/expect()/panic!
+# outside test code in the crates whose receivers the fault harness drives
+# (expect() joined the scan after the viterbi traceback seed slipped
+# through on it — see the infallible fold in viterbi.rs). The
 # thread pool (math/par.rs) is held to the same bar: a panicking scheduler
 # would take down every sweep at once — and so is the whole campaign
 # runner (crates/runner) plus the CI math it stops on: a campaign that
@@ -78,8 +103,8 @@ for f in crates/coding/src/*.rs crates/mimo/src/*.rs crates/core/src/*.rs \
         awk '
             /#\[cfg\(test\)\]/ { exit }
             /^[[:space:]]*\/\// { next }
-            /\.unwrap\(\)|panic!\(/ {
-                printf "%s:%d: forbidden unwrap()/panic! in non-test code: %s\n",
+            /\.unwrap\(\)|\.expect\(|panic!\(/ {
+                printf "%s:%d: forbidden unwrap()/expect()/panic! in non-test code: %s\n",
                        FILENAME, FNR, $0
                 found = 1
             }

@@ -3,12 +3,9 @@
 use wlan_math::rng::Rng;
 use wlan_math::Complex;
 
-/// Draws a standard normal via Box–Muller.
+/// Draws a standard normal (ziggurat; see [`wlan_math::ziggurat`]).
 pub fn gaussian(rng: &mut impl Rng) -> f64 {
-    // Avoid log(0) by sampling the half-open interval away from zero.
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    rng.gen_gaussian()
 }
 
 /// Draws a circularly-symmetric complex Gaussian with unit total variance

@@ -40,7 +40,7 @@ pub fn check_fcs(frame_with_fcs: &[u8]) -> Option<&[u8]> {
         return None;
     }
     let (body, fcs) = frame_with_fcs.split_at(frame_with_fcs.len() - 4);
-    let want = u32::from_le_bytes(fcs.try_into().expect("4-byte slice"));
+    let want = u32::from_le_bytes([fcs[0], fcs[1], fcs[2], fcs[3]]);
     (crc32(body) == want).then_some(body)
 }
 

@@ -114,7 +114,13 @@ impl Interleaver {
     /// Panics if `bits.len()` is not a multiple of the block size.
     pub fn interleave_stream(&self, bits: &[u8]) -> Vec<u8> {
         assert_eq!(bits.len() % self.n_cbps, 0, "stream must be whole symbols");
-        bits.chunks(self.n_cbps).flat_map(|c| self.interleave(c)).collect()
+        // One output allocation for the whole stream (this runs once per
+        // symbol per frame); element order matches per-symbol interleaving.
+        let mut out = Vec::with_capacity(bits.len());
+        for c in bits.chunks(self.n_cbps) {
+            out.extend(self.forward.iter().map(|&k| c[k]));
+        }
+        out
     }
 
     /// Deinterleaves a multi-symbol soft stream symbol by symbol.
@@ -124,9 +130,11 @@ impl Interleaver {
     /// Panics if `llrs.len()` is not a multiple of the block size.
     pub fn deinterleave_stream_soft(&self, llrs: &[f64]) -> Vec<f64> {
         assert_eq!(llrs.len() % self.n_cbps, 0, "stream must be whole symbols");
-        llrs.chunks(self.n_cbps)
-            .flat_map(|c| self.deinterleave_soft(c))
-            .collect()
+        let mut out = Vec::with_capacity(llrs.len());
+        for c in llrs.chunks(self.n_cbps) {
+            out.extend(self.inverse.iter().map(|&k| c[k]));
+        }
+        out
     }
 
     /// Like [`Interleaver::deinterleave_stream_soft`], but a ragged stream
@@ -139,10 +147,7 @@ impl Interleaver {
                 got: llrs.len(),
             });
         }
-        Ok(llrs
-            .chunks(self.n_cbps)
-            .flat_map(|c| self.deinterleave_soft(c))
-            .collect())
+        Ok(self.deinterleave_stream_soft(llrs))
     }
 }
 
@@ -239,7 +244,11 @@ impl HtInterleaver {
     /// Panics if `bits.len()` is not a multiple of the block size.
     pub fn interleave_stream(&self, bits: &[u8]) -> Vec<u8> {
         assert_eq!(bits.len() % self.n_cbps, 0, "stream must be whole symbols");
-        bits.chunks(self.n_cbps).flat_map(|c| self.interleave(c)).collect()
+        let mut out = Vec::with_capacity(bits.len());
+        for c in bits.chunks(self.n_cbps) {
+            out.extend(self.forward.iter().map(|&k| c[k]));
+        }
+        out
     }
 
     /// Deinterleaves a multi-symbol soft stream.
@@ -249,12 +258,11 @@ impl HtInterleaver {
     /// Panics if `llrs.len()` is not a multiple of the block size.
     pub fn deinterleave_stream_soft(&self, llrs: &[f64]) -> Vec<f64> {
         assert_eq!(llrs.len() % self.n_cbps, 0, "stream must be whole symbols");
-        llrs.chunks(self.n_cbps)
-            .flat_map(|c| {
-                let out: Vec<f64> = self.inverse.iter().map(|&k| c[k]).collect();
-                out
-            })
-            .collect()
+        let mut out = Vec::with_capacity(llrs.len());
+        for c in llrs.chunks(self.n_cbps) {
+            out.extend(self.inverse.iter().map(|&k| c[k]));
+        }
+        out
     }
 
     /// Like [`HtInterleaver::deinterleave_stream_soft`], but a ragged

@@ -52,6 +52,12 @@ pub struct LdpcCode {
     rows: Vec<Vec<usize>>,
     /// Check rows adjacent to each variable column.
     cols: Vec<Vec<usize>>,
+    /// CSR view of `rows` for the decoder hot loop: the variables of check
+    /// `i` are `row_vars[row_offsets[i]..row_offsets[i+1]]`. Built once at
+    /// construction; min-sum iterations walk one contiguous array instead
+    /// of chasing per-row allocations.
+    row_offsets: Vec<u32>,
+    row_vars: Vec<u32>,
 }
 
 impl LdpcCode {
@@ -125,7 +131,28 @@ impl LdpcCode {
             }
         }
 
-        LdpcCode { k, m, rows, cols }
+        let mut row_offsets = Vec::with_capacity(m + 1);
+        let mut row_vars = Vec::new();
+        row_offsets.push(0u32);
+        for row in &rows {
+            row_vars.extend(row.iter().map(|&c| c as u32));
+            row_offsets.push(row_vars.len() as u32);
+        }
+        // The decode hot loop gathers through these indices without bounds
+        // checks; pin the invariant here, once per code construction.
+        assert!(
+            row_vars.iter().all(|&v| (v as usize) < k + m),
+            "check matrix column out of range"
+        );
+
+        LdpcCode {
+            k,
+            m,
+            rows,
+            cols,
+            row_offsets,
+            row_vars,
+        }
     }
 
     /// Number of information bits.
@@ -191,9 +218,12 @@ impl LdpcCode {
     /// Panics if `bits.len() != self.codeword_len()`.
     pub fn is_codeword(&self, bits: &[u8]) -> bool {
         assert_eq!(bits.len(), self.codeword_len(), "codeword length mismatch");
-        self.rows
-            .iter()
-            .all(|row| row.iter().fold(0u8, |acc, &c| acc ^ bits[c]) == 0)
+        self.row_offsets.windows(2).all(|w| {
+            self.row_vars[w[0] as usize..w[1] as usize]
+                .iter()
+                .fold(0u8, |acc, &c| acc ^ bits[c as usize])
+                == 0
+        })
     }
 
     /// Decodes channel LLRs (`log(P(0)/P(1))`, positive ⇒ bit 0) with
@@ -234,30 +264,38 @@ impl LdpcCode {
             MinSum::Normalized(a) => a,
         };
 
-        // check_msgs[row][idx] = message from check `row` to its idx-th var.
-        let mut check_msgs: Vec<Vec<f64>> =
-            self.rows.iter().map(|r| vec![0.0; r.len()]).collect();
+        // Check-to-variable messages, flattened row-major and aligned with
+        // `row_vars`: one allocation for the whole graph instead of one Vec
+        // per check row.
+        let mut check_msgs = vec![0.0f64; self.row_vars.len()];
         let mut totals: Vec<f64> = llrs.to_vec();
-        let mut hard: Vec<u8> = totals.iter().map(|&l| (l < 0.0) as u8).collect();
 
-        if self.is_codeword(&hard) {
+        if self.syndrome_clear(&totals) {
             return LdpcDecode {
-                info_bits: hard[..self.k].to_vec(),
+                info_bits: Self::hard_prefix(&totals, self.k),
                 converged: true,
                 iterations: 0,
             };
         }
 
         for iter in 1..=max_iters {
-            for (row, vars) in self.rows.iter().enumerate() {
+            for row in 0..self.m {
+                let (start, end) =
+                    (self.row_offsets[row] as usize, self.row_offsets[row + 1] as usize);
+                let vars = &self.row_vars[start..end];
+                let msgs = &mut check_msgs[start..end];
                 // Variable-to-check = total − previous check-to-variable.
-                // Compute sign product and two smallest magnitudes.
+                // Compute sign product and two smallest magnitudes. The
+                // gathers through `row_vars` skip bounds checks: every entry
+                // is a column index < n, validated once when the CSR layout
+                // is built in `new`.
                 let mut sign = 1.0f64;
                 let mut min1 = f64::INFINITY;
                 let mut min2 = f64::INFINITY;
                 let mut min_idx = 0usize;
                 for (idx, &v) in vars.iter().enumerate() {
-                    let msg = totals[v] - check_msgs[row][idx];
+                    // SAFETY: `v < n == totals.len()`, checked in `new`.
+                    let msg = unsafe { *totals.get_unchecked(v as usize) } - msgs[idx];
                     if msg < 0.0 {
                         sign = -sign;
                     }
@@ -271,22 +309,21 @@ impl LdpcCode {
                     }
                 }
                 for (idx, &v) in vars.iter().enumerate() {
-                    let old = check_msgs[row][idx];
-                    let incoming = totals[v] - old;
+                    let old = msgs[idx];
+                    // SAFETY: `v < n == totals.len()`, checked in `new`.
+                    let total = unsafe { totals.get_unchecked_mut(v as usize) };
+                    let incoming = *total - old;
                     let excl_sign = if incoming < 0.0 { -sign } else { sign };
                     let mag = if idx == min_idx { min2 } else { min1 };
                     let new = alpha * excl_sign * mag;
-                    check_msgs[row][idx] = new;
-                    totals[v] += new - old;
+                    msgs[idx] = new;
+                    *total += new - old;
                 }
             }
 
-            for (i, h) in hard.iter_mut().enumerate() {
-                *h = (totals[i] < 0.0) as u8;
-            }
-            if self.is_codeword(&hard) {
+            if self.syndrome_clear(&totals) {
                 return LdpcDecode {
-                    info_bits: hard[..self.k].to_vec(),
+                    info_bits: Self::hard_prefix(&totals, self.k),
                     converged: true,
                     iterations: iter,
                 };
@@ -294,10 +331,25 @@ impl LdpcCode {
         }
 
         LdpcDecode {
-            info_bits: hard[..self.k].to_vec(),
+            info_bits: Self::hard_prefix(&totals, self.k),
             converged: false,
             iterations: max_iters,
         }
+    }
+
+    /// Whether the hard decisions implied by `totals` satisfy every check,
+    /// reading sign bits directly so no per-iteration bit vector is built.
+    fn syndrome_clear(&self, totals: &[f64]) -> bool {
+        self.row_offsets.windows(2).all(|w| {
+            self.row_vars[w[0] as usize..w[1] as usize]
+                .iter()
+                .fold(0u8, |acc, &c| acc ^ (totals[c as usize] < 0.0) as u8)
+                == 0
+        })
+    }
+
+    fn hard_prefix(totals: &[f64], k: usize) -> Vec<u8> {
+        totals[..k].iter().map(|&l| (l < 0.0) as u8).collect()
     }
 }
 

@@ -40,4 +40,4 @@ pub mod viterbi;
 
 pub use convolutional::ConvEncoder;
 pub use puncture::CodeRate;
-pub use viterbi::ViterbiDecoder;
+pub use viterbi::{FrameLlrs, ViterbiDecoder, ViterbiKernel};

@@ -93,19 +93,22 @@ pub fn puncture(coded: &[u8], rate: CodeRate) -> Vec<u8> {
 /// the first `mother_len` pattern slots.
 pub fn depuncture(punctured: &[f64], rate: CodeRate, mother_len: usize) -> Vec<f64> {
     let pattern = rate.pattern();
+    assert_eq!(
+        punctured.len(),
+        punctured_len(mother_len, rate),
+        "punctured stream length must equal the pattern's kept positions"
+    );
     let mut out = Vec::with_capacity(mother_len);
-    let mut src = punctured.iter();
+    let mut src = 0usize;
     for i in 0..mother_len {
         if pattern[i % pattern.len()] {
-            out.push(*src.next().expect("punctured stream too short"));
+            // In bounds: the assert above pins one input LLR per kept slot.
+            out.push(punctured[src]);
+            src += 1;
         } else {
             out.push(0.0);
         }
     }
-    assert!(
-        src.next().is_none(),
-        "punctured stream longer than pattern admits"
-    );
     out
 }
 

@@ -3,11 +3,452 @@
 //! Supports hard decisions (Hamming branch metrics) and soft decisions
 //! (log-likelihood-ratio correlation metrics); the ≈2 dB gap between the two
 //! is one of the design-choice ablations benchmarked in experiment E6.
+//!
+//! The workhorse is [`ViterbiKernel`]: a reusable decoder whose trellis pass
+//! runs allocation-free against a scratch arena owned by the kernel — a flat
+//! per-step branch-metric table (four correlation sums shared by all 64
+//! states), precomputed branch outputs for every 7-bit register value, and
+//! one `u64` of bit-parallel survivor decisions per trellis step. The
+//! ergonomic [`ViterbiDecoder`] front end delegates to a thread-local kernel,
+//! so the per-call `Vec` churn of the original implementation is gone from
+//! the sweep hot path while the public API is unchanged. Kernel and front
+//! end are bit-identical by construction: the per-next-state formulation
+//! visits the low predecessor first and replaces it only on a strictly
+//! better high branch, exactly the add-compare-select order of the scalar
+//! reference loop.
 
-use crate::convolutional::{trellis_step, NUM_STATES};
+use crate::convolutional::{trellis_step, CONSTRAINT_LENGTH, NUM_STATES};
+use std::cell::RefCell;
 use wlan_math::WlanError;
 
+const NEG_INF: f64 = f64::NEG_INFINITY;
+/// Zero-termination tail length (drives the trellis back to state 0).
+const TAIL: usize = CONSTRAINT_LENGTH - 1;
+
+/// One frame's soft input to [`ViterbiKernel::decode_batch`].
+///
+/// The LLR convention is `llr = log(P(bit=0)/P(bit=1))`: positive values
+/// favour 0, an erasure is exactly 0. LLRs are assumed finite (the demappers
+/// only produce finite values).
+#[derive(Debug, Clone, Copy)]
+pub struct FrameLlrs<'a> {
+    /// Coded LLRs, two per trellis step.
+    pub llrs: &'a [f64],
+    /// Information bits to recover.
+    pub num_bits: usize,
+    /// Whether the encoder appended the six zero tail bits (traceback from
+    /// state 0) or not (traceback from the best-metric end state).
+    pub terminated: bool,
+}
+
+impl<'a> FrameLlrs<'a> {
+    /// A zero-terminated frame: `llrs.len()` must be `(num_bits + 6) * 2`.
+    pub fn terminated(llrs: &'a [f64], num_bits: usize) -> Self {
+        FrameLlrs { llrs, num_bits, terminated: true }
+    }
+
+    /// An unterminated stream: `llrs.len()` must be `num_bits * 2`.
+    pub fn unterminated(llrs: &'a [f64], num_bits: usize) -> Self {
+        FrameLlrs { llrs, num_bits, terminated: false }
+    }
+
+    fn total_steps(&self) -> usize {
+        self.num_bits + if self.terminated { TAIL } else { 0 }
+    }
+
+    fn check(&self) -> Result<usize, WlanError> {
+        let total_steps = self.total_steps();
+        if self.llrs.len() != total_steps * 2 {
+            return Err(WlanError::LengthMismatch {
+                expected: total_steps * 2,
+                got: self.llrs.len(),
+            });
+        }
+        Ok(total_steps)
+    }
+}
+
+/// Batched, allocation-free Viterbi kernel for the K=7, (133, 171) code.
+///
+/// Owns its scratch arena (survivor words and a decode buffer), so decoding
+/// a frame — or a batch — performs no heap allocation once the arena has
+/// grown to the longest frame seen. The kernel is `!Sync` by design: each
+/// sweep worker holds its own (see `wlan_core::linksim`), which is what
+/// keeps batched decoding bit-identical at any `WLAN_THREADS`.
+///
+/// # Examples
+///
+/// ```
+/// use wlan_coding::{ConvEncoder, FrameLlrs, ViterbiKernel};
+///
+/// let data = vec![0, 1, 1, 0, 1, 0, 0, 1];
+/// let coded = ConvEncoder::new().encode_terminated(&data);
+/// let llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+/// let mut kernel = ViterbiKernel::new();
+/// let frames = kernel
+///     .decode_batch(&[FrameLlrs::terminated(&llrs, data.len())])
+///     .unwrap();
+/// assert_eq!(frames, vec![data]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ViterbiKernel {
+    /// Branch outputs `(a << 1) | b` indexed by the 7-bit register value
+    /// `input << 6 | state`; built from the encoder's own `trellis_step` so
+    /// the two can never drift apart.
+    out2: [u8; 2 * NUM_STATES],
+    /// Branch-metric sign tables for the vector path (see [`simd`]), laid
+    /// out in that path's lane order; unused when AVX2 is unavailable.
+    signs: simd::SignTables,
+    /// Whether this process may use the AVX2 add-compare-select step
+    /// (checked once at construction via runtime feature detection).
+    use_avx2: bool,
+    /// One survivor word per trellis step: bit `s` set means next-state `s`
+    /// kept its high (odd-register) predecessor.
+    survivors: Vec<u64>,
+    /// Traceback output buffer, reused across frames.
+    decoded: Vec<u8>,
+}
+
+impl ViterbiKernel {
+    /// Creates a kernel with an empty scratch arena.
+    pub fn new() -> Self {
+        let mut out2 = [0u8; 2 * NUM_STATES];
+        for state in 0..NUM_STATES as u32 {
+            for input in 0..=1u8 {
+                let (a, b, _next) = trellis_step(state, input);
+                let reg = (input as usize) << (CONSTRAINT_LENGTH - 1) | state as usize;
+                out2[reg] = (a << 1) | b;
+            }
+        }
+        // The butterfly in `run_trellis` relies on both generator
+        // polynomials having their top bit set, so the input bit
+        // complements both outputs.
+        for state in 0..NUM_STATES {
+            debug_assert_eq!(out2[state] ^ out2[state | NUM_STATES], 3);
+        }
+        ViterbiKernel {
+            out2,
+            signs: simd::SignTables::new(&out2),
+            use_avx2: simd::available(),
+            survivors: Vec::new(),
+            decoded: Vec::new(),
+        }
+    }
+
+    /// Decodes a batch of frames, reusing the kernel's scratch across all of
+    /// them. Outputs are bit-identical to decoding each frame alone (the
+    /// trellis carries no state between frames), which the batch/scalar
+    /// equivalence suite pins across generations, rates, and SNRs.
+    pub fn decode_batch(&mut self, frames: &[FrameLlrs<'_>]) -> Result<Vec<Vec<u8>>, WlanError> {
+        // Validate every frame before decoding any, so a bad frame cannot
+        // leave a half-decoded batch behind.
+        for frame in frames {
+            frame.check()?;
+        }
+        let mut out = Vec::with_capacity(frames.len());
+        for frame in frames {
+            let mut bits = Vec::new();
+            self.decode_into(*frame, &mut bits)?;
+            out.push(bits);
+        }
+        Ok(out)
+    }
+
+    /// Decodes one frame into a caller-owned buffer (cleared first) — the
+    /// fully allocation-free entry point for hot paths that recycle their
+    /// output storage.
+    pub fn decode_into(
+        &mut self,
+        frame: FrameLlrs<'_>,
+        bits: &mut Vec<u8>,
+    ) -> Result<(), WlanError> {
+        let total_steps = frame.check()?;
+        self.run_trellis(frame.llrs, total_steps, frame.terminated);
+        bits.clear();
+        bits.extend_from_slice(&self.decoded[..frame.num_bits]);
+        Ok(())
+    }
+
+    /// Decodes one frame, allocating the output.
+    pub fn decode(&mut self, frame: FrameLlrs<'_>) -> Result<Vec<u8>, WlanError> {
+        let mut bits = Vec::new();
+        self.decode_into(frame, &mut bits)?;
+        Ok(bits)
+    }
+
+    /// Add-compare-select forward pass + traceback into `self.decoded`
+    /// (resized to `total_steps`; the first `num_bits` entries are the
+    /// answer).
+    fn run_trellis(&mut self, llrs: &[f64], total_steps: usize, terminated: bool) {
+        self.survivors.clear();
+        self.survivors.resize(total_steps, 0);
+
+        // Path metrics ping-pong between two stack banks via pointer swap.
+        let mut bank_a = [NEG_INF; NUM_STATES];
+        let mut bank_b = [NEG_INF; NUM_STATES];
+        bank_a[0] = 0.0; // encoder starts in state 0
+        let (mut metrics, mut next_metrics) = (&mut bank_a, &mut bank_b);
+
+        for t in 0..total_steps {
+            let la = llrs[2 * t];
+            let lb = llrs[2 * t + 1];
+            let word = if self.use_avx2 {
+                // SAFETY: `use_avx2` is only set when runtime detection
+                // confirmed AVX2 support (see `simd::available`).
+                unsafe { simd::acs_step_avx2(&self.signs, metrics, next_metrics, la, lb) }
+            } else {
+                acs_step_scalar(&self.out2, metrics, next_metrics, la, lb)
+            };
+            self.survivors[t] = word;
+            std::mem::swap(&mut metrics, &mut next_metrics);
+        }
+
+        // Terminated: trace back from state 0; otherwise from the best end
+        // state. The fold is infallible over the fixed state set and keeps
+        // `max_by`'s last-max-wins tie behaviour.
+        let mut state = if terminated {
+            0usize
+        } else {
+            let mut best = 0usize;
+            for s in 1..NUM_STATES {
+                if metrics[s].total_cmp(&metrics[best]) != std::cmp::Ordering::Less {
+                    best = s;
+                }
+            }
+            best
+        };
+        self.decoded.clear();
+        self.decoded.resize(total_steps, 0);
+        for t in (0..total_steps).rev() {
+            // The input bit that produced `state` is its top register bit;
+            // the survivor bit selects the low or high predecessor.
+            self.decoded[t] = (state >= NUM_STATES / 2) as u8;
+            let kept_hi = (self.survivors[t] >> state) & 1;
+            state = ((state << 1) & (NUM_STATES - 1)) | kept_hi as usize;
+        }
+    }
+}
+
+impl Default for ViterbiKernel {
+    fn default() -> Self {
+        ViterbiKernel::new()
+    }
+}
+
+/// One add-compare-select trellis step (all 64 next-states); returns the
+/// survivor word. This is the portable reference the vector path must match
+/// bit for bit.
+fn acs_step_scalar(
+    out2: &[u8; 2 * NUM_STATES],
+    metrics: &[f64; NUM_STATES],
+    next_metrics: &mut [f64; NUM_STATES],
+    la: f64,
+    lb: f64,
+) -> u64 {
+    // Correlation metric per branch-output pair (a, b): +llr when the
+    // branch emits 0, indexed by (a << 1) | b.
+    let bm = [la + lb, la - lb, -la + lb, -la - lb];
+    let mut word = 0u64;
+    // Butterfly pairing: next-states j and j+32 share predecessors 2j and
+    // 2j+1, and because both generator polynomials have their top bit set,
+    // flipping the input bit complements both outputs — the j+32 branch
+    // metrics are the exact IEEE negations of the j ones (asserted in
+    // `ViterbiKernel::new`). One pass over the predecessor metrics
+    // therefore feeds both halves.
+    for j in 0..NUM_STATES / 2 {
+        let reg_lo = j << 1;
+        let m0 = metrics[reg_lo];
+        let m1 = metrics[reg_lo | 1];
+        let b0 = bm[out2[reg_lo] as usize];
+        let b1 = bm[out2[reg_lo | 1] as usize];
+        // Strict '>' keeps the scalar reference's low-predecessor-wins
+        // tie-break, so outputs stay bit-identical.
+        let (lo, hi) = (m0 + b0, m1 + b1);
+        let take_hi = hi > lo;
+        next_metrics[j] = if take_hi { hi } else { lo };
+        word |= (take_hi as u64) << j;
+        // next = j + 32 (input bit 1): negated metrics, and `m - b` is
+        // bitwise `m + (-b)`.
+        let (lo, hi) = (m0 - b0, m1 - b1);
+        let take_hi = hi > lo;
+        next_metrics[j + NUM_STATES / 2] = if take_hi { hi } else { lo };
+        word |= (take_hi as u64) << (j + NUM_STATES / 2);
+    }
+    word
+}
+
+/// AVX2 add-compare-select step, 4 butterflies per vector iteration.
+///
+/// Bit-identity with [`acs_step_scalar`] holds because every float op maps
+/// one-to-one: branch metrics are `±la + ±lb` (sign multiplication is
+/// exact), path updates are single IEEE adds/subs in the same operand
+/// order, and the select uses the same strict `hi > lo` predicate
+/// (`_CMP_GT_OQ`). No FMA contraction can occur — intrinsics lower to the
+/// exact instructions named.
+mod simd {
+    use super::NUM_STATES;
+
+    /// Butterfly lane order inside each 4-wide block: `unpacklo/hi_pd`
+    /// interleave 128-bit lanes, so block k processes butterflies
+    /// `4k + [0, 2, 1, 3]` in lanes 0..4. The permutation is self-inverse;
+    /// sign tables are pre-permuted, results re-permuted before storing.
+    const LANES: [usize; 4] = [0, 2, 1, 3];
+
+    /// Maps a `movemask` nibble (lane order) to survivor bits (butterfly
+    /// order): output bit `LANES[l]` = input bit `l`.
+    const NIBBLE: [u8; 16] = {
+        let mut table = [0u8; 16];
+        let mut m = 0;
+        while m < 16 {
+            let mut l = 0;
+            while l < 4 {
+                table[m] |= (((m >> l) & 1) as u8) << LANES[l];
+                l += 1;
+            }
+            m += 1;
+        }
+        table
+    };
+
+    /// Branch-metric signs in lane order: entry `4k + l` belongs to
+    /// butterfly `4k + LANES[l]`, with `bm = sa·la + sb·lb` and
+    /// `sa, sb ∈ {+1, -1}` (+1 when the branch emits a 0).
+    #[derive(Debug, Clone)]
+    pub(super) struct SignTables {
+        pub sae: [f64; NUM_STATES / 2],
+        pub sbe: [f64; NUM_STATES / 2],
+        pub sao: [f64; NUM_STATES / 2],
+        pub sbo: [f64; NUM_STATES / 2],
+    }
+
+    impl SignTables {
+        pub(super) fn new(out2: &[u8; 2 * NUM_STATES]) -> Self {
+            let sign = |bit: u8| if bit == 0 { 1.0 } else { -1.0 };
+            let mut t = SignTables {
+                sae: [0.0; NUM_STATES / 2],
+                sbe: [0.0; NUM_STATES / 2],
+                sao: [0.0; NUM_STATES / 2],
+                sbo: [0.0; NUM_STATES / 2],
+            };
+            for k in 0..NUM_STATES / 8 {
+                for (l, &lane) in LANES.iter().enumerate() {
+                    let j = 4 * k + lane;
+                    let (even, odd) = (out2[2 * j], out2[2 * j + 1]);
+                    t.sae[4 * k + l] = sign(even >> 1);
+                    t.sbe[4 * k + l] = sign(even & 1);
+                    t.sao[4 * k + l] = sign(odd >> 1);
+                    t.sbo[4 * k + l] = sign(odd & 1);
+                }
+            }
+            t
+        }
+    }
+
+    /// Whether the AVX2 step may be used in this process.
+    pub(super) fn available() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (guaranteed by [`available`]).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn acs_step_avx2(
+        sgn: &SignTables,
+        metrics: &[f64; NUM_STATES],
+        next_metrics: &mut [f64; NUM_STATES],
+        la: f64,
+        lb: f64,
+    ) -> u64 {
+        use std::arch::x86_64::*;
+        // Lane selector [0, 2, 1, 3]: undoes the unpack interleave.
+        const UNSHUFFLE: i32 = 0b11_01_10_00;
+        let la_v = _mm256_set1_pd(la);
+        let lb_v = _mm256_set1_pd(lb);
+        let mut word = 0u64;
+        for k in 0..NUM_STATES / 8 {
+            // Predecessor metrics for butterflies 4k..4k+4: states
+            // 8k..8k+8, split into even (m0) and odd (m1) lanes.
+            let v0 = _mm256_loadu_pd(metrics.as_ptr().add(8 * k));
+            let v1 = _mm256_loadu_pd(metrics.as_ptr().add(8 * k + 4));
+            let m0 = _mm256_unpacklo_pd(v0, v1);
+            let m1 = _mm256_unpackhi_pd(v0, v1);
+            let b0 = _mm256_add_pd(
+                _mm256_mul_pd(_mm256_loadu_pd(sgn.sae.as_ptr().add(4 * k)), la_v),
+                _mm256_mul_pd(_mm256_loadu_pd(sgn.sbe.as_ptr().add(4 * k)), lb_v),
+            );
+            let b1 = _mm256_add_pd(
+                _mm256_mul_pd(_mm256_loadu_pd(sgn.sao.as_ptr().add(4 * k)), la_v),
+                _mm256_mul_pd(_mm256_loadu_pd(sgn.sbo.as_ptr().add(4 * k)), lb_v),
+            );
+            // Input-0 half: next-states j = 4k..4k+4.
+            let lo = _mm256_add_pd(m0, b0);
+            let hi = _mm256_add_pd(m1, b1);
+            let take = _mm256_cmp_pd::<_CMP_GT_OQ>(hi, lo);
+            let sel = _mm256_blendv_pd(lo, hi, take);
+            _mm256_storeu_pd(
+                next_metrics.as_mut_ptr().add(4 * k),
+                _mm256_permute4x64_pd::<UNSHUFFLE>(sel),
+            );
+            let mask = _mm256_movemask_pd(take) as usize;
+            word |= (NIBBLE[mask] as u64) << (4 * k);
+            // Input-1 half: next-states j+32, exact IEEE negations.
+            let lo = _mm256_sub_pd(m0, b0);
+            let hi = _mm256_sub_pd(m1, b1);
+            let take = _mm256_cmp_pd::<_CMP_GT_OQ>(hi, lo);
+            let sel = _mm256_blendv_pd(lo, hi, take);
+            _mm256_storeu_pd(
+                next_metrics.as_mut_ptr().add(4 * k + NUM_STATES / 2),
+                _mm256_permute4x64_pd::<UNSHUFFLE>(sel),
+            );
+            let mask = _mm256_movemask_pd(take) as usize;
+            word |= (NIBBLE[mask] as u64) << (4 * k + NUM_STATES / 2);
+        }
+        word
+    }
+
+    /// Scalar-only builds still call through the dispatch arm; keep the
+    /// symbol so `run_trellis` compiles everywhere.
+    #[cfg(not(target_arch = "x86_64"))]
+    pub(super) unsafe fn acs_step_avx2(
+        _sgn: &SignTables,
+        _metrics: &[f64; NUM_STATES],
+        _next_metrics: &mut [f64; NUM_STATES],
+        _la: f64,
+        _lb: f64,
+    ) -> u64 {
+        unreachable!("avx2 path is never selected off x86_64")
+    }
+}
+
+thread_local! {
+    /// Per-thread kernel backing [`ViterbiDecoder`]: each `wlan_math::par`
+    /// worker warms its own arena once and then decodes allocation-free.
+    static THREAD_KERNEL: RefCell<ViterbiKernel> = RefCell::new(ViterbiKernel::new());
+}
+
+/// Runs `f` against this thread's kernel; a failed borrow (re-entrant use)
+/// falls back to a fresh kernel rather than introducing a panic path.
+fn with_thread_kernel<R>(f: impl FnOnce(&mut ViterbiKernel) -> R) -> R {
+    THREAD_KERNEL.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut kernel) => f(&mut kernel),
+        Err(_) => f(&mut ViterbiKernel::new()),
+    })
+}
+
 /// Viterbi decoder for the K=7, (133, 171) code with zero termination.
+///
+/// A zero-sized handle over the thread-local [`ViterbiKernel`]; batch users
+/// and sweep workers that want explicit arena ownership use the kernel
+/// directly.
 ///
 /// # Examples
 ///
@@ -66,26 +507,21 @@ impl ViterbiDecoder {
     /// Panics if `llrs.len() != (num_info + 6) * 2`; see
     /// [`ViterbiDecoder::try_decode_soft`] for the non-panicking variant.
     pub fn decode_soft(&self, llrs: &[f64], num_info: usize) -> Vec<u8> {
-        let total_steps = num_info + 6;
         assert_eq!(
             llrs.len(),
-            total_steps * 2,
+            (num_info + TAIL) * 2,
             "coded length must be (num_info + 6) * 2"
         );
-        self.run_trellis(llrs, total_steps, num_info, true)
+        with_thread_kernel(|k| {
+            k.run_trellis(llrs, num_info + TAIL, true);
+            k.decoded[..num_info].to_vec()
+        })
     }
 
     /// Like [`ViterbiDecoder::decode_soft`], but a mis-sized LLR block
     /// returns [`WlanError::LengthMismatch`] instead of panicking.
     pub fn try_decode_soft(&self, llrs: &[f64], num_info: usize) -> Result<Vec<u8>, WlanError> {
-        let total_steps = num_info + 6;
-        if llrs.len() != total_steps * 2 {
-            return Err(WlanError::LengthMismatch {
-                expected: total_steps * 2,
-                got: llrs.len(),
-            });
-        }
-        Ok(self.run_trellis(llrs, total_steps, num_info, true))
+        with_thread_kernel(|k| k.decode(FrameLlrs::terminated(llrs, num_info)))
     }
 
     /// Decodes a stream that is *not* zero-terminated (e.g. the 802.11a DATA
@@ -100,7 +536,10 @@ impl ViterbiDecoder {
     /// non-panicking variant.
     pub fn decode_soft_unterminated(&self, llrs: &[f64], num_bits: usize) -> Vec<u8> {
         assert_eq!(llrs.len(), num_bits * 2, "coded length must be num_bits * 2");
-        self.run_trellis(llrs, num_bits, num_bits, false)
+        with_thread_kernel(|k| {
+            k.run_trellis(llrs, num_bits, false);
+            k.decoded[..num_bits].to_vec()
+        })
     }
 
     /// Like [`ViterbiDecoder::decode_soft_unterminated`], but a mis-sized
@@ -110,69 +549,17 @@ impl ViterbiDecoder {
         llrs: &[f64],
         num_bits: usize,
     ) -> Result<Vec<u8>, WlanError> {
-        if llrs.len() != num_bits * 2 {
-            return Err(WlanError::LengthMismatch {
-                expected: num_bits * 2,
-                got: llrs.len(),
-            });
-        }
-        Ok(self.run_trellis(llrs, num_bits, num_bits, false))
+        with_thread_kernel(|k| k.decode(FrameLlrs::unterminated(llrs, num_bits)))
     }
+}
 
-    fn run_trellis(
-        &self,
-        llrs: &[f64],
-        total_steps: usize,
-        keep: usize,
-        terminated: bool,
-    ) -> Vec<u8> {
-
-        const NEG_INF: f64 = f64::NEG_INFINITY;
-        let mut metrics = vec![NEG_INF; NUM_STATES];
-        metrics[0] = 0.0; // encoder starts in state 0
-        let mut next_metrics = vec![NEG_INF; NUM_STATES];
-        // survivors[t][next_state] = (prev_state, input_bit)
-        let mut survivors = vec![[(0u32, 0u8); NUM_STATES]; total_steps];
-
-        for t in 0..total_steps {
-            let la = llrs[2 * t];
-            let lb = llrs[2 * t + 1];
-            next_metrics.fill(NEG_INF);
-            for state in 0..NUM_STATES as u32 {
-                let m = metrics[state as usize];
-                if m == NEG_INF {
-                    continue;
-                }
-                for input in 0..=1u8 {
-                    let (a, b, next) = trellis_step(state, input);
-                    // Correlation metric: +llr when the branch emits 0.
-                    let branch = if a == 0 { la } else { -la } + if b == 0 { lb } else { -lb };
-                    let cand = m + branch;
-                    if cand > next_metrics[next as usize] {
-                        next_metrics[next as usize] = cand;
-                        survivors[t][next as usize] = (state, input);
-                    }
-                }
-            }
-            std::mem::swap(&mut metrics, &mut next_metrics);
-        }
-
-        // Terminated: trace back from state 0; otherwise from the best state.
-        let mut state = if terminated {
-            0u32
-        } else {
-            (0..NUM_STATES as u32)
-                .max_by(|&a, &b| metrics[a as usize].total_cmp(&metrics[b as usize]))
-                .expect("nonempty state set")
-        };
-        let mut decoded = vec![0u8; total_steps];
-        for t in (0..total_steps).rev() {
-            let (prev, input) = survivors[t][state as usize];
-            decoded[t] = input;
-            state = prev;
-        }
-        decoded.truncate(keep);
-        decoded
+#[cfg(test)]
+impl ViterbiKernel {
+    /// Forces the portable scalar step, so tests can pin the vector path
+    /// against it on the same machine.
+    fn scalar_only(mut self) -> Self {
+        self.use_avx2 = false;
+        self
     }
 }
 
@@ -184,6 +571,44 @@ mod tests {
     fn roundtrip(data: &[u8]) -> Vec<u8> {
         let coded = ConvEncoder::new().encode_terminated(data);
         ViterbiDecoder::new().decode_hard(&coded, data.len())
+    }
+
+    #[test]
+    fn vector_and_scalar_trellis_are_bit_identical() {
+        use wlan_math::rng::{Rng, WlanRng};
+        let mut fast = ViterbiKernel::new();
+        if !fast.use_avx2 {
+            // Nothing to cross-check on machines without AVX2; the scalar
+            // path is the reference and is covered by every other test.
+            return;
+        }
+        let mut scalar = ViterbiKernel::new().scalar_only();
+        let mut rng = WlanRng::seed_from_u64(17);
+        for trial in 0..200u64 {
+            let n = 8 + (trial as usize % 64);
+            let data: Vec<u8> = (0..n).map(|_| rng.gen_range(0..2u8)).collect();
+            let coded = ConvEncoder::new().encode_terminated(&data);
+            // Noisy LLRs (including occasional exact erasures) so survivor
+            // selections and tie-breaks are exercised, not just clean runs.
+            let llrs: Vec<f64> = coded
+                .iter()
+                .map(|&b| {
+                    if rng.gen_bool(0.05) {
+                        0.0
+                    } else {
+                        (if b == 0 { 1.0 } else { -1.0 }) + rng.gen_gaussian()
+                    }
+                })
+                .collect();
+            let frame = FrameLlrs::terminated(&llrs, n);
+            let a = fast.decode(frame).unwrap();
+            let b = scalar.decode(frame).unwrap();
+            assert_eq!(a, b, "decoded bits diverge at trial {trial}");
+            assert_eq!(
+                fast.survivors, scalar.survivors,
+                "survivor words diverge at trial {trial}"
+            );
+        }
     }
 
     #[test]
@@ -308,5 +733,175 @@ mod tests {
             dec.try_decode_soft_unterminated(&llrs, data.len()).unwrap(),
             dec.decode_soft_unterminated(&llrs, data.len())
         );
+    }
+
+    /// The scalar reference trellis the kernel must match bit-for-bit: the
+    /// original per-(prev, input) loop with tuple survivors, kept here as a
+    /// test oracle.
+    fn reference_trellis(llrs: &[f64], total_steps: usize, keep: usize, terminated: bool) -> Vec<u8> {
+        let mut metrics = vec![NEG_INF; NUM_STATES];
+        metrics[0] = 0.0;
+        let mut next_metrics = vec![NEG_INF; NUM_STATES];
+        let mut survivors = vec![[(0u32, 0u8); NUM_STATES]; total_steps];
+        for t in 0..total_steps {
+            let la = llrs[2 * t];
+            let lb = llrs[2 * t + 1];
+            next_metrics.fill(NEG_INF);
+            for state in 0..NUM_STATES as u32 {
+                let m = metrics[state as usize];
+                if m == NEG_INF {
+                    continue;
+                }
+                for input in 0..=1u8 {
+                    let (a, b, next) = trellis_step(state, input);
+                    let branch = if a == 0 { la } else { -la } + if b == 0 { lb } else { -lb };
+                    let cand = m + branch;
+                    if cand > next_metrics[next as usize] {
+                        next_metrics[next as usize] = cand;
+                        survivors[t][next as usize] = (state, input);
+                    }
+                }
+            }
+            std::mem::swap(&mut metrics, &mut next_metrics);
+        }
+        let mut state = if terminated {
+            0u32
+        } else {
+            let mut best = 0u32;
+            for s in 1..NUM_STATES as u32 {
+                if metrics[s as usize].total_cmp(&metrics[best as usize])
+                    != std::cmp::Ordering::Less
+                {
+                    best = s;
+                }
+            }
+            best
+        };
+        let mut decoded = vec![0u8; total_steps];
+        for t in (0..total_steps).rev() {
+            let (prev, input) = survivors[t][state as usize];
+            decoded[t] = input;
+            state = prev;
+        }
+        decoded.truncate(keep);
+        decoded
+    }
+
+    #[test]
+    fn kernel_matches_scalar_reference_bitwise() {
+        // Noisy LLRs across many lengths, terminated and not: the u64
+        // survivor kernel reproduces the tuple-survivor reference exactly.
+        use wlan_math::rng::{Rng, WlanRng};
+        let mut rng = WlanRng::seed_from_u64(99);
+        let mut kernel = ViterbiKernel::new();
+        for &n in &[1usize, 2, 7, 24, 48, 96, 200] {
+            for trial in 0..4 {
+                let data: Vec<u8> = (0..n).map(|_| (rng.gen::<u64>() & 1) as u8).collect();
+                let coded = ConvEncoder::new().encode_terminated(&data);
+                let llrs: Vec<f64> = coded
+                    .iter()
+                    .map(|&b| (if b == 0 { 1.0 } else { -1.0 }) + rng.gen_range(-1.5..1.5))
+                    .collect();
+                let reference = reference_trellis(&llrs, n + TAIL, n, true);
+                let got = kernel.decode(FrameLlrs::terminated(&llrs, n)).unwrap();
+                assert_eq!(got, reference, "terminated n={n} trial={trial}");
+
+                let stream = ConvEncoder::new().encode(&data);
+                let sllrs: Vec<f64> = stream
+                    .iter()
+                    .map(|&b| (if b == 0 { 1.0 } else { -1.0 }) + rng.gen_range(-1.5..1.5))
+                    .collect();
+                let reference = reference_trellis(&sllrs, n, n, false);
+                let got = kernel.decode(FrameLlrs::unterminated(&sllrs, n)).unwrap();
+                assert_eq!(got, reference, "unterminated n={n} trial={trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_equals_one_at_a_time() {
+        use wlan_math::rng::{Rng, WlanRng};
+        let mut rng = WlanRng::seed_from_u64(7);
+        let frames: Vec<(Vec<f64>, usize)> = [12usize, 40, 12, 96]
+            .iter()
+            .map(|&n| {
+                let data: Vec<u8> = (0..n).map(|_| (rng.gen::<u64>() & 1) as u8).collect();
+                let coded = ConvEncoder::new().encode_terminated(&data);
+                let llrs = coded
+                    .iter()
+                    .map(|&b| (if b == 0 { 1.0 } else { -1.0 }) + rng.gen_range(-1.0..1.0))
+                    .collect();
+                (llrs, n)
+            })
+            .collect();
+        let refs: Vec<FrameLlrs<'_>> = frames
+            .iter()
+            .map(|(llrs, n)| FrameLlrs::terminated(llrs, *n))
+            .collect();
+        let mut kernel = ViterbiKernel::new();
+        let batched = kernel.decode_batch(&refs).unwrap();
+        for (frame, want) in refs.iter().zip(&batched) {
+            let mut fresh = ViterbiKernel::new();
+            assert_eq!(fresh.decode(*frame).unwrap(), *want);
+        }
+    }
+
+    #[test]
+    fn batch_rejects_any_bad_frame_up_front() {
+        let good = [1.0f64; 16]; // 2 info bits terminated
+        let bad = [1.0f64; 5];
+        let mut kernel = ViterbiKernel::new();
+        let err = kernel
+            .decode_batch(&[
+                FrameLlrs::terminated(&good, 2),
+                FrameLlrs::unterminated(&bad, 4),
+            ])
+            .unwrap_err();
+        assert_eq!(err, WlanError::LengthMismatch { expected: 8, got: 5 });
+    }
+
+    #[test]
+    fn decode_into_reuses_buffer() {
+        let data = vec![1u8, 0, 1, 1, 0, 0, 1, 0];
+        let coded = ConvEncoder::new().encode_terminated(&data);
+        let llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 4.0 } else { -4.0 }).collect();
+        let mut kernel = ViterbiKernel::new();
+        let mut bits = vec![9u8; 100]; // stale content must be cleared
+        kernel
+            .decode_into(FrameLlrs::terminated(&llrs, data.len()), &mut bits)
+            .unwrap();
+        assert_eq!(bits, data);
+    }
+}
+
+#[cfg(test)]
+mod perf_probe {
+    use super::*;
+    use crate::convolutional::ConvEncoder;
+
+    #[test]
+    #[ignore = "manual timing probe"]
+    fn time_both_paths() {
+        use wlan_math::rng::{Rng, WlanRng};
+        let mut rng = WlanRng::seed_from_u64(5);
+        let data: Vec<u8> = (0..800).map(|_| rng.gen_range(0..2u8)).collect();
+        let coded = ConvEncoder::new().encode_terminated(&data);
+        let llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| (if b == 0 { 1.0 } else { -1.0 }) + 0.3 * rng.gen_gaussian())
+            .collect();
+        let mut fast = ViterbiKernel::new();
+        println!("avx2 selected: {}", fast.use_avx2);
+        let mut scalar = ViterbiKernel::new().scalar_only();
+        let mut bits = Vec::new();
+        for (name, k) in [("vector", &mut fast), ("scalar", &mut scalar)] {
+            let t = std::time::Instant::now();
+            for _ in 0..2000 {
+                k.decode_into(FrameLlrs::terminated(&llrs, data.len()), &mut bits)
+                    .unwrap();
+                std::hint::black_box(&bits);
+            }
+            println!("{name}: {:.1} us/frame", t.elapsed().as_secs_f64() / 2000.0 * 1e6);
+        }
     }
 }

@@ -20,11 +20,13 @@ pub fn select_rate(snr_db: f64) -> Option<OfdmRate> {
 /// The SNR margin (dB) of a selected rate: how far above its sensitivity
 /// the link sits. Zero margin means the next fade drops the rate.
 pub fn margin_db(snr_db: f64, rate: OfdmRate) -> f64 {
+    // Every OFDM rate appears in the table; a hypothetical miss reports an
+    // infinite requirement (no margin) rather than panicking.
     let required = RATE_SNR_TABLE
         .iter()
         .find(|(mbps, _)| *mbps == rate.rate_mbps())
         .map(|(_, snr)| *snr)
-        .expect("every OFDM rate is in the table");
+        .unwrap_or(f64::INFINITY);
     snr_db - required
 }
 

@@ -21,6 +21,18 @@
 //! at any `WLAN_THREADS` setting** (`1` = the serial loop, no threads
 //! spawned). The tier-1 harness `tests/tests/parallel_determinism.rs`
 //! asserts this for every generation and every fault injector.
+//!
+//! # Batched RX kernels per worker
+//!
+//! The receive chains lean on reusable per-thread kernels: every worker
+//! thread owns a thread-local [`wlan_coding::ViterbiKernel`] (survivor
+//! arena + branch-metric tables, reached through `ViterbiDecoder`) and a
+//! thread-local FFT plan cache (`wlan_math::fft::cached_plan`, precomputed
+//! bit-reversal and twiddle tables). Workers therefore share *no* mutable
+//! decode state — each one gets its own kernel set the first time it
+//! touches a frame — and kernel reuse only recycles scratch buffers, never
+//! numeric state, so the bit-identical-at-any-thread-count contract above
+//! is unaffected by the batching.
 
 use std::sync::OnceLock;
 
@@ -422,7 +434,10 @@ impl PhyLink for DsssLink {
         span.stop();
         let sent = chips.len();
         let span = timers.channel.start();
-        let mut noisy = Awgn::from_snr_db(snr_db).apply(&chips, rng);
+        // In-place AWGN: same draws and sums as `apply`, minus one
+        // frame-sized allocation per trial.
+        let mut noisy = chips;
+        Awgn::from_snr_db(snr_db).apply_in_place(&mut noisy, rng);
         faults.inject(&mut noisy, rng);
         span.stop();
         // The despreaders demand whole symbols; a shortened chip stream is
@@ -493,7 +508,8 @@ impl PhyLink for OfdmLink {
             }
             None => frame,
         };
-        let mut noisy = Awgn::from_snr_db(snr_db).apply(&faded, rng);
+        let mut noisy = faded;
+        Awgn::from_snr_db(snr_db).apply_in_place(&mut noisy, rng);
         faults.inject(&mut noisy, rng);
         span.stop();
         let span = timers.rx.start();
@@ -613,7 +629,7 @@ impl PhyLink for HtLink {
 
     fn rate_mbps(&self) -> f64 {
         if self.ldpc {
-            wlan_mimo::ht_ldpc::HtLdpcPhy::new(self.modulation, self.code_rate).rate_mbps()
+            wlan_mimo::ht_ldpc::HtLdpcPhy::cached(self.modulation, self.code_rate).rate_mbps()
         } else {
             wlan_mimo::ht::HtPhy::new(self.modulation, self.code_rate).rate_mbps()
         }
@@ -634,15 +650,17 @@ impl PhyLink for HtLink {
         let timers = stage_timers();
         let apply = |frame: Vec<wlan_math::Complex>, rng: &mut WlanRng| {
             let span = timers.channel.start();
-            let faded: Vec<wlan_math::Complex> =
-                frame.into_iter().map(|s| s * fade).collect();
-            let mut noisy = Awgn::from_snr_db(snr_db).apply(&faded, rng);
+            let mut noisy = frame;
+            for s in noisy.iter_mut() {
+                *s *= fade;
+            }
+            Awgn::from_snr_db(snr_db).apply_in_place(&mut noisy, rng);
             faults.inject(&mut noisy, rng);
             span.stop();
             noisy
         };
         if self.ldpc {
-            let phy = wlan_mimo::ht_ldpc::HtLdpcPhy::new(self.modulation, self.code_rate);
+            let phy = wlan_mimo::ht_ldpc::HtLdpcPhy::cached(self.modulation, self.code_rate);
             let span = timers.tx.start();
             let tx = phy.transmit(payload);
             span.stop();
@@ -695,7 +713,8 @@ impl PhyLink for FhssLink {
         span.stop();
         let sent = samples.len();
         let span = timers.channel.start();
-        let mut noisy = Awgn::from_snr_db(snr_db).apply(&samples, rng);
+        let mut noisy = samples;
+        Awgn::from_snr_db(snr_db).apply_in_place(&mut noisy, rng);
         faults.inject(&mut noisy, rng);
         span.stop();
         // The noncoherent detector demands whole FSK symbols; a shortened

@@ -75,9 +75,11 @@ impl Standard {
             Standard::Dot11 => DsssRate::Dqpsk2M.spectral_efficiency(),
             Standard::Dot11b => DsssRate::Cck11M.spectral_efficiency(),
             Standard::Dot11a => OfdmRate::R54.spectral_efficiency(),
+            // MCS 31 is always constructible; the fallback is its known
+            // 600 Mbps / 40 MHz efficiency, keeping this total.
             Standard::Dot11n => HtMcs::new(31)
-                .expect("MCS31 exists")
-                .spectral_efficiency(Bandwidth::Mhz40, GuardInterval::Short),
+                .map(|mcs| mcs.spectral_efficiency(Bandwidth::Mhz40, GuardInterval::Short))
+                .unwrap_or(15.0),
         }
     }
 

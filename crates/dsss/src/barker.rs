@@ -30,7 +30,14 @@ pub fn spread_symbol(symbol: Complex) -> Vec<Complex> {
 
 /// Spreads a symbol stream.
 pub fn spread(symbols: &[Complex]) -> Vec<Complex> {
-    symbols.iter().flat_map(|&s| spread_symbol(s)).collect()
+    // One output allocation for the whole frame; per-symbol chips are
+    // written straight into it (same values as [`spread_symbol`]).
+    let scale = 1.0 / (SPREAD_FACTOR as f64).sqrt();
+    let mut chips = Vec::with_capacity(symbols.len() * SPREAD_FACTOR);
+    for &s in symbols {
+        chips.extend(BARKER_11.iter().map(|&c| s.scale(c * scale)));
+    }
+    chips
 }
 
 /// Despreads one 11-chip block back into a symbol (matched filter).

@@ -210,22 +210,13 @@ impl CckDemodulator {
             0,
             "chip stream must be whole CCK symbols"
         );
-        let mut bits = Vec::new();
+        let n_sym = chips.len() / CHIPS_PER_SYMBOL;
+        let mut bits = Vec::with_capacity(n_sym * self.rate.bits_per_symbol());
         for block in chips.chunks(CHIPS_PER_SYMBOL) {
-            // Maximum-magnitude correlation over the codebook.
-            let mut best = 0usize;
-            let mut best_corr = Complex::ZERO;
-            for (i, (cw, _)) in self.candidates.iter().enumerate() {
-                let corr: Complex = block
-                    .iter()
-                    .zip(cw.iter())
-                    .map(|(&r, &c)| r * c.conj())
-                    .sum();
-                if corr.norm_sqr() > best_corr.norm_sqr() {
-                    best = i;
-                    best_corr = corr;
-                }
-            }
+            let (best, best_corr) = match self.rate {
+                CckRate::Full => Self::correlate_full(block),
+                CckRate::Half => self.correlate_codebook(block),
+            };
             // The winning correlation's phase is φ1; decode it differentially.
             let phi1 = best_corr.arg();
             let dphi = phi1 - self.prev_phi1;
@@ -238,6 +229,60 @@ impl CckDemodulator {
             bits.extend_from_slice(&self.candidates[best].1);
         }
         bits
+    }
+
+    /// Maximum-magnitude correlation by exhaustive codebook search (the
+    /// small 5.5 Mbps codebook).
+    fn correlate_codebook(&self, block: &[Complex]) -> (usize, Complex) {
+        let mut best = 0usize;
+        let mut best_corr = Complex::ZERO;
+        for (i, (cw, _)) in self.candidates.iter().enumerate() {
+            let corr: Complex = block
+                .iter()
+                .zip(cw.iter())
+                .map(|(&r, &c)| r * c.conj())
+                .sum();
+            if corr.norm_sqr() > best_corr.norm_sqr() {
+                best = i;
+                best_corr = corr;
+            }
+        }
+        (best, best_corr)
+    }
+
+    /// Factorized 64-way correlator for the 11 Mbps codebook.
+    ///
+    /// With φ1 = 0 the codeword conjugate splits over φ4: writing
+    /// `u_i = conj(e^{jφ_i})`,
+    ///
+    /// ```text
+    /// corr(φ2,φ3,φ4) = u4·(r0·u2u3 + r1·u3 + r2·u2 − r3)
+    ///                +     (r4·u2u3 + r5·u3 − r6·u2 + r7)
+    /// ```
+    ///
+    /// so the receiver computes 16 (φ2, φ3) partial pairs once and reuses
+    /// each across the four φ4 hypotheses — ~3× fewer complex multiplies
+    /// than the plain 64 × 8 bank, with the same argmax decision rule and
+    /// candidate ordering (index = (i2·4 + i3)·4 + i4).
+    fn correlate_full(block: &[Complex]) -> (usize, Complex) {
+        let u: [Complex; 4] =
+            std::array::from_fn(|i| Complex::from_polar(1.0, i as f64 * PI / 2.0).conj());
+        let mut best = 0usize;
+        let mut best_corr = Complex::ZERO;
+        for p in 0..16usize {
+            let (i2, i3) = (p / 4, p % 4);
+            let u23 = u[i2] * u[i3];
+            let a = block[0] * u23 + block[1] * u[i3] + block[2] * u[i2] - block[3];
+            let b = block[4] * u23 + block[5] * u[i3] - block[6] * u[i2] + block[7];
+            for (i4, &u4) in u.iter().enumerate() {
+                let corr = a * u4 + b;
+                if corr.norm_sqr() > best_corr.norm_sqr() {
+                    best = (p << 2) | i4;
+                    best_corr = corr;
+                }
+            }
+        }
+        (best, best_corr)
     }
 }
 

@@ -99,14 +99,21 @@ impl FskModem {
         )
     }
 
+    /// The two tone waveforms over one symbol, evaluated once per call so
+    /// the per-sample loops do table lookups instead of sin/cos pairs.
+    fn tone_tables(&self) -> (Vec<Complex>, Vec<Complex>) {
+        let pos: Vec<Complex> = (0..self.samples_per_symbol).map(|n| self.tone(true, n)).collect();
+        let neg: Vec<Complex> = (0..self.samples_per_symbol).map(|n| self.tone(false, n)).collect();
+        (pos, neg)
+    }
+
     /// Modulates bits into unit-power samples.
     pub fn modulate(&self, bits: &[u8]) -> Vec<Complex> {
+        let (pos, neg) = self.tone_tables();
         let mut out = Vec::with_capacity(bits.len() * self.samples_per_symbol);
         for &b in bits {
             assert!(b <= 1, "bits must be 0 or 1");
-            for n in 0..self.samples_per_symbol {
-                out.push(self.tone(b == 1, n));
-            }
+            out.extend_from_slice(if b == 1 { &pos } else { &neg });
         }
         out
     }
@@ -122,14 +129,15 @@ impl FskModem {
             0,
             "sample stream must be whole symbols"
         );
+        let (pos, neg) = self.tone_tables();
         samples
             .chunks(self.samples_per_symbol)
             .map(|sym| {
                 let mut c_pos = Complex::ZERO;
                 let mut c_neg = Complex::ZERO;
                 for (n, &s) in sym.iter().enumerate() {
-                    c_pos += s * self.tone(true, n).conj();
-                    c_neg += s * self.tone(false, n).conj();
+                    c_pos += s * pos[n].conj();
+                    c_neg += s * neg[n].conj();
                 }
                 (c_pos.norm_sqr() > c_neg.norm_sqr()) as u8
             })

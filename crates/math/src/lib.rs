@@ -48,6 +48,7 @@ pub mod rng;
 pub mod special;
 pub mod stats;
 pub mod svd;
+pub mod ziggurat;
 
 pub use complex::Complex;
 pub use error::WlanError;

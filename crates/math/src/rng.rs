@@ -179,12 +179,13 @@ pub trait Rng: RngCore {
         self.next_f64() < p
     }
 
-    /// Standard normal via Box–Muller.
+    /// Standard normal via a 256-layer ziggurat (see [`crate::ziggurat`]).
+    ///
+    /// Roughly 4× faster than Box–Muller: most draws cost a single `u64`
+    /// and avoid `ln`/`cos` entirely, which matters because AWGN synthesis
+    /// dominates the Monte-Carlo hot path.
     fn gen_gaussian(&mut self) -> f64 {
-        // 1 - U keeps the argument of ln() away from zero.
-        let u1 = 1.0 - self.next_f64();
-        let u2 = self.next_f64();
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        crate::ziggurat::standard_normal(self)
     }
 
     /// Rayleigh sample with scale `sigma` (mode). `E[X²] = 2σ²`.

@@ -127,6 +127,185 @@ pub fn detect(
     }
 }
 
+/// A linear detector prepared once per (channel, noise) pair and applied to
+/// a batch of observations — the structure-of-arrays half of the MIMO-OFDM
+/// receive kernel.
+///
+/// For OFDM the channel matrix of a subcarrier is constant across all of a
+/// frame's symbols, so the expensive factorization (Gram matrix, regularized
+/// inverse, per-stream SINR and unbiasing gains) is hoisted out of the
+/// per-symbol loop. Application preserves the exact floating-point operation
+/// sequence of [`mmse`] / [`zero_forcing`] — matched filter, then inverse,
+/// then per-stream unbiasing — so batched and per-symbol detection are
+/// bit-identical; the batch equivalence suite pins this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearDetector {
+    /// `Hᴴ` (matched filter).
+    hh: CMatrix,
+    /// `(HᴴH)⁻¹` for ZF, `(HᴴH + n0·I)⁻¹` for MMSE.
+    inv: CMatrix,
+    /// Per-stream post-detection SINR (the CSI weight for soft demapping).
+    sinr: Vec<f64>,
+    /// Per-stream unbiasing divisors `(1 − E_ii)` — `None` for ZF, which is
+    /// already unbiased.
+    unbias: Option<Vec<f64>>,
+    n_rx: usize,
+    n_ss: usize,
+    /// Matched-filter / output scratch, reused across observations.
+    scratch: Vec<Complex>,
+}
+
+impl LinearDetector {
+    /// Factors the detector for one `(h, n0)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WlanError::SingularChannel`] on a rank-deficient channel
+    /// (ZF only, in practice), [`WlanError::NonFinite`] /
+    /// [`WlanError::InvalidConfig`] on degenerate inputs. Never panics.
+    pub fn prepare(detector: Detector, h: &CMatrix, n0: f64) -> Result<Self, WlanError> {
+        if !n0.is_finite() {
+            return Err(WlanError::NonFinite("noise variance"));
+        }
+        if n0 <= 0.0 {
+            return Err(WlanError::InvalidConfig("noise variance must be positive"));
+        }
+        for r in 0..h.rows() {
+            for c in 0..h.cols() {
+                if !h.get(r, c).is_finite() {
+                    return Err(WlanError::NonFinite("channel matrix"));
+                }
+            }
+        }
+        let gram = h.gram();
+        let (inv, sinr, unbias) = match detector {
+            Detector::ZeroForcing => {
+                let gram_inv = gram.inverse()?;
+                // Post-ZF SNR of stream i: 1 / (n0 · [(HᴴH)⁻¹]_ii).
+                let sinr = (0..h.cols())
+                    .map(|i| {
+                        let d = gram_inv.get(i, i).re.max(1e-300);
+                        1.0 / (n0 * d)
+                    })
+                    .collect();
+                (gram_inv, sinr, None)
+            }
+            Detector::Mmse => {
+                let reg_inv = gram.add_diagonal(n0).inverse()?;
+                // Error covariance E = n0·(HᴴH + n0 I)⁻¹: SINR_i = 1/E_ii − 1
+                // and the bias factor of stream i is (1 − E_ii).
+                let mut sinr = Vec::with_capacity(h.cols());
+                let mut unbias = Vec::with_capacity(h.cols());
+                for i in 0..h.cols() {
+                    let e_ii = (n0 * reg_inv.get(i, i).re).clamp(1e-12, 1.0);
+                    sinr.push((1.0 / e_ii - 1.0).max(0.0));
+                    unbias.push((1.0 - e_ii).max(1e-12));
+                }
+                (reg_inv, sinr, Some(unbias))
+            }
+        };
+        Ok(LinearDetector {
+            hh: h.hermitian(),
+            inv,
+            sinr,
+            unbias,
+            n_rx: h.rows(),
+            n_ss: h.cols(),
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Per-stream post-detection SINR (constant across a batch).
+    pub fn sinr(&self) -> &[f64] {
+        &self.sinr
+    }
+
+    /// Number of spatial streams each observation resolves into.
+    pub fn n_streams(&self) -> usize {
+        self.n_ss
+    }
+
+    /// Detects one observation, appending `n_streams` symbol estimates to
+    /// `symbols`; on error nothing is appended.
+    ///
+    /// # Errors
+    ///
+    /// [`WlanError::LengthMismatch`] on a wrong observation length,
+    /// [`WlanError::NonFinite`] on a non-finite observation.
+    pub fn detect_append(
+        &mut self,
+        y: &[Complex],
+        symbols: &mut Vec<Complex>,
+    ) -> Result<(), WlanError> {
+        if y.len() != self.n_rx {
+            return Err(WlanError::LengthMismatch {
+                expected: self.n_rx,
+                got: y.len(),
+            });
+        }
+        if !y.iter().all(|v| v.is_finite()) {
+            return Err(WlanError::NonFinite("received vector"));
+        }
+        // Matched filter then inverse — the op order of mmse()/zero_forcing().
+        self.scratch.clear();
+        self.hh.mul_vec_append(y, &mut self.scratch);
+        let base = symbols.len();
+        self.inv.mul_vec_append(&self.scratch, symbols);
+        if let Some(unbias) = &self.unbias {
+            for (s, &d) in symbols[base..].iter_mut().zip(unbias) {
+                // Componentwise division, matching `mmse`'s `b / divisor`
+                // exactly (not a multiply by the reciprocal).
+                let unbiased = *s / d;
+                *s = unbiased;
+            }
+        }
+        Ok(())
+    }
+
+    /// Detects a structure-of-arrays batch: `ys` holds whole `n_rx`-length
+    /// observations back to back (`ys.len() / n_rx` of them, e.g. one
+    /// subcarrier across all of a frame's OFDM symbols). Appends
+    /// `n_streams` estimates per observation to `symbols` and one flag per
+    /// observation to `ok`; a failed observation (non-finite input) appends
+    /// `n_streams` zeros and `false`, so downstream demapping can emit
+    /// erasures without disturbing the batch layout.
+    ///
+    /// # Errors
+    ///
+    /// [`WlanError::LengthMismatch`] if `ys` is not whole observations.
+    pub fn detect_batch(
+        &mut self,
+        ys: &[Complex],
+        symbols: &mut Vec<Complex>,
+        ok: &mut Vec<bool>,
+    ) -> Result<(), WlanError> {
+        if !ys.len().is_multiple_of(self.n_rx) {
+            return Err(WlanError::LengthMismatch {
+                expected: ys.len().next_multiple_of(self.n_rx.max(1)),
+                got: ys.len(),
+            });
+        }
+        for y in ys.chunks_exact(self.n_rx) {
+            match self.detect_append(y, symbols) {
+                Ok(()) => ok.push(true),
+                Err(_) => {
+                    symbols.extend(std::iter::repeat_n(Complex::ZERO, self.n_ss));
+                    ok.push(false);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Detects one observation into a [`Detected`] (per-call allocation;
+    /// the equivalence tests compare this against [`detect`]).
+    pub fn detect_one(&mut self, y: &[Complex]) -> Result<Detected, WlanError> {
+        let mut symbols = Vec::with_capacity(self.n_ss);
+        self.detect_append(y, &mut symbols)?;
+        Ok(Detected { symbols, sinr: self.sinr.clone() })
+    }
+}
+
 /// Exhaustive maximum-likelihood detection over a finite alphabet, for up to
 /// a few streams (cost `M^N_ss`). Returns the jointly most likely symbol
 /// vector.

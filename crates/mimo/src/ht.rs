@@ -23,11 +23,18 @@ pub const N_DATA_HT20: usize = 52;
 pub const PILOT_CARRIERS_HT20: [i32; 4] = [-21, -7, 7, 21];
 
 /// The 52 HT-20 data subcarrier indices in mapping order (−28…28, skipping
-/// DC and pilots).
-pub fn ht20_data_carriers() -> Vec<i32> {
-    (-28..=28)
-        .filter(|&k| k != 0 && !PILOT_CARRIERS_HT20.contains(&k))
-        .collect()
+/// DC and pilots). Computed once per process; indexed once per symbol on
+/// the hot paths.
+pub fn ht20_data_carriers() -> &'static [i32; N_DATA_HT20] {
+    static CACHE: std::sync::OnceLock<[i32; N_DATA_HT20]> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| {
+        let mut table = [0i32; N_DATA_HT20];
+        let carriers = (-28..=28).filter(|&k| k != 0 && !PILOT_CARRIERS_HT20.contains(&k));
+        for (slot, k) in table.iter_mut().zip(carriers) {
+            *slot = k;
+        }
+        table
+    })
 }
 
 /// The HT-LTF value at subcarrier `k`: the legacy sequence extended with
@@ -54,7 +61,7 @@ pub fn ht_ltf_value(k: i32) -> f64 {
 /// let phy = HtPhy::new(Modulation::Qam64, CodeRate::R5_6);
 /// assert!((phy.rate_mbps() - 65.0).abs() < 1e-9);
 /// let frame = phy.transmit(b"ht numerology");
-/// assert_eq!(phy.receive(&frame, 13), b"ht numerology");
+/// assert_eq!(phy.try_receive(&frame, 13).unwrap(), b"ht numerology");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HtPhy {
@@ -129,19 +136,9 @@ impl HtPhy {
         out
     }
 
-    /// Decodes a received frame (channel estimated from the HT-LTF).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stream is shorter than the frame; see
-    /// [`HtPhy::try_receive`] for the non-panicking form.
-    pub fn receive(&self, samples: &[Complex], payload_len: usize) -> Vec<u8> {
-        self.try_receive(samples, payload_len)
-            .expect("receive stream too short")
-    }
-
-    /// Like [`HtPhy::receive`], but a truncated stream returns
-    /// [`WlanError::FrameTruncated`] instead of panicking.
+    /// Decodes a received frame (channel estimated from the HT-LTF). A
+    /// truncated stream returns [`WlanError::FrameTruncated`] instead of
+    /// panicking.
     pub fn try_receive(
         &self,
         samples: &[Complex],
@@ -231,11 +228,14 @@ fn finish(bins: Vec<Complex>) -> Vec<Complex> {
 }
 
 fn symbol_bins(samples: &[Complex]) -> Vec<Complex> {
-    let body: Vec<Complex> = samples[N_CP..N_CP + N_FFT]
+    let mut body: Vec<Complex> = samples[N_CP..N_CP + N_FFT]
         .iter()
         .map(|v| v.scale(1.0 / ht_tx_scale()))
         .collect();
-    fft::fft(&body)
+    // Planned, in-place: the 64-point length is structural, so the cached
+    // plan always applies.
+    fft::fft_in_place(&mut body);
+    body
 }
 
 #[cfg(test)]
@@ -294,7 +294,7 @@ mod tests {
             let phy = HtPhy::new(m, r);
             let frame = phy.transmit(&payload);
             assert_eq!(frame.len(), phy.frame_samples(payload.len()));
-            assert_eq!(phy.receive(&frame, payload.len()), payload, "{m} r={r}");
+            assert_eq!(phy.try_receive(&frame, payload.len()).unwrap(), payload, "{m} r={r}");
         }
     }
 
@@ -311,7 +311,7 @@ mod tests {
             let mut rx = ch.filter(&frame);
             rx.truncate(frame.len());
             let noisy = Awgn::from_snr_db(25.0).apply(&rx, &mut rng);
-            if phy.receive(&noisy, payload.len()) == payload {
+            if phy.try_receive(&noisy, payload.len()).unwrap() == payload {
                 ok += 1;
             }
         }
@@ -338,10 +338,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "too short")]
     fn short_stream_rejected() {
         let phy = HtPhy::new(Modulation::Bpsk, CodeRate::R1_2);
-        let _ = phy.receive(&[Complex::ZERO; 100], 50);
+        let err = phy.try_receive(&[Complex::ZERO; 100], 50).unwrap_err();
+        assert!(matches!(err, WlanError::FrameTruncated { .. }), "{err:?}");
     }
 
     #[test]

@@ -32,7 +32,7 @@ use wlan_ofdm::qam;
 ///
 /// let phy = HtLdpcPhy::new(Modulation::Qam16, CodeRate::R1_2);
 /// let frame = phy.transmit(b"ldpc coded");
-/// assert_eq!(phy.receive(&frame, 10), b"ldpc coded");
+/// assert_eq!(phy.try_receive(&frame, 10).unwrap(), b"ldpc coded");
 /// ```
 #[derive(Debug, Clone)]
 pub struct HtLdpcPhy {
@@ -71,6 +71,25 @@ impl HtLdpcPhy {
             scrambler_seed: 0x5D,
             max_iters: 40,
         }
+    }
+
+    /// A process-cached PHY for the (modulation, rate) pair.
+    ///
+    /// The LDPC parity structure is built by a seeded pseudo-random
+    /// construction that costs far more than a frame trial, and it is fully
+    /// deterministic — so sweeps must share one instance instead of
+    /// rebuilding the graph per trial.
+    pub fn cached(modulation: Modulation, rate: CodeRate) -> &'static HtLdpcPhy {
+        static CACHE: std::sync::Mutex<
+            Vec<((Modulation, CodeRate), &'static HtLdpcPhy)>,
+        > = std::sync::Mutex::new(Vec::new());
+        let mut guard = CACHE.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(&(_, phy)) = guard.iter().find(|(key, _)| *key == (modulation, rate)) {
+            return phy;
+        }
+        let phy: &'static HtLdpcPhy = Box::leak(Box::new(HtLdpcPhy::new(modulation, rate)));
+        guard.push(((modulation, rate), phy));
+        phy
     }
 
     /// OFDM symbols spanned by one codeword.
@@ -123,19 +142,9 @@ impl HtLdpcPhy {
         out
     }
 
-    /// Decodes a frame; per-codeword min-sum BP with early termination.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stream is shorter than the frame; see
-    /// [`HtLdpcPhy::try_receive`] for the non-panicking form.
-    pub fn receive(&self, samples: &[Complex], payload_len: usize) -> Vec<u8> {
-        self.try_receive(samples, payload_len)
-            .expect("receive stream too short")
-    }
-
-    /// Like [`HtLdpcPhy::receive`], but a truncated stream returns
-    /// [`WlanError::FrameTruncated`] instead of panicking.
+    /// Decodes a frame; per-codeword min-sum BP with early termination. A
+    /// truncated stream returns [`WlanError::FrameTruncated`] instead of
+    /// panicking.
     pub fn try_receive(
         &self,
         samples: &[Complex],
@@ -157,12 +166,17 @@ impl HtLdpcPhy {
 
         let n_sym = self.num_data_symbols(payload_len);
         let codewords = n_sym / self.span;
+        let bpsc = self.modulation.bits_per_subcarrier();
         let mut scrambled = Vec::with_capacity(codewords * self.code.info_len());
+        // One LLR buffer for the whole frame: every slot is overwritten per
+        // codeword, and `demap_soft_into` keeps the demapper out of the
+        // per-carrier allocator.
+        let mut llrs = vec![0.0f64; self.code.codeword_len()];
         for cw_idx in 0..codewords {
-            let mut llrs = Vec::with_capacity(self.code.codeword_len());
             for s in 0..self.span {
                 let off = (1 + cw_idx * self.span + s) * N_SYM_SAMPLES;
                 let bins = symbol_bins(&samples[off..off + N_SYM_SAMPLES]);
+                let base = s * N_DATA_HT20 * bpsc;
                 for (c, &kc) in carriers.iter().enumerate() {
                     let h = channel[c];
                     let h2 = h.norm_sqr();
@@ -171,7 +185,8 @@ impl HtLdpcPhy {
                     } else {
                         Complex::ZERO
                     };
-                    llrs.extend(qam::demap_soft(self.modulation, y, h2));
+                    let slot = base + c * bpsc;
+                    qam::demap_soft_into(self.modulation, y, h2, &mut llrs[slot..slot + bpsc]);
                 }
             }
             let decoded = self.code.try_decode(&llrs, self.max_iters, MinSum::Normalized(0.8))?;
@@ -212,21 +227,22 @@ fn assemble_symbol(data: &[Complex]) -> Vec<Complex> {
     finish(bins)
 }
 
-fn finish(bins: Vec<Complex>) -> Vec<Complex> {
-    let time = fft::ifft(&bins);
+fn finish(mut bins: Vec<Complex>) -> Vec<Complex> {
+    fft::ifft_in_place(&mut bins);
     let s = tx_scale();
     let mut out = Vec::with_capacity(N_SYM_SAMPLES);
-    out.extend(time[N_FFT - N_CP..].iter().map(|v| v.scale(s)));
-    out.extend(time.iter().map(|v| v.scale(s)));
+    out.extend(bins[N_FFT - N_CP..].iter().map(|v| v.scale(s)));
+    out.extend(bins.iter().map(|v| v.scale(s)));
     out
 }
 
 fn symbol_bins(samples: &[Complex]) -> Vec<Complex> {
-    let body: Vec<Complex> = samples[N_CP..N_CP + N_FFT]
+    let mut body: Vec<Complex> = samples[N_CP..N_CP + N_FFT]
         .iter()
         .map(|v| v.scale(1.0 / tx_scale()))
         .collect();
-    fft::fft(&body)
+    fft::fft_in_place(&mut body);
+    body
 }
 
 #[cfg(test)]
@@ -264,7 +280,7 @@ mod tests {
         ] {
             let phy = HtLdpcPhy::new(m, r);
             let frame = phy.transmit(&payload);
-            assert_eq!(phy.receive(&frame, payload.len()), payload, "{m} r={r}");
+            assert_eq!(phy.try_receive(&frame, payload.len()).unwrap(), payload, "{m} r={r}");
         }
     }
 
@@ -277,7 +293,7 @@ mod tests {
         for _ in 0..10 {
             let frame = phy.transmit(&payload);
             let noisy = Awgn::from_snr_db(8.0).apply(&frame, &mut rng);
-            if phy.receive(&noisy, payload.len()) == payload {
+            if phy.try_receive(&noisy, payload.len()).unwrap() == payload {
                 ok += 1;
             }
         }
@@ -302,12 +318,12 @@ mod tests {
         for _ in 0..trials {
             let f = ldpc.transmit(&payload);
             let noisy = Awgn::from_snr_db(snr_db).apply(&f, &mut rng);
-            if ldpc.receive(&noisy, payload.len()) == payload {
+            if ldpc.try_receive(&noisy, payload.len()).unwrap() == payload {
                 ldpc_ok += 1;
             }
             let f = bcc.transmit(&payload);
             let noisy = Awgn::from_snr_db(snr_db).apply(&f, &mut rng);
-            if bcc.receive(&noisy, payload.len()) == payload {
+            if bcc.try_receive(&noisy, payload.len()).unwrap() == payload {
                 bcc_ok += 1;
             }
         }

@@ -54,9 +54,14 @@ pub fn combine_block(rx: &[Vec<Complex>], h: &[Complex]) -> Vec<Complex> {
 pub fn select_best(y: &[Complex], h: &[Complex]) -> (Complex, f64) {
     assert!(!y.is_empty(), "need at least one branch");
     assert_eq!(y.len(), h.len(), "branch count mismatch");
-    let best = (0..h.len())
-        .max_by(|&a, &b| h[a].norm_sqr().total_cmp(&h[b].norm_sqr()))
-        .expect("nonempty");
+    // Infallible fold over the (asserted nonempty) branch set, keeping
+    // `max_by`'s last-max-wins tie behaviour.
+    let mut best = 0usize;
+    for i in 1..h.len() {
+        if h[i].norm_sqr().total_cmp(&h[best].norm_sqr()) != std::cmp::Ordering::Less {
+            best = i;
+        }
+    }
     let gain = h[best].norm_sqr();
     ((y[best] * h[best].conj()) / gain.max(1e-300), gain)
 }

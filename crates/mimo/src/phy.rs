@@ -11,7 +11,7 @@
 //! `1/√N_ss` so a 4-stream transmission radiates the same total power as a
 //! SISO one — the fair comparison the range experiment (E5) needs.
 
-use crate::detect::{detect, Detector};
+use crate::detect::{Detector, LinearDetector};
 use wlan_coding::interleaver::Interleaver;
 use wlan_coding::puncture::{depuncture, puncture};
 use wlan_coding::scrambler::Scrambler;
@@ -174,18 +174,15 @@ impl MimoOfdmPhy {
     /// receive antenna per sample (genie-aided, as in link simulation
     /// practice); `payload_len` the expected payload size in bytes.
     ///
-    /// # Panics
+    /// Malformed input — a wrong antenna count or truncated sample
+    /// streams — returns a typed [`WlanError`] instead of panicking, so
+    /// injected faults become counted erasures.
     ///
-    /// Panics if `rx.len() != n_rx` or the streams are shorter than the
-    /// frame; see [`MimoOfdmPhy::try_receive`] for the non-panicking form.
-    pub fn receive(&self, rx: &[Vec<Complex>], n0: f64, payload_len: usize) -> Vec<u8> {
-        self.try_receive(rx, n0, payload_len)
-            .expect("receive stream too short or malformed")
-    }
-
-    /// Like [`MimoOfdmPhy::receive`], but malformed input — a wrong antenna
-    /// count or truncated sample streams — returns a typed [`WlanError`]
-    /// instead of panicking, so injected faults become counted erasures.
+    /// The receive pipeline is batched: every symbol of every antenna is
+    /// FFT'd in one planned pass, and each subcarrier's linear detector is
+    /// factored once ([`LinearDetector::prepare`]) and applied
+    /// structure-of-arrays across all data symbols — identical arithmetic
+    /// to per-symbol detection, hoisted out of the hot loop.
     pub fn try_receive(
         &self,
         rx: &[Vec<Complex>],
@@ -210,19 +207,26 @@ impl MimoOfdmPhy {
             }
         }
 
-        // Channel estimation from the orthogonal training.
+        // Batch-FFT every symbol of every antenna in one planned pass:
+        // bins[(m·n_rx + r)·64 ..][..64] = spectrum of symbol m, antenna r.
         let n_ltf = self.num_training_symbols();
-        // bins_per_ltf[m][r] = 64-bin FFT of training symbol m at antenna r.
-        let mut train_bins: Vec<Vec<Vec<Complex>>> = Vec::with_capacity(n_ltf);
-        for m in 0..n_ltf {
-            let mut per_rx = Vec::with_capacity(n_rx);
+        let n_sym = self.num_data_symbols(payload_len);
+        let total_syms = n_ltf + n_sym;
+        let plan = fft::cached_plan(N_FFT);
+        let inv_scale = 1.0 / tx_scale();
+        let mut bins = Vec::with_capacity(total_syms * n_rx * N_FFT);
+        for m in 0..total_syms {
+            let offset = m * N_SYM_SAMPLES + N_CP;
             for r in rx {
-                per_rx.push(symbol_bins(&r[m * N_SYM_SAMPLES..(m + 1) * N_SYM_SAMPLES]));
+                bins.extend(r[offset..offset + N_FFT].iter().map(|s| s.scale(inv_scale)));
             }
-            train_bins.push(per_rx);
         }
+        plan.try_fft_batch(&mut bins)?;
+        let bin_row = |m: usize, r: usize| &bins[(m * n_rx + r) * N_FFT..][..N_FFT];
+
         // h[k] is the n_rx × n_ss matrix at data carrier k (includes the
-        // 1/√N_ss transmit scaling, which is what detection should see).
+        // 1/√N_ss transmit scaling, which is what detection should see),
+        // estimated from the orthogonal training covers.
         let carriers = data_carriers();
         let channel: Vec<CMatrix> = carriers
             .iter()
@@ -233,8 +237,8 @@ impl MimoOfdmPhy {
                 for r in 0..n_rx {
                     for (i, p_row) in P_HTLTF.iter().enumerate().take(n_ss) {
                         let mut acc = Complex::ZERO;
-                        for (m, tb) in train_bins.iter().enumerate() {
-                            acc += tb[r][bin].scale(p_row[m]);
+                        for (m, &p) in p_row.iter().enumerate().take(n_ltf) {
+                            acc += bin_row(m, r)[bin].scale(p);
                         }
                         h.set(r, i, acc.scale(1.0 / (n_ltf as f64 * l)));
                     }
@@ -243,41 +247,51 @@ impl MimoOfdmPhy {
             })
             .collect();
 
-        // Per-symbol detection and soft demapping.
-        let n_sym = self.num_data_symbols(payload_len);
+        // Structure-of-arrays detection: factor each subcarrier's detector
+        // once, then run it down the frame's symbols. LLR planes are
+        // preallocated at zero, so any failed carrier or symbol naturally
+        // leaves erasures behind.
         let il = Interleaver::new(
             self.coded_bits_per_symbol_per_stream(),
             self.cfg.modulation.bits_per_subcarrier(),
         );
-        let mut stream_llrs: Vec<Vec<f64>> = vec![Vec::new(); n_ss];
-        for s in 0..n_sym {
-            let offset = (n_ltf + s) * N_SYM_SAMPLES;
-            let sym_bins: Vec<Vec<Complex>> = rx
-                .iter()
-                .map(|r| symbol_bins(&r[offset..offset + N_SYM_SAMPLES]))
-                .collect();
-            for (c, &k) in carriers.iter().enumerate() {
-                let bin = carrier_to_bin(k);
-                let y: Vec<Complex> = (0..n_rx).map(|r| sym_bins[r][bin]).collect();
-                // Effective noise after the tx_scale normalization.
-                let n0_eff = (n0 / (tx_scale() * tx_scale())).max(1e-12);
-                match detect(self.cfg.detector, &channel[c], &y, n0_eff) {
-                    Ok(d) => {
-                        for (i, llrs) in stream_llrs.iter_mut().enumerate() {
-                            llrs.extend(qam::demap_soft(
-                                self.cfg.modulation,
-                                d.symbols[i],
-                                d.sinr[i],
-                            ));
-                        }
-                    }
-                    Err(_) => {
-                        // Rank-deficient subcarrier: emit erasures.
-                        let bpsc = self.cfg.modulation.bits_per_subcarrier();
-                        for llr in stream_llrs.iter_mut() {
-                            llr.extend(std::iter::repeat_n(0.0, bpsc));
-                        }
-                    }
+        // Effective noise after the tx_scale normalization.
+        let n0_eff = (n0 / (tx_scale() * tx_scale())).max(1e-12);
+        let bpsc = self.cfg.modulation.bits_per_subcarrier();
+        let mut stream_llrs: Vec<Vec<f64>> = vec![vec![0.0; n_sym * 48 * bpsc]; n_ss];
+        let mut ys: Vec<Complex> = Vec::with_capacity(n_sym * n_rx);
+        let mut symbols: Vec<Complex> = Vec::with_capacity(n_sym * n_ss);
+        let mut sym_ok: Vec<bool> = Vec::with_capacity(n_sym);
+        for (c, &k) in carriers.iter().enumerate() {
+            // A carrier whose detector cannot be factored (rank-deficient or
+            // non-finite channel) stays all-erasures, exactly as per-symbol
+            // detection errors did.
+            let Ok(mut det) = LinearDetector::prepare(self.cfg.detector, &channel[c], n0_eff)
+            else {
+                continue;
+            };
+            let bin = carrier_to_bin(k);
+            ys.clear();
+            for s in 0..n_sym {
+                for r in 0..n_rx {
+                    ys.push(bin_row(n_ltf + s, r)[bin]);
+                }
+            }
+            symbols.clear();
+            sym_ok.clear();
+            det.detect_batch(&ys, &mut symbols, &mut sym_ok)?;
+            for (s, &ok) in sym_ok.iter().enumerate() {
+                if !ok {
+                    continue; // non-finite observation → erasures
+                }
+                for (i, llrs) in stream_llrs.iter_mut().enumerate() {
+                    let slot = (s * 48 + c) * bpsc;
+                    qam::demap_soft_into(
+                        self.cfg.modulation,
+                        symbols[s * n_ss + i],
+                        det.sinr()[i],
+                        &mut llrs[slot..slot + bpsc],
+                    );
                 }
             }
         }
@@ -361,15 +375,6 @@ fn ltf_frequency_symbol() -> Vec<Complex> {
     out
 }
 
-/// Strips the CP and FFTs one received symbol back to (tx-scaled) bins.
-fn symbol_bins(samples: &[Complex]) -> Vec<Complex> {
-    let body: Vec<Complex> = samples[N_CP..N_CP + N_FFT]
-        .iter()
-        .map(|s| s.scale(1.0 / tx_scale()))
-        .collect();
-    fft::fft(&body)
-}
-
 fn carrier_to_bin(k: i32) -> usize {
     ((k + N_FFT as i32) % N_FFT as i32) as usize
 }
@@ -445,7 +450,7 @@ mod tests {
             let tx = p.transmit(&payload);
             assert_eq!(tx.len(), n_ss);
             // Identity channel: rx = tx (pad antennas into rx shape).
-            let out = p.receive(&tx, 1e-9, payload.len());
+            let out = p.try_receive(&tx, 1e-9, payload.len()).unwrap();
             assert_eq!(out, payload, "{n_ss} streams");
         }
     }
@@ -485,7 +490,7 @@ mod tests {
             let ch = MimoMultipathChannel::realize(2, 2, &pdp, &mut rng);
             let tx = p.transmit(&payload);
             let rx = propagate(&ch, &tx, n0, &mut rng);
-            if p.receive(&rx, n0, payload.len()) == payload {
+            if p.try_receive(&rx, n0, payload.len()).unwrap() == payload {
                 ok += 1;
             }
         }
@@ -506,7 +511,7 @@ mod tests {
                 let ch = MimoMultipathChannel::realize(n_rx, 2, &pdp, &mut rng);
                 let tx = p.transmit(&payload);
                 let rx = propagate(&ch, &tx, n0, &mut rng);
-                if p.receive(&rx, n0, payload.len()) == payload {
+                if p.try_receive(&rx, n0, payload.len()).unwrap() == payload {
                     ok[idx] += 1;
                 }
             }
@@ -540,11 +545,8 @@ mod tests {
         let p = phy(2, 2, Modulation::Qpsk);
         let payload = vec![0x3Cu8; 50];
         let mut tx = p.transmit(&payload);
-        // Healthy frame decodes identically through both entry points.
-        assert_eq!(
-            p.try_receive(&tx, 1e-9, payload.len()).unwrap(),
-            p.receive(&tx, 1e-9, payload.len())
-        );
+        // Healthy frame decodes cleanly.
+        assert_eq!(p.try_receive(&tx, 1e-9, payload.len()).unwrap(), payload);
         // Truncate one antenna mid-frame: typed error, no panic.
         let cut = tx[1].len() / 2;
         tx[1].truncate(cut);

@@ -34,7 +34,7 @@ use crate::phy::P_HTLTF;
 /// assert_eq!(tx.len(), 2); // always two transmit antennas
 /// // Identity channel: feed antenna sums as the single RX observation.
 /// let rx: Vec<wlan_math::Complex> = tx[0].iter().zip(&tx[1]).map(|(&a, &b)| a + b).collect();
-/// let out = phy.receive(&[rx], 1e-9, 10);
+/// let out = phy.try_receive(&[rx], 1e-9, 10).unwrap();
 /// assert_eq!(out, b"diversity!");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,20 +147,8 @@ impl StbcOfdmPhy {
 
     /// Decodes per-antenna receive streams (channel assumed static per
     /// frame, estimated from the training symbols). `n0` is the per-sample
-    /// noise variance.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `rx.len() != n_rx` or streams are shorter than the frame;
-    /// see [`StbcOfdmPhy::try_receive`] for the non-panicking form.
-    pub fn receive(&self, rx: &[Vec<Complex>], n0: f64, payload_len: usize) -> Vec<u8> {
-        self.try_receive(rx, n0, payload_len)
-            .expect("receive antenna count mismatch or stream too short")
-    }
-
-    /// Like [`StbcOfdmPhy::receive`], but malformed input — wrong antenna
-    /// count or truncated streams — returns a typed [`WlanError`] instead
-    /// of panicking.
+    /// noise variance. Malformed input — wrong antenna count or truncated
+    /// streams — returns a typed [`WlanError`] instead of panicking.
     pub fn try_receive(
         &self,
         rx: &[Vec<Complex>],
@@ -303,11 +291,12 @@ fn finish_symbol(bins: Vec<Complex>) -> Vec<Complex> {
 }
 
 fn symbol_bins(samples: &[Complex]) -> Vec<Complex> {
-    let body: Vec<Complex> = samples[N_CP..N_CP + N_FFT]
+    let mut body: Vec<Complex> = samples[N_CP..N_CP + N_FFT]
         .iter()
         .map(|v| v.scale(1.0 / tx_scale()))
         .collect();
-    fft::fft(&body)
+    fft::fft_in_place(&mut body);
+    body
 }
 
 fn carrier_to_bin(k: i32) -> usize {
@@ -331,7 +320,7 @@ mod tests {
         let payload: Vec<u8> = (0..60).map(|i| (i * 13) as u8).collect();
         let tx = phy.transmit(&payload);
         let rx = identity_rx(&tx);
-        assert_eq!(phy.receive(&[rx], 1e-9, payload.len()), payload);
+        assert_eq!(phy.try_receive(&[rx], 1e-9, payload.len()).unwrap(), payload);
     }
 
     #[test]
@@ -371,7 +360,7 @@ mod tests {
             let ch = MimoMultipathChannel::realize(2, 2, &pdp, &mut rng);
             let tx = phy.transmit(&payload);
             let rx = crate::phy::propagate(&ch, &tx, n0, &mut rng);
-            if phy.receive(&rx, n0, payload.len()) == payload {
+            if phy.try_receive(&rx, n0, payload.len()).unwrap() == payload {
                 ok += 1;
             }
         }
@@ -407,13 +396,13 @@ mod tests {
             let ch1 = MimoMultipathChannel::realize(1, 1, &pdp, &mut rng);
             let tx = siso.transmit(&payload);
             let rx = crate::phy::propagate(&ch1, &tx, n0, &mut rng);
-            if siso.receive(&rx, n0, payload.len()) == payload {
+            if siso.try_receive(&rx, n0, payload.len()).unwrap() == payload {
                 siso_ok += 1;
             }
             let ch2 = MimoMultipathChannel::realize(1, 2, &pdp, &mut rng);
             let tx = stbc.transmit(&payload);
             let rx = crate::phy::propagate(&ch2, &tx, n0, &mut rng);
-            if stbc.receive(&rx, n0, payload.len()) == payload {
+            if stbc.try_receive(&rx, n0, payload.len()).unwrap() == payload {
                 stbc_ok += 1;
             }
         }
@@ -443,11 +432,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "receive antenna count")]
     fn rx_count_checked() {
         let phy = StbcOfdmPhy::new(Modulation::Bpsk, CodeRate::R1_2, 2);
         let tx = phy.transmit(&[1, 2, 3]);
         let rx = identity_rx(&tx);
-        let _ = phy.receive(&[rx], 0.1, 3);
+        let err = phy.try_receive(&[rx], 0.1, 3).unwrap_err();
+        assert_eq!(err, WlanError::LengthMismatch { expected: 2, got: 1 });
     }
 }

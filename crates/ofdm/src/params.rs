@@ -194,11 +194,21 @@ pub fn occupied_carriers() -> Vec<i32> {
 }
 
 /// The 48 data subcarrier indices in mapping order (occupied minus pilots).
-pub fn data_carriers() -> Vec<i32> {
-    occupied_carriers()
-        .into_iter()
-        .filter(|k| !PILOT_CARRIERS.contains(k))
-        .collect()
+///
+/// Computed once per process: symbol assembly and equalization index this
+/// table once per OFDM symbol, so it must not allocate per call.
+pub fn data_carriers() -> &'static [i32; N_DATA] {
+    static CACHE: std::sync::OnceLock<[i32; N_DATA]> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| {
+        let mut table = [0i32; N_DATA];
+        let carriers = occupied_carriers()
+            .into_iter()
+            .filter(|k| !PILOT_CARRIERS.contains(k));
+        for (slot, k) in table.iter_mut().zip(carriers) {
+            *slot = k;
+        }
+        table
+    })
 }
 
 #[cfg(test)]

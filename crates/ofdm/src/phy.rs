@@ -15,7 +15,9 @@
 use crate::params::{OfdmRate, N_SYM_SAMPLES};
 use crate::preamble;
 use crate::qam;
-use crate::symbol::{assemble_symbol, disassemble_symbol};
+use crate::symbol::{
+    assemble_symbol, disassemble_symbol, disassemble_symbols_into, DisassemblyScratch,
+};
 use wlan_coding::interleaver::Interleaver;
 use wlan_coding::puncture::{depuncture, puncture};
 use wlan_coding::scrambler::Scrambler;
@@ -241,18 +243,18 @@ impl OfdmPhy {
         let n_sym = self.num_data_symbols(length);
         let total_bits = n_sym * ndbps;
         let modulation = self.rate.modulation();
-        let il = Interleaver::new(
-            self.rate.coded_bits_per_symbol(),
-            modulation.bits_per_subcarrier(),
-        );
+        let bpsc = modulation.bits_per_subcarrier();
+        let il = Interleaver::new(self.rate.coded_bits_per_symbol(), bpsc);
 
-        let mut llrs = Vec::with_capacity(n_sym * self.rate.coded_bits_per_symbol());
-        for s in 0..n_sym {
-            let sym = &samples[s * N_SYM_SAMPLES..(s + 1) * N_SYM_SAMPLES];
-            let rx = disassemble_symbol(sym, channel, s + 1);
-            for (y, &csi) in rx.data.iter().zip(&rx.csi) {
-                llrs.extend(qam::demap_soft(modulation, *y, csi));
-            }
+        // Batched disassembly: one planned FFT pass over every data symbol,
+        // then demap straight into the LLR plane (no per-carrier Vecs).
+        let mut scratch = DisassemblyScratch::default();
+        let mut data = Vec::new();
+        let mut csi = Vec::new();
+        disassemble_symbols_into(samples, channel, 1, n_sym, &mut scratch, &mut data, &mut csi);
+        let mut llrs = vec![0.0; n_sym * self.rate.coded_bits_per_symbol()];
+        for (i, (y, &w)) in data.iter().zip(&csi).enumerate() {
+            qam::demap_soft_into(modulation, *y, w, &mut llrs[i * bpsc..(i + 1) * bpsc]);
         }
         let deinterleaved = il.deinterleave_stream_soft(&llrs);
         let mother = depuncture(&deinterleaved, self.rate.code_rate(), total_bits * 2);

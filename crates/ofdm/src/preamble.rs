@@ -101,12 +101,12 @@ pub fn estimate_channel(received: &[Complex]) -> Vec<Complex> {
     let scale = N_FFT as f64 / ((N_OCCUPIED + 1) as f64).sqrt();
     let first = &received[32..32 + N_FFT];
     let second = &received[32 + N_FFT..];
-    let avg: Vec<Complex> = first
+    let mut bins: Vec<Complex> = first
         .iter()
         .zip(second)
         .map(|(&a, &b)| (a + b).scale(0.5 / scale))
         .collect();
-    let bins = fft::fft(&avg);
+    fft::fft_in_place(&mut bins);
     let mut h = vec![Complex::ZERO; N_FFT];
     for k in -26..=26i32 {
         let l = ltf_value(k);

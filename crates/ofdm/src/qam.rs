@@ -105,45 +105,46 @@ pub fn map_stream(modulation: Modulation, bits: &[u8]) -> Vec<Complex> {
 /// `y` is the received amplitude (already scaled back to the integer
 /// lattice), `levels` the axis size (2, 4 or 8), and the result is one LLR
 /// per bit with the convention `LLR > 0 ⇒ bit = 0`.
-fn axis_llrs(y: f64, levels: usize) -> Vec<f64> {
-    // Distance-based max-log: for each bit, LLR = min over constellation
-    // points with bit=1 of d² minus min over points with bit=0 of d².
-    let bits_per_axis = levels.trailing_zeros() as usize;
-    let points: Vec<(f64, Vec<u8>)> = match levels {
-        2 => vec![(-1.0, vec![0]), (1.0, vec![1])],
-        4 => vec![
-            (-3.0, vec![0, 0]),
-            (-1.0, vec![0, 1]),
-            (1.0, vec![1, 1]),
-            (3.0, vec![1, 0]),
-        ],
-        8 => vec![
-            (-7.0, vec![0, 0, 0]),
-            (-5.0, vec![0, 0, 1]),
-            (-3.0, vec![0, 1, 1]),
-            (-1.0, vec![0, 1, 0]),
-            (1.0, vec![1, 1, 0]),
-            (3.0, vec![1, 1, 1]),
-            (5.0, vec![1, 0, 1]),
-            (7.0, vec![1, 0, 0]),
-        ],
-        _ => panic!("unsupported axis size {levels}"),
-    };
-    (0..bits_per_axis)
-        .map(|bit| {
-            let mut best0 = f64::INFINITY;
-            let mut best1 = f64::INFINITY;
-            for (level, bits) in &points {
-                let d2 = (y - level) * (y - level);
-                if bits[bit] == 0 {
-                    best0 = best0.min(d2);
-                } else {
-                    best1 = best1.min(d2);
-                }
+// Gray-coded PAM axes as static tables (levels, bit labels padded to 3):
+// the allocation-free demapper indexes these directly.
+static PAM2: [(f64, [u8; 3]); 2] = [(-1.0, [0, 0, 0]), (1.0, [1, 0, 0])];
+static PAM4: [(f64, [u8; 3]); 4] = [
+    (-3.0, [0, 0, 0]),
+    (-1.0, [0, 1, 0]),
+    (1.0, [1, 1, 0]),
+    (3.0, [1, 0, 0]),
+];
+static PAM8: [(f64, [u8; 3]); 8] = [
+    (-7.0, [0, 0, 0]),
+    (-5.0, [0, 0, 1]),
+    (-3.0, [0, 1, 1]),
+    (-1.0, [0, 1, 0]),
+    (1.0, [1, 1, 0]),
+    (3.0, [1, 1, 1]),
+    (5.0, [1, 0, 1]),
+    (7.0, [1, 0, 0]),
+];
+
+/// Writes the per-axis max-log LLRs for an amplitude observed on a
+/// Gray-coded PAM axis into `out` (one slot per axis bit).
+///
+/// Distance-based max-log: for each bit, LLR = min over constellation
+/// points with bit=1 of d² minus min over points with bit=0 of d², with the
+/// convention `LLR > 0 ⇒ bit = 0`.
+fn axis_llrs_into(y: f64, points: &[(f64, [u8; 3])], out: &mut [f64]) {
+    for (bit, slot) in out.iter_mut().enumerate() {
+        let mut best0 = f64::INFINITY;
+        let mut best1 = f64::INFINITY;
+        for &(level, bits) in points {
+            let d2 = (y - level) * (y - level);
+            if bits[bit] == 0 {
+                best0 = best0.min(d2);
+            } else {
+                best1 = best1.min(d2);
             }
-            best1 - best0
-        })
-        .collect()
+        }
+        *slot = best1 - best0;
+    }
 }
 
 /// Soft-demaps one equalized subcarrier into per-bit LLRs.
@@ -152,28 +153,47 @@ fn axis_llrs(y: f64, levels: usize) -> Vec<f64> {
 /// subcarriers yield proportionally weaker LLRs, which is what lets the
 /// Viterbi decoder discount them.
 pub fn demap_soft(modulation: Modulation, y: Complex, csi: f64) -> Vec<f64> {
+    let mut out = vec![0.0; modulation.bits_per_subcarrier()];
+    demap_soft_into(modulation, y, csi, &mut out);
+    out
+}
+
+/// Like [`demap_soft`], but writes the `N_BPSC` LLRs into a caller-owned
+/// slot (bit-identical to [`demap_soft`], no allocation) — the form the
+/// batched receive kernels use when filling a preallocated LLR plane.
+///
+/// # Panics
+///
+/// Panics if `out.len()` does not match the modulation's bits per
+/// subcarrier.
+pub fn demap_soft_into(modulation: Modulation, y: Complex, csi: f64, out: &mut [f64]) {
+    assert_eq!(
+        out.len(),
+        modulation.bits_per_subcarrier(),
+        "output slot must match bits per subcarrier"
+    );
     let k = k_mod(modulation);
     // Scale back to the integer lattice; LLR magnitudes scale with k²·csi.
     let yi = y.re / k;
     let yq = y.im / k;
     let w = csi * k * k;
     match modulation {
-        Modulation::Bpsk => vec![axis_llrs(yi, 2)[0] * w],
+        Modulation::Bpsk => axis_llrs_into(yi, &PAM2, out),
         Modulation::Qpsk => {
-            let mut out = axis_llrs(yi, 2);
-            out.extend(axis_llrs(yq, 2));
-            out.iter().map(|l| l * w).collect()
+            axis_llrs_into(yi, &PAM2, &mut out[..1]);
+            axis_llrs_into(yq, &PAM2, &mut out[1..]);
         }
         Modulation::Qam16 => {
-            let mut out = axis_llrs(yi, 4);
-            out.extend(axis_llrs(yq, 4));
-            out.iter().map(|l| l * w).collect()
+            axis_llrs_into(yi, &PAM4, &mut out[..2]);
+            axis_llrs_into(yq, &PAM4, &mut out[2..]);
         }
         Modulation::Qam64 => {
-            let mut out = axis_llrs(yi, 8);
-            out.extend(axis_llrs(yq, 8));
-            out.iter().map(|l| l * w).collect()
+            axis_llrs_into(yi, &PAM8, &mut out[..3]);
+            axis_llrs_into(yq, &PAM8, &mut out[3..]);
         }
+    }
+    for l in out.iter_mut() {
+        *l *= w;
     }
 }
 

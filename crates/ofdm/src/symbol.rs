@@ -15,14 +15,20 @@ pub fn tx_scale() -> f64 {
 
 /// The pilot polarity sequence `p_n` (802.11a §17.3.5.9): the 127-periodic
 /// scrambler sequence mapped 0 → +1, 1 → −1.
+///
+/// The 127-long period is generated once per process; this is called once
+/// per symbol on both the transmit and receive paths.
 pub fn pilot_polarity(n: usize) -> f64 {
-    // Regenerating from the start each call is fine at WLAN symbol counts.
-    let seq = Scrambler::new(0x7F).sequence(n % 127 + 1);
-    if seq[n % 127] == 0 {
-        1.0
-    } else {
-        -1.0
-    }
+    static SEQ: std::sync::OnceLock<[f64; 127]> = std::sync::OnceLock::new();
+    let seq = SEQ.get_or_init(|| {
+        let bits = Scrambler::new(0x7F).sequence(127);
+        let mut out = [0.0; 127];
+        for (slot, &b) in out.iter_mut().zip(bits.iter()) {
+            *slot = if b == 0 { 1.0 } else { -1.0 };
+        }
+        out
+    });
+    seq[n % 127]
 }
 
 /// Maps signed subcarrier index (−32..32) to FFT bin (0..64).
@@ -46,12 +52,12 @@ pub fn assemble_symbol(data: &[Complex], sym_idx: usize) -> Vec<Complex> {
     for (i, &k) in PILOT_CARRIERS.iter().enumerate() {
         bins[carrier_to_bin(k)] = Complex::from_re(PILOT_VALUES[i] * polarity);
     }
-    let time = fft::ifft(&bins);
+    fft::ifft_in_place(&mut bins);
     let scale = tx_scale();
     let mut out = Vec::with_capacity(N_CP + N_FFT);
     // Cyclic prefix = last 16 samples.
-    out.extend(time[N_FFT - N_CP..].iter().map(|s| s.scale(scale)));
-    out.extend(time.iter().map(|s| s.scale(scale)));
+    out.extend(bins[N_FFT - N_CP..].iter().map(|s| s.scale(scale)));
+    out.extend(bins.iter().map(|s| s.scale(scale)));
     out
 }
 
@@ -74,12 +80,27 @@ pub struct RxSymbol {
 pub fn disassemble_symbol(samples: &[Complex], channel: &[Complex], sym_idx: usize) -> RxSymbol {
     assert_eq!(samples.len(), N_CP + N_FFT, "need one 80-sample symbol");
     assert_eq!(channel.len(), N_FFT, "need a 64-bin channel estimate");
-    let body: Vec<Complex> = samples[N_CP..]
+    let mut bins: Vec<Complex> = samples[N_CP..]
         .iter()
         .map(|s| s.scale(1.0 / tx_scale()))
         .collect();
-    let bins = fft::fft(&body);
+    fft::fft_in_place(&mut bins);
 
+    let mut data = Vec::with_capacity(N_DATA);
+    let mut csi = Vec::with_capacity(N_DATA);
+    equalize_into(&bins, channel, sym_idx, &mut data, &mut csi);
+    RxSymbol { data, csi }
+}
+
+/// Pilot CPE correction + per-carrier equalization of one FFT'd symbol,
+/// appending the 48 data points and CSI weights to the caller's buffers.
+fn equalize_into(
+    bins: &[Complex],
+    channel: &[Complex],
+    sym_idx: usize,
+    data: &mut Vec<Complex>,
+    csi: &mut Vec<f64>,
+) {
     // Common phase error from the four pilots.
     let polarity = pilot_polarity(sym_idx);
     let mut cpe = Complex::ZERO;
@@ -97,9 +118,7 @@ pub fn disassemble_symbol(samples: &[Complex], channel: &[Complex], sym_idx: usi
         Complex::ONE
     };
 
-    let mut data = Vec::with_capacity(N_DATA);
-    let mut csi = Vec::with_capacity(N_DATA);
-    for &k in &data_carriers() {
+    for &k in data_carriers() {
         let bin = carrier_to_bin(k);
         let h = channel[bin];
         let h2 = h.norm_sqr();
@@ -110,7 +129,56 @@ pub fn disassemble_symbol(samples: &[Complex], channel: &[Complex], sym_idx: usi
         }
         csi.push(h2);
     }
-    RxSymbol { data, csi }
+}
+
+/// Reusable FFT workspace for [`disassemble_symbols_into`]; holding one
+/// across frames keeps the receive chain allocation-free per symbol.
+#[derive(Debug, Clone, Default)]
+pub struct DisassemblyScratch {
+    bins: Vec<Complex>,
+}
+
+/// Disassembles `n_sym` consecutive 80-sample symbols in one batched,
+/// in-place FFT pass, appending equalized data points and CSI weights to
+/// `data`/`csi` in `(symbol, carrier)` order. Symbol `s` uses pilot
+/// polarity index `first_sym_idx + s`. Bit-identical to calling
+/// [`disassemble_symbol`] once per symbol.
+///
+/// # Panics
+///
+/// Panics if `samples` holds fewer than `n_sym` whole symbols or
+/// `channel.len() != 64`.
+pub fn disassemble_symbols_into(
+    samples: &[Complex],
+    channel: &[Complex],
+    first_sym_idx: usize,
+    n_sym: usize,
+    scratch: &mut DisassemblyScratch,
+    data: &mut Vec<Complex>,
+    csi: &mut Vec<f64>,
+) {
+    assert!(
+        samples.len() >= n_sym * (N_CP + N_FFT),
+        "need {n_sym} whole 80-sample symbols"
+    );
+    assert_eq!(channel.len(), N_FFT, "need a 64-bin channel estimate");
+    let plan = fft::cached_plan(N_FFT);
+    let inv_scale = 1.0 / tx_scale();
+
+    scratch.bins.clear();
+    scratch.bins.reserve(n_sym * N_FFT);
+    for s in 0..n_sym {
+        let body = &samples[s * (N_CP + N_FFT) + N_CP..(s + 1) * (N_CP + N_FFT)];
+        scratch.bins.extend(body.iter().map(|v| v.scale(inv_scale)));
+    }
+    plan.fft_batch(&mut scratch.bins);
+
+    data.reserve(n_sym * N_DATA);
+    csi.reserve(n_sym * N_DATA);
+    for s in 0..n_sym {
+        let bins = &scratch.bins[s * N_FFT..(s + 1) * N_FFT];
+        equalize_into(bins, channel, first_sym_idx + s, data, csi);
+    }
 }
 
 #[cfg(test)]
@@ -230,5 +298,52 @@ mod tests {
     #[should_panic(expected = "48 data subcarriers")]
     fn assemble_checks_length() {
         let _ = assemble_symbol(&[Complex::ZERO; 47], 0);
+    }
+
+    #[test]
+    fn batched_disassembly_is_bit_identical_to_scalar() {
+        // Multi-symbol stream through a frequency-selective channel; batch
+        // output must match the per-symbol path bit for bit.
+        let taps = [Complex::from_re(0.9), Complex::new(0.3, -0.2)];
+        let mut padded = taps.to_vec();
+        padded.resize(N_FFT, Complex::ZERO);
+        let h = wlan_math::fft::fft(&padded);
+
+        let n_sym = 5;
+        let mut stream = Vec::new();
+        let mut datas = Vec::new();
+        for s in 0..n_sym {
+            let data: Vec<Complex> = (0..N_DATA)
+                .map(|i| Complex::from_polar(1.0, (i * (s + 2)) as f64 * 0.53))
+                .collect();
+            stream.extend(assemble_symbol(&data, s + 1));
+            datas.push(data);
+        }
+
+        let mut scratch = DisassemblyScratch::default();
+        let mut data = Vec::new();
+        let mut csi = Vec::new();
+        disassemble_symbols_into(&stream, &h, 1, n_sym, &mut scratch, &mut data, &mut csi);
+        assert_eq!(data.len(), n_sym * N_DATA);
+
+        for s in 0..n_sym {
+            let rx = disassemble_symbol(&stream[s * 80..(s + 1) * 80], &h, s + 1);
+            for c in 0..N_DATA {
+                let b = data[s * N_DATA + c];
+                let a = rx.data[c];
+                assert!(
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                    "symbol {s} carrier {c}: {a:?} vs {b:?}"
+                );
+                assert_eq!(rx.csi[c].to_bits(), csi[s * N_DATA + c].to_bits());
+            }
+        }
+
+        // Scratch reuse across calls changes nothing.
+        let mut data2 = Vec::new();
+        let mut csi2 = Vec::new();
+        disassemble_symbols_into(&stream, &h, 1, n_sym, &mut scratch, &mut data2, &mut csi2);
+        assert_eq!(data, data2);
+        assert_eq!(csi, csi2);
     }
 }

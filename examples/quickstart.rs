@@ -62,7 +62,9 @@ fn main() {
     let n0 = wlan_core::math::special::db_to_lin(-28.0);
     let tx = phy.transmit(message);
     let rx = propagate(&ch, &tx, n0, &mut rng);
-    let decoded = phy.receive(&rx, n0, message.len());
+    let decoded = phy
+        .try_receive(&rx, n0, message.len())
+        .expect("full-length frame");
     println!(
         "802.11n 2x2 MIMO ({:.0} Mbps) at 28 dB SNR: {}",
         phy.rate_mbps(),

@@ -81,7 +81,7 @@ fn mimo_4x4_64qam_full_chain() {
         let ch = MimoMultipathChannel::realize(4, 4, &pdp, &mut rng);
         let tx = phy.transmit(&payload);
         let rx = propagate(&ch, &tx, n0, &mut rng);
-        if phy.receive(&rx, n0, payload.len()) == payload {
+        if phy.try_receive(&rx, n0, payload.len()).unwrap() == payload {
             ok += 1;
         }
     }

@@ -264,7 +264,7 @@ fn stbc_phy_roundtrips_any_payload() {
         let phy = StbcOfdmPhy::new(Modulation::Qpsk, CodeRate::R1_2, 1);
         let tx = phy.transmit(&payload);
         let rx: Vec<Complex> = tx[0].iter().zip(&tx[1]).map(|(&a, &b)| a + b).collect();
-        assert_eq!(phy.receive(&[rx], 1e-9, payload.len()), payload);
+        assert_eq!(phy.try_receive(&[rx], 1e-9, payload.len()).unwrap(), payload);
     });
 }
 
@@ -284,7 +284,11 @@ fn mimo_phy_roundtrips_any_payload() {
             detector: Detector::Mmse,
         });
         let tx = phy.transmit(&payload);
-        assert_eq!(phy.receive(&tx, 1e-9, payload.len()), payload, "n_ss {n_ss}");
+        assert_eq!(
+            phy.try_receive(&tx, 1e-9, payload.len()).unwrap(),
+            payload,
+            "n_ss {n_ss}"
+        );
     });
 }
 
