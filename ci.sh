@@ -19,7 +19,7 @@ cargo clippy --workspace --offline -- -D warnings
 # its checkpoint journal and print a result table byte-identical to a run
 # that was never interrupted. This exercises the real signal path (no
 # in-process shortcuts): spawn, SIGKILL, re-invoke, diff.
-cargo build --release --offline -p wlan-runner --example survivable_campaign
+cargo build --release --offline -p wlan-dist --example survivable_campaign
 SMOKE=target/release/examples/survivable_campaign
 SMOKE_DIR=$(mktemp -d)
 "$SMOKE" "$SMOKE_DIR/uninterrupted.journal" > "$SMOKE_DIR/expected.txt" 2>/dev/null
@@ -44,6 +44,20 @@ diff "$SMOKE_DIR/expected.txt" "$SMOKE_DIR/resumed.txt"
 WLAN_OBS=0 "$SMOKE" "$SMOKE_DIR/obs_off.journal" > "$SMOKE_DIR/obs_off.txt" 2>/dev/null
 diff "$SMOKE_DIR/expected.txt" "$SMOKE_DIR/obs_off.txt"
 rm -rf "$SMOKE_DIR"
+
+# Distributed chaos smoke (DESIGN.md "Distributed campaigns"): the same
+# campaign sharded over a 3-worker subprocess fleet that loses a worker
+# to a chaos kill mid-flight must print a result table byte-identical to
+# a 1-worker run. This drives the real subprocess path — pipes, frames,
+# timeouts, redispatch — that the in-process chaos harness
+# (tests/dist_chaos.rs) can only approximate.
+cargo build --release --offline -p wlan-dist --example distributed_campaign
+CHAOS=target/release/examples/distributed_campaign
+CHAOS_DIR=$(mktemp -d)
+"$CHAOS" --workers 1 > "$CHAOS_DIR/one_worker.txt" 2>/dev/null
+"$CHAOS" --workers 3 --kill-one-after-ms 300 > "$CHAOS_DIR/chaos.txt" 2>"$CHAOS_DIR/chaos.log"
+diff "$CHAOS_DIR/one_worker.txt" "$CHAOS_DIR/chaos.txt"
+rm -rf "$CHAOS_DIR"
 
 # Instrumented bench smoke: the experiments that carry wlan-obs emission
 # (E4 PHY sweeps, E13 MAC, E16 fault catalog) must produce schema-valid
@@ -97,8 +111,10 @@ rm -rf "$BENCH_DIR"
 # crates/obs sits inside every instrumented hot loop, so it gets the
 # same no-panic bar (its lock helper recovers from poisoning instead of
 # unwrapping).
+# crates/dist coordinates the whole fleet, so a panic there loses every
+# worker's in-flight results at once — same bar.
 for f in crates/coding/src/*.rs crates/mimo/src/*.rs crates/core/src/*.rs \
-         crates/runner/src/*.rs crates/obs/src/*.rs \
+         crates/runner/src/*.rs crates/obs/src/*.rs crates/dist/src/*.rs \
          crates/math/src/ci.rs crates/math/src/par.rs; do
         awk '
             /#\[cfg\(test\)\]/ { exit }

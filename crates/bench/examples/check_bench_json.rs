@@ -6,7 +6,10 @@
 //!   the `BENCH_<EXP>.json` schema (`wlan_bench::emit::REQUIRED_KEYS`).
 //! * `check_bench_json --jsonl FILE...` — each file is a `wlan-obs`
 //!   event stream: every non-empty line must parse as a JSON object
-//!   carrying a non-empty string `"event"` key.
+//!   carrying a non-empty string `"event"` key, and lines whose event
+//!   name the coordinator schema governs
+//!   (`wlan_obs::events::required_fields`) must carry every declared
+//!   field.
 //!
 //! Prints one line per file and exits non-zero on the first kind of
 //! violation found anywhere, so a CI step is just
@@ -14,7 +17,7 @@
 
 use std::process::ExitCode;
 
-use wlan_bench::emit::schema_violations;
+use wlan_bench::emit::{jsonl_violations, schema_violations};
 use wlan_obs::json::Value;
 
 fn check_bench_file(path: &str) -> Result<String, String> {
@@ -47,10 +50,11 @@ fn check_jsonl_file(path: &str) -> Result<String, String> {
         }
         let doc = Value::parse(line)
             .map_err(|e| format!("line {}: invalid JSON: {e}", i + 1))?;
-        match doc.get("event").and_then(Value::as_str) {
-            Some(name) if !name.is_empty() => events += 1,
-            _ => return Err(format!("line {}: missing \"event\" key", i + 1)),
+        let errs = jsonl_violations(&doc);
+        if !errs.is_empty() {
+            return Err(format!("line {}: {}", i + 1, errs.join("; ")));
         }
+        events += 1;
     }
     if events == 0 {
         return Err("no events in stream".into());

@@ -201,6 +201,33 @@ pub fn schema_violations(doc: &Value) -> Vec<String> {
     errs
 }
 
+/// Validates one parsed `wlan-obs` JSONL event line; returns every
+/// violation found (empty = valid). The event schema is open — any
+/// object carrying a non-empty string `"event"` passes — except for the
+/// event names the distributed coordinator emits
+/// ([`wlan_obs::events::ALL`]), which must carry their declared
+/// required fields ([`wlan_obs::events::required_fields`]): a fleet
+/// post-mortem that cannot tell *which* lease timed out on *which*
+/// worker is no post-mortem at all.
+pub fn jsonl_violations(doc: &Value) -> Vec<String> {
+    if !doc.is_obj() {
+        return vec!["event line is not a JSON object".into()];
+    }
+    let name = match doc.get("event").and_then(Value::as_str) {
+        Some(s) if !s.is_empty() => s.to_owned(),
+        _ => return vec!["missing or empty \"event\" key".into()],
+    };
+    let mut errs = Vec::new();
+    if let Some(required) = wlan_obs::events::required_fields(&name) {
+        for field in required {
+            if doc.get(field).is_none() {
+                errs.push(format!("event {name:?} missing required field {field:?}"));
+            }
+        }
+    }
+    errs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +261,54 @@ mod tests {
         assert!(errs.iter().any(|e| e.contains("non-empty string")), "{errs:?}");
         assert!(errs.iter().any(|e| e.contains("schema must be")), "{errs:?}");
         assert!(errs.iter().any(|e| e.contains("stages must be an object")), "{errs:?}");
+    }
+
+    #[test]
+    fn jsonl_accepts_known_events_with_all_required_fields() {
+        let doc = Value::parse(
+            r#"{"event":"dist_dispatch","lease":3,"worker":1,"point":0,"attempt":1,"t_ms":12}"#,
+        )
+        .expect("parse");
+        assert_eq!(jsonl_violations(&doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn jsonl_accepts_unknown_events_open_schema() {
+        let doc = Value::parse(r#"{"event":"campaign_done","whatever":true}"#).expect("parse");
+        assert_eq!(jsonl_violations(&doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn jsonl_rejects_violation_fixtures() {
+        // A coordinator dispatch record that lost its attempt counter:
+        // useless for redispatch forensics, so the validator must say so.
+        let missing_field =
+            Value::parse(r#"{"event":"dist_dispatch","lease":3,"worker":1,"point":0}"#)
+                .expect("parse");
+        let errs = jsonl_violations(&missing_field);
+        assert!(
+            errs.iter().any(|e| e.contains("\"attempt\"")),
+            "{errs:?}"
+        );
+
+        let no_event = Value::parse(r#"{"lease":3}"#).expect("parse");
+        assert!(!jsonl_violations(&no_event).is_empty());
+
+        let empty_event = Value::parse(r#"{"event":""}"#).expect("parse");
+        assert!(!jsonl_violations(&empty_event).is_empty());
+
+        let not_an_object = Value::parse(r#"[1,2,3]"#).expect("parse");
+        assert!(!jsonl_violations(&not_an_object).is_empty());
+
+        let quarantined_missing_attempts = Value::parse(
+            r#"{"event":"dist_lease_quarantined","lease":9,"point":2}"#,
+        )
+        .expect("parse");
+        let errs = jsonl_violations(&quarantined_missing_attempts);
+        assert!(
+            errs.iter().any(|e| e.contains("\"attempts\"")),
+            "{errs:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! # wlan-dist — fault-tolerant distributed campaign execution
+//!
+//! Shards `wlan-runner` Monte-Carlo campaigns across a fleet of worker
+//! processes that are allowed to die. A coordinator owns all campaign
+//! state and hands out wave-aligned `(point, trial-range)` leases over
+//! a length-prefixed, checksummed stdio protocol; workers are pure
+//! functions of the lease coordinates, so any lease can be re-run
+//! anywhere — on another worker after a `SIGKILL`, or in-process once
+//! the whole fleet is gone — and the campaign's tallies, stopping
+//! decisions, and quarantine ledger come out bit-identical to the
+//! single-process run ([`coord`] has the full argument).
+//!
+//! The failure model, layer by layer:
+//!
+//! * **Transport** ([`proto`]): newline-delimited frames carrying an
+//!   FNV-64 checksum and explicit length. Bit flips, truncations, and
+//!   garbage are contained to one frame and typed as [`ProtoError`];
+//!   streams resynchronise at the next newline.
+//! * **Workers** ([`worker`]): stateless beyond their `hello`; damaged
+//!   input frames are skipped, out-of-catalog campaigns are refused,
+//!   and only EOF (a dead coordinator) stops them.
+//! * **Coordinator** ([`coord`]): heartbeat liveness, per-lease
+//!   deadlines, exponential backoff with deterministic jitter,
+//!   at-most-K re-dispatch, lease quarantine (reusing the PR-4 ledger
+//!   idea one level up), and graceful degradation to in-process
+//!   execution.
+//! * **Chaos tooling** ([`duplex`], [`catalog`]): in-memory pipes and
+//!   deterministic fault-injecting relays so the whole stack is
+//!   testable under kill schedules and transport corruption without
+//!   subprocess nondeterminism.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod coord;
+pub mod duplex;
+pub mod proto;
+pub mod worker;
+
+pub use catalog::{FaultSpec, LinkSpec};
+pub use coord::{
+    run_dist_per_campaign, DistConfig, DistPerReport, DistStats, InProcessFactory,
+    ProcessFactory, QuarantinedLease, WorkerFactory, WorkerIo,
+};
+pub use proto::{Msg, ProtoError, RoundTally};
+pub use worker::{run_lease, serve, LeaseJob};

@@ -44,6 +44,7 @@ pub mod collision;
 pub mod frequency;
 pub mod ge;
 pub mod switch;
+pub mod transport;
 pub mod truncate;
 
 pub use chain::FaultChain;
@@ -52,6 +53,7 @@ pub use collision::CollisionPulse;
 pub use frequency::CfoJump;
 pub use ge::{GeParams, GeProcess, GilbertElliottInterference};
 pub use switch::ChannelSwitch;
+pub use transport::{Delivery, TransportFaults};
 pub use truncate::FrameTruncation;
 
 use wlan_math::rng::WlanRng;

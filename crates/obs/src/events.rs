@@ -1,0 +1,96 @@
+//! Canonical event names for distributed-campaign JSONL streams.
+//!
+//! The `wlan-dist` coordinator narrates its lease lifecycle through
+//! [`Recorder::event`](crate::Recorder::event); the bench-side validator
+//! (`check_bench_json --jsonl`) checks those lines against the schema
+//! declared here. Keeping the names and their required fields in one
+//! place means the emitter and the validator cannot drift apart — both
+//! sides link against these constants.
+//!
+//! Every event line carries at least `{"event": <name>}` plus the
+//! fields listed by [`required_fields`]; extra fields are always
+//! allowed (the schema is open — validators reject *missing* fields,
+//! never unknown ones).
+
+/// A lease was dispatched to a worker.
+/// Fields: `lease`, `worker`, `point`, `attempt`.
+pub const DIST_DISPATCH: &str = "dist_dispatch";
+/// A worker acknowledged and completed a lease.
+/// Fields: `lease`, `worker`, `trials`.
+pub const DIST_ACK: &str = "dist_ack";
+/// A lease missed its deadline. Fields: `lease`, `worker`, `attempt`.
+pub const DIST_TIMEOUT: &str = "dist_timeout";
+/// A lease was re-dispatched after a timeout or worker death.
+/// Fields: `lease`, `attempt`, `backoff_ms`.
+pub const DIST_REDISPATCH: &str = "dist_redispatch";
+/// A worker died (EOF, kill, or protocol corruption strikes).
+/// Fields: `worker`, `reason`.
+pub const DIST_WORKER_DEATH: &str = "dist_worker_death";
+/// A worker process was spawned. Fields: `worker`.
+pub const DIST_WORKER_SPAWN: &str = "dist_worker_spawn";
+/// A lease exhausted its dispatch budget and was quarantined.
+/// Fields: `lease`, `point`, `attempts`.
+pub const DIST_LEASE_QUARANTINED: &str = "dist_lease_quarantined";
+/// Every worker is dead; the coordinator fell back to in-process
+/// execution. Fields: `leases_left`.
+pub const DIST_FALLBACK: &str = "dist_fallback";
+
+/// Every distributed-campaign event name, in lifecycle order.
+pub const ALL: [&str; 8] = [
+    DIST_WORKER_SPAWN,
+    DIST_DISPATCH,
+    DIST_ACK,
+    DIST_TIMEOUT,
+    DIST_REDISPATCH,
+    DIST_WORKER_DEATH,
+    DIST_LEASE_QUARANTINED,
+    DIST_FALLBACK,
+];
+
+/// The fields (beyond `event`) a well-formed line of this event type
+/// must carry, or `None` for event names this module does not govern —
+/// validators must accept those lines as long as `event` is a non-empty
+/// string, because campaign code is free to emit ad-hoc events.
+pub fn required_fields(event: &str) -> Option<&'static [&'static str]> {
+    match event {
+        DIST_DISPATCH => Some(&["lease", "worker", "point", "attempt"]),
+        DIST_ACK => Some(&["lease", "worker", "trials"]),
+        DIST_TIMEOUT => Some(&["lease", "worker", "attempt"]),
+        DIST_REDISPATCH => Some(&["lease", "attempt", "backoff_ms"]),
+        DIST_WORKER_DEATH => Some(&["worker", "reason"]),
+        DIST_WORKER_SPAWN => Some(&["worker"]),
+        DIST_LEASE_QUARANTINED => Some(&["lease", "point", "attempts"]),
+        DIST_FALLBACK => Some(&["leases_left"]),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalogued_event_has_a_schema() {
+        for name in ALL {
+            assert!(
+                required_fields(name).is_some(),
+                "{name} missing from required_fields"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_distinct_and_prefixed() {
+        let set: std::collections::HashSet<&str> = ALL.into_iter().collect();
+        assert_eq!(set.len(), ALL.len());
+        for name in ALL {
+            assert!(name.starts_with("dist_"), "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_events_are_ungoverned() {
+        assert_eq!(required_fields("wave"), None);
+        assert_eq!(required_fields(""), None);
+    }
+}

@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod json;
 
 use std::collections::BTreeMap;

@@ -11,15 +11,21 @@
 //! sum 1f2e3d4c5b6a7988
 //! ```
 //!
-//! The trailing `sum` line is the FNV-1a 64 digest of every byte before
-//! it, so a torn, truncated, or hand-edited file is detected rather than
-//! trusted. Writes go to a temporary sibling file which is then renamed
-//! over the target, so a `SIGKILL` mid-checkpoint leaves either the old
-//! journal or the new one — never a hybrid.
+//! Every `sum` line is the FNV-1a 64 digest of every byte before it.
+//! [`save`] writes one after each body line, so the file carries a chain
+//! of cumulative checksums and the *last* one covers the whole file; a
+//! torn, truncated, or hand-edited file is detected rather than trusted.
+//! Writes go to a temporary sibling file which is then renamed over the
+//! target, so a `SIGKILL` mid-checkpoint leaves either the old journal
+//! or the new one — never a hybrid. Body lines starting with `sum ` are
+//! reserved for this chain; campaign records never use that prefix.
 //!
 //! Loading never panics: every failure mode maps to a typed
-//! [`JournalError`], and campaign runners treat any load failure as a
-//! cold start (the journal is an optimisation, not a source of truth).
+//! [`JournalError`]. [`load`] is all-or-nothing — any defect and the
+//! caller cold-starts. [`load_salvage`] goes one step further: when the
+//! file is damaged it walks the checksum chain and returns the body
+//! lines of the longest verified prefix, so a resumed campaign only
+//! re-runs the damaged tail instead of starting over.
 
 use std::fmt;
 use std::fs;
@@ -100,16 +106,24 @@ pub fn f64_from_hex(hex: &str) -> Option<f64> {
     u64::from_str_radix(hex, 16).ok().map(f64::from_bits)
 }
 
-/// Saves a journal atomically: header + `key` line + `body` lines +
-/// checksum are written to `<path>.tmp`, then renamed over `path`.
+/// Saves a journal atomically: header + `key` line + `body` lines are
+/// written to `<path>.tmp`, then renamed over `path`. A cumulative `sum`
+/// line follows every body line (each digesting all bytes before it), so
+/// [`load_salvage`] can recover the longest intact prefix of a later
+/// corruption; the final `sum` line doubles as the whole-file checksum
+/// [`load`] verifies.
 pub fn save(path: &Path, key: &str, body: &[String]) -> Result<(), JournalError> {
     let mut text = format!("{MAGIC} {VERSION}\nkey {key}\n");
     for line in body {
         text.push_str(line);
         text.push('\n');
+        let digest = fnv1a64(text.as_bytes());
+        text.push_str(&format!("sum {digest:016x}\n"));
     }
-    let digest = fnv1a64(text.as_bytes());
-    text.push_str(&format!("sum {digest:016x}\n"));
+    if body.is_empty() {
+        let digest = fnv1a64(text.as_bytes());
+        text.push_str(&format!("sum {digest:016x}\n"));
+    }
 
     let tmp = tmp_path(path);
     fs::write(&tmp, &text).map_err(|e| JournalError::Io(e.kind()))?;
@@ -160,7 +174,96 @@ pub fn load(path: &Path, expected_key: &str) -> Result<Vec<String>, JournalError
         return Err(JournalError::KeyMismatch);
     }
 
-    Ok(lines.map(str::to_owned).collect())
+    // Interior `sum` lines are part of the salvage chain, not the body;
+    // the final digest verified above already covers their bytes.
+    Ok(lines
+        .filter(|l| !l.starts_with("sum "))
+        .map(str::to_owned)
+        .collect())
+}
+
+/// Loads a journal, salvaging what it can from a damaged file.
+///
+/// * Fully intact: `(body, None)` — identical to [`load`].
+/// * Damaged after a verified `sum` line: the body lines of the longest
+///   prefix whose cumulative checksum chain verifies, plus the typed
+///   error describing the damage. The campaign re-runs only the tail.
+/// * Damaged before any `sum` verifies (header/key corrupt, wrong key,
+///   wrong version, unreadable): `(vec![], Some(error))` — a cold start.
+///
+/// `Io(NotFound)` comes back as `(vec![], Some(Io(NotFound)))`; callers
+/// distinguish "no checkpoint yet" from damage exactly as with [`load`].
+pub fn load_salvage(path: &Path, expected_key: &str) -> (Vec<String>, Option<JournalError>) {
+    match load(path, expected_key) {
+        Ok(body) => (body, None),
+        // salvage_prefix re-verifies header and key from scratch, so an
+        // unreadable file, wrong version, or wrong key salvages nothing.
+        Err(error) => match salvage_prefix(path, expected_key) {
+            Some(body) => (body, Some(error)),
+            None => (Vec::new(), Some(error)),
+        },
+    }
+}
+
+/// Walks the cumulative checksum chain from the top of the file and
+/// returns the body lines covered by the last `sum` line that verifies.
+/// `None` when the header or key is damaged or no `sum` line verifies —
+/// there is no trustworthy prefix at all.
+fn salvage_prefix(path: &Path, expected_key: &str) -> Option<Vec<String>> {
+    // Read raw bytes: corruption may have destroyed UTF-8 validity, and
+    // the intact prefix must still be recoverable.
+    let bytes = fs::read(path).ok()?;
+
+    let mut offset = 0usize; // start of the current line
+    let mut line_no = 0usize;
+    let mut body: Vec<String> = Vec::new();
+    let mut verified_len: Option<usize> = None; // body lines under a good sum
+
+    while offset < bytes.len() {
+        let Some(nl) = bytes[offset..].iter().position(|&b| b == b'\n') else {
+            break; // torn final line: unverifiable, stop at the last sum
+        };
+        let line_end = offset + nl;
+        let Ok(line) = std::str::from_utf8(&bytes[offset..line_end]) else {
+            break; // damage produced invalid UTF-8: stop scanning
+        };
+        match line_no {
+            0 => {
+                let ok = line
+                    .strip_prefix(MAGIC)
+                    .map(str::trim)
+                    .and_then(|v| v.parse::<u32>().ok())
+                    == Some(VERSION);
+                if !ok {
+                    return None;
+                }
+            }
+            1 => {
+                if line.strip_prefix("key ") != Some(expected_key) {
+                    return None;
+                }
+            }
+            _ => {
+                if let Some(sum_hex) = line.strip_prefix("sum ") {
+                    let recorded = u64::from_str_radix(sum_hex, 16).ok();
+                    if recorded == Some(fnv1a64(&bytes[..offset])) {
+                        verified_len = Some(body.len());
+                    } else {
+                        break; // chain broken: everything beyond is suspect
+                    }
+                } else {
+                    body.push(line.to_owned());
+                }
+            }
+        }
+        offset = line_end + 1;
+        line_no += 1;
+    }
+
+    verified_len.map(|n| {
+        body.truncate(n);
+        body
+    })
 }
 
 /// Parses `name=value` out of one whitespace-separated journal token,
@@ -292,6 +395,92 @@ mod tests {
         assert_eq!(kv_u64("trials=12", "trials"), Some(12));
         assert_eq!(kv_u64("trials=x", "trials"), None);
         assert_eq!(kv_f64(&format!("t={}", f64_to_hex(2.5)), "t"), Some(2.5));
+    }
+
+    #[test]
+    fn salvage_recovers_prefix_before_mid_file_bit_flip() {
+        let path = tmp_file("salvage_flip");
+        let body: Vec<String> = (0..8).map(|i| format!("point i={i} trials=32")).collect();
+        save(&path, "k", &body).unwrap();
+
+        // Flip one bit in the middle of the file: load must reject the
+        // whole journal, salvage must return every line before the flip.
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        fs::write(&path, &bytes).unwrap();
+
+        assert!(load(&path, "k").is_err());
+        let (records, err) = load_salvage(&path, "k");
+        assert!(err.is_some());
+        assert!(!records.is_empty(), "mid-file flip must salvage a prefix");
+        assert!(records.len() < body.len(), "damage must cost the tail");
+        assert_eq!(records, body[..records.len()], "salvage is an exact prefix");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn salvage_recovers_prefix_of_truncated_file() {
+        let path = tmp_file("salvage_trunc");
+        let body: Vec<String> = (0..6).map(|i| format!("point i={i} trials=64")).collect();
+        save(&path, "k", &body).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() * 2 / 3]).unwrap();
+
+        let (records, err) = load_salvage(&path, "k");
+        assert!(err.is_some());
+        assert!(!records.is_empty());
+        assert_eq!(records, body[..records.len()]);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn salvage_yields_nothing_for_damaged_identity() {
+        let path = tmp_file("salvage_identity");
+        save(&path, "k", &["point i=0 trials=1".to_owned()]).unwrap();
+
+        // Wrong key: whole file intact but not ours.
+        let (records, err) = load_salvage(&path, "other");
+        assert_eq!(records, Vec::<String>::new());
+        assert_eq!(err, Some(JournalError::KeyMismatch));
+
+        // Corrupted header: nothing verifiable at all.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[0] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let (records, err) = load_salvage(&path, "k");
+        assert!(records.is_empty());
+        assert!(err.is_some());
+
+        // Missing file: plain NotFound, no salvage.
+        let (records, err) = load_salvage(Path::new("/nonexistent/journal"), "k");
+        assert!(records.is_empty());
+        assert_eq!(err, Some(JournalError::Io(std::io::ErrorKind::NotFound)));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn salvage_of_intact_file_is_load() {
+        let path = tmp_file("salvage_intact");
+        let body = vec!["point i=0 trials=3".to_owned(), "quar point=0 frame=1".to_owned()];
+        save(&path, "k", &body).unwrap();
+        let (records, err) = load_salvage(&path, "k");
+        assert_eq!(records, body);
+        assert_eq!(err, None);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interior_sum_lines_are_invisible_to_load() {
+        // save() now interleaves cumulative sum lines; load must return
+        // exactly the body that was saved, for any body size.
+        for n in [0usize, 1, 5] {
+            let path = tmp_file(&format!("interior_{n}"));
+            let body: Vec<String> = (0..n).map(|i| format!("rec i={i}")).collect();
+            save(&path, "k", &body).unwrap();
+            assert_eq!(load(&path, "k").unwrap(), body);
+            let _ = fs::remove_file(&path);
+        }
     }
 
     #[test]

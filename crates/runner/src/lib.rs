@@ -56,8 +56,17 @@ pub enum Resume {
         /// Trials already banked by earlier invocations.
         trials: u64,
     },
-    /// A journal existed but could not be trusted; the campaign started
-    /// over, carrying the reason.
+    /// The journal was damaged, but its cumulative checksum chain
+    /// verified a prefix ([`journal::load_salvage`]); the campaign
+    /// restored that prefix and re-runs only the damaged tail.
+    Salvaged {
+        /// Trials recovered from the verified prefix.
+        trials: u64,
+        /// What was wrong with the journal.
+        error: JournalError,
+    },
+    /// A journal existed but could not be trusted (and nothing could be
+    /// salvaged); the campaign started over, carrying the reason.
     ColdStart {
         /// Why the journal was rejected.
         error: JournalError,

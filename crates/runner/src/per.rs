@@ -121,8 +121,10 @@ impl PerCampaignConfig {
     /// The journal key: every parameter that shapes trial streams or
     /// stopping decisions. Budgets, thread counts, and checkpoint cadence
     /// are deliberately absent — resuming under a different budget or
-    /// thread count is the whole point.
-    fn key(&self, link: &dyn PhyLink, faults: &FaultChain) -> String {
+    /// thread count is the whole point. Public so the distributed
+    /// coordinator (`wlan-dist`) can derive its own journal key from the
+    /// same campaign identity.
+    pub fn journal_key(&self, link: &dyn PhyLink, faults: &FaultChain) -> String {
         let snrs: Vec<String> = self.snrs_db.iter().map(|&s| f64_to_hex(s)).collect();
         let target = match self.target_half_width {
             Some(t) => f64_to_hex(t),
@@ -213,7 +215,8 @@ impl PointProgress {
         (self.trials > 0).then(|| wilson95(self.errors, self.trials))
     }
 
-    fn to_line(self, index: usize) -> String {
+    /// Journal body line for this point (inverse of [`parse_point_line`]).
+    pub fn to_line(self, index: usize) -> String {
         format!(
             "point i={index} trials={} errors={} erasures={} status={}",
             self.trials,
@@ -222,6 +225,23 @@ impl PointProgress {
             self.status.as_str()
         )
     }
+}
+
+/// Parses a `point i=… trials=… errors=… erasures=… status=…` journal
+/// body line into `(index, trials, errors, erasures, status)`. Shared
+/// with the distributed coordinator's journal parser; the caller is
+/// responsible for bounds/sanity checks against its own configuration.
+pub fn parse_point_line(line: &str) -> Option<(usize, u64, u64, u64, PointStatus)> {
+    let mut tokens = line.strip_prefix("point ")?.split_whitespace();
+    let i = kv_u64(tokens.next()?, "i")? as usize;
+    let trials = kv_u64(tokens.next()?, "trials")?;
+    let errors = kv_u64(tokens.next()?, "errors")?;
+    let erasures = kv_u64(tokens.next()?, "erasures")?;
+    let status = PointStatus::parse(kv(tokens.next()?, "status")?)?;
+    if tokens.next().is_some() {
+        return None;
+    }
+    Some((i, trials, errors, erasures, status))
 }
 
 /// The full result of a campaign invocation.
@@ -292,9 +312,14 @@ pub fn run_per_campaign(
     assert!(cfg.min_frames > 0, "min_frames must be at least 1");
 
     let master = WlanRng::seed_from_u64(cfg.seed);
-    let key = cfg.key(link, faults);
+    let key = cfg.journal_key(link, faults);
 
     let (mut points, mut quarantine, resume) = restore(cfg, &key);
+    // After a salvage, restored ledger entries may belong to trials whose
+    // tallies were lost; those trials re-run and regenerate identical
+    // entries, which must not duplicate in the ledger.
+    let mut seen_quars: std::collections::HashSet<(usize, u64)> =
+        quarantine.iter().map(|q| (q.point, q.frame)).collect();
     // The trial budget is cumulative across resume: trials restored from
     // the journal are already spent. The wall clock is per-invocation.
     let banked: u64 = points.iter().map(|p| p.trials).sum();
@@ -387,13 +412,15 @@ pub fn run_per_campaign(
             wave_trials += trials;
             wave_quarantined += quars.len() as u64;
             for (frame, error) in quars {
-                quarantine.push(QuarantinedTrial {
-                    seed: cfg.seed,
-                    point: *point,
-                    snr_db: cfg.snrs_db[*point],
-                    frame: *frame,
-                    error: error.clone(),
-                });
+                if seen_quars.insert((*point, *frame)) {
+                    quarantine.push(QuarantinedTrial {
+                        seed: cfg.seed,
+                        point: *point,
+                        snr_db: cfg.snrs_db[*point],
+                        frame: *frame,
+                        error: error.clone(),
+                    });
+                }
             }
         }
         meter.add_trials(wave_trials);
@@ -503,7 +530,12 @@ pub fn replay_trial(
     frame_trial_at(link, faults, entry.snr_db, payload_len, &point_rng, entry.frame)
 }
 
-fn evaluate_status(p: &PointProgress, cfg: &PerCampaignConfig) -> PointStatus {
+/// The stopping rule: a pure function of a point's integer tallies and
+/// the campaign configuration, evaluated only at round boundaries. The
+/// distributed coordinator applies the same function at the same
+/// boundaries, which is what makes its per-point results bit-identical
+/// to the single-process campaign's.
+pub fn evaluate_status(p: &PointProgress, cfg: &PerCampaignConfig) -> PointStatus {
     if p.trials >= cfg.max_frames {
         return PointStatus::Exhausted;
     }
@@ -515,7 +547,8 @@ fn evaluate_status(p: &PointProgress, cfg: &PerCampaignConfig) -> PointStatus {
     PointStatus::Active
 }
 
-fn fresh_points(cfg: &PerCampaignConfig) -> Vec<PointProgress> {
+/// Zeroed per-point progress for every configured SNR.
+pub fn fresh_points(cfg: &PerCampaignConfig) -> Vec<PointProgress> {
     cfg.snrs_db
         .iter()
         .map(|&snr_db| PointProgress {
@@ -528,9 +561,11 @@ fn fresh_points(cfg: &PerCampaignConfig) -> Vec<PointProgress> {
         .collect()
 }
 
-/// Loads campaign state from the journal, or cold-starts. Never panics:
-/// a missing journal is a fresh start, any other load failure is a cold
-/// start carrying the typed error.
+/// Loads campaign state from the journal, salvages a damaged one, or
+/// cold-starts. Never panics: a missing journal is a fresh start, an
+/// unsalvageable failure is a cold start carrying the typed error, and
+/// a damaged journal with a verified prefix restores that prefix so
+/// only the damaged tail re-runs ([`journal::load_salvage`]).
 fn restore(
     cfg: &PerCampaignConfig,
     key: &str,
@@ -538,24 +573,44 @@ fn restore(
     let Some(path) = cfg.journal.as_deref() else {
         return (fresh_points(cfg), Vec::new(), Resume::Fresh);
     };
-    match journal::load(path, key) {
-        Ok(body) => match parse_body(cfg, &body) {
+    match journal::load_salvage(path, key) {
+        (body, None) => match parse_body(cfg, &body, true) {
             Ok((points, quarantine)) => {
                 let trials = points.iter().map(|p| p.trials).sum();
                 (points, quarantine, Resume::Resumed { trials })
             }
             Err(error) => (fresh_points(cfg), Vec::new(), Resume::ColdStart { error }),
         },
-        Err(JournalError::Io(std::io::ErrorKind::NotFound)) => {
+        (_, Some(JournalError::Io(std::io::ErrorKind::NotFound))) => {
             (fresh_points(cfg), Vec::new(), Resume::Fresh)
         }
-        Err(error) => (fresh_points(cfg), Vec::new(), Resume::ColdStart { error }),
+        (body, Some(error)) => {
+            // A salvaged prefix may stop mid-record-stream: tolerate
+            // missing tail points (they restart fresh). Checkpoints
+            // write the quarantine ledger *before* the point tallies, so
+            // any salvaged prefix is self-consistent: either the ledger
+            // is complete for every restored tally, or tallies are
+            // missing and their trials re-run (regenerating identical
+            // ledger entries, deduplicated on push).
+            match parse_body(cfg, &body, false) {
+                Ok((points, quarantine)) if points.iter().any(|p| p.trials > 0) || !quarantine.is_empty() => {
+                    let trials = points.iter().map(|p| p.trials).sum();
+                    (points, quarantine, Resume::Salvaged { trials, error })
+                }
+                _ => (fresh_points(cfg), Vec::new(), Resume::ColdStart { error }),
+            }
+        }
     }
 }
 
+/// Parses journal body lines back into campaign state. With `complete`
+/// set, every configured point must be present (an intact journal);
+/// without it, a salvaged prefix may cover only the first points and
+/// the rest start fresh.
 fn parse_body(
     cfg: &PerCampaignConfig,
     body: &[String],
+    complete: bool,
 ) -> Result<(Vec<PointProgress>, Vec<QuarantinedTrial>), JournalError> {
     let mut points = Vec::with_capacity(cfg.snrs_db.len());
     let mut quarantine = Vec::new();
@@ -563,16 +618,7 @@ fn parse_body(
         // Body line `idx` sits at file line `idx + 3` (header, key first).
         let malformed = JournalError::Malformed { line: idx + 3 };
         if line.starts_with("point ") {
-            let mut tokens = line.split_whitespace().skip(1);
-            let parsed = (|| {
-                let i = kv_u64(tokens.next()?, "i")? as usize;
-                let trials = kv_u64(tokens.next()?, "trials")?;
-                let errors = kv_u64(tokens.next()?, "errors")?;
-                let erasures = kv_u64(tokens.next()?, "erasures")?;
-                let status = PointStatus::parse(kv(tokens.next()?, "status")?)?;
-                Some((i, trials, errors, erasures, status))
-            })();
-            let Some((i, trials, errors, erasures, status)) = parsed else {
+            let Some((i, trials, errors, erasures, status)) = parse_point_line(line) else {
                 return Err(malformed);
             };
             let in_bounds =
@@ -596,8 +642,17 @@ fn parse_body(
             return Err(malformed);
         }
     }
-    if points.len() != cfg.snrs_db.len() {
+    if complete && points.len() != cfg.snrs_db.len() {
         return Err(JournalError::Truncated);
+    }
+    while points.len() < cfg.snrs_db.len() {
+        points.push(PointProgress {
+            snr_db: cfg.snrs_db[points.len()],
+            trials: 0,
+            errors: 0,
+            erasures: 0,
+            status: PointStatus::Active,
+        });
     }
     Ok((points, quarantine))
 }
@@ -611,12 +666,12 @@ fn checkpoint(
     let Some(path) = cfg.journal.as_deref() else {
         return Ok(());
     };
-    let mut body: Vec<String> = points
-        .iter()
-        .enumerate()
-        .map(|(i, p)| p.to_line(i))
-        .collect();
-    body.extend(quarantine.iter().map(QuarantinedTrial::to_line));
+    // Ledger first, tallies after: a salvaged prefix then never holds a
+    // tally whose quarantine entries were lost — either the full ledger
+    // precedes the surviving tallies, or lost tallies re-run and their
+    // entries deduplicate against the restored ledger.
+    let mut body: Vec<String> = quarantine.iter().map(QuarantinedTrial::to_line).collect();
+    body.extend(points.iter().enumerate().map(|(i, p)| p.to_line(i)));
     journal::save(path, key, &body)
 }
 

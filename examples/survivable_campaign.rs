@@ -8,25 +8,53 @@
 //! that was never interrupted — that `diff` is exactly what
 //! `ci.sh` performs.
 //!
-//! Usage: `survivable_campaign <journal-path>`
+//! With `--workers N` the same campaign runs sharded over N worker
+//! subprocesses (this binary re-invoked with `--worker`) through
+//! `wlan-dist`; the coordinator's bit-identity contract means the table
+//! still comes out byte-identical to the single-process run.
+//!
+//! Usage:
+//!   survivable_campaign <journal-path> [--workers N]
+//!   survivable_campaign --worker        (internal: worker mode)
 
 use std::io::Write;
 
 use wlan_core::fault::FaultChain;
 use wlan_core::linksim::OfdmLink;
 use wlan_core::ofdm::OfdmRate;
-use wlan_runner::per::{run_per_campaign, PerCampaignConfig};
+use wlan_dist::{run_dist_per_campaign, DistConfig, FaultSpec, LinkSpec, ProcessFactory};
+use wlan_runner::per::{run_per_campaign, PerCampaignConfig, PointProgress};
 use wlan_runner::{Outcome, Resume};
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let Some(journal) = args.next() else {
-        eprintln!("usage: survivable_campaign <journal-path>");
-        std::process::exit(2);
-    };
+fn usage() -> ! {
+    eprintln!("usage: survivable_campaign <journal-path> [--workers N]");
+    std::process::exit(2);
+}
 
-    let link = OfdmLink::awgn(OfdmRate::R12);
-    let faults = FaultChain::clean();
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--worker") {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        wlan_dist::serve(stdin.lock(), stdout.lock());
+        return;
+    }
+
+    let mut journal: Option<String> = None;
+    let mut workers: usize = 0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => workers = n,
+                None => usage(),
+            },
+            other if !other.starts_with("--") => journal = Some(other.to_owned()),
+            _ => usage(),
+        }
+    }
+    let Some(journal) = journal else { usage() };
+
     // The R12 waterfall region: PER mid-range, so the Wilson interval is
     // at its widest and the 0.02 target needs a few thousand frames per
     // point — enough work that a SIGKILL lands mid-campaign.
@@ -35,14 +63,58 @@ fn main() {
         .with_journal(journal.into())
         .with_target_half_width(0.02);
 
-    let report = run_per_campaign(&link, &faults, &cfg);
+    let (resume, outcome, name, fault, points, quarantined) = if workers == 0 {
+        let link = OfdmLink::awgn(OfdmRate::R12);
+        let report = run_per_campaign(&link, &FaultChain::clean(), &cfg);
+        (
+            report.resume,
+            report.outcome,
+            report.name,
+            report.fault,
+            report.points,
+            report.quarantine.len(),
+        )
+    } else {
+        let Ok(exe) = std::env::current_exe() else {
+            eprintln!("cannot locate own executable for worker re-invocation");
+            std::process::exit(2);
+        };
+        let mut factory = ProcessFactory {
+            program: exe,
+            args: vec!["--worker".to_owned()],
+        };
+        let dist = DistConfig::new(cfg, workers)
+            .with_lease_timeout_ms(10_000)
+            .with_heartbeat_ms(200);
+        let report = run_dist_per_campaign(
+            LinkSpec::Ofdm(OfdmRate::R12),
+            FaultSpec::Clean,
+            &dist,
+            &mut factory,
+        );
+        eprintln!(
+            "fleet: {} spawned, {} died, {} redispatches",
+            report.stats.workers_spawned, report.stats.worker_deaths, report.stats.redispatches,
+        );
+        (
+            report.resume,
+            report.outcome,
+            report.name,
+            report.fault,
+            report.points,
+            report.quarantine.len(),
+        )
+    };
 
-    match &report.resume {
+    match &resume {
         Resume::Fresh => eprintln!("started fresh"),
         Resume::Resumed { trials } => eprintln!("resumed with {trials} trials banked"),
+        Resume::Salvaged { trials, error } => {
+            eprintln!("salvaged {trials} trials from a damaged journal ({error})")
+        }
         Resume::ColdStart { error } => eprintln!("cold start: {error}"),
     }
-    match &report.outcome {
+    match &outcome {
         Outcome::Complete => eprintln!("campaign complete"),
         Outcome::Partial {
             completed,
@@ -51,15 +123,26 @@ fn main() {
         } => eprintln!("partial: {completed} done, <= {remaining} to go ({reason})"),
     }
 
-    // The deterministic result table: stdout only, no timing, no paths.
+    print_table(&name, &fault, &points, quarantined);
+
+    if !outcome.is_complete() {
+        // Let the resume loop in ci.sh know there is more to do.
+        std::process::exit(3);
+    }
+}
+
+// The deterministic result table: stdout only, no timing, no paths, no
+// fleet state — byte-identical across resume schedules and worker
+// counts.
+fn print_table(name: &str, fault: &str, points: &[PointProgress], quarantined: usize) {
     let mut out = std::io::stdout().lock();
-    let _ = writeln!(out, "campaign {} / {}", report.name, report.fault);
+    let _ = writeln!(out, "campaign {name} / {fault}");
     let _ = writeln!(
         out,
         "{:>8} {:>8} {:>8} {:>10} {:>10} {:>22}",
         "snr_db", "trials", "errors", "per", "erasure", "wilson95"
     );
-    for p in &report.points {
+    for p in points {
         let ci = p.ci().map_or_else(
             || "n/a".to_owned(),
             |ci| format!("[{:.6}, {:.6}]", ci.lo, ci.hi),
@@ -75,10 +158,5 @@ fn main() {
             ci
         );
     }
-    let _ = writeln!(out, "quarantined {}", report.quarantine.len());
-
-    if !report.outcome.is_complete() {
-        // Let the resume loop in ci.sh know there is more to do.
-        std::process::exit(3);
-    }
+    let _ = writeln!(out, "quarantined {quarantined}");
 }

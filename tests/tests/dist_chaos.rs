@@ -1,0 +1,237 @@
+//! Tier-1 chaos harness for distributed campaigns (DESIGN.md
+//! "Distributed campaigns").
+//!
+//! The contract under test: `wlan_dist::run_dist_per_campaign` is a
+//! *transparent* execution strategy. For any worker count and any kill
+//! schedule, the campaign report — per-point tallies, PER, Wilson CI
+//! bounds (compared via `f64::to_bits`, not approximately), and the
+//! quarantine ledger — equals the single-process
+//! `wlan_runner::per::run_per_campaign` result, at pinned serial and
+//! default threading. Transport-fault injectors on the coordinator ↔
+//! worker links must never panic the coordinator: every lease either
+//! retries to completion (still bit-identical) or lands in the lease
+//! quarantine with exact replay coordinates.
+
+use wlan_dist::{
+    run_dist_per_campaign, DistConfig, DistPerReport, FaultSpec, InProcessFactory, LinkSpec,
+};
+use wlan_fault::{FaultKind, TransportFaults};
+use wlan_runner::budget::Budget;
+use wlan_runner::per::{run_per_campaign, PerCampaignConfig, PerCampaignReport};
+use wlan_runner::{Outcome, StopReason};
+
+const SNRS: [f64; 3] = [2.0, 5.0, 8.0];
+const PAYLOAD: usize = 20;
+const MAX_FRAMES: u64 = 64;
+const SEED: u64 = 99;
+
+fn per_cfg(threads: Option<usize>) -> PerCampaignConfig {
+    let mut cfg = PerCampaignConfig::new(&SNRS, PAYLOAD, MAX_FRAMES, SEED)
+        .with_budget(Budget::unlimited());
+    cfg.threads = threads;
+    cfg
+}
+
+fn baseline(spec: LinkSpec, fault: FaultSpec, threads: Option<usize>) -> PerCampaignReport {
+    let mut report = run_per_campaign(&*spec.build(), &fault.build(), &per_cfg(threads));
+    // The coordinator folds lease results in frame order, so its ledger
+    // comes out (point, frame)-sorted; normalise the baseline the same
+    // way before comparing.
+    report
+        .quarantine
+        .sort_by(|a, b| (a.point, a.frame).cmp(&(b.point, b.frame)));
+    report
+}
+
+/// Bitwise comparison: tallies via `PartialEq`, floats via `to_bits`.
+fn assert_bit_identical(report: &DistPerReport, base: &PerCampaignReport, label: &str) {
+    assert!(report.outcome.is_complete(), "{label}: must complete");
+    assert_eq!(report.points, base.points, "{label}: point tallies");
+    assert_eq!(report.quarantine, base.quarantine, "{label}: ledger");
+    for (a, b) in report.points.iter().zip(&base.points) {
+        assert_eq!(
+            a.per().to_bits(),
+            b.per().to_bits(),
+            "{label}: PER must be bit-identical"
+        );
+        match (a.ci(), b.ci()) {
+            (Some(ca), Some(cb)) => {
+                assert_eq!(ca.lo.to_bits(), cb.lo.to_bits(), "{label}: CI lo");
+                assert_eq!(ca.hi.to_bits(), cb.hi.to_bits(), "{label}: CI hi");
+            }
+            (None, None) => {}
+            other => panic!("{label}: CI presence diverged: {other:?}"),
+        }
+    }
+}
+
+/// The full bit-identity matrix from the acceptance criteria:
+/// {1 worker, 3 workers, 3 workers + chaos kill, all workers dead →
+/// in-process fallback} × {serial, default threading}, all against the
+/// single-process baseline, with an erasure-producing fault chain so the
+/// quarantine ledger is exercised too.
+#[test]
+fn kill_schedule_matrix_is_bit_identical_to_single_process() {
+    let spec = LinkSpec::Fhss;
+    let fault = FaultSpec::Single {
+        kind: FaultKind::FrameTruncation,
+        severity: 1.0,
+    };
+
+    for threads in [Some(1), None] {
+        let base = baseline(spec, fault, threads);
+        assert!(
+            !base.quarantine.is_empty(),
+            "matrix needs erasures to exercise ledger merging"
+        );
+
+        // One worker: the degenerate fleet.
+        let mut factory = InProcessFactory::clean();
+        let report =
+            run_dist_per_campaign(spec, fault, &DistConfig::new(per_cfg(threads), 1), &mut factory);
+        assert_bit_identical(&report, &base, &format!("threads={threads:?} workers=1"));
+
+        // Three workers: real sharding.
+        let mut factory = InProcessFactory::clean();
+        let report =
+            run_dist_per_campaign(spec, fault, &DistConfig::new(per_cfg(threads), 3), &mut factory);
+        assert_bit_identical(&report, &base, &format!("threads={threads:?} workers=3"));
+
+        // Three workers, two killed almost immediately: survivors absorb
+        // the re-dispatched leases.
+        let mut factory = InProcessFactory::clean();
+        let cfg = DistConfig::new(per_cfg(threads), 3).with_chaos_kill(1, 2);
+        let report = run_dist_per_campaign(spec, fault, &cfg, &mut factory);
+        assert!(
+            report.stats.worker_deaths >= 1,
+            "threads={threads:?}: the chaos kill must actually fire"
+        );
+        assert_bit_identical(&report, &base, &format!("threads={threads:?} chaos kill"));
+
+        // Entire fleet killed: graceful degradation to in-process
+        // execution must still finish the campaign bit-exactly.
+        let mut factory = InProcessFactory::clean();
+        let cfg = DistConfig::new(per_cfg(threads), 3).with_chaos_kill(1, 3);
+        let report = run_dist_per_campaign(spec, fault, &cfg, &mut factory);
+        assert_bit_identical(&report, &base, &format!("threads={threads:?} fleet loss"));
+    }
+}
+
+/// Transport chaos at increasing severity: dropped, duplicated,
+/// truncated, corrupted, and stalled frames in both directions. The
+/// coordinator must never panic; if every lease still completes (the
+/// protocol retries around the damage) the result is bit-identical, and
+/// any lease that exhausts its dispatch budget must be quarantined with
+/// a valid replay range rather than silently lost.
+#[test]
+fn transport_faults_never_panic_and_account_for_every_lease() {
+    let spec = LinkSpec::Fhss;
+    let fault = FaultSpec::Clean;
+    let base = baseline(spec, fault, Some(1));
+
+    for severity in [0.2, 0.6, 1.0] {
+        let mut factory = InProcessFactory {
+            to_worker: TransportFaults::chaos(severity),
+            from_worker: TransportFaults::chaos(severity),
+            relay_seed: 0xC4A0 + (severity * 10.0) as u64,
+        };
+        // Tight deadlines so dropped Done frames turn into redispatches
+        // in test time, not in 30 s.
+        let cfg = DistConfig::new(per_cfg(Some(1)), 3)
+            .with_lease_timeout_ms(700)
+            .with_heartbeat_ms(50);
+        let report = run_dist_per_campaign(spec, fault, &cfg, &mut factory);
+
+        match &report.outcome {
+            Outcome::Complete => {
+                assert!(
+                    report.lease_quarantine.is_empty(),
+                    "severity={severity}: complete yet leases quarantined"
+                );
+                assert_bit_identical(&report, &base, &format!("severity={severity}"));
+            }
+            Outcome::Partial { reason, .. } => {
+                assert_eq!(
+                    *reason,
+                    StopReason::Abandoned,
+                    "severity={severity}: a transport-starved campaign stops as Abandoned"
+                );
+                assert!(
+                    !report.lease_quarantine.is_empty(),
+                    "severity={severity}: partial without quarantined leases"
+                );
+                for q in &report.lease_quarantine {
+                    assert!(q.start < q.end, "severity={severity}: empty replay range");
+                    assert!(q.end <= MAX_FRAMES, "severity={severity}: range out of bounds");
+                    assert!(
+                        q.attempts >= cfg.max_dispatches,
+                        "severity={severity}: lease quarantined before its dispatch budget"
+                    );
+                }
+                // Accounting: every incomplete point is explained by at
+                // least one quarantined lease — no trials silently lost.
+                for (idx, p) in report.points.iter().enumerate() {
+                    if p.trials < MAX_FRAMES {
+                        assert!(
+                            report.lease_quarantine.iter().any(|q| q.point == idx),
+                            "severity={severity}: point {idx} incomplete at {} trials \
+                             with no quarantined lease to explain it",
+                            p.trials
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A trial budget that dies mid-campaign yields an aggregated
+/// `Outcome::Partial` whose `completed`/`remaining` come from the
+/// distributed merge — round-aligned and equal in total to the
+/// single-process campaign under the same cap. (The *shape* of partial
+/// progress legitimately differs: the single-process scheduler
+/// round-robins waves across points while the coordinator fills points
+/// in order. Only completed campaigns promise point-identical tallies;
+/// both partial shapes resume to the same converged result, which the
+/// journal-resume tests pin.)
+#[test]
+fn budget_exhaustion_mid_campaign_aggregates_partials() {
+    let spec = LinkSpec::Fhss;
+    let fault = FaultSpec::Clean;
+    let cap = 96; // 3 waves of a 3 × 64 = 192-trial campaign
+
+    let capped =
+        |threads| per_cfg(threads).with_budget(Budget::unlimited().with_max_trials(cap));
+    let single = run_per_campaign(&*spec.build(), &fault.build(), &capped(Some(1)));
+    let Outcome::Partial {
+        completed: base_completed,
+        remaining: base_remaining,
+        reason: StopReason::TrialBudget,
+    } = single.outcome
+    else {
+        panic!("baseline must exhaust its budget, got {:?}", single.outcome);
+    };
+
+    for workers in [1usize, 3] {
+        let mut factory = InProcessFactory::clean();
+        let cfg = DistConfig::new(capped(Some(1)), workers);
+        let report = run_dist_per_campaign(spec, fault, &cfg, &mut factory);
+        let Outcome::Partial {
+            completed,
+            remaining,
+            reason,
+        } = report.outcome
+        else {
+            panic!("workers={workers}: expected Partial, got {:?}", report.outcome);
+        };
+        assert_eq!(reason, StopReason::TrialBudget, "workers={workers}");
+        assert_eq!(completed, base_completed, "workers={workers}: banked trials");
+        assert_eq!(remaining, base_remaining, "workers={workers}: merged remainder");
+        assert_eq!(completed % 32, 0, "workers={workers}: budget cuts on wave grid");
+        let banked: u64 = report.points.iter().map(|p| p.trials).sum();
+        assert_eq!(banked, completed, "workers={workers}: tallies must match the meter");
+        for p in &report.points {
+            assert_eq!(p.trials % 32, 0, "workers={workers}: every point on the wave grid");
+        }
+    }
+}

@@ -10,8 +10,9 @@
 //!    as many times as it takes, produces the same final report —
 //!    per-point tallies *and* CI bounds — as one that never stopped;
 //! 3. a corrupted, truncated, or mismatched journal is a typed
-//!    [`JournalError`] plus a clean cold start, never a panic, and the
-//!    cold-started campaign still produces the exact result.
+//!    [`JournalError`] plus either a salvaged checksummed prefix
+//!    ([`Resume::Salvaged`]) or a clean cold start — never a panic —
+//!    and the recovered campaign still produces the exact result.
 
 use std::path::PathBuf;
 
@@ -170,8 +171,11 @@ fn corrupted_journal_is_typed_error_and_clean_cold_start() {
     std::fs::write(&path, &bytes).unwrap();
 
     let report = run_per_campaign(&link, &chain, &cfg.clone().with_budget(Budget::unlimited()));
-    let Resume::ColdStart { error } = &report.resume else {
-        panic!("expected cold start, got {:?}", report.resume);
+    // Damage yields a typed error either way; whether a checksummed
+    // prefix survived the flip decides Salvaged vs ColdStart.
+    let error = match &report.resume {
+        Resume::Salvaged { error, .. } | Resume::ColdStart { error } => error,
+        other => panic!("expected salvage or cold start, got {other:?}"),
     };
     assert!(
         matches!(
@@ -184,7 +188,8 @@ fn corrupted_journal_is_typed_error_and_clean_cold_start() {
         ),
         "{error:?}"
     );
-    // The cold start still converges to the exact uninterrupted result.
+    // Either recovery path still converges to the exact uninterrupted
+    // result.
     let fresh = run_per_campaign(&link, &chain, &per_cfg(Some(1)));
     assert_eq!(report.points, fresh.points);
 
@@ -192,7 +197,11 @@ fn corrupted_journal_is_typed_error_and_clean_cold_start() {
     let valid = std::fs::read(&path).unwrap();
     std::fs::write(&path, &valid[..valid.len() * 2 / 3]).unwrap();
     let report = run_per_campaign(&link, &chain, &cfg.clone().with_budget(Budget::unlimited()));
-    assert!(matches!(report.resume, Resume::ColdStart { .. }));
+    assert!(matches!(
+        report.resume,
+        Resume::ColdStart { .. } | Resume::Salvaged { .. }
+    ));
+    assert_eq!(report.points, fresh.points);
 
     // An empty journal file too.
     std::fs::write(&path, b"").unwrap();
@@ -259,6 +268,117 @@ fn trial_budget_is_cumulative_across_resume() {
         "a raised cap must buy new progress"
     );
     let _ = std::fs::remove_file(&path);
+}
+
+/// A damaged journal tail must not cost the verified prefix: flip one
+/// byte near the end of a multi-checkpoint journal and the next
+/// invocation reports [`Resume::Salvaged`] with banked trials, re-runs
+/// only the damaged tail, and still converges to the exact
+/// uninterrupted result. (Regression for the salvage chain: before it,
+/// any single bit flip cold-started the whole campaign.)
+#[test]
+fn bit_flip_in_journal_tail_salvages_the_verified_prefix() {
+    let link = FhssLink;
+    let chain = FaultChain::clean();
+    let path = tmp("salvage");
+    let _ = std::fs::remove_file(&path);
+
+    let uninterrupted = run_per_campaign(&link, &chain, &per_cfg(Some(1)));
+
+    // Bank several waves (and therefore several verified `sum` lines).
+    let mut completed = 0u64;
+    for _ in 0..2 {
+        let cfg = per_cfg(Some(1))
+            .with_journal(path.clone())
+            .with_budget(Budget::unlimited().with_max_trials(completed + 1));
+        let r = run_per_campaign(&link, &chain, &cfg);
+        assert!(!r.outcome.is_complete());
+        completed = r.completed_trials();
+    }
+    assert!(completed > 0);
+
+    // Flip one bit near the tail: the cumulative checksum chain breaks
+    // there, but every earlier `sum` line still verifies.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let idx = bytes.len() - 2;
+    bytes[idx] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let report = run_per_campaign(
+        &link,
+        &chain,
+        &per_cfg(Some(1)).with_journal(path.clone()).with_budget(Budget::unlimited()),
+    );
+    let Resume::Salvaged { trials, .. } = &report.resume else {
+        panic!("expected salvage, got {:?}", report.resume);
+    };
+    assert!(*trials > 0, "the verified prefix must not be empty");
+    assert_eq!(report.points, uninterrupted.points);
+    assert_eq!(report.quarantine, uninterrupted.quarantine);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Quarantine replay determinism matrix: a campaign run single-process
+/// or distributed, serial or threaded, must produce the *same*
+/// quarantine ledger, and every entry must replay to the identical
+/// typed error from its recorded stream coordinates alone. This is the
+/// property that makes a quarantined lease's `qlease` line actionable:
+/// the replay coordinates mean the same thing no matter which worker
+/// originally hit the failure.
+#[test]
+fn quarantine_replay_is_deterministic_across_threads_and_workers() {
+    use wlan_dist::{
+        run_dist_per_campaign, DistConfig, FaultSpec, InProcessFactory, LinkSpec,
+    };
+    use wlan_runner::per::replay_trial;
+
+    let spec = LinkSpec::Fhss;
+    let fault = FaultSpec::Single {
+        kind: wlan_fault::FaultKind::FrameTruncation,
+        severity: 1.0,
+    };
+    let payload = 20;
+    let per = |threads: Option<usize>| {
+        let mut cfg = PerCampaignConfig::new(&SNRS, payload, 96, 2005)
+            .with_budget(Budget::unlimited());
+        cfg.threads = threads;
+        cfg
+    };
+
+    let link = spec.build();
+    let chain = fault.build();
+    let mut baseline = run_per_campaign(&*link, &chain, &per(Some(1)));
+    assert!(
+        !baseline.quarantine.is_empty(),
+        "matrix needs a non-empty ledger to mean anything"
+    );
+    baseline
+        .quarantine
+        .sort_by(|a, b| (a.point, a.frame).cmp(&(b.point, b.frame)));
+
+    for threads in [Some(1), Some(2), None] {
+        for workers in [1usize, 2] {
+            let cfg = DistConfig::new(per(threads), workers);
+            let mut factory = InProcessFactory::clean();
+            let report = run_dist_per_campaign(spec, fault, &cfg, &mut factory);
+            assert_eq!(
+                report.quarantine, baseline.quarantine,
+                "threads={threads:?} workers={workers}: ledgers must agree"
+            );
+            for entry in &report.quarantine {
+                let replayed = replay_trial(&*link, &chain, payload, entry);
+                let err = replayed.expect_err("a quarantined trial must replay to an error");
+                assert_eq!(
+                    format!("{err}"),
+                    entry.error,
+                    "threads={threads:?} workers={workers}: replay must reproduce \
+                     the recorded error for point={} frame={}",
+                    entry.point,
+                    entry.frame
+                );
+            }
+        }
+    }
 }
 
 #[test]
