@@ -60,17 +60,19 @@ diff "$CHAOS_DIR/one_worker.txt" "$CHAOS_DIR/chaos.txt"
 rm -rf "$CHAOS_DIR"
 
 # Instrumented bench smoke: the experiments that carry wlan-obs emission
-# (E4 PHY sweeps, E13 MAC, E16 fault catalog) must produce schema-valid
-# BENCH_<EXP>.json files and a well-formed WLAN_OBS_JSONL event stream.
+# (E4 PHY sweeps, E13 MAC, E16 fault catalog, E20 city) must produce
+# schema-valid BENCH_<EXP>.json files and a well-formed WLAN_OBS_JSONL
+# event stream.
 cargo build --release --offline -p wlan-bench --benches --examples
 BENCH_DIR=$(mktemp -d)
-for exp in e04_per_vs_snr e13_mac_throughput e16_fault_robustness; do
+for exp in e04_per_vs_snr e13_mac_throughput e16_fault_robustness e20_city; do
     WLAN_BENCH_MIN_TIME_MS=10 WLAN_BENCH_JSON_DIR="$BENCH_DIR" \
         WLAN_OBS_JSONL="$BENCH_DIR/events.jsonl" \
         cargo bench -q --offline -p wlan-bench --bench "$exp" > /dev/null
 done
 cargo run -q --release --offline -p wlan-bench --example check_bench_json -- \
-    "$BENCH_DIR/BENCH_E04.json" "$BENCH_DIR/BENCH_E13.json" "$BENCH_DIR/BENCH_E16.json"
+    "$BENCH_DIR/BENCH_E04.json" "$BENCH_DIR/BENCH_E13.json" \
+    "$BENCH_DIR/BENCH_E16.json" "$BENCH_DIR/BENCH_E20.json"
 cargo run -q --release --offline -p wlan-bench --example check_bench_json -- \
     --jsonl "$BENCH_DIR/events.jsonl"
 
@@ -82,11 +84,19 @@ cargo run -q --release --offline -p wlan-bench --example check_bench_json -- \
 # numbers several times higher than the bar. Schema validity of the
 # committed files is enforced alongside.
 cargo run -q --release --offline -p wlan-bench --example check_bench_json -- \
-    BENCH_E04.json BENCH_E13.json BENCH_E16.json
+    BENCH_E04.json BENCH_E13.json BENCH_E16.json BENCH_E20.json
 E04_SEED_FLOOR=1191.8745122932226
 E16_SEED_FLOOR=1144.2658027124764
-for exp in E04 E16; do
-    if [ "$exp" = E04 ]; then floor="$E04_SEED_FLOOR"; else floor="$E16_SEED_FLOOR"; fi
+# E20's floor is its smoke-config delivery rate (delivered frames/s over
+# the whole bench run) measured at introduction, divided by ~6 for CI
+# headroom — a city-epoch slowdown of that size is a real regression.
+E20_SEED_FLOOR=40000
+for exp in E04 E16 E20; do
+    case "$exp" in
+        E04) floor="$E04_SEED_FLOOR" ;;
+        E16) floor="$E16_SEED_FLOOR" ;;
+        E20) floor="$E20_SEED_FLOOR" ;;
+    esac
     fresh=$(sed -n 's/.*"frames_per_s":\([0-9.eE+-]*\).*/\1/p' "$BENCH_DIR/BENCH_$exp.json")
     awk -v fresh="$fresh" -v floor="$floor" -v name="$exp" 'BEGIN {
         if (fresh == "" || fresh + 0 < floor + 0) {
@@ -113,8 +123,15 @@ rm -rf "$BENCH_DIR"
 # unwrapping).
 # crates/dist coordinates the whole fleet, so a panic there loses every
 # worker's in-flight results at once — same bar.
+# crates/channel, crates/mac, and crates/mesh feed every interference,
+# protection, and topology decision the city simulator makes; crates/city
+# itself runs hundreds of BSS-epochs per wave, so one panicking degenerate
+# input would kill a whole campaign invocation — same bar (their public
+# APIs return typed WlanErrors instead; see interference.rs/protection.rs).
 for f in crates/coding/src/*.rs crates/mimo/src/*.rs crates/core/src/*.rs \
          crates/runner/src/*.rs crates/obs/src/*.rs crates/dist/src/*.rs \
+         crates/channel/src/*.rs crates/mac/src/*.rs crates/mesh/src/*.rs \
+         crates/city/src/*.rs \
          crates/math/src/ci.rs crates/math/src/par.rs; do
         awk '
             /#\[cfg\(test\)\]/ { exit }

@@ -79,6 +79,13 @@ impl BenchRun {
     /// printing a warning if the write failed (a bench must still
     /// report its table on a read-only filesystem).
     pub fn finish(self, frames: u64, trials: u64) -> Option<PathBuf> {
+        self.finish_with(frames, trials, &[])
+    }
+
+    /// [`BenchRun::finish`] plus experiment-specific keys appended to
+    /// the document (the schema only *requires* the common keys, so
+    /// extras — per-AC rates, fairness indices — validate cleanly).
+    pub fn finish_with(self, frames: u64, trials: u64, extra: &[(&str, Value)]) -> Option<PathBuf> {
         let wall_s = self.started.elapsed().as_secs_f64();
         let snap = wlan_obs::global().snapshot();
 
@@ -92,7 +99,7 @@ impl BenchRun {
             }
         };
 
-        let doc = Value::Obj(vec![
+        let mut fields = vec![
             ("experiment".into(), Value::Str(self.experiment.clone())),
             ("schema".into(), Value::U64(SCHEMA_VERSION)),
             (
@@ -122,7 +129,11 @@ impl BenchRun {
                         .collect(),
                 ),
             ),
-        ]);
+        ];
+        for (k, v) in extra {
+            fields.push(((*k).to_owned(), v.clone()));
+        }
+        let doc = Value::Obj(fields);
 
         let dir = std::env::var_os(JSON_DIR_ENV)
             .map(PathBuf::from)
@@ -325,6 +336,33 @@ mod tests {
         assert_eq!(schema_violations(&doc), Vec::<String>::new());
         assert_eq!(doc.get("experiment").and_then(Value::as_str), Some("E99"));
         assert_eq!(doc.get("frames").and_then(Value::as_u64), Some(120));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn extra_keys_are_emitted_and_still_validate() {
+        let dir = std::env::temp_dir().join(format!("wlan_bench_extra_{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        std::env::set_var(JSON_DIR_ENV, &dir);
+        let run = BenchRun::start("e98");
+        let path = run
+            .finish_with(
+                10,
+                10,
+                &[
+                    ("jain_fairness", Value::F64(0.93)),
+                    ("handoffs", Value::U64(4)),
+                ],
+            )
+            .expect("emission must succeed");
+        std::env::remove_var(JSON_DIR_ENV);
+
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let doc = Value::parse(&text).expect("parse back");
+        assert_eq!(schema_violations(&doc), Vec::<String>::new());
+        assert_eq!(doc.get("jain_fairness").and_then(Value::as_f64), Some(0.93));
+        assert_eq!(doc.get("handoffs").and_then(Value::as_u64), Some(4));
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(&dir);
     }

@@ -5,10 +5,17 @@
 //! cannot hear each other (hidden nodes) collide at the receiver. This
 //! module provides the SINR arithmetic for overlapping-BSS scenarios and a
 //! Monte-Carlo hidden-node probability estimator.
+//!
+//! Both entry points are `try_*` functions returning a typed
+//! [`WlanError`] on degenerate inputs (the PR 2 policy every other public
+//! path follows): the city-scale simulator evaluates them once per
+//! station per epoch inside a long campaign, and a malformed layout must
+//! surface as a typed configuration error, never a panic mid-run.
 
 use crate::pathloss::{LinkBudget, PathLossModel};
 use wlan_math::rng::Rng;
 use wlan_math::special::{db_to_lin, lin_to_db};
+use wlan_math::WlanError;
 
 /// One co-channel interferer: distance from the victim receiver and the
 /// fraction of time it transmits.
@@ -24,29 +31,37 @@ pub struct Interferer {
 /// of co-channel interferers (mean interference = duty-weighted received
 /// power; all stations use the same budget).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a distance is nonpositive or a duty cycle is outside `[0, 1]`.
-pub fn co_channel_sinr_db(
+/// [`WlanError::InvalidConfig`] if a distance is nonpositive, infinite, or
+/// NaN, or a duty cycle is outside `[0, 1]` (NaN included).
+pub fn try_co_channel_sinr_db(
     budget: &LinkBudget,
     model: &PathLossModel,
     signal_distance_m: f64,
     interferers: &[Interferer],
-) -> f64 {
-    assert!(signal_distance_m > 0.0, "signal distance must be positive");
+) -> Result<f64, WlanError> {
+    if !(signal_distance_m > 0.0 && signal_distance_m.is_finite()) {
+        return Err(WlanError::InvalidConfig(
+            "signal distance must be positive and finite",
+        ));
+    }
     let signal_dbm = budget.rx_power_dbm(model.path_loss_db(signal_distance_m));
     let noise_mw = db_to_lin(budget.noise_floor_dbm());
     let mut interference_mw = 0.0;
     for i in interferers {
-        assert!(i.distance_m > 0.0, "interferer distance must be positive");
-        assert!(
-            (0.0..=1.0).contains(&i.duty_cycle),
-            "duty cycle must be in [0, 1]"
-        );
+        if !(i.distance_m > 0.0 && i.distance_m.is_finite()) {
+            return Err(WlanError::InvalidConfig(
+                "interferer distance must be positive and finite",
+            ));
+        }
+        if !(0.0..=1.0).contains(&i.duty_cycle) {
+            return Err(WlanError::InvalidConfig("duty cycle must be in [0, 1]"));
+        }
         let rx_dbm = budget.rx_power_dbm(model.path_loss_db(i.distance_m));
         interference_mw += i.duty_cycle * db_to_lin(rx_dbm);
     }
-    signal_dbm - lin_to_db(noise_mw + interference_mw)
+    Ok(signal_dbm - lin_to_db(noise_mw + interference_mw))
 }
 
 /// Monte-Carlo hidden-node probability: place two contending transmitters
@@ -56,17 +71,29 @@ pub fn co_channel_sinr_db(
 /// the configuration where CSMA fails and RTS/CTS earns its keep
 /// (experiment E13's ablation).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if radii are nonpositive or `trials` is zero.
-pub fn hidden_node_probability(
+/// [`WlanError::InvalidConfig`] if either radius is nonpositive, infinite,
+/// or NaN, or `trials` is zero.
+pub fn try_hidden_node_probability(
     cell_radius_m: f64,
     cs_range_m: f64,
     trials: usize,
     rng: &mut impl Rng,
-) -> f64 {
-    assert!(cell_radius_m > 0.0 && cs_range_m > 0.0, "radii must be positive");
-    assert!(trials > 0, "need at least one trial");
+) -> Result<f64, WlanError> {
+    if !(cell_radius_m > 0.0 && cell_radius_m.is_finite()) {
+        return Err(WlanError::InvalidConfig(
+            "cell radius must be positive and finite",
+        ));
+    }
+    if !(cs_range_m > 0.0 && cs_range_m.is_finite()) {
+        return Err(WlanError::InvalidConfig(
+            "carrier-sense range must be positive and finite",
+        ));
+    }
+    if trials == 0 {
+        return Err(WlanError::InvalidConfig("need at least one trial"));
+    }
     let mut hidden = 0usize;
     for _ in 0..trials {
         let a = random_point_in_disc(cell_radius_m, rng);
@@ -76,7 +103,7 @@ pub fn hidden_node_probability(
             hidden += 1;
         }
     }
-    hidden as f64 / trials as f64
+    Ok(hidden as f64 / trials as f64)
 }
 
 fn random_point_in_disc(radius: f64, rng: &mut impl Rng) -> (f64, f64) {
@@ -95,18 +122,27 @@ mod tests {
         (LinkBudget::typical_wlan(), PathLossModel::tgn_model_d())
     }
 
+    fn sinr(
+        budget: &LinkBudget,
+        model: &PathLossModel,
+        d: f64,
+        interferers: &[Interferer],
+    ) -> f64 {
+        try_co_channel_sinr_db(budget, model, d, interferers).expect("valid geometry")
+    }
+
     #[test]
     fn no_interferers_matches_plain_snr() {
         let (budget, model) = env();
-        let sinr = co_channel_sinr_db(&budget, &model, 20.0, &[]);
+        let s = sinr(&budget, &model, 20.0, &[]);
         let snr = budget.snr_at_distance_db(&model, 20.0);
-        assert!((sinr - snr).abs() < 1e-9);
+        assert!((s - snr).abs() < 1e-9);
     }
 
     #[test]
     fn closer_interferer_hurts_more() {
         let (budget, model) = env();
-        let far = co_channel_sinr_db(
+        let far = sinr(
             &budget,
             &model,
             20.0,
@@ -115,7 +151,7 @@ mod tests {
                 duty_cycle: 1.0,
             }],
         );
-        let near = co_channel_sinr_db(
+        let near = sinr(
             &budget,
             &model,
             20.0,
@@ -131,7 +167,7 @@ mod tests {
     fn duty_cycle_scales_interference() {
         let (budget, model) = env();
         let make = |duty: f64| {
-            co_channel_sinr_db(
+            sinr(
                 &budget,
                 &model,
                 20.0,
@@ -155,7 +191,7 @@ mod tests {
         // Tie to the mesh rate table: a full-duty interferer at equal
         // distance drives SINR to ~0 dB, below any OFDM sensitivity.
         let (budget, model) = env();
-        let sinr = co_channel_sinr_db(
+        let s = sinr(
             &budget,
             &model,
             30.0,
@@ -164,14 +200,49 @@ mod tests {
                 duty_cycle: 1.0,
             }],
         );
-        assert!(sinr < 1.0, "equal-distance interferer leaves SINR {sinr}");
+        assert!(s < 1.0, "equal-distance interferer leaves SINR {s}");
+    }
+
+    #[test]
+    fn degenerate_inputs_are_typed_errors_not_panics() {
+        let (budget, model) = env();
+        let bad = |d: f64, interferers: &[Interferer]| {
+            try_co_channel_sinr_db(&budget, &model, d, interferers).unwrap_err()
+        };
+        assert!(matches!(bad(0.0, &[]), WlanError::InvalidConfig(_)));
+        assert!(matches!(bad(-5.0, &[]), WlanError::InvalidConfig(_)));
+        assert!(matches!(bad(f64::NAN, &[]), WlanError::InvalidConfig(_)));
+        assert!(matches!(bad(f64::INFINITY, &[]), WlanError::InvalidConfig(_)));
+        let bad_i = |distance_m: f64, duty_cycle: f64| {
+            bad(
+                20.0,
+                &[Interferer {
+                    distance_m,
+                    duty_cycle,
+                }],
+            )
+        };
+        assert!(matches!(bad_i(0.0, 0.5), WlanError::InvalidConfig(_)));
+        assert!(matches!(bad_i(10.0, -0.1), WlanError::InvalidConfig(_)));
+        assert!(matches!(bad_i(10.0, 1.5), WlanError::InvalidConfig(_)));
+        assert!(matches!(bad_i(10.0, f64::NAN), WlanError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn hidden_node_rejects_degenerate_geometry() {
+        let mut rng = WlanRng::seed_from_u64(599);
+        assert!(try_hidden_node_probability(0.0, 1.0, 10, &mut rng).is_err());
+        assert!(try_hidden_node_probability(1.0, f64::NAN, 10, &mut rng).is_err());
+        assert!(try_hidden_node_probability(1.0, 1.0, 0, &mut rng).is_err());
     }
 
     #[test]
     fn hidden_node_probability_shrinks_with_cs_range() {
         let mut rng = WlanRng::seed_from_u64(600);
-        let p_short = hidden_node_probability(100.0, 100.0, 50_000, &mut rng);
-        let p_long = hidden_node_probability(100.0, 200.0, 50_000, &mut rng);
+        let p_short =
+            try_hidden_node_probability(100.0, 100.0, 50_000, &mut rng).expect("valid");
+        let p_long =
+            try_hidden_node_probability(100.0, 200.0, 50_000, &mut rng).expect("valid");
         assert!(p_short > 0.2, "short CS range: {p_short}");
         assert!(p_long == 0.0, "CS covering the cell leaves none: {p_long}");
     }
@@ -182,7 +253,7 @@ mod tests {
         // R are farther than R apart) ≈ 0.4135 (known disc-line-picking
         // result).
         let mut rng = WlanRng::seed_from_u64(601);
-        let p = hidden_node_probability(1.0, 1.0, 200_000, &mut rng);
+        let p = try_hidden_node_probability(1.0, 1.0, 200_000, &mut rng).expect("valid");
         assert!((p - 0.4135).abs() < 0.01, "measured {p}");
     }
 }

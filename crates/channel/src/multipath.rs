@@ -65,15 +65,29 @@ impl PowerDelayProfile {
 
     /// TGn-like presets at 20 MHz sampling: RMS delay spreads of
     /// (A, B, C, D, E) = (flat, 15 ns, 30 ns, 50 ns, 100 ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics (via `assert!`) on a letter outside A-E; use
+    /// [`PowerDelayProfile::try_tgn_model`] when the letter is not a
+    /// compile-time constant.
     pub fn tgn_model(model: char) -> Self {
+        let profile = Self::try_tgn_model(model);
+        assert!(profile.is_some(), "unknown TGn model '{model}' (expected A-E)");
+        profile.unwrap_or_else(Self::flat)
+    }
+
+    /// Fallible form of [`PowerDelayProfile::tgn_model`]: `None` on a
+    /// letter outside A-E (case-insensitive).
+    pub fn try_tgn_model(model: char) -> Option<Self> {
         const FS: f64 = 20e6;
         match model.to_ascii_uppercase() {
-            'A' => Self::flat(),
-            'B' => Self::exponential(15e-9, FS),
-            'C' => Self::exponential(30e-9, FS),
-            'D' => Self::exponential(50e-9, FS),
-            'E' => Self::exponential(100e-9, FS),
-            other => panic!("unknown TGn model '{other}' (expected A-E)"),
+            'A' => Some(Self::flat()),
+            'B' => Some(Self::exponential(15e-9, FS)),
+            'C' => Some(Self::exponential(30e-9, FS)),
+            'D' => Some(Self::exponential(50e-9, FS)),
+            'E' => Some(Self::exponential(100e-9, FS)),
+            _ => None,
         }
     }
 

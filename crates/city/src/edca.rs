@@ -1,0 +1,169 @@
+//! EDCA access categories: 802.11e QoS on top of the DCF parameters.
+//!
+//! 802.11e differentiates traffic by giving each access category (AC)
+//! its own contention parameters derived from the PHY's `aCWmin`/`aCWmax`
+//! (table 7-37 of the standard): voice and video get shrunken contention
+//! windows and the minimum AIFS, best effort keeps the DCF window with a
+//! slightly longer AIFS, background waits longest. The city simulator
+//! applies these per-station parameters inside each BSS's contention
+//! loop, which is exactly how EDCA wins airtime in real cells — smaller
+//! windows win the backoff race more often, AIFS adds deterministic
+//! extra slots before low-priority stations may even count down.
+
+use wlan_mac::params::MacProfile;
+
+/// 802.11e access category, highest priority first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessCategory {
+    /// AC_VO — voice.
+    Voice,
+    /// AC_VI — video.
+    Video,
+    /// AC_BE — best effort.
+    BestEffort,
+    /// AC_BK — background.
+    Background,
+}
+
+impl AccessCategory {
+    /// All four categories, priority order.
+    pub const ALL: [AccessCategory; 4] = [
+        AccessCategory::Voice,
+        AccessCategory::Video,
+        AccessCategory::BestEffort,
+        AccessCategory::Background,
+    ];
+
+    /// Stable index 0..4 (priority order) for array-backed tallies.
+    pub fn index(self) -> usize {
+        match self {
+            AccessCategory::Voice => 0,
+            AccessCategory::Video => 1,
+            AccessCategory::BestEffort => 2,
+            AccessCategory::Background => 3,
+        }
+    }
+
+    /// Category from its stable index (wraps modulo 4, so any station
+    /// index maps to a category).
+    pub fn from_index(i: usize) -> Self {
+        Self::ALL[i % 4]
+    }
+
+    /// Short standard name (`VO`, `VI`, `BE`, `BK`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessCategory::Voice => "VO",
+            AccessCategory::Video => "VI",
+            AccessCategory::BestEffort => "BE",
+            AccessCategory::Background => "BK",
+        }
+    }
+}
+
+/// Per-AC contention parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdcaParams {
+    /// Minimum contention window (slots − 1).
+    pub cw_min: u32,
+    /// Maximum contention window (slots − 1).
+    pub cw_max: u32,
+    /// Arbitration inter-frame space number (≥ 2; DIFS ≡ AIFSN 2).
+    pub aifsn: u32,
+}
+
+impl EdcaParams {
+    /// The 802.11e default parameter set for `ac`, derived from the
+    /// profile's `aCWmin`/`aCWmax`:
+    ///
+    /// | AC | CWmin | CWmax | AIFSN |
+    /// |----|-------|-------|-------|
+    /// | VO | (aCWmin+1)/4 − 1 | (aCWmin+1)/2 − 1 | 2 |
+    /// | VI | (aCWmin+1)/2 − 1 | aCWmin | 2 |
+    /// | BE | aCWmin | aCWmax | 3 |
+    /// | BK | aCWmin | aCWmax | 7 |
+    pub fn for_ac(profile: &MacProfile, ac: AccessCategory) -> Self {
+        let a_min = profile.cw_min;
+        let a_max = profile.cw_max;
+        match ac {
+            AccessCategory::Voice => EdcaParams {
+                cw_min: ((a_min + 1) / 4).max(1) - 1,
+                cw_max: a_min.div_ceil(2).max(1) - 1,
+                aifsn: 2,
+            },
+            AccessCategory::Video => EdcaParams {
+                cw_min: a_min.div_ceil(2).max(1) - 1,
+                cw_max: a_min,
+                aifsn: 2,
+            },
+            AccessCategory::BestEffort => EdcaParams {
+                cw_min: a_min,
+                cw_max: a_max,
+                aifsn: 3,
+            },
+            AccessCategory::Background => EdcaParams {
+                cw_min: a_min,
+                cw_max: a_max,
+                aifsn: 7,
+            },
+        }
+    }
+
+    /// Slots this AC waits beyond the shortest AIFS before its backoff
+    /// may count down (AIFSN 2 ≡ DIFS ≡ zero extra slots).
+    pub fn extra_aifs_slots(&self) -> u32 {
+        self.aifsn.saturating_sub(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot11g_edca_matches_the_standard_table() {
+        // aCWmin 15, aCWmax 1023 (OFDM PHY).
+        let p = MacProfile::dot11g(54.0);
+        let vo = EdcaParams::for_ac(&p, AccessCategory::Voice);
+        assert_eq!((vo.cw_min, vo.cw_max, vo.aifsn), (3, 7, 2));
+        let vi = EdcaParams::for_ac(&p, AccessCategory::Video);
+        assert_eq!((vi.cw_min, vi.cw_max, vi.aifsn), (7, 15, 2));
+        let be = EdcaParams::for_ac(&p, AccessCategory::BestEffort);
+        assert_eq!((be.cw_min, be.cw_max, be.aifsn), (15, 1023, 3));
+        let bk = EdcaParams::for_ac(&p, AccessCategory::Background);
+        assert_eq!((bk.cw_min, bk.cw_max, bk.aifsn), (15, 1023, 7));
+    }
+
+    #[test]
+    fn dot11b_edca_scales_from_the_dsss_window() {
+        // aCWmin 31 (DSSS PHY): VO gets 7/15, VI 15/31.
+        let p = MacProfile::dot11b(11.0);
+        let vo = EdcaParams::for_ac(&p, AccessCategory::Voice);
+        assert_eq!((vo.cw_min, vo.cw_max), (7, 15));
+        let vi = EdcaParams::for_ac(&p, AccessCategory::Video);
+        assert_eq!((vi.cw_min, vi.cw_max), (15, 31));
+    }
+
+    #[test]
+    fn priority_order_is_strict() {
+        let p = MacProfile::dot11g(54.0);
+        let params: Vec<EdcaParams> = AccessCategory::ALL
+            .iter()
+            .map(|&ac| EdcaParams::for_ac(&p, ac))
+            .collect();
+        for w in params.windows(2) {
+            assert!(w[0].cw_min <= w[1].cw_min);
+            assert!(w[0].aifsn <= w[1].aifsn);
+        }
+        assert_eq!(params[0].extra_aifs_slots(), 0);
+        assert_eq!(params[3].extra_aifs_slots(), 5);
+    }
+
+    #[test]
+    fn from_index_round_trips() {
+        for ac in AccessCategory::ALL {
+            assert_eq!(AccessCategory::from_index(ac.index()), ac);
+        }
+        assert_eq!(AccessCategory::from_index(7), AccessCategory::Background);
+    }
+}

@@ -1,0 +1,47 @@
+//! City-scale multi-BSS simulation (experiment E20).
+//!
+//! The source paper is a 2005 snapshot; where WLAN actually went is
+//! *density*: hundreds of APs per square kilometre, overlapping BSSs on
+//! three usable 2.4 GHz channels, legacy 802.11b stations forcing
+//! protection onto 802.11g cells, and QoS (EDCA) carving the airtime into
+//! access categories. This crate simulates that city at MAC speed:
+//!
+//! - [`layout`] — seeded geometric deployment: APs on a jittered grid
+//!   (via `wlan_mesh::layout`), reuse-3 channel colouring, uniformly
+//!   scattered stations, carrier-sense and interferer neighbourhoods,
+//!   and a Monte-Carlo hidden-node probability for the cell geometry.
+//! - [`pertable`] — PER lookup tables calibrated once per (generation,
+//!   rate) from the real PHY chains (`wlan_core::linksim::sweep_per`) and
+//!   interpolated in SINR, so the hot loop never touches a PHY.
+//! - [`edca`] — 802.11e access-category parameters (per-AC CWmin/CWmax/
+//!   AIFS) derived from a [`wlan_mac::params::MacProfile`].
+//! - [`sim`] — the epoch-based simulator: per-BSS DCF-style contention
+//!   with OBSS deference, co-channel SINR via
+//!   `wlan_channel::interference`, 11b/g protection interplay reusing
+//!   `wlan_mac::protection`, and RSSI-hysteresis roaming.
+//! - [`campaign`] — the `wlan-runner`-style entry point: budgets,
+//!   checkpoint/resume journals, Wilson-CI early stopping, `wlan-obs`
+//!   events.
+//!
+//! # Determinism
+//!
+//! Every random decision draws from a stream forked off the master seed
+//! by *coordinates*, never by execution order: MAC contention in BSS `b`
+//! at epoch `e` uses `master.fork(S_MAC).fork(b).fork(e)`, roaming for
+//! station `s` at epoch `e` uses `master.fork(S_ROAM).fork(s).fork(e)`.
+//! Per-BSS and per-station work fans out over `wlan_math::par` and is
+//! reduced in index order, so a city run is bit-identical at any
+//! `WLAN_THREADS` setting and across kill/resume through the journal —
+//! pinned by `tests/tests/city_determinism.rs`.
+
+pub mod campaign;
+pub mod edca;
+pub mod layout;
+pub mod pertable;
+pub mod sim;
+
+pub use campaign::{run_city_campaign, CityCampaignConfig, CityRunSummary};
+pub use edca::{AccessCategory, EdcaParams};
+pub use layout::{CityConfig, CityLayout, Generation};
+pub use pertable::{PerTable, PerTableSet};
+pub use sim::{City, CityReport, CityState};

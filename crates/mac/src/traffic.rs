@@ -196,7 +196,11 @@ pub fn simulate_traffic_stepped(cfg: &TrafficConfig, max_steps: u64) -> SteppedT
                 None => false,
             };
             if !lost {
-                let arrival = s.queue.pop_front().expect("nonempty");
+                // Contenders have nonempty queues by construction; an
+                // empty queue here would be a scheduler bug, and treating
+                // the frame as arriving "now" (zero queueing delay) keeps
+                // the sim running instead of aborting the whole ensemble.
+                let arrival = s.queue.pop_front().unwrap_or(now_us);
                 now_us += if protected {
                     p.rts_success_duration_us(cfg.payload_bytes)
                 } else {

@@ -1,0 +1,115 @@
+//! Seeded geometric layout helpers for multi-cell deployments.
+//!
+//! The city-scale simulator (wlan-city) and the mesh coverage experiments
+//! both need the same primitive: put `n` access points on a roughly
+//! regular grid over a square service area, with enough seeded jitter
+//! that no two runs of a Monte-Carlo ensemble see an artificially
+//! symmetric deployment. The helpers are deterministic functions of the
+//! RNG stream handed in — layout never draws from a global source, so a
+//! campaign can fork one decorrelated stream per scenario.
+
+use wlan_math::rng::Rng;
+
+/// Side length (in cells) of the smallest square grid holding `n` points:
+/// `ceil(sqrt(n))`. `grid_side(0) == 0`.
+pub fn grid_side(n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let mut side = (n as f64).sqrt() as usize;
+    while side * side < n {
+        side += 1;
+    }
+    side
+}
+
+/// Places `n` points on a jittered square grid covering `[0, extent_m]²`.
+///
+/// The grid has [`grid_side`]`(n)` cells per side; points fill cells in
+/// row-major order and each is displaced from its cell centre by a
+/// uniform jitter of up to `±jitter_frac` cell widths per axis. Jitter
+/// draws come only from `rng` (two per point, x then y, in point order),
+/// so the layout is a pure function of `(n, extent_m, jitter_frac, rng
+/// stream)`. Jitter is clamped to `[-0.5, 0.5]` cell widths so points
+/// stay inside their cell and the grid ordering stays meaningful.
+pub fn jittered_grid(
+    n: usize,
+    extent_m: f64,
+    jitter_frac: f64,
+    rng: &mut impl Rng,
+) -> Vec<(f64, f64)> {
+    let side = grid_side(n);
+    if side == 0 {
+        return Vec::new();
+    }
+    let cell = extent_m / side as f64;
+    let jitter = jitter_frac.clamp(0.0, 0.5);
+    (0..n)
+        .map(|i| {
+            let col = i % side;
+            let row = i / side;
+            let jx = (rng.gen::<f64>() * 2.0 - 1.0) * jitter;
+            let jy = (rng.gen::<f64>() * 2.0 - 1.0) * jitter;
+            (
+                (col as f64 + 0.5 + jx) * cell,
+                (row as f64 + 0.5 + jy) * cell,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_math::rng::WlanRng;
+
+    #[test]
+    fn grid_side_covers_n() {
+        assert_eq!(grid_side(0), 0);
+        assert_eq!(grid_side(1), 1);
+        assert_eq!(grid_side(9), 3);
+        assert_eq!(grid_side(10), 4);
+        assert_eq!(grid_side(529), 23);
+        for n in 1..200 {
+            let s = grid_side(n);
+            assert!(s * s >= n && (s - 1) * (s - 1) < n, "n={n} side={s}");
+        }
+    }
+
+    #[test]
+    fn layout_is_deterministic_per_seed_and_stays_in_bounds() {
+        let mut a = WlanRng::seed_from_u64(42);
+        let mut b = WlanRng::seed_from_u64(42);
+        let pa = jittered_grid(100, 1000.0, 0.25, &mut a);
+        let pb = jittered_grid(100, 1000.0, 0.25, &mut b);
+        assert_eq!(pa, pb);
+        for &(x, y) in &pa {
+            assert!((0.0..=1000.0).contains(&x) && (0.0..=1000.0).contains(&y));
+        }
+        let mut c = WlanRng::seed_from_u64(43);
+        assert_ne!(pa, jittered_grid(100, 1000.0, 0.25, &mut c));
+    }
+
+    #[test]
+    fn zero_jitter_is_the_exact_grid_of_cell_centres() {
+        let mut rng = WlanRng::seed_from_u64(7);
+        let pts = jittered_grid(4, 100.0, 0.0, &mut rng);
+        assert_eq!(
+            pts,
+            vec![(25.0, 25.0), (75.0, 25.0), (25.0, 75.0), (75.0, 75.0)]
+        );
+    }
+
+    #[test]
+    fn excess_jitter_is_clamped_to_the_cell() {
+        let mut rng = WlanRng::seed_from_u64(8);
+        let pts = jittered_grid(16, 400.0, 5.0, &mut rng);
+        let cell = 100.0;
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            let col = (i % 4) as f64;
+            let row = (i / 4) as f64;
+            assert!(x >= col * cell && x <= (col + 1.0) * cell, "x {x} i {i}");
+            assert!(y >= row * cell && y <= (row + 1.0) * cell, "y {y} i {i}");
+        }
+    }
+}

@@ -12,7 +12,9 @@
 //!   ablation baseline),
 //! - [`routing`] — Dijkstra path selection over either metric (the
 //!   deterministic core of HWMP's root-path computation),
-//! - [`coverage`] — service-area analysis for one AP versus a mesh.
+//! - [`coverage`] — service-area analysis for one AP versus a mesh,
+//! - [`layout`] — seeded jittered-grid placement shared with the
+//!   city-scale simulator (wlan-city).
 //!
 //! # Examples
 //!
@@ -30,6 +32,7 @@
 pub mod capacity;
 pub mod coverage;
 pub mod hwmp;
+pub mod layout;
 pub mod metric;
 pub mod routing;
 pub mod topology;

@@ -19,6 +19,10 @@ pub const RATE_SNR_TABLE: [(f64, f64); 8] = [
 
 /// The fastest sustainable 802.11a rate at a given SNR, or `None` when even
 /// 6 Mbps cannot be decoded.
+///
+/// A NaN SNR compares false against every threshold and therefore returns
+/// `None` — an unmeasurable link is treated as an unusable link, never as
+/// a NaN rate. Pinned by `nan_snr_is_no_link`.
 pub fn best_rate_for_snr(snr_db: f64) -> Option<f64> {
     RATE_SNR_TABLE
         .iter()
@@ -136,7 +140,17 @@ impl MeshNetwork {
     ///
     /// With `reuse_distance = 3` (the common interference assumption) a long
     /// chain of equal-rate links converges to `rate/3`.
+    ///
+    /// Degenerate paths have a pinned contract: a path with **no nodes at
+    /// all** carries nothing and returns `0.0`, while a single-node path
+    /// (`src == dst`, one hop entry) needs no airtime and returns
+    /// `f64::INFINITY`. Any hop without a usable link yields `0.0`. All
+    /// link rates come from [`RATE_SNR_TABLE`], so the result is never
+    /// NaN.
     pub fn path_throughput_mbps(&self, path: &Path, reuse_distance: usize) -> f64 {
+        if path.hops.is_empty() {
+            return 0.0; // no path at all — nothing is delivered
+        }
         let rates: Vec<f64> = path
             .hops
             .windows(2)
@@ -147,7 +161,7 @@ impl MeshNetwork {
             })
             .collect();
         if rates.is_empty() {
-            return f64::INFINITY; // src == dst
+            return f64::INFINITY; // src == dst: zero hops cost no airtime
         }
         if rates.contains(&0.0) {
             return 0.0;
@@ -269,6 +283,35 @@ mod tests {
             cost: 0.0,
         };
         assert_eq!(net.path_throughput_mbps(&path, 3), 0.0);
+    }
+
+    #[test]
+    fn nan_snr_is_no_link() {
+        // An unmeasurable SNR must never become a NaN rate: the link is
+        // simply unusable.
+        assert_eq!(best_rate_for_snr(f64::NAN), None);
+        assert_eq!(best_rate_for_snr(f64::NEG_INFINITY), None);
+        assert_eq!(best_rate_for_snr(f64::INFINITY), Some(54.0));
+    }
+
+    #[test]
+    fn degenerate_paths_have_a_pinned_contract() {
+        let net = MeshNetwork::from_positions(&[(0.0, 0.0), (5.0, 0.0)]);
+        // No nodes at all: nothing is delivered.
+        let empty = Path {
+            hops: vec![],
+            cost: 0.0,
+        };
+        assert_eq!(net.path_throughput_mbps(&empty, 3), 0.0);
+        // src == dst: zero hops cost no airtime.
+        let self_path = Path {
+            hops: vec![0],
+            cost: 0.0,
+        };
+        assert_eq!(net.path_throughput_mbps(&self_path, 3), f64::INFINITY);
+        // Either way, never NaN.
+        assert!(!net.path_throughput_mbps(&empty, 3).is_nan());
+        assert!(!net.path_throughput_mbps(&self_path, 3).is_nan());
     }
 
     #[test]

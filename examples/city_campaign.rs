@@ -1,0 +1,157 @@
+//! City-scale campaign: 529 APs / 50 255 stations across a reuse-3
+//! metro deployment, run as a survivable budgeted campaign (experiment
+//! E20 at full scale).
+//!
+//! ```text
+//! cargo run --release -p wlan-bench --example city_campaign [journal]
+//! ```
+//!
+//! With a journal path the campaign checkpoints every epoch and resumes
+//! from wherever a previous invocation (killed, budget-stopped, or
+//! completed) left off; `WLAN_MAX_TRIALS` / `WLAN_BUDGET_MS` bound each
+//! invocation. Exit status 3 means "budget exhausted, work remains —
+//! re-invoke to continue", matching `survivable_campaign`. On
+//! completion the run emits `BENCH_E20.json` (honouring
+//! `WLAN_BENCH_JSON_DIR`).
+//!
+//! PER tables are calibrated from the real DSSS/OFDM PHY chains at
+//! startup (~seconds); the simulation itself never touches a PHY.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wlan_bench::emit::BenchRun;
+use wlan_bench::header;
+use wlan_city::edca::AccessCategory;
+use wlan_city::{run_city_campaign, CityCampaignConfig, CityConfig, PerTableSet};
+use wlan_obs::json::Value;
+use wlan_runner::{Budget, Resume};
+
+fn main() -> ExitCode {
+    let journal = std::env::args().nth(1).map(PathBuf::from);
+    let run = BenchRun::start("e20");
+    header(
+        "E20",
+        "City-scale OBSS campaign: 529 APs, 50k stations, reuse-3",
+    );
+
+    // 23×23 grid at 35 m pitch ≈ 0.65 km²; 95 stations per AP. A 3 %
+    // legacy fraction still makes ~95 % of 95-station cells mixed —
+    // the handful of pure-OFDM cells are the unprotected baseline the
+    // in-situ protection penalty is measured against.
+    let mut city = CityConfig::metro(529, 95, 20);
+    city.epochs = 12;
+    city.b_fraction = 0.03;
+
+    println!("calibrating PER tables from the DSSS/OFDM PHY chains...");
+    let tables = match PerTableSet::calibrated(city.payload_bytes, 200, city.seed) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("PER calibration failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cfg = CityCampaignConfig {
+        city,
+        tables,
+        budget: Budget::from_env(),
+        journal,
+        checkpoint_every_epochs: 1,
+        threads: None,
+        target_half_width: Some(0.0005),
+        min_epochs: 6,
+    };
+
+    let summary = match run_city_campaign(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match &summary.resume {
+        Resume::Fresh => {}
+        Resume::Resumed { trials } => println!("resumed: {trials} trials banked"),
+        Resume::Salvaged { trials, error } => {
+            println!("salvaged {trials} trials from a damaged journal ({error})")
+        }
+        Resume::ColdStart { error } => println!("cold start: journal rejected ({error})"),
+    }
+
+    let r = &summary.report;
+    println!(
+        "\n{} APs / {} stations / {} epochs ({} this invocation{})",
+        r.aps,
+        r.stations,
+        r.epochs_run,
+        summary.epochs_this_invocation,
+        if summary.early_stopped {
+            ", early-stopped"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "city goodput {:.1} Mbps, loss rate {:.4}, Jain {:.3}, \
+         {} handoffs, {:.1}% airtime deferred, p_hidden {:.3}",
+        r.throughput_mbps,
+        r.loss_rate,
+        r.jain_fairness,
+        r.handoffs,
+        100.0 * r.defer_frac,
+        r.p_hidden
+    );
+    println!("\nPer access category (EDCA):");
+    println!("{:>6} {:>12} {:>8}", "AC", "Mbps", "Jain");
+    for ac in AccessCategory::ALL {
+        let i = ac.index();
+        println!(
+            "{:>6} {:>12.2} {:>8.3}",
+            ac.name(),
+            r.ac_throughput_mbps[i],
+            r.ac_jain[i]
+        );
+    }
+    if let Some(p) = r.measured_protection_penalty {
+        println!(
+            "\nprotection: mixed-cell OFDM stations deliver {:.0}% of the \
+             pure-cell rate",
+            100.0 * p
+        );
+    }
+
+    if !summary.outcome.is_complete() {
+        println!("\nbudget exhausted ({:?}) — re-invoke to continue", summary.outcome);
+        return ExitCode::from(3);
+    }
+
+    run.finish_with(
+        r.delivered_frames,
+        r.attempts,
+        &[
+            ("city_aps", Value::U64(r.aps)),
+            ("city_stations", Value::U64(r.stations)),
+            ("city_epochs", Value::U64(r.epochs_run)),
+            ("city_throughput_mbps", Value::F64(r.throughput_mbps)),
+            ("city_loss_rate", Value::F64(r.loss_rate)),
+            ("jain_fairness", Value::F64(r.jain_fairness)),
+            ("vo_mbps", Value::F64(r.ac_throughput_mbps[0])),
+            ("vi_mbps", Value::F64(r.ac_throughput_mbps[1])),
+            ("be_mbps", Value::F64(r.ac_throughput_mbps[2])),
+            ("bk_mbps", Value::F64(r.ac_throughput_mbps[3])),
+            ("handoffs", Value::U64(r.handoffs)),
+            ("defer_frac", Value::F64(r.defer_frac)),
+            ("p_hidden", Value::F64(r.p_hidden)),
+            (
+                "protection_penalty",
+                match r.measured_protection_penalty {
+                    Some(p) => Value::F64(p),
+                    None => Value::Null,
+                },
+            ),
+        ],
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,114 @@
+//! The city simulator's determinism contract (experiment E20):
+//!
+//! * bit-identical results at any thread count (1, 2, machine default),
+//! * bit-identical with observability on or off,
+//! * bit-identical across any kill/resume schedule through the
+//!   checkpoint journal,
+//! * golden-pinned aggregates for the reference seed, so a change to
+//!   any stream's draw order cannot slip through as "just noise".
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use wlan_city::{
+    run_city_campaign, City, CityCampaignConfig, CityConfig, CityState, PerTableSet,
+};
+use wlan_math::par::num_threads;
+use wlan_runner::budget::Budget;
+
+/// Tests that toggle the process-global recorder serialise on this.
+static OBS_GATE: Mutex<()> = Mutex::new(());
+
+fn reference_city() -> City {
+    City::new(CityConfig::small_test(), PerTableSet::synthetic()).expect("valid config")
+}
+
+fn run_epochs(city: &City, threads: usize) -> CityState {
+    let mut state = city.fresh_state();
+    for _ in 0..city.cfg.epochs {
+        city.run_epoch(&mut state, threads);
+    }
+    state
+}
+
+#[test]
+fn thread_count_is_invisible_to_results() {
+    let city = reference_city();
+    let serial = run_epochs(&city, 1);
+    for threads in [2, num_threads()] {
+        let parallel = run_epochs(&city, threads);
+        assert_eq!(serial, parallel, "city diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn observability_is_a_pure_observer() {
+    let _gate = OBS_GATE.lock().unwrap_or_else(|p| p.into_inner());
+    let city = reference_city();
+    let obs = wlan_obs::global();
+
+    obs.set_enabled(false);
+    let silent = run_epochs(&city, 2);
+    obs.set_enabled(true);
+    let observed = run_epochs(&city, 2);
+    obs.set_enabled(false);
+
+    assert_eq!(silent, observed, "recorder state leaked into the city");
+}
+
+#[test]
+fn reference_seed_aggregates_are_pinned() {
+    // Golden values for CityConfig::small_test() (seed 2005) with
+    // synthetic PER tables, any thread count. A failure here means the
+    // draw order of some stream changed — that is a breaking change to
+    // every journal in the field, not noise; bump the journal key
+    // version if it is intentional.
+    let city = reference_city();
+    let state = run_epochs(&city, num_threads());
+    let report = city.report(&state);
+
+    assert_eq!(state.attempts, 2_517);
+    assert_eq!(state.failures, 1_140);
+    assert_eq!(state.handoffs, 18);
+    assert_eq!(report.delivered_frames, 1_377);
+    assert_eq!(state.ac_delivered, [791, 441, 123, 22]);
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical_across_thread_counts() {
+    let uninterrupted = {
+        let mut cfg =
+            CityCampaignConfig::new(CityConfig::small_test(), PerTableSet::synthetic());
+        cfg.threads = Some(1);
+        run_city_campaign(&cfg).expect("uninterrupted run")
+    };
+    assert!(uninterrupted.outcome.is_complete());
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("wlan_city_determinism_{}.journal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // Step the same campaign through tiny cumulative trial budgets,
+    // alternating the thread count between invocations: neither the
+    // kill schedule nor the executor may leave a fingerprint.
+    let mut completed = None;
+    for round in 0u64..200 {
+        let mut cfg =
+            CityCampaignConfig::new(CityConfig::small_test(), PerTableSet::synthetic());
+        cfg.journal = Some(PathBuf::from(&path));
+        cfg.checkpoint_every_epochs = 1;
+        cfg.threads = Some(if round % 2 == 0 { 2 } else { 1 });
+        cfg.budget = Budget::unlimited().with_max_trials((round + 1) * 400);
+        let summary = run_city_campaign(&cfg).expect("stepped run");
+        let done = summary.outcome.is_complete();
+        completed = Some(summary);
+        if done {
+            break;
+        }
+    }
+    let resumed = completed.expect("at least one round ran");
+    assert!(resumed.outcome.is_complete(), "stepped campaign finished");
+    assert_eq!(resumed.state, uninterrupted.state, "resume left a fingerprint");
+    assert_eq!(resumed.report, uninterrupted.report);
+    let _ = std::fs::remove_file(&path);
+}
