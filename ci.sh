@@ -57,6 +57,70 @@ CHAOS_DIR=$(mktemp -d)
 "$CHAOS" --workers 1 > "$CHAOS_DIR/one_worker.txt" 2>/dev/null
 "$CHAOS" --workers 3 --kill-one-after-ms 300 > "$CHAOS_DIR/chaos.txt" 2>"$CHAOS_DIR/chaos.log"
 diff "$CHAOS_DIR/one_worker.txt" "$CHAOS_DIR/chaos.txt"
+
+# Networked campaign service smoke (DESIGN.md "Service mode & TCP
+# transport"): the same campaign served over real TCP sockets to a
+# 3-worker fleet. One worker crashes (hard exit, mid-lease) at ~300 ms
+# and is restarted — it re-dials, re-handshakes, and rejoins the fleet
+# as a late joiner. The final stdout must be byte-identical to the
+# 1-worker stdio run above.
+cargo build --release --offline -p wlan-dist --example campaign_serve
+SERVE=target/release/examples/campaign_serve
+SERVE_DIR=$(mktemp -d)
+"$SERVE" --serve --addr 127.0.0.1:0 --addr-file "$SERVE_DIR/tcp.addr" \
+    > "$SERVE_DIR/tcp.txt" 2>"$SERVE_DIR/tcp.log" &
+SERVE_PID=$!
+"$SERVE" --tcp-worker --addr-file "$SERVE_DIR/tcp.addr" --retries 50 >/dev/null 2>&1 &
+( "$SERVE" --tcp-worker --addr-file "$SERVE_DIR/tcp.addr" --retries 50 \
+      --die-after-ms 300 >/dev/null 2>&1 || \
+  "$SERVE" --tcp-worker --addr-file "$SERVE_DIR/tcp.addr" --retries 50 \
+      >/dev/null 2>&1 ) &
+"$SERVE" --tcp-worker --addr-file "$SERVE_DIR/tcp.addr" --retries 50 >/dev/null 2>&1 &
+wait "$SERVE_PID"
+diff "$CHAOS_DIR/one_worker.txt" "$SERVE_DIR/tcp.txt"
+
+# SIGKILL the service mid-campaign; the re-run rebinds the *same*
+# address (the journal keys carry it) and resumes from the checkpoint.
+# No worker re-dials, so the resumed campaign finishes via the
+# in-process fallback — graceful degradation, still byte-identical.
+# The resume run's serve_*/conn_* JSONL narration must validate against
+# the shared event schema.
+"$SERVE" --serve --addr 127.0.0.1:0 --addr-file "$SERVE_DIR/kill.addr" \
+    --journal-dir "$SERVE_DIR/journals" >/dev/null 2>&1 &
+SERVE_PID=$!
+"$SERVE" --tcp-worker --addr-file "$SERVE_DIR/kill.addr" --retries 3 >/dev/null 2>&1 &
+sleep 2
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+for _ in 1 2 3 4 5; do
+    if WLAN_OBS_JSONL="$SERVE_DIR/serve_events.jsonl" \
+        "$SERVE" --serve --addr "$(cat "$SERVE_DIR/kill.addr")" \
+        --journal-dir "$SERVE_DIR/journals" > "$SERVE_DIR/resumed.txt" 2>/dev/null; then
+        break
+    fi
+done
+diff "$CHAOS_DIR/one_worker.txt" "$SERVE_DIR/resumed.txt"
+cargo run -q --release --offline -p wlan-bench --example check_bench_json -- \
+    --jsonl "$SERVE_DIR/serve_events.jsonl"
+
+# Shutdown drain: a lingering service exits 0 on a control client's
+# shutdown frame, and an event subscriber sees the serve_shutdown line.
+"$SERVE" --serve --addr 127.0.0.1:0 --addr-file "$SERVE_DIR/drain.addr" \
+    --campaigns 0 --linger >/dev/null 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SERVE_DIR/drain.addr" ] && break
+    sleep 0.1
+done
+"$SERVE" --events --addr "$(cat "$SERVE_DIR/drain.addr")" \
+    > "$SERVE_DIR/drain_events.jsonl" 2>/dev/null &
+EVENTS_PID=$!
+sleep 0.3
+"$SERVE" --shutdown --addr "$(cat "$SERVE_DIR/drain.addr")"
+wait "$SERVE_PID"
+wait "$EVENTS_PID" 2>/dev/null || true
+grep -q '"event":"serve_shutdown"' "$SERVE_DIR/drain_events.jsonl"
+rm -rf "$SERVE_DIR"
 rm -rf "$CHAOS_DIR"
 
 # Instrumented bench smoke: the experiments that carry wlan-obs emission
@@ -122,7 +186,9 @@ rm -rf "$BENCH_DIR"
 # same no-panic bar (its lock helper recovers from poisoning instead of
 # unwrapping).
 # crates/dist coordinates the whole fleet, so a panic there loses every
-# worker's in-flight results at once — same bar.
+# worker's in-flight results at once — same bar. The byte-stream fault
+# injector (crates/fault/src/transport.rs) wraps live sockets inside
+# chaos workers, so it is scanned too.
 # crates/channel, crates/mac, and crates/mesh feed every interference,
 # protection, and topology decision the city simulator makes; crates/city
 # itself runs hundreds of BSS-epochs per wave, so one panicking degenerate
@@ -131,7 +197,7 @@ rm -rf "$BENCH_DIR"
 for f in crates/coding/src/*.rs crates/mimo/src/*.rs crates/core/src/*.rs \
          crates/runner/src/*.rs crates/obs/src/*.rs crates/dist/src/*.rs \
          crates/channel/src/*.rs crates/mac/src/*.rs crates/mesh/src/*.rs \
-         crates/city/src/*.rs \
+         crates/city/src/*.rs crates/fault/src/transport.rs \
          crates/math/src/ci.rs crates/math/src/par.rs; do
         awk '
             /#\[cfg\(test\)\]/ { exit }

@@ -323,6 +323,50 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_validates_service_and_connection_events() {
+        // Well-formed serve_*/conn_* lines pass.
+        for line in [
+            r#"{"event":"serve_start","addr":"127.0.0.1:7690"}"#,
+            r#"{"event":"serve_campaign_start","q":0,"link":"ofdm:12","fault":"clean"}"#,
+            r#"{"event":"serve_campaign_done","q":0,"complete":true,"trials":4096}"#,
+            r#"{"event":"serve_shutdown","campaigns":2,"requested":true}"#,
+            r#"{"event":"conn_accept","conn":0,"role":"worker"}"#,
+            r#"{"event":"conn_reject","reason":"incompatible peer"}"#,
+            r#"{"event":"conn_close","conn":0}"#,
+        ] {
+            let doc = Value::parse(line).expect("parse");
+            assert_eq!(jsonl_violations(&doc), Vec::<String>::new(), "{line}");
+        }
+
+        // Violation fixtures: each drops one field the post-mortem needs.
+        let serve_start_missing_addr =
+            Value::parse(r#"{"event":"serve_start"}"#).expect("parse");
+        let errs = jsonl_violations(&serve_start_missing_addr);
+        assert!(errs.iter().any(|e| e.contains("\"addr\"")), "{errs:?}");
+
+        let campaign_done_missing_q = Value::parse(
+            r#"{"event":"serve_campaign_done","complete":true,"trials":9}"#,
+        )
+        .expect("parse");
+        let errs = jsonl_violations(&campaign_done_missing_q);
+        assert!(errs.iter().any(|e| e.contains("\"q\"")), "{errs:?}");
+
+        let accept_missing_role =
+            Value::parse(r#"{"event":"conn_accept","conn":4}"#).expect("parse");
+        let errs = jsonl_violations(&accept_missing_role);
+        assert!(errs.iter().any(|e| e.contains("\"role\"")), "{errs:?}");
+
+        let reject_missing_reason = Value::parse(r#"{"event":"conn_reject"}"#).expect("parse");
+        let errs = jsonl_violations(&reject_missing_reason);
+        assert!(errs.iter().any(|e| e.contains("\"reason\"")), "{errs:?}");
+
+        let shutdown_missing_requested =
+            Value::parse(r#"{"event":"serve_shutdown","campaigns":1}"#).expect("parse");
+        let errs = jsonl_violations(&shutdown_missing_requested);
+        assert!(errs.iter().any(|e| e.contains("\"requested\"")), "{errs:?}");
+    }
+
+    #[test]
     fn emitted_file_round_trips_through_the_validator() {
         let dir = std::env::temp_dir().join(format!("wlan_bench_emit_{}", std::process::id()));
         let _ = std::fs::create_dir_all(&dir);

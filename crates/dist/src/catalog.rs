@@ -175,9 +175,53 @@ impl FaultSpec {
     }
 }
 
+/// A digest of the whole catalog: FNV-1a over every link id and every
+/// fault-kind name, in catalog order.
+///
+/// The TCP handshake exchanges this alongside the protocol version.
+/// Two binaries that frame messages identically but were built from
+/// different catalogs would not disagree loudly — a worker would
+/// happily run `ofdm:12` with *its* idea of what that id means — so
+/// the digest turns "silently different results" into a typed
+/// [`ProtoError::Incompatible`](crate::proto::ProtoError::Incompatible)
+/// at connect time.
+pub fn catalog_digest() -> u64 {
+    let mut text = String::new();
+    for link in LinkSpec::all() {
+        text.push_str(&link.id());
+        text.push('\n');
+    }
+    for kind in FaultKind::all() {
+        text.push_str(kind.name());
+        text.push('\n');
+    }
+    wlan_runner::journal::fnv1a64(text.as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn catalog_digest_is_stable_and_sensitive() {
+        // Deterministic across calls (the handshake depends on it).
+        assert_eq!(catalog_digest(), catalog_digest());
+        // Sanity: it actually covers the catalog — recomputing with one
+        // link removed gives a different value.
+        let mut text = String::new();
+        for link in LinkSpec::all().iter().skip(1) {
+            text.push_str(&link.id());
+            text.push('\n');
+        }
+        for kind in FaultKind::all() {
+            text.push_str(kind.name());
+            text.push('\n');
+        }
+        assert_ne!(
+            catalog_digest(),
+            wlan_runner::journal::fnv1a64(text.as_bytes())
+        );
+    }
 
     #[test]
     fn every_link_id_round_trips_and_builds_the_same_link() {

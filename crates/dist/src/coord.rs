@@ -134,6 +134,19 @@ impl DistConfig {
         self.fallback_in_process = false;
         self
     }
+
+    /// The deadline for a lease spanning `[start, end)`:
+    /// `lease_timeout_ms` *per round* of work, so a big lease gets
+    /// proportionally more time. (Bugfix: the deadline used to be flat
+    /// per lease, so a multi-round lease of slow faulted points could
+    /// blow it while making perfectly healthy progress — the coordinator
+    /// then killed the worker and re-dispatched work that was nearly
+    /// done, and at the quarantine limit abandoned the point outright.
+    /// `multi_round_leases_get_scaled_deadlines` pins the fix.)
+    pub fn lease_deadline(&self, start: u64, end: u64) -> Duration {
+        let rounds = end.saturating_sub(start).div_ceil(ROUND_TRIALS).max(1);
+        Duration::from_millis(self.lease_timeout_ms.saturating_mul(rounds))
+    }
 }
 
 /// The I/O a coordinator holds onto one worker: its stdin, its stdout,
@@ -378,6 +391,38 @@ impl DistPerReport {
     pub fn completed_trials(&self) -> u64 {
         self.points.iter().map(|p| p.trials).sum()
     }
+
+    /// Writes the deterministic result table: campaign header, one row
+    /// per point, then the quarantine tallies. The bytes contain no
+    /// timing, fleet state, or paths, so they are identical at any
+    /// worker count, kill schedule, or transport — the ci smokes diff
+    /// exactly this output across fleet geometries.
+    pub fn render_table(&self, out: &mut dyn Write) -> std::io::Result<()> {
+        writeln!(out, "campaign {} / {}", self.name, self.fault)?;
+        writeln!(
+            out,
+            "{:>8} {:>8} {:>8} {:>10} {:>10} {:>22}",
+            "snr_db", "trials", "errors", "per", "erasure", "wilson95"
+        )?;
+        for p in &self.points {
+            let ci = p.ci().map_or_else(
+                || "n/a".to_owned(),
+                |ci| format!("[{:.6}, {:.6}]", ci.lo, ci.hi),
+            );
+            writeln!(
+                out,
+                "{:>8.1} {:>8} {:>8} {:>10.6} {:>10.6} {:>22}",
+                p.snr_db,
+                p.trials,
+                p.errors,
+                p.per(),
+                p.erasure_rate(),
+                ci
+            )?;
+        }
+        writeln!(out, "quarantined {}", self.quarantine.len())?;
+        writeln!(out, "abandoned leases {}", self.lease_quarantine.len())
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -421,6 +466,185 @@ enum Event {
     Eof(usize),
 }
 
+fn reader_loop(w: usize, reader: Box<dyn Read + Send>, tx: mpsc::Sender<Event>) {
+    let mut r = BufReader::new(reader);
+    loop {
+        match read_msg(&mut r) {
+            Ok(Some(msg)) => {
+                if tx.send(Event::Msg(w, msg)).is_err() {
+                    return;
+                }
+            }
+            Ok(None) | Err(ProtoError::Io(_)) => {
+                let _ = tx.send(Event::Eof(w));
+                return;
+            }
+            Err(_) => {
+                if tx.send(Event::Corrupt(w)).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A fleet of worker connections that can outlive a single campaign:
+/// the worker slots, the event channel their reader threads feed, the
+/// next lease id, and an optional channel of *late-joining* workers (a
+/// TCP acceptor's output). [`run_dist_per_campaign_on`] runs one
+/// campaign over a fleet and leaves it connected, which is what lets a
+/// `campaign serve` service run queued campaigns back-to-back on the
+/// same workers — and lets a worker that reconnects mid-campaign rejoin
+/// the pool as a fresh slot.
+///
+/// Lease ids live here, not in the per-campaign state, so they are
+/// globally unique across every campaign a fleet ever runs: a `done`
+/// frame from a worker still chewing on campaign N's lease can never be
+/// mistaken for a result in campaign N+1.
+pub struct Fleet {
+    slots: Vec<Option<Slot>>,
+    tx: mpsc::Sender<Event>,
+    rx: mpsc::Receiver<Event>,
+    joiners: Option<mpsc::Receiver<WorkerIo>>,
+    next_lease: u64,
+    /// Workers attached since the last campaign took credit for them.
+    fresh_spawns: u64,
+}
+
+impl Fleet {
+    fn new_empty() -> Self {
+        let (tx, rx) = mpsc::channel();
+        Self {
+            slots: Vec::new(),
+            tx,
+            rx,
+            joiners: None,
+            next_lease: 0,
+            fresh_spawns: 0,
+        }
+    }
+
+    /// Spawns `workers` workers up front from `factory`. A failed spawn
+    /// leaves an empty slot (the campaign degrades rather than aborts).
+    pub fn spawn(workers: usize, factory: &mut dyn WorkerFactory) -> Self {
+        let mut fleet = Self::new_empty();
+        let now = Instant::now();
+        for w in 0..workers {
+            match factory.spawn(w) {
+                Ok(io) => {
+                    fleet.attach(io, now);
+                }
+                Err(_) => fleet.slots.push(None),
+            }
+        }
+        fleet
+    }
+
+    /// An initially-empty fleet fed by `joiners` — every [`WorkerIo`]
+    /// sent down the channel (a freshly handshaken TCP worker, say) is
+    /// attached at the next coordinator pass, mid-campaign included.
+    pub fn from_joiners(joiners: mpsc::Receiver<WorkerIo>) -> Self {
+        let mut fleet = Self::new_empty();
+        fleet.joiners = Some(joiners);
+        fleet
+    }
+
+    /// Attaches a connected worker as a new slot (slots are never
+    /// reused: a reconnecting worker gets a fresh index, and its old
+    /// slot stays dead). Returns the slot index.
+    pub fn attach(&mut self, io: WorkerIo, now: Instant) -> usize {
+        let w = self.slots.len();
+        let tx = self.tx.clone();
+        let reader = io.reader;
+        std::thread::spawn(move || reader_loop(w, reader, tx));
+        self.slots.push(Some(Slot {
+            writer: io.writer,
+            kill: io.kill,
+            alive: true,
+            ready: false,
+            strikes: 0,
+            inflight: None,
+            last_seen: now,
+            last_ping: now,
+            hello_sent: now,
+            hello_resends: 0,
+        }));
+        self.fresh_spawns += 1;
+        wlan_obs::global().event(
+            wlan_obs::events::DIST_WORKER_SPAWN,
+            &[("worker", json::Value::U64(w as u64))],
+        );
+        w
+    }
+
+    /// Workers currently alive (attached and not declared dead).
+    pub fn alive_workers(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.as_ref().map(|s| s.alive).unwrap_or(false))
+            .count()
+    }
+
+    /// Keeps an idle fleet warm between campaigns: attaches queued
+    /// joiners, pings every live worker on roughly `heartbeat_ms`
+    /// cadence, and reaps streams that ended. A `campaign serve`
+    /// service calls this while lingering for its next campaign (or a
+    /// shutdown frame), so idle TCP workers see traffic inside their
+    /// read deadlines instead of timing out and churning reconnects.
+    pub fn idle_tick(&mut self, heartbeat_ms: u64) {
+        let now = Instant::now();
+        let mut ios = Vec::new();
+        if let Some(rx) = &self.joiners {
+            while let Ok(io) = rx.try_recv() {
+                ios.push(io);
+            }
+        }
+        for io in ios {
+            self.attach(io, now);
+        }
+        let heartbeat = Duration::from_millis(heartbeat_ms.max(1));
+        for slot in self.slots.iter_mut().flatten() {
+            if slot.alive && now.duration_since(slot.last_ping) >= heartbeat {
+                slot.last_ping = now;
+                if write_msg(&mut slot.writer, &Msg::Ping { n: 0 }).is_err() {
+                    slot.alive = false;
+                    (slot.kill)();
+                }
+            }
+        }
+        while let Ok(ev) = self.rx.try_recv() {
+            match ev {
+                Event::Eof(w) => {
+                    if let Some(Some(slot)) = self.slots.get_mut(w) {
+                        if slot.alive {
+                            slot.alive = false;
+                            (slot.kill)();
+                        }
+                    }
+                }
+                Event::Msg(w, _) => {
+                    if let Some(Some(slot)) = self.slots.get_mut(w) {
+                        slot.last_seen = now;
+                    }
+                }
+                Event::Corrupt(_) => {}
+            }
+        }
+    }
+
+    /// Polite shutdown frame to every live worker, then the hard kill
+    /// (which also reaps subprocesses and severs in-process pipes).
+    pub fn shutdown(&mut self) {
+        for slot in self.slots.iter_mut().flatten() {
+            if slot.alive {
+                let _ = write_msg(&mut slot.writer, &Msg::Shutdown);
+                (slot.kill)();
+                slot.alive = false;
+            }
+        }
+    }
+}
+
 /// Everything the coordinator mutates while the fleet runs.
 /// A validated lease result buffered until the fold frontier reaches
 /// it: the per-round tallies plus the quarantined `(frame, error)`
@@ -429,6 +653,7 @@ type LeaseResult = (Vec<RoundTally>, Vec<(u64, String)>);
 
 struct Coord<'a> {
     cfg: &'a DistConfig,
+    fleet: &'a mut Fleet,
     link_id: String,
     fault_id: String,
     snrs: Vec<f64>,
@@ -438,10 +663,8 @@ struct Coord<'a> {
     lease_quarantine: Vec<QuarantinedLease>,
     abandoned: HashSet<usize>,
     leases: BTreeMap<u64, Lease>,
-    next_lease: u64,
     dispatched: Vec<u64>,
     completed: HashMap<(usize, u64), LeaseResult>,
-    slots: Vec<Option<Slot>>,
     stats: DistStats,
     obs: &'static wlan_obs::Recorder,
 }
@@ -452,10 +675,75 @@ impl Coord<'_> {
     }
 
     fn alive_workers(&self) -> usize {
-        self.slots
-            .iter()
-            .filter(|s| s.as_ref().map(|s| s.alive).unwrap_or(false))
-            .count()
+        self.fleet.alive_workers()
+    }
+
+    /// Takes credit for workers the fleet attached since the last call
+    /// (initial spawns and late joiners alike).
+    fn credit_spawns(&mut self) {
+        self.stats.workers_spawned += std::mem::take(&mut self.fleet.fresh_spawns);
+    }
+
+    /// Attaches any queued late joiners and sends them this campaign's
+    /// hello — a reconnecting (or brand-new) worker rejoins the pool
+    /// mid-campaign as a fresh slot.
+    fn drain_joiners(&mut self, now: Instant) {
+        let mut ios = Vec::new();
+        if let Some(rx) = &self.fleet.joiners {
+            while let Ok(io) = rx.try_recv() {
+                ios.push(io);
+            }
+        }
+        for io in ios {
+            let w = self.fleet.attach(io, now);
+            self.send_hello(w, now);
+        }
+        self.credit_spawns();
+    }
+
+    /// Sends the campaign hello to slot `w` and resets its per-campaign
+    /// bookkeeping.
+    fn send_hello(&mut self, w: usize, now: Instant) {
+        let hello = self.hello_msg();
+        let failed = {
+            let Some(slot) = self.fleet.slots[w].as_mut() else {
+                return;
+            };
+            if !slot.alive {
+                return;
+            }
+            slot.ready = false;
+            slot.strikes = 0;
+            slot.inflight = None;
+            slot.last_seen = now;
+            slot.last_ping = now;
+            slot.hello_sent = now;
+            slot.hello_resends = 0;
+            write_msg(&mut slot.writer, &hello).is_err()
+        };
+        if failed {
+            // The reader thread will also deliver the EOF; declaring
+            // the death now just reclaims the slot promptly.
+            self.worker_dead(w, "write failed", now);
+        }
+    }
+
+    /// Receives events, blocking up to `wait` for the first one.
+    fn pump_events(&mut self, wait: Duration) {
+        match self.fleet.rx.recv_timeout(wait) {
+            Ok(ev) => self.handle_event(ev, Instant::now()),
+            Err(_) => return,
+        }
+        while let Ok(ev) = self.fleet.rx.try_recv() {
+            self.handle_event(ev, Instant::now());
+        }
+    }
+
+    /// Receives any already-queued events without blocking.
+    fn drain_events(&mut self, now: Instant) {
+        while let Ok(ev) = self.fleet.rx.try_recv() {
+            self.handle_event(ev, now);
+        }
     }
 
     fn point_resolved(&self, p: usize) -> bool {
@@ -469,7 +757,7 @@ impl Coord<'_> {
     /// Declares worker `w` dead: kills it, frees its slot, and fails
     /// whatever lease it held.
     fn worker_dead(&mut self, w: usize, reason: &str, now: Instant) {
-        let Some(slot) = self.slots[w].as_mut() else {
+        let Some(slot) = self.fleet.slots[w].as_mut() else {
             return;
         };
         if !slot.alive {
@@ -613,7 +901,7 @@ impl Coord<'_> {
     }
 
     fn handle_done(&mut self, w: usize, id: u64, rounds: Vec<RoundTally>, now: Instant) {
-        if let Some(slot) = self.slots[w].as_mut() {
+        if let Some(slot) = self.fleet.slots[w].as_mut() {
             if slot.inflight == Some(id) {
                 slot.inflight = None;
             }
@@ -649,7 +937,7 @@ impl Coord<'_> {
     }
 
     fn strike(&mut self, w: usize, now: Instant) {
-        if let Some(slot) = self.slots[w].as_mut() {
+        if let Some(slot) = self.fleet.slots[w].as_mut() {
             slot.strikes += 1;
             if slot.strikes >= 3 {
                 self.worker_dead(w, "too many corrupt frames", now);
@@ -665,12 +953,12 @@ impl Coord<'_> {
                 self.strike(w, now);
             }
             Event::Msg(w, msg) => {
-                if let Some(slot) = self.slots[w].as_mut() {
+                if let Some(slot) = self.fleet.slots[w].as_mut() {
                     slot.last_seen = now;
                 }
                 match msg {
                     Msg::Ready => {
-                        if let Some(slot) = self.slots[w].as_mut() {
+                        if let Some(slot) = self.fleet.slots[w].as_mut() {
                             slot.ready = true;
                         }
                     }
@@ -798,8 +1086,8 @@ impl Coord<'_> {
                     .max_frames
                     .min(start + self.cfg.lease_rounds.max(1) * ROUND_TRIALS);
                 self.dispatched[p] = end;
-                let id = self.next_lease;
-                self.next_lease += 1;
+                let id = self.fleet.next_lease;
+                self.fleet.next_lease += 1;
                 self.leases.insert(
                     id,
                     Lease {
@@ -830,8 +1118,8 @@ impl Coord<'_> {
         for id in due {
             // `worker_dead` clears `alive`, so a failed write naturally
             // drops that slot out of the next search.
-            let Some(w) = (0..self.slots.len()).find(|&w| {
-                self.slots[w]
+            let Some(w) = (0..self.fleet.slots.len()).find(|&w| {
+                self.fleet.slots[w]
                     .as_ref()
                     .map(|s| s.alive && s.ready && s.inflight.is_none())
                     .unwrap_or(false)
@@ -847,7 +1135,7 @@ impl Coord<'_> {
                 start: lease.start,
                 end: lease.end,
             };
-            let Some(slot) = self.slots[w].as_mut() else {
+            let Some(slot) = self.fleet.slots[w].as_mut() else {
                 continue;
             };
             if write_msg(&mut slot.writer, &msg).is_err() {
@@ -860,7 +1148,7 @@ impl Coord<'_> {
             lease.state = LeaseState::InFlight;
             lease.worker = Some(w);
             lease.attempts += 1;
-            lease.deadline = now + Duration::from_millis(self.cfg.lease_timeout_ms);
+            lease.deadline = now + self.cfg.lease_deadline(lease.start, lease.end);
             let (point, attempt) = (lease.point, lease.attempts);
             slot.inflight = Some(id);
             self.emit(
@@ -879,8 +1167,8 @@ impl Coord<'_> {
     fn police(&mut self, now: Instant) {
         let timeout = Duration::from_millis(self.cfg.lease_timeout_ms);
         let heartbeat = Duration::from_millis(self.cfg.heartbeat_ms.max(1));
-        for w in 0..self.slots.len() {
-            let Some(slot) = self.slots[w].as_mut() else {
+        for w in 0..self.fleet.slots.len() {
+            let Some(slot) = self.fleet.slots[w].as_mut() else {
                 continue;
             };
             if !slot.alive {
@@ -892,7 +1180,7 @@ impl Coord<'_> {
                         slot.hello_resends += 1;
                         slot.hello_sent = now;
                         let hello = self.hello_msg();
-                        let Some(slot) = self.slots[w].as_mut() else {
+                        let Some(slot) = self.fleet.slots[w].as_mut() else {
                             continue;
                         };
                         if write_msg(&mut slot.writer, &hello).is_err() {
@@ -933,7 +1221,7 @@ impl Coord<'_> {
                 if now.duration_since(slot.last_ping) >= heartbeat {
                     slot.last_ping = now;
                     let n = now.duration_since(slot.last_seen).as_millis() as u64;
-                    let Some(slot) = self.slots[w].as_mut() else {
+                    let Some(slot) = self.fleet.slots[w].as_mut() else {
                         continue;
                     };
                     if write_msg(&mut slot.writer, &Msg::Ping { n }).is_err() {
@@ -1000,69 +1288,6 @@ impl Coord<'_> {
     }
 }
 
-fn spawn_fleet(
-    cfg: &DistConfig,
-    factory: &mut dyn WorkerFactory,
-    tx: &mpsc::Sender<Event>,
-    hello: &Msg,
-    obs: &'static wlan_obs::Recorder,
-    stats: &mut DistStats,
-    now: Instant,
-) -> Vec<Option<Slot>> {
-    let mut slots: Vec<Option<Slot>> = Vec::with_capacity(cfg.workers);
-    for w in 0..cfg.workers {
-        let Ok(io) = factory.spawn(w) else {
-            slots.push(None);
-            continue;
-        };
-        let reader = io.reader;
-        let tx = tx.clone();
-        std::thread::spawn(move || {
-            let mut r = BufReader::new(reader);
-            loop {
-                match read_msg(&mut r) {
-                    Ok(Some(msg)) => {
-                        if tx.send(Event::Msg(w, msg)).is_err() {
-                            return;
-                        }
-                    }
-                    Ok(None) | Err(ProtoError::Io(_)) => {
-                        let _ = tx.send(Event::Eof(w));
-                        return;
-                    }
-                    Err(_) => {
-                        if tx.send(Event::Corrupt(w)).is_err() {
-                            return;
-                        }
-                    }
-                }
-            }
-        });
-        let mut slot = Slot {
-            writer: io.writer,
-            kill: io.kill,
-            alive: true,
-            ready: false,
-            strikes: 0,
-            inflight: None,
-            last_seen: now,
-            last_ping: now,
-            hello_sent: now,
-            hello_resends: 0,
-        };
-        stats.workers_spawned += 1;
-        obs.event(
-            wlan_obs::events::DIST_WORKER_SPAWN,
-            &[("worker", json::Value::U64(w as u64))],
-        );
-        // A failed hello write means the worker is already gone; its
-        // reader thread delivers the EOF that declares it dead.
-        let _ = write_msg(&mut slot.writer, hello);
-        slots.push(Some(slot));
-    }
-    slots
-}
-
 /// Runs (or resumes) a distributed PER campaign over a worker fleet.
 ///
 /// Per-point tallies, stopping decisions, and the trial-quarantine
@@ -1072,6 +1297,11 @@ fn spawn_fleet(
 /// schedule, and the in-process fallback (see the module docs for the
 /// argument, and `tests/tests/dist_chaos.rs` for the harness pinning
 /// it).
+///
+/// This is the one-shot entry point: it spawns `cfg.workers` workers
+/// from `factory`, runs the campaign, and shuts the fleet down. To run
+/// several campaigns back-to-back on one fleet (or over TCP joiners),
+/// build a [`Fleet`] yourself and call [`run_dist_per_campaign_on`].
 ///
 /// # Panics
 ///
@@ -1084,6 +1314,38 @@ pub fn run_dist_per_campaign(
     cfg: &DistConfig,
     factory: &mut dyn WorkerFactory,
 ) -> DistPerReport {
+    let mut fleet = Fleet::spawn(cfg.workers, factory);
+    let report = run_dist_per_campaign_on(link_spec, fault_spec, cfg, &mut fleet, "", None);
+    fleet.shutdown();
+    report
+}
+
+/// Runs (or resumes) one distributed PER campaign over an existing
+/// [`Fleet`], leaving the fleet connected for the next campaign.
+///
+/// `key_suffix` is appended verbatim to the journal key — a
+/// `campaign serve` service uses it to bind each queued campaign's
+/// journal entry to its listen address and queue position, so two
+/// services sharing a journal file never cross-resume. Pass `""` for
+/// the classic one-shot identity.
+///
+/// `stop` is a cooperative drain flag: once it reads `true`, no new
+/// leases are created or dispatched, in-flight leases are allowed to
+/// finish (still policed by their deadlines), and the campaign exits
+/// with [`StopReason::Interrupted`] — checkpointed, so a later run
+/// resumes bit-identically where the drain stopped.
+///
+/// # Panics
+///
+/// Same preconditions as [`run_dist_per_campaign`].
+pub fn run_dist_per_campaign_on(
+    link_spec: LinkSpec,
+    fault_spec: FaultSpec,
+    cfg: &DistConfig,
+    fleet: &mut Fleet,
+    key_suffix: &str,
+    stop: Option<&std::sync::atomic::AtomicBool>,
+) -> DistPerReport {
     assert!(!cfg.per.snrs_db.is_empty(), "need at least one SNR point");
     assert!(cfg.per.payload_len > 0, "payload must be nonempty");
     assert!(cfg.per.max_frames > 0, "need at least one frame per point");
@@ -1093,7 +1355,10 @@ pub fn run_dist_per_campaign(
     let faults = fault_spec.build();
     // Same campaign identity as the single-process journal key, plus a
     // marker so the two journal families never collide on one path.
-    let key = format!("{} dist v1", cfg.per.journal_key(link.as_ref(), &faults));
+    let key = format!(
+        "{} dist v1{key_suffix}",
+        cfg.per.journal_key(link.as_ref(), &faults)
+    );
 
     let (points, quarantine, resume) = restore_dist(&cfg.per, &key);
     let banked: u64 = points.iter().map(|p| p.trials).sum();
@@ -1101,23 +1366,13 @@ pub fn run_dist_per_campaign(
     let mut journal_error: Option<JournalError> = None;
 
     let obs = wlan_obs::global();
-    let (tx, rx) = mpsc::channel::<Event>();
     let start = Instant::now();
-
-    let hello = Msg::Hello {
-        seed: cfg.per.seed,
-        payload_len: cfg.per.payload_len,
-        link: link_spec.id(),
-        fault: fault_spec.id(),
-        snrs: cfg.per.snrs_db.clone(),
-    };
-    let mut stats = DistStats::default();
-    let slots = spawn_fleet(cfg, factory, &tx, &hello, obs, &mut stats, start);
 
     let seen_quars: HashSet<(usize, u64)> =
         quarantine.iter().map(|q| (q.point, q.frame)).collect();
     let mut coord = Coord {
         cfg,
+        fleet,
         link_id: link_spec.id(),
         fault_id: fault_spec.id(),
         snrs: cfg.per.snrs_db.clone(),
@@ -1127,13 +1382,19 @@ pub fn run_dist_per_campaign(
         lease_quarantine: Vec::new(),
         abandoned: HashSet::new(),
         leases: BTreeMap::new(),
-        next_lease: 0,
         dispatched: Vec::new(),
         completed: HashMap::new(),
-        slots,
-        stats,
+        stats: DistStats::default(),
         obs,
     };
+    // Take credit for the fleet's existing spawns, then (re)hello every
+    // connected worker — a fleet that just finished campaign N has
+    // slots whose per-campaign state (ready, strikes, inflight) belongs
+    // to N; the hello reset scrubs it for this campaign.
+    coord.credit_spawns();
+    for w in 0..coord.fleet.slots.len() {
+        coord.send_hello(w, start);
+    }
     for p in &mut coord.points {
         p.status = evaluate_status(p, &cfg.per);
     }
@@ -1154,11 +1415,20 @@ pub fn run_dist_per_campaign(
     let mut rounds_since_checkpoint: u64 = 0;
     let stop_reason = loop {
         let now = Instant::now();
+        // Joiners first: a worker queued before the campaign started (or
+        // one reconnecting right now) must be attached before the
+        // zero-workers fallback/abandon decision below sees the fleet.
+        coord.drain_joiners(now);
         if let Some(ms) = cfg.chaos_kill_after_ms {
             if !chaos_done && now.duration_since(start) >= Duration::from_millis(ms) {
                 chaos_done = true;
-                let victims: Vec<usize> = (0..coord.slots.len())
-                    .filter(|&w| coord.slots[w].as_ref().map(|s| s.alive).unwrap_or(false))
+                let victims: Vec<usize> = (0..coord.fleet.slots.len())
+                    .filter(|&w| {
+                        coord.fleet.slots[w]
+                            .as_ref()
+                            .map(|s| s.alive)
+                            .unwrap_or(false)
+                    })
                     .take(cfg.chaos_kill_count)
                     .collect();
                 for w in victims {
@@ -1180,6 +1450,24 @@ pub fn run_dist_per_campaign(
         }
         if let Some(reason) = meter.exhausted() {
             break Some(reason);
+        }
+
+        // Cooperative drain: stop creating and dispatching work, let
+        // in-flight leases finish (deadlines still policed so a hung
+        // worker cannot wedge the drain), fold what arrives, and exit
+        // Interrupted once nothing is in flight. The checkpoint below
+        // makes the drained state the resume point.
+        if stop.is_some_and(|s| s.load(std::sync::atomic::Ordering::Relaxed)) {
+            let inflight = coord
+                .leases
+                .values()
+                .any(|l| l.state == LeaseState::InFlight);
+            if !inflight {
+                break Some(StopReason::Interrupted);
+            }
+            coord.police(now);
+            coord.pump_events(Duration::from_millis(5));
+            continue;
         }
 
         coord.police(now);
@@ -1206,18 +1494,11 @@ pub fn run_dist_per_campaign(
             if let Some(&id) = pending.first() {
                 coord.run_inline(id, link.as_ref(), &faults);
             }
-            while let Ok(ev) = rx.try_recv() {
-                coord.handle_event(ev, now);
-            }
+            coord.drain_events(now);
             continue;
         }
 
-        if let Ok(ev) = rx.recv_timeout(Duration::from_millis(5)) {
-            coord.handle_event(ev, Instant::now());
-        }
-        while let Ok(ev) = rx.try_recv() {
-            coord.handle_event(ev, Instant::now());
-        }
+        coord.pump_events(Duration::from_millis(5));
     };
 
     // Final checkpoint: a budget-stopped campaign resumes from its exact
@@ -1225,16 +1506,6 @@ pub fn run_dist_per_campaign(
     if let Err(e) = coord.checkpoint(&key) {
         journal_error.get_or_insert(e);
     }
-
-    // Polite shutdown, then the hard kill (which also reaps
-    // subprocesses and severs in-process pipes).
-    for slot in coord.slots.iter_mut().flatten() {
-        if slot.alive {
-            let _ = write_msg(&mut slot.writer, &Msg::Shutdown);
-            (slot.kill)();
-        }
-    }
-    drop(rx);
 
     let mut outcome = Outcome::Complete;
     for (p, pt) in coord.points.iter().enumerate() {
@@ -1626,6 +1897,199 @@ mod tests {
         };
         assert!(invocations > 1, "interruption never happened");
         assert_eq!(report.points, baseline.points);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn lease_deadline_scales_with_rounds() {
+        let cfg = DistConfig::new(base_per(), 1).with_lease_timeout_ms(100);
+        // One round (or less) gets the base deadline.
+        assert_eq!(cfg.lease_deadline(0, 32), Duration::from_millis(100));
+        assert_eq!(cfg.lease_deadline(5, 5), Duration::from_millis(100));
+        // Four rounds get four times the base.
+        assert_eq!(cfg.lease_deadline(0, 128), Duration::from_millis(400));
+        // Partial rounds round up.
+        assert_eq!(cfg.lease_deadline(64, 97), Duration::from_millis(200));
+    }
+
+    /// The bugfix test for flat per-lease deadlines: a multi-round lease
+    /// on a slow transport must get proportionally more time. With the
+    /// old flat deadline this configuration timed out its only worker's
+    /// first lease, killed the worker, and abandoned the campaign.
+    #[test]
+    fn multi_round_leases_get_scaled_deadlines() {
+        let spec = LinkSpec::Fhss;
+        let fault = FaultSpec::Clean;
+        // One point of 256 frames, leased as a single 8-round lease.
+        let per = PerCampaignConfig::new(&[2.0], 20, 256, 99)
+            .with_budget(Budget::unlimited())
+            .with_threads(1);
+        let baseline = run_per_campaign(&*spec.build(), &fault.build(), &per);
+
+        // Every worker→coordinator line crosses a relay that stalls it
+        // 500 ms (and lines queue serially behind each other): far over
+        // the old flat 300 ms deadline, comfortably under the scaled
+        // 8 × 300 ms one.
+        let mut cfg = DistConfig::new(per, 1)
+            .with_lease_timeout_ms(300)
+            .without_fallback();
+        cfg.lease_rounds = 8;
+        let mut factory = InProcessFactory {
+            to_worker: TransportFaults::none(),
+            from_worker: TransportFaults {
+                stall: 1.0,
+                stall_ms: 500,
+                ..TransportFaults::none()
+            },
+            relay_seed: 0,
+        };
+        let report = run_dist_per_campaign(spec, fault, &cfg, &mut factory);
+        assert!(report.outcome.is_complete(), "{:?}", report.outcome);
+        assert_eq!(report.stats.timeouts, 0, "healthy progress must not time out");
+        assert_eq!(report.points, baseline.points);
+    }
+
+    #[test]
+    fn one_fleet_runs_queued_campaigns_back_to_back() {
+        // Two different campaigns over the same two workers; each must
+        // match its own one-shot baseline bit-exactly, and the second
+        // must not have needed fresh spawns.
+        let per_a = base_per();
+        let per_b = PerCampaignConfig::new(&[1.0, 4.0], 24, 96, 1234)
+            .with_budget(Budget::unlimited())
+            .with_threads(1);
+        let base_a = run_per_campaign(
+            &*LinkSpec::Fhss.build(),
+            &FaultChain::clean(),
+            &per_a,
+        );
+        let base_b = run_per_campaign(
+            &*LinkSpec::Dsss(wlan_core::dsss::DsssRate::Dqpsk2M).build(),
+            &FaultChain::clean(),
+            &per_b,
+        );
+
+        let mut factory = InProcessFactory::clean();
+        let mut fleet = Fleet::spawn(2, &mut factory);
+        let cfg_a = DistConfig::new(per_a, 2);
+        let ra = run_dist_per_campaign_on(LinkSpec::Fhss, FaultSpec::Clean, &cfg_a, &mut fleet, "", None);
+        let cfg_b = DistConfig::new(per_b, 2);
+        let rb = run_dist_per_campaign_on(
+            LinkSpec::Dsss(wlan_core::dsss::DsssRate::Dqpsk2M),
+            FaultSpec::Clean,
+            &cfg_b,
+            &mut fleet,
+            "",
+            None,
+        );
+        fleet.shutdown();
+
+        assert!(ra.outcome.is_complete() && rb.outcome.is_complete());
+        assert_eq!(ra.points, base_a.points);
+        assert_eq!(rb.points, base_b.points);
+        assert_eq!(ra.stats.workers_spawned, 2);
+        assert_eq!(rb.stats.workers_spawned, 0, "campaign 2 reuses the fleet");
+        assert_eq!(rb.stats.worker_deaths, 0);
+    }
+
+    #[test]
+    fn queued_joiner_is_attached_before_fallback_decision() {
+        // A worker queued on the joiners channel before the campaign
+        // starts must be attached before the zero-workers abandon/
+        // fallback decision — even with fallback disabled, the campaign
+        // completes on the joiner.
+        let (tx, rx) = mpsc::channel();
+        let mut factory = InProcessFactory::clean();
+        let io = factory.spawn(0).expect("in-process spawn is infallible");
+        tx.send(io).expect("queue the joiner");
+
+        let baseline = run_per_campaign(
+            &*LinkSpec::Fhss.build(),
+            &FaultChain::clean(),
+            &base_per(),
+        );
+        let cfg = DistConfig::new(base_per(), 0).without_fallback();
+        let mut fleet = Fleet::from_joiners(rx);
+        let report =
+            run_dist_per_campaign_on(LinkSpec::Fhss, FaultSpec::Clean, &cfg, &mut fleet, "", None);
+        fleet.shutdown();
+
+        assert!(report.outcome.is_complete(), "{:?}", report.outcome);
+        assert_eq!(report.points, baseline.points);
+        assert_eq!(report.stats.workers_spawned, 1);
+        assert_eq!(report.stats.fallback_leases, 0);
+    }
+
+    #[test]
+    fn late_joiner_attaches_mid_campaign() {
+        // 320 frames per point keeps the campaign busy long enough for
+        // a second worker to dial in halfway; results stay bit-identical.
+        let per = PerCampaignConfig::new(&[2.0, 5.0], 20, 320, 99)
+            .with_budget(Budget::unlimited())
+            .with_threads(1);
+        let baseline = run_per_campaign(&*LinkSpec::Fhss.build(), &FaultChain::clean(), &per);
+
+        let (tx, rx) = mpsc::channel();
+        let mut factory = InProcessFactory::clean();
+        let first = factory.spawn(0).expect("spawn");
+        tx.send(first).expect("queue the first worker");
+        let late = factory.spawn(1).expect("spawn");
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            let _ = tx.send(late);
+        });
+
+        let cfg = DistConfig::new(per, 0).without_fallback();
+        let mut fleet = Fleet::from_joiners(rx);
+        let report =
+            run_dist_per_campaign_on(LinkSpec::Fhss, FaultSpec::Clean, &cfg, &mut fleet, "", None);
+        fleet.shutdown();
+
+        assert!(report.outcome.is_complete(), "{:?}", report.outcome);
+        assert_eq!(report.points, baseline.points);
+        assert!(report.stats.workers_spawned >= 1);
+    }
+
+    #[test]
+    fn stop_flag_drains_and_interrupts_then_resumes_bit_identically() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("wlan_dist_stop_{}.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let baseline = run_per_campaign(
+            &FhssLinkForTest,
+            &FaultChain::clean(),
+            &base_per(),
+        );
+
+        // Stop requested before the first lease: the campaign must exit
+        // Interrupted without dispatching anything, checkpointed.
+        let stop = std::sync::atomic::AtomicBool::new(true);
+        let per = base_per().with_journal(path.clone());
+        let cfg = DistConfig::new(per.clone(), 1);
+        let mut factory = InProcessFactory::clean();
+        let mut fleet = Fleet::spawn(1, &mut factory);
+        let interrupted = run_dist_per_campaign_on(
+            LinkSpec::Fhss,
+            FaultSpec::Clean,
+            &cfg,
+            &mut fleet,
+            "",
+            Some(&stop),
+        );
+        fleet.shutdown();
+        let Outcome::Partial { reason, .. } = interrupted.outcome else {
+            panic!("expected partial, got {:?}", interrupted.outcome);
+        };
+        assert_eq!(reason, StopReason::Interrupted);
+
+        // Re-run without the stop flag: resumes and completes with
+        // bit-identical results.
+        let cfg = DistConfig::new(per, 1);
+        let mut factory = InProcessFactory::clean();
+        let resumed = run_dist_per_campaign(LinkSpec::Fhss, FaultSpec::Clean, &cfg, &mut factory);
+        assert!(resumed.outcome.is_complete(), "{:?}", resumed.outcome);
+        assert_eq!(resumed.points, baseline.points);
         let _ = std::fs::remove_file(&path);
     }
 }

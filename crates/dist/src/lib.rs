@@ -24,6 +24,17 @@
 //!   at-most-K re-dispatch, lease quarantine (reusing the PR-4 ledger
 //!   idea one level up), and graceful degradation to in-process
 //!   execution.
+//! * **TCP fleets** ([`transport`]): the same frames over
+//!   `std::net::TcpStream` for multi-machine fleets — a versioned
+//!   handshake carrying the catalog digest (mismatch is a typed
+//!   [`ProtoError::Incompatible`]), read deadlines, `TCP_NODELAY`, and
+//!   DCF-style seeded reconnect backoff on the worker side.
+//! * **Service mode** ([`service`]): a long-running coordinator that
+//!   listens on `WLAN_DIST_ADDR`, accepts late-joining workers, runs
+//!   queued campaigns back-to-back on one persistent fleet, streams
+//!   `serve_*`/`conn_*` events to subscriber sockets, and drains
+//!   cleanly on a shutdown frame — journal-backed, so a killed service
+//!   resumes bit-identically.
 //! * **Chaos tooling** ([`duplex`], [`catalog`]): in-memory pipes and
 //!   deterministic fault-injecting relays so the whole stack is
 //!   testable under kill schedules and transport corruption without
@@ -35,12 +46,18 @@ pub mod catalog;
 pub mod coord;
 pub mod duplex;
 pub mod proto;
+pub mod service;
+pub mod transport;
 pub mod worker;
 
-pub use catalog::{FaultSpec, LinkSpec};
+pub use catalog::{catalog_digest, FaultSpec, LinkSpec};
 pub use coord::{
-    run_dist_per_campaign, DistConfig, DistPerReport, DistStats, InProcessFactory,
-    ProcessFactory, QuarantinedLease, WorkerFactory, WorkerIo,
+    run_dist_per_campaign, run_dist_per_campaign_on, DistConfig, DistPerReport, DistStats, Fleet,
+    InProcessFactory, ProcessFactory, QuarantinedLease, WorkerFactory, WorkerIo,
 };
 pub use proto::{Msg, ProtoError, RoundTally};
-pub use worker::{run_lease, serve, LeaseJob};
+pub use service::{run_campaign_service, Acceptor, ServeCampaign, ServeConfig, ServeReport};
+pub use transport::{
+    connect_role, connect_worker, run_tcp_worker, server_handshake, Role, Transport, WorkerOpts,
+};
+pub use worker::{run_lease, serve, LeaseJob, ServeEnd};

@@ -59,6 +59,17 @@ pub enum ProtoError {
     UnknownMessage,
     /// The payload length field exceeds [`MAX_FRAME`].
     Oversized,
+    /// The peers speak different protocol versions or were built from
+    /// different experiment catalogs — leases from one would be
+    /// meaningless (or silently *wrong*) on the other, so the handshake
+    /// refuses the connection instead. Terminal: reconnecting with the
+    /// same binary cannot help, so backoff loops must not retry it.
+    Incompatible {
+        /// This side's identity, e.g. `v1 catalog=58f9…`.
+        ours: String,
+        /// What the peer advertised.
+        theirs: String,
+    },
 }
 
 impl std::fmt::Display for ProtoError {
@@ -70,6 +81,9 @@ impl std::fmt::Display for ProtoError {
             ProtoError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
             ProtoError::UnknownMessage => write!(f, "unknown message"),
             ProtoError::Oversized => write!(f, "frame exceeds size cap"),
+            ProtoError::Incompatible { ours, theirs } => {
+                write!(f, "incompatible peer: we are [{ours}], peer is [{theirs}]")
+            }
         }
     }
 }

@@ -97,22 +97,34 @@ pub fn run_lease(
     (rounds, quars)
 }
 
+/// How a worker's serve loop ended — the reconnect loop in
+/// [`transport`](crate::transport) keys off this: an orderly
+/// [`Msg::Shutdown`] means "fleet is done, do not reconnect", while a
+/// disconnect is exactly what the backoff loop exists to heal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeEnd {
+    /// The coordinator sent a shutdown frame.
+    Shutdown,
+    /// The stream ended or broke (EOF, I/O error, unwritable output).
+    Disconnected,
+}
+
 /// Serves the worker protocol until end-of-stream, a `shutdown`
 /// message, or an unwritable output. Never panics on any input byte
 /// stream.
-pub fn serve(input: impl Read, output: impl Write) {
+pub fn serve(input: impl Read, output: impl Write) -> ServeEnd {
     let mut reader = BufReader::new(input);
     let mut writer = output;
     let mut state: Option<WorkerState> = None;
 
     loop {
         let msg = match read_msg(&mut reader) {
-            Ok(None) => return,
+            Ok(None) => return ServeEnd::Disconnected,
             Ok(Some(msg)) => msg,
             // A damaged frame: skip it. If it was a lease, the
             // coordinator's deadline re-dispatches it; protocol streams
             // resynchronise at the next newline.
-            Err(ProtoError::Io(_)) => return,
+            Err(ProtoError::Io(_)) => return ServeEnd::Disconnected,
             Err(_) => continue,
         };
         match msg {
@@ -140,7 +152,7 @@ pub fn serve(input: impl Read, output: impl Write) {
                     snrs,
                 });
                 if write_msg(&mut writer, &Msg::Ready).is_err() {
-                    return;
+                    return ServeEnd::Disconnected;
                 }
             }
             Msg::Lease {
@@ -174,19 +186,19 @@ pub fn serve(input: impl Read, output: impl Write) {
                         error,
                     };
                     if write_msg(&mut writer, &msg).is_err() {
-                        return;
+                        return ServeEnd::Disconnected;
                     }
                 }
                 if write_msg(&mut writer, &Msg::Done { lease: id, rounds }).is_err() {
-                    return;
+                    return ServeEnd::Disconnected;
                 }
             }
             Msg::Ping { n } => {
                 if write_msg(&mut writer, &Msg::Pong { n }).is_err() {
-                    return;
+                    return ServeEnd::Disconnected;
                 }
             }
-            Msg::Shutdown => return,
+            Msg::Shutdown => return ServeEnd::Shutdown,
             // Worker-to-coordinator messages arriving here mean a
             // confused (or chaos-mangled) stream; ignore them.
             Msg::Ready | Msg::Pong { .. } | Msg::QuarTrial { .. } | Msg::Done { .. } => {}

@@ -158,9 +158,113 @@ impl TransportFaults {
     }
 }
 
+/// A [`Write`] adapter that applies a [`TransportFaults`] schedule to a
+/// byte *stream* — a `TcpStream`, a pipe, anything newline-framed.
+///
+/// The in-memory chaos relay in `wlan-dist` perturbs whole frames
+/// because its duplex pipes hand them over one at a time; a socket is
+/// just bytes. This wrapper re-creates the frame boundary at the byte
+/// layer: writes are buffered until a `\n` (every protocol frame ends
+/// with one), each completed line is perturbed as one frame via
+/// `rng.fork(seq)` (the same per-frame addressing as the relay), and
+/// whatever the [`Delivery`] says arrives is passed to the inner
+/// writer. A stalled delivery blocks the writer — on a socket that is
+/// exactly what a congested or malicious peer looks like.
+///
+/// [`with_half_close_after`](Self::with_half_close_after) adds the one
+/// pathology a frame relay cannot express: a **half-close**, where the
+/// peer's receive path dies but the connection stays up. After the
+/// configured number of frames every write still reports success while
+/// delivering nothing — from the reader's side the stream simply goes
+/// silent, which is what liveness deadlines must bound. Half-close is a
+/// deterministic frame count, not a ninth RNG draw: the eight-draw CRN
+/// contract of [`TransportFaults::perturb`] is pinned by tests and
+/// shared with every recorded fault schedule.
+///
+/// [`Write`]: std::io::Write
+pub struct FaultedWriter<W: std::io::Write> {
+    inner: W,
+    faults: TransportFaults,
+    rng: WlanRng,
+    seq: u64,
+    pending: Vec<u8>,
+    half_close_after: Option<u64>,
+}
+
+impl<W: std::io::Write> FaultedWriter<W> {
+    /// Wraps `inner`, perturbing each newline-terminated frame with
+    /// `faults`; frame `n`'s fate is drawn from `rng.fork(n)`.
+    pub fn new(inner: W, faults: TransportFaults, rng: WlanRng) -> Self {
+        Self {
+            inner,
+            faults,
+            rng,
+            seq: 0,
+            pending: Vec::new(),
+            half_close_after: None,
+        }
+    }
+
+    /// After `frames` completed frames, silently swallow everything:
+    /// writes keep succeeding, nothing reaches the inner writer.
+    #[must_use]
+    pub fn with_half_close_after(mut self, frames: u64) -> Self {
+        self.half_close_after = Some(frames);
+        self
+    }
+
+    /// `true` once the half-close threshold has been crossed.
+    pub fn is_half_closed(&self) -> bool {
+        self.half_close_after.is_some_and(|n| self.seq >= n)
+    }
+
+    /// Frames that have crossed the wrapper so far (delivered or not).
+    pub fn frames_seen(&self) -> u64 {
+        self.seq
+    }
+
+    fn deliver_line(&mut self, line: &[u8]) -> std::io::Result<()> {
+        let seq = self.seq;
+        self.seq += 1;
+        if self.half_close_after.is_some_and(|n| seq >= n) {
+            return Ok(());
+        }
+        if self.faults.is_clean() {
+            return self.inner.write_all(line);
+        }
+        let delivery = self.faults.perturb(line, &mut self.rng.fork(seq));
+        if delivery.stall_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(delivery.stall_ms));
+        }
+        for frame in &delivery.frames {
+            self.inner.write_all(frame)?;
+        }
+        Ok(())
+    }
+}
+
+impl<W: std::io::Write> std::io::Write for FaultedWriter<W> {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.pending.extend_from_slice(data);
+        while let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.pending.drain(..=pos).collect();
+            self.deliver_line(&line)?;
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.is_half_closed() {
+            return Ok(());
+        }
+        self.inner.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
 
     fn frame(len: usize) -> Vec<u8> {
         (0..len).map(|i| (i * 37 % 251) as u8).collect()
@@ -288,5 +392,79 @@ mod tests {
     #[should_panic(expected = "severity must be in [0, 1]")]
     fn chaos_severity_out_of_range_rejected() {
         let _ = TransportFaults::chaos(2.0);
+    }
+
+    #[test]
+    fn faulted_writer_clean_is_transparent() {
+        let mut w = FaultedWriter::new(
+            Vec::new(),
+            TransportFaults::none(),
+            WlanRng::seed_from_u64(1),
+        );
+        w.write_all(b"alpha 1\nbeta 2\n").unwrap();
+        // A partial frame split across writes still arrives whole.
+        w.write_all(b"gam").unwrap();
+        w.write_all(b"ma 3\n").unwrap();
+        w.flush().unwrap();
+        assert_eq!(w.inner, b"alpha 1\nbeta 2\ngamma 3\n");
+        assert_eq!(w.frames_seen(), 3);
+    }
+
+    #[test]
+    fn faulted_writer_matches_relay_addressing() {
+        // The byte-layer wrapper must produce the same fault schedule as
+        // perturbing each frame with rng.fork(seq) directly.
+        let tf = TransportFaults {
+            corrupt: 0.5,
+            drop: 0.2,
+            ..TransportFaults::none()
+        };
+        let master = WlanRng::seed_from_u64(77);
+        let lines: Vec<Vec<u8>> = (0..40)
+            .map(|i| format!("frame {i} payload {}\n", i * 13).into_bytes())
+            .collect();
+        let mut expected = Vec::new();
+        for (seq, line) in lines.iter().enumerate() {
+            let d = tf.perturb(line, &mut master.fork(seq as u64));
+            for f in &d.frames {
+                expected.extend_from_slice(f);
+            }
+        }
+        let mut w = FaultedWriter::new(Vec::new(), tf, WlanRng::seed_from_u64(77));
+        for line in &lines {
+            w.write_all(line).unwrap();
+        }
+        assert_eq!(w.inner, expected);
+    }
+
+    #[test]
+    fn faulted_writer_half_close_swallows_silently() {
+        let mut w = FaultedWriter::new(
+            Vec::new(),
+            TransportFaults::none(),
+            WlanRng::seed_from_u64(4),
+        )
+        .with_half_close_after(2);
+        w.write_all(b"one\ntwo\n").unwrap();
+        assert!(!w.is_half_closed() || w.frames_seen() == 2);
+        // Writes after the threshold succeed but deliver nothing.
+        w.write_all(b"three\nfour\n").unwrap();
+        w.flush().unwrap();
+        assert!(w.is_half_closed());
+        assert_eq!(w.inner, b"one\ntwo\n");
+        assert_eq!(w.frames_seen(), 4);
+    }
+
+    #[test]
+    fn faulted_writer_half_close_mid_write_keeps_prefix() {
+        let mut w = FaultedWriter::new(
+            Vec::new(),
+            TransportFaults::none(),
+            WlanRng::seed_from_u64(4),
+        )
+        .with_half_close_after(1);
+        // Both frames arrive in one write call; only the first delivers.
+        w.write_all(b"kept\ndropped\n").unwrap();
+        assert_eq!(w.inner, b"kept\n");
     }
 }

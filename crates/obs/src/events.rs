@@ -35,8 +35,28 @@ pub const DIST_LEASE_QUARANTINED: &str = "dist_lease_quarantined";
 /// execution. Fields: `leases_left`.
 pub const DIST_FALLBACK: &str = "dist_fallback";
 
+/// A `campaign serve` service bound its listener and started accepting
+/// connections. Fields: `addr`.
+pub const SERVE_START: &str = "serve_start";
+/// The service started one queued campaign. Fields: `q`, `link`,
+/// `fault`.
+pub const SERVE_CAMPAIGN_START: &str = "serve_campaign_start";
+/// The service finished one queued campaign. Fields: `q`, `complete`,
+/// `trials`.
+pub const SERVE_CAMPAIGN_DONE: &str = "serve_campaign_done";
+/// The service drained and exited. Fields: `campaigns`, `requested`
+/// (whether a shutdown frame asked for it, vs. the queue running dry).
+pub const SERVE_SHUTDOWN: &str = "serve_shutdown";
+/// A TCP connection completed the handshake. Fields: `conn`, `role`.
+pub const CONN_ACCEPT: &str = "conn_accept";
+/// A TCP connection failed the handshake and was turned away.
+/// Fields: `reason`.
+pub const CONN_REJECT: &str = "conn_reject";
+/// A handshaken TCP connection ended. Fields: `conn`.
+pub const CONN_CLOSE: &str = "conn_close";
+
 /// Every distributed-campaign event name, in lifecycle order.
-pub const ALL: [&str; 8] = [
+pub const ALL: [&str; 15] = [
     DIST_WORKER_SPAWN,
     DIST_DISPATCH,
     DIST_ACK,
@@ -45,6 +65,13 @@ pub const ALL: [&str; 8] = [
     DIST_WORKER_DEATH,
     DIST_LEASE_QUARANTINED,
     DIST_FALLBACK,
+    SERVE_START,
+    SERVE_CAMPAIGN_START,
+    SERVE_CAMPAIGN_DONE,
+    SERVE_SHUTDOWN,
+    CONN_ACCEPT,
+    CONN_REJECT,
+    CONN_CLOSE,
 ];
 
 /// The fields (beyond `event`) a well-formed line of this event type
@@ -61,6 +88,13 @@ pub fn required_fields(event: &str) -> Option<&'static [&'static str]> {
         DIST_WORKER_SPAWN => Some(&["worker"]),
         DIST_LEASE_QUARANTINED => Some(&["lease", "point", "attempts"]),
         DIST_FALLBACK => Some(&["leases_left"]),
+        SERVE_START => Some(&["addr"]),
+        SERVE_CAMPAIGN_START => Some(&["q", "link", "fault"]),
+        SERVE_CAMPAIGN_DONE => Some(&["q", "complete", "trials"]),
+        SERVE_SHUTDOWN => Some(&["campaigns", "requested"]),
+        CONN_ACCEPT => Some(&["conn", "role"]),
+        CONN_REJECT => Some(&["reason"]),
+        CONN_CLOSE => Some(&["conn"]),
         _ => None,
     }
 }
@@ -84,7 +118,12 @@ mod tests {
         let set: std::collections::HashSet<&str> = ALL.into_iter().collect();
         assert_eq!(set.len(), ALL.len());
         for name in ALL {
-            assert!(name.starts_with("dist_"), "{name}");
+            assert!(
+                name.starts_with("dist_")
+                    || name.starts_with("serve_")
+                    || name.starts_with("conn_"),
+                "{name}"
+            );
         }
     }
 

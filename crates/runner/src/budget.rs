@@ -106,6 +106,11 @@ pub enum StopReason {
     /// that exhausted their dispatch budget, leaving holes no budget
     /// increase will fill (replay the quarantined leases instead).
     Abandoned,
+    /// An operator asked the campaign to stop (a `campaign serve`
+    /// shutdown frame): in-flight leases were drained, no new work was
+    /// dispatched, and the journal holds everything banked so far — a
+    /// re-run resumes bit-identically.
+    Interrupted,
 }
 
 impl std::fmt::Display for StopReason {
@@ -114,6 +119,7 @@ impl std::fmt::Display for StopReason {
             StopReason::TrialBudget => write!(f, "trial budget exhausted"),
             StopReason::WallClock => write!(f, "wall-clock budget exhausted"),
             StopReason::Abandoned => write!(f, "leases abandoned after dispatch failures"),
+            StopReason::Interrupted => write!(f, "shutdown requested; drained and checkpointed"),
         }
     }
 }

@@ -12,8 +12,6 @@
 //!   distributed_campaign [--workers N] [--kill-one-after-ms M] [--journal PATH]
 //!   distributed_campaign --worker        (internal: worker mode)
 
-use std::io::Write;
-
 use wlan_core::ofdm::OfdmRate;
 use wlan_dist::{run_dist_per_campaign, DistConfig, FaultSpec, LinkSpec, ProcessFactory};
 use wlan_runner::per::PerCampaignConfig;
@@ -112,30 +110,7 @@ fn main() {
     // The deterministic result table: stdout only, no timing, no fleet
     // state, no paths — identical bytes at any worker count.
     let mut out = std::io::stdout().lock();
-    let _ = writeln!(out, "campaign {} / {}", report.name, report.fault);
-    let _ = writeln!(
-        out,
-        "{:>8} {:>8} {:>8} {:>10} {:>10} {:>22}",
-        "snr_db", "trials", "errors", "per", "erasure", "wilson95"
-    );
-    for p in &report.points {
-        let ci = p.ci().map_or_else(
-            || "n/a".to_owned(),
-            |ci| format!("[{:.6}, {:.6}]", ci.lo, ci.hi),
-        );
-        let _ = writeln!(
-            out,
-            "{:>8.1} {:>8} {:>8} {:>10.6} {:>10.6} {:>22}",
-            p.snr_db,
-            p.trials,
-            p.errors,
-            p.per(),
-            p.erasure_rate(),
-            ci
-        );
-    }
-    let _ = writeln!(out, "quarantined {}", report.quarantine.len());
-    let _ = writeln!(out, "abandoned leases {}", report.lease_quarantine.len());
+    let _ = report.render_table(&mut out);
 
     if !report.outcome.is_complete() {
         std::process::exit(3);
