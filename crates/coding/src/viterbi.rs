@@ -612,6 +612,67 @@ mod tests {
     }
 
     #[test]
+    fn alternating_batch_sizes_never_read_stale_scratch() {
+        // Regression pin for the shrinking-batch hazard: one kernel reused
+        // across growing and shrinking frame sizes on a single thread must
+        // decode every frame exactly like a fresh kernel. The scratch
+        // arenas (`survivors`, `decoded`) are resized per frame; a stale
+        // tail surviving a shrink would corrupt the traceback of the
+        // shorter frame.
+        use wlan_math::rng::{Rng, WlanRng};
+        let mut reused = ViterbiKernel::new();
+        let mut rng = WlanRng::seed_from_u64(91);
+        // Long → short → medium → long …: every transition direction,
+        // several times over, with noisy LLRs so tracebacks traverse the
+        // full arena.
+        let sizes = [96usize, 8, 40, 96, 12, 64, 8, 96, 24];
+        for (round, &n) in sizes.iter().cycle().take(4 * sizes.len()).enumerate() {
+            let data: Vec<u8> = (0..n).map(|_| rng.gen_range(0..2u8)).collect();
+            let coded = ConvEncoder::new().encode_terminated(&data);
+            let llrs: Vec<f64> = coded
+                .iter()
+                .map(|&b| (if b == 0 { 1.0 } else { -1.0 }) + rng.gen_gaussian())
+                .collect();
+            let frame = FrameLlrs::terminated(&llrs, n);
+            let stale = reused.decode(frame).unwrap();
+            let fresh = ViterbiKernel::new().decode(frame).unwrap();
+            assert_eq!(stale, fresh, "round {round}: n={n} diverged after batch-size change");
+        }
+    }
+
+    #[test]
+    fn alternating_batch_sizes_in_decode_batch_match_singles() {
+        // Same invariant through the batch entry point: batches of
+        // different sizes (and different frame lengths inside one batch)
+        // interleaved on one kernel must equal per-frame decodes.
+        use wlan_math::rng::{Rng, WlanRng};
+        let mut rng = WlanRng::seed_from_u64(92);
+        let mut kernel = ViterbiKernel::new();
+        for batch_len in [8usize, 2, 5, 1, 8, 3] {
+            let mut llr_store: Vec<(Vec<f64>, usize)> = Vec::new();
+            for k in 0..batch_len {
+                let n = 16 + 24 * (k % 3);
+                let data: Vec<u8> = (0..n).map(|_| rng.gen_range(0..2u8)).collect();
+                let coded = ConvEncoder::new().encode_terminated(&data);
+                let llrs: Vec<f64> = coded
+                    .iter()
+                    .map(|&b| (if b == 0 { 1.0 } else { -1.0 }) + rng.gen_gaussian())
+                    .collect();
+                llr_store.push((llrs, n));
+            }
+            let frames: Vec<FrameLlrs<'_>> = llr_store
+                .iter()
+                .map(|(llrs, n)| FrameLlrs::terminated(llrs, *n))
+                .collect();
+            let batched = kernel.decode_batch(&frames).unwrap();
+            for (frame, got) in frames.iter().zip(&batched) {
+                let solo = ViterbiKernel::new().decode(*frame).unwrap();
+                assert_eq!(*got, solo, "batch of {batch_len} diverged from solo decode");
+            }
+        }
+    }
+
+    #[test]
     fn error_free_roundtrip() {
         let data: Vec<u8> = (0..64).map(|i| ((i * 7 + 3) % 5 < 2) as u8).collect();
         assert_eq!(roundtrip(&data), data);

@@ -1,0 +1,410 @@
+//! Per-generation stage decompositions for the streaming flowgraph.
+//!
+//! Each [`crate::linksim::PhyLink`] that opts into the `wlan-flow` runtime
+//! exposes its TX→channel→RX chain as three [`Stage`]s over the same
+//! batched kernels the monolithic path uses (thread-local
+//! `ViterbiKernel`, FFT plan cache, `LinearDetector`). The monolithic
+//! `frame_trial_faulted` bodies in `linksim` are kept verbatim as the
+//! reference oracle; `tests/flow_equivalence.rs` pins the two paths
+//! bit-identical for every generation × injector × thread count.
+//!
+//! # RNG draw-order contract
+//!
+//! Bit-identity holds because **transmit stages draw no RNG**: a frame's
+//! draw sequence is payload bytes (before the graph), then every channel
+//! draw (fade, multipath/MIMO realization, AWGN, fault injection) inside
+//! the channel stage, then nothing in the receiver. The monolithic
+//! `MimoLink`/`StbcLink` oracles realize their channel *before* calling
+//! `transmit` and `HtLink` draws its fade first — moving those draws into
+//! the channel stage is sequence-preserving precisely because the
+//! transmit call between them consumes no randomness. Any new stage type
+//! inserted into a chain must either consume no RNG or accept that it
+//! defines a *new* sweep (the reordering tests will say so loudly).
+
+use wlan_channel::mimo::MimoMultipathChannel;
+use wlan_channel::{Awgn, MultipathChannel, PowerDelayProfile};
+use wlan_dsss::fhss::FskModem;
+use wlan_dsss::DsssPhy;
+use wlan_fault::FaultChain;
+use wlan_flow::{FrameJob, PortKind, Stage};
+use wlan_math::special::db_to_lin;
+use wlan_math::WlanError;
+use wlan_mimo::phy::{propagate, MimoOfdmPhy};
+use wlan_ofdm::OfdmPhy;
+
+/// Single-antenna channel stage shared by the DSSS, FHSS, OFDM, and HT
+/// links: optional per-frame flat fade, optional multipath realization,
+/// AWGN at the job's SNR, then fault injection — in exactly the oracle's
+/// draw order (fade first, because `HtLink` draws it before anything
+/// else; no link combines fade and multipath).
+pub struct SampleChannel<'a> {
+    pub(crate) multipath: Option<PowerDelayProfile>,
+    pub(crate) fading: bool,
+    pub(crate) faults: &'a FaultChain,
+}
+
+impl Stage for SampleChannel<'_> {
+    fn name(&self) -> &'static str {
+        "channel"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::Samples
+    }
+    fn output(&self) -> PortKind {
+        PortKind::Samples
+    }
+    fn process(&self, job: &mut FrameJob) -> Result<(), WlanError> {
+        if self.fading {
+            let fade = wlan_channel::noise::complex_gaussian(&mut job.rng);
+            for s in job.samples.iter_mut() {
+                *s *= fade;
+            }
+        }
+        if let Some(pdp) = &self.multipath {
+            let ch = MultipathChannel::realize(pdp, &mut job.rng);
+            let mut out = ch.filter(&job.samples);
+            out.truncate(job.samples.len());
+            job.samples = out;
+        }
+        Awgn::from_snr_db(job.snr_db).apply_in_place(&mut job.samples, &mut job.rng);
+        self.faults.inject(&mut job.samples, &mut job.rng);
+        Ok(())
+    }
+}
+
+/// Multi-antenna channel stage shared by the MIMO and STBC links:
+/// realizes the per-antenna-pair multipath channel, propagates the
+/// transmit streams through it with AWGN at the job's SNR, then injects
+/// faults per receive stream.
+pub struct StreamChannel<'a> {
+    pub(crate) n_rx: usize,
+    pub(crate) n_tx: usize,
+    pub(crate) pdp: PowerDelayProfile,
+    pub(crate) faults: &'a FaultChain,
+}
+
+impl Stage for StreamChannel<'_> {
+    fn name(&self) -> &'static str {
+        "channel"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::Streams
+    }
+    fn output(&self) -> PortKind {
+        PortKind::Streams
+    }
+    fn process(&self, job: &mut FrameJob) -> Result<(), WlanError> {
+        let n0 = db_to_lin(-job.snr_db);
+        let ch = MimoMultipathChannel::realize(self.n_rx, self.n_tx, &self.pdp, &mut job.rng);
+        let mut rx = propagate(&ch, &job.streams, n0, &mut job.rng);
+        self.faults.inject_streams(&mut rx, &mut job.rng);
+        job.streams = rx;
+        Ok(())
+    }
+}
+
+/// DSSS/CCK transmit: payload → bits → spread chips.
+pub struct DsssTx {
+    pub(crate) phy: DsssPhy,
+}
+
+impl Stage for DsssTx {
+    fn name(&self) -> &'static str {
+        "tx"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::Payload
+    }
+    fn output(&self) -> PortKind {
+        PortKind::Samples
+    }
+    fn process(&self, job: &mut FrameJob) -> Result<(), WlanError> {
+        job.bits = wlan_coding::bits::bytes_to_bits(&job.payload);
+        job.samples = self.phy.transmit(&job.bits);
+        job.sent = job.samples.len();
+        Ok(())
+    }
+}
+
+/// DSSS/CCK receive: despread and compare against the transmitted bits.
+/// The despreaders demand whole symbols, so a fault-shortened chip
+/// stream is a detected loss (typed erasure), not a panic.
+pub struct DsssRx {
+    pub(crate) phy: DsssPhy,
+}
+
+impl Stage for DsssRx {
+    fn name(&self) -> &'static str {
+        "rx"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::Samples
+    }
+    fn output(&self) -> PortKind {
+        PortKind::Verdict
+    }
+    fn process(&self, job: &mut FrameJob) -> Result<(), WlanError> {
+        if job.samples.len() < job.sent {
+            return Err(WlanError::FrameTruncated {
+                needed: job.sent,
+                got: job.samples.len(),
+            });
+        }
+        let rx = self.phy.receive(&job.samples);
+        job.verdict = Some(Ok(rx[..job.bits.len()] == job.bits[..]));
+        Ok(())
+    }
+}
+
+/// FHSS transmit: payload → bits → noncoherent 2-FSK samples.
+pub struct FhssTx {
+    pub(crate) modem: FskModem,
+}
+
+impl Stage for FhssTx {
+    fn name(&self) -> &'static str {
+        "tx"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::Payload
+    }
+    fn output(&self) -> PortKind {
+        PortKind::Samples
+    }
+    fn process(&self, job: &mut FrameJob) -> Result<(), WlanError> {
+        job.bits = wlan_coding::bits::bytes_to_bits(&job.payload);
+        job.samples = self.modem.modulate(&job.bits);
+        job.sent = job.samples.len();
+        Ok(())
+    }
+}
+
+/// FHSS receive: noncoherent detection over whole FSK symbols; a
+/// shortened dwell is a detected loss.
+pub struct FhssRx {
+    pub(crate) modem: FskModem,
+}
+
+impl Stage for FhssRx {
+    fn name(&self) -> &'static str {
+        "rx"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::Samples
+    }
+    fn output(&self) -> PortKind {
+        PortKind::Verdict
+    }
+    fn process(&self, job: &mut FrameJob) -> Result<(), WlanError> {
+        if job.samples.len() < job.sent {
+            return Err(WlanError::FrameTruncated {
+                needed: job.sent,
+                got: job.samples.len(),
+            });
+        }
+        let demodulated = self.modem.demodulate(&job.samples);
+        job.verdict = Some(Ok(demodulated == job.bits));
+        Ok(())
+    }
+}
+
+/// 802.11a OFDM transmit.
+pub struct OfdmTx {
+    pub(crate) phy: OfdmPhy,
+}
+
+impl Stage for OfdmTx {
+    fn name(&self) -> &'static str {
+        "tx"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::Payload
+    }
+    fn output(&self) -> PortKind {
+        PortKind::Samples
+    }
+    fn process(&self, job: &mut FrameJob) -> Result<(), WlanError> {
+        job.samples = self.phy.transmit(&job.payload);
+        job.sent = job.samples.len();
+        Ok(())
+    }
+}
+
+/// 802.11a OFDM receive: the receiver is already fallible — a stream it
+/// cannot frame (short, bad SIGNAL parity, rate mismatch) is a detected
+/// erasure, surfaced as the same `SignalInvalid` the oracle returns.
+pub struct OfdmRx {
+    pub(crate) phy: OfdmPhy,
+}
+
+impl Stage for OfdmRx {
+    fn name(&self) -> &'static str {
+        "rx"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::Samples
+    }
+    fn output(&self) -> PortKind {
+        PortKind::Verdict
+    }
+    fn process(&self, job: &mut FrameJob) -> Result<(), WlanError> {
+        match self.phy.receive(&job.samples) {
+            Ok(p) => {
+                job.verdict = Some(Ok(p == job.payload));
+                Ok(())
+            }
+            Err(_) => Err(WlanError::SignalInvalid),
+        }
+    }
+}
+
+/// The HT-20 PHY behind the single-stream 802.11n stages: BCC builds its
+/// own modem; LDPC shares the process-wide cached code tables.
+pub enum HtPhyKind {
+    /// Convolutionally coded (Viterbi-decoded) HT PHY.
+    Bcc(wlan_mimo::ht::HtPhy),
+    /// LDPC-coded HT PHY (cached: the parity structure is expensive).
+    Ldpc(&'static wlan_mimo::ht_ldpc::HtLdpcPhy),
+}
+
+/// HT-20 transmit (BCC or LDPC).
+pub struct HtTx {
+    pub(crate) phy: HtPhyKind,
+}
+
+impl Stage for HtTx {
+    fn name(&self) -> &'static str {
+        "tx"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::Payload
+    }
+    fn output(&self) -> PortKind {
+        PortKind::Samples
+    }
+    fn process(&self, job: &mut FrameJob) -> Result<(), WlanError> {
+        job.samples = match &self.phy {
+            HtPhyKind::Bcc(phy) => phy.transmit(&job.payload),
+            HtPhyKind::Ldpc(phy) => phy.transmit(&job.payload),
+        };
+        job.sent = job.samples.len();
+        Ok(())
+    }
+}
+
+/// HT-20 receive (BCC or LDPC): truncation surfaces as the receiver's own
+/// typed `FrameTruncated`.
+pub struct HtRx {
+    pub(crate) phy: HtPhyKind,
+}
+
+impl Stage for HtRx {
+    fn name(&self) -> &'static str {
+        "rx"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::Samples
+    }
+    fn output(&self) -> PortKind {
+        PortKind::Verdict
+    }
+    fn process(&self, job: &mut FrameJob) -> Result<(), WlanError> {
+        let decoded = match &self.phy {
+            HtPhyKind::Bcc(phy) => phy.try_receive(&job.samples, job.payload.len())?,
+            HtPhyKind::Ldpc(phy) => phy.try_receive(&job.samples, job.payload.len())?,
+        };
+        job.verdict = Some(Ok(decoded == job.payload));
+        Ok(())
+    }
+}
+
+/// 802.11n MIMO-OFDM transmit: payload → per-antenna spatial streams.
+pub struct MimoTx {
+    pub(crate) phy: MimoOfdmPhy,
+}
+
+impl Stage for MimoTx {
+    fn name(&self) -> &'static str {
+        "tx"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::Payload
+    }
+    fn output(&self) -> PortKind {
+        PortKind::Streams
+    }
+    fn process(&self, job: &mut FrameJob) -> Result<(), WlanError> {
+        job.streams = self.phy.transmit(&job.payload);
+        job.sent = job.streams.iter().map(Vec::len).max().unwrap_or(0);
+        Ok(())
+    }
+}
+
+/// 802.11n MIMO-OFDM receive: linear detection plus decoding; a singular
+/// channel or truncated stream is the receiver's typed erasure.
+pub struct MimoRx {
+    pub(crate) phy: MimoOfdmPhy,
+}
+
+impl Stage for MimoRx {
+    fn name(&self) -> &'static str {
+        "rx"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::Streams
+    }
+    fn output(&self) -> PortKind {
+        PortKind::Verdict
+    }
+    fn process(&self, job: &mut FrameJob) -> Result<(), WlanError> {
+        let n0 = db_to_lin(-job.snr_db);
+        let decoded = self.phy.try_receive(&job.streams, n0, job.payload.len())?;
+        job.verdict = Some(Ok(decoded == job.payload));
+        Ok(())
+    }
+}
+
+/// Alamouti STBC transmit: payload → two space-time-coded streams.
+pub struct StbcTx {
+    pub(crate) phy: wlan_mimo::stbc_phy::StbcOfdmPhy,
+}
+
+impl Stage for StbcTx {
+    fn name(&self) -> &'static str {
+        "tx"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::Payload
+    }
+    fn output(&self) -> PortKind {
+        PortKind::Streams
+    }
+    fn process(&self, job: &mut FrameJob) -> Result<(), WlanError> {
+        job.streams = self.phy.transmit(&job.payload);
+        job.sent = job.streams.iter().map(Vec::len).max().unwrap_or(0);
+        Ok(())
+    }
+}
+
+/// Alamouti STBC receive.
+pub struct StbcRx {
+    pub(crate) phy: wlan_mimo::stbc_phy::StbcOfdmPhy,
+}
+
+impl Stage for StbcRx {
+    fn name(&self) -> &'static str {
+        "rx"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::Streams
+    }
+    fn output(&self) -> PortKind {
+        PortKind::Verdict
+    }
+    fn process(&self, job: &mut FrameJob) -> Result<(), WlanError> {
+        let n0 = db_to_lin(-job.snr_db);
+        let decoded = self.phy.try_receive(&job.streams, n0, job.payload.len())?;
+        job.verdict = Some(Ok(decoded == job.payload));
+        Ok(())
+    }
+}

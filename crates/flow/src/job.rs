@@ -1,0 +1,148 @@
+//! The per-frame work unit that travels through a flowgraph.
+
+use wlan_math::rng::WlanRng;
+use wlan_math::{Complex, WlanError};
+
+/// The kind of buffer flowing across a port between two stages.
+///
+/// Typed ports are what make stage chains safe to recompose: a reordered
+/// or mistyped chain fails [`crate::Flowgraph::new`] with a typed
+/// [`crate::FlowError`] instead of silently decoding garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortKind {
+    /// Raw payload bytes ([`FrameJob::payload`]).
+    Payload,
+    /// One baseband sample stream ([`FrameJob::samples`]).
+    Samples,
+    /// Multiple per-antenna sample streams ([`FrameJob::streams`]).
+    Streams,
+    /// A final frame verdict ([`FrameJob::verdict`]).
+    Verdict,
+}
+
+/// One frame's entire universe: its RNG stream, payload, and every
+/// intermediate buffer, owned so jobs can migrate freely between workers.
+///
+/// Buffer ownership rules:
+///
+/// - A stage may read, mutate, replace, or shorten any buffer of the job
+///   it was handed; nothing else aliases them during `process`.
+/// - A stage must not keep state across calls — consecutive calls carry
+///   *different* frames (the scheduler interleaves them arbitrarily).
+/// - Finished jobs are recycled through a pool: [`FrameJob::reset`] clears
+///   buffers but keeps their capacity, so steady-state runtime overhead
+///   allocates nothing per frame.
+#[derive(Debug)]
+pub struct FrameJob {
+    /// The frame's private RNG stream (`master.fork(point).fork(frame)` in
+    /// link sweeps). All randomness a frame consumes — payload bytes,
+    /// channel realization, noise, fault draws — comes from here, which is
+    /// why scheduling order can never change a verdict.
+    pub rng: WlanRng,
+    /// Operating SNR in dB for this frame.
+    pub snr_db: f64,
+    /// Payload bytes under test.
+    pub payload: Vec<u8>,
+    /// Payload expanded to bits (kept by bit-oriented PHYs for the final
+    /// comparison).
+    pub bits: Vec<u8>,
+    /// Single-stream baseband samples ([`PortKind::Samples`]).
+    pub samples: Vec<Complex>,
+    /// Per-antenna sample streams ([`PortKind::Streams`]).
+    pub streams: Vec<Vec<Complex>>,
+    /// Samples the transmitter emitted — receivers use it to detect
+    /// mid-frame truncation by a fault injector.
+    pub sent: usize,
+    /// The frame's verdict once a sink stage (or a typed erasure) sets it:
+    /// `Ok(true)` recovered, `Ok(false)` wrong bits, `Err` erasure.
+    pub verdict: Option<Result<bool, WlanError>>,
+    /// Global frame index within the current run.
+    index: usize,
+    /// Next stage to execute.
+    stage: usize,
+    /// Port kind currently live on the job (advances with each stage).
+    port: PortKind,
+}
+
+impl Default for FrameJob {
+    fn default() -> Self {
+        FrameJob {
+            rng: WlanRng::seed_from_u64(0),
+            snr_db: 0.0,
+            payload: Vec::new(),
+            bits: Vec::new(),
+            samples: Vec::new(),
+            streams: Vec::new(),
+            sent: 0,
+            verdict: None,
+            index: 0,
+            stage: 0,
+            port: PortKind::Payload,
+        }
+    }
+}
+
+impl FrameJob {
+    /// Global frame index within the current run.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The port kind currently live on the job.
+    pub fn port(&self) -> PortKind {
+        self.port
+    }
+
+    /// Next stage to execute (== number of stages already run).
+    pub(crate) fn stage(&self) -> usize {
+        self.stage
+    }
+
+    /// Marks one stage complete and records the port it produced.
+    pub(crate) fn advance(&mut self, produced: PortKind) {
+        self.stage += 1;
+        self.port = produced;
+    }
+
+    /// Records a typed erasure and skips the remaining stages.
+    pub(crate) fn erase(&mut self, e: WlanError, n_stages: usize) {
+        self.verdict = Some(Err(e));
+        self.stage = n_stages;
+        self.port = PortKind::Verdict;
+    }
+
+    /// Called after the final stage: a sink that failed to set a verdict
+    /// becomes a typed error, never a silent pass.
+    pub(crate) fn seal_verdict(&mut self) {
+        if self.verdict.is_none() {
+            self.verdict = Some(Err(WlanError::InvalidConfig(
+                "flowgraph finished without a verdict",
+            )));
+        }
+    }
+
+    /// Takes the verdict out of the job (typed error if none was set).
+    pub(crate) fn take_verdict(&mut self) -> Result<bool, WlanError> {
+        self.verdict
+            .take()
+            .unwrap_or(Err(WlanError::InvalidConfig(
+                "flowgraph produced no verdict",
+            )))
+    }
+
+    /// Recharges a recycled job for frame `index`: buffers are cleared but
+    /// keep their capacity (the pool's no-per-frame-allocation guarantee);
+    /// the caller's `init` closure then seeds RNG, SNR, and payload.
+    pub(crate) fn reset(&mut self, index: usize) {
+        self.index = index;
+        self.stage = 0;
+        self.port = PortKind::Payload;
+        self.snr_db = 0.0;
+        self.sent = 0;
+        self.verdict = None;
+        self.payload.clear();
+        self.bits.clear();
+        self.samples.clear();
+        self.streams.clear();
+    }
+}

@@ -1,0 +1,561 @@
+//! `wlan-flow` — the streaming flowgraph runtime for the link simulator.
+//!
+//! The paper's PHY story is a pipeline — scramble/encode → interleave/map
+//! → channel → sync/demap/decode — and this crate gives that pipeline a
+//! first-class runtime: a [`Stage`] is one step of a frame's journey with
+//! *typed* input/output ports, a [`Flowgraph`] is a port-checked chain of
+//! stages, and [`Flowgraph::run`] pushes a window of in-flight frames
+//! through the chain on a work-stealing scheduler layered on
+//! [`wlan_math::par`], so different frames occupy different stages
+//! concurrently (frame *k* can be decoding while frame *k+3* is still in
+//! the channel).
+//!
+//! # Determinism contract
+//!
+//! The scheduler can never change a result. Each frame's entire universe
+//! travels inside its [`FrameJob`]: the job's own forked RNG stream, its
+//! payload, and every intermediate buffer. Stages run strictly in chain
+//! order *within* a job and share no mutable state *across* jobs, so any
+//! interleaving of jobs over workers produces bit-identical verdicts;
+//! [`Flowgraph::run`] additionally returns verdicts in frame order so
+//! callers fold them deterministically. One worker (`WLAN_THREADS=1`) is
+//! the exact serial loop — no threads, no queues.
+//!
+//! # Buffer ownership
+//!
+//! A [`FrameJob`] owns its buffers; the runtime recycles finished job
+//! carcasses through a pool bounded by the in-flight window, so the
+//! runtime itself does no per-frame allocation on the hot path (stages may
+//! still allocate internally exactly where the monolithic reference path
+//! did — kernel scratch reuse lives in the thread-local kernels of
+//! `wlan-coding`/`wlan-math`). A stage may freely steal, replace, or
+//! shorten the buffers of the job it was handed; it must never hold data
+//! across calls, because consecutive calls see *different* frames.
+//!
+//! # Erasures are typed, never silent
+//!
+//! A stage that detects an undecodable frame returns a typed
+//! [`WlanError`]; the runtime records it as that frame's verdict and
+//! short-circuits the remaining stages. A chain that terminates without
+//! any verdict yields `Err(WlanError::InvalidConfig(..))` — a pipeline
+//! bug can never masquerade as a successful (PER-0) trial.
+//!
+//! # Observability
+//!
+//! [`Flowgraph::new`] registers one nanosecond histogram per stage, named
+//! `<prefix>.<stage name>`, and records exactly one span per stage per
+//! frame. Recording is write-only and can never affect results (the
+//! `wlan_obs` determinism guarantee).
+
+mod job;
+mod sched;
+
+pub use job::{FrameJob, PortKind};
+
+use wlan_math::WlanError;
+
+/// One step of a frame's journey through the pipeline.
+///
+/// Stages are immutable parameter bundles shared by every worker
+/// (`Send + Sync`); all per-frame state lives in the [`FrameJob`]. A
+/// stage declares what buffer kind it consumes and produces so
+/// [`Flowgraph::new`] can reject ill-typed chains before any frame runs.
+pub trait Stage: Send + Sync {
+    /// Short stage name; also the histogram suffix (`<prefix>.<name>`).
+    fn name(&self) -> &'static str;
+
+    /// The port kind this stage consumes.
+    fn input(&self) -> PortKind;
+
+    /// The port kind this stage produces.
+    fn output(&self) -> PortKind;
+
+    /// Processes one frame in place. Returning `Err` marks the frame as a
+    /// typed erasure and skips the remaining stages; the final stage of a
+    /// chain must set [`FrameJob::verdict`] on success.
+    fn process(&self, job: &mut FrameJob) -> Result<(), WlanError>;
+}
+
+/// A structurally invalid stage chain, rejected at build time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// The chain has no stages.
+    Empty,
+    /// The first stage does not consume `Payload`.
+    BadSource {
+        /// Name of the offending stage.
+        stage: &'static str,
+        /// The port kind it asked for instead.
+        found: PortKind,
+    },
+    /// Adjacent stages disagree on the buffer kind flowing between them.
+    PortMismatch {
+        /// The producing stage.
+        upstream: &'static str,
+        /// The consuming stage.
+        downstream: &'static str,
+        /// What the upstream stage produces.
+        produced: PortKind,
+        /// What the downstream stage expects.
+        expected: PortKind,
+    },
+    /// The last stage does not produce `Verdict`.
+    BadSink {
+        /// Name of the offending stage.
+        stage: &'static str,
+        /// The port kind it produces instead.
+        found: PortKind,
+    },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Empty => write!(f, "flowgraph has no stages"),
+            FlowError::BadSource { stage, found } => {
+                write!(f, "first stage {stage:?} must consume Payload, wants {found:?}")
+            }
+            FlowError::PortMismatch {
+                upstream,
+                downstream,
+                produced,
+                expected,
+            } => write!(
+                f,
+                "stage {upstream:?} produces {produced:?} but {downstream:?} expects {expected:?}"
+            ),
+            FlowError::BadSink { stage, found } => {
+                write!(f, "last stage {stage:?} must produce Verdict, produces {found:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// A port-checked chain of stages plus its per-stage span timers.
+///
+/// The lifetime `'a` lets stages borrow their configuration (e.g. a
+/// `&FaultChain`) instead of cloning it into every stage.
+pub struct Flowgraph<'a> {
+    stages: Vec<Box<dyn Stage + 'a>>,
+    timers: Vec<wlan_obs::Histogram>,
+}
+
+impl<'a> Flowgraph<'a> {
+    /// Builds a flowgraph, validating the port chain: the first stage must
+    /// consume [`PortKind::Payload`], every stage's output must match its
+    /// successor's input, and the last stage must produce
+    /// [`PortKind::Verdict`]. A reordered or mistyped chain is a typed
+    /// [`FlowError`], caught before any frame runs.
+    pub fn new(obs_prefix: &str, stages: Vec<Box<dyn Stage + 'a>>) -> Result<Self, FlowError> {
+        let first = stages.first().ok_or(FlowError::Empty)?;
+        if first.input() != PortKind::Payload {
+            return Err(FlowError::BadSource {
+                stage: first.name(),
+                found: first.input(),
+            });
+        }
+        for pair in stages.windows(2) {
+            if pair[0].output() != pair[1].input() {
+                return Err(FlowError::PortMismatch {
+                    upstream: pair[0].name(),
+                    downstream: pair[1].name(),
+                    produced: pair[0].output(),
+                    expected: pair[1].input(),
+                });
+            }
+        }
+        // `first()` above proved the chain is nonempty.
+        if let Some(last) = stages.last() {
+            if last.output() != PortKind::Verdict {
+                return Err(FlowError::BadSink {
+                    stage: last.name(),
+                    found: last.output(),
+                });
+            }
+        }
+        let obs = wlan_obs::global();
+        let timers = stages
+            .iter()
+            .map(|s| obs.histogram(&format!("{obs_prefix}.{}", s.name())))
+            .collect();
+        Ok(Flowgraph { stages, timers })
+    }
+
+    /// Number of stages in the chain.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the chain is empty (never true for a built graph).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The stage names, in chain order.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// Advances `job` by exactly one stage, recording that stage's span.
+    /// Returns `true` when the job is finished (verdict reached or typed
+    /// erasure). This is the scheduler's preemption point: one stage per
+    /// dequeue keeps several frames interleaved across the chain.
+    pub(crate) fn step(&self, job: &mut FrameJob) -> bool {
+        let i = job.stage();
+        let Some(stage) = self.stages.get(i) else {
+            return true;
+        };
+        let span = self.timers[i].start();
+        let result = stage.process(job);
+        span.stop();
+        match result {
+            Ok(()) => {
+                job.advance(stage.output());
+                if job.stage() == self.stages.len() {
+                    job.seal_verdict();
+                    true
+                } else {
+                    false
+                }
+            }
+            Err(e) => {
+                job.erase(e, self.stages.len());
+                true
+            }
+        }
+    }
+
+    /// Runs one job through every remaining stage, serially, and returns
+    /// its verdict: `Ok(true)` payload recovered, `Ok(false)` wrong bits,
+    /// `Err` typed erasure.
+    pub fn run_one(&self, job: &mut FrameJob) -> Result<bool, WlanError> {
+        while !self.step(job) {}
+        job.take_verdict()
+    }
+
+    /// Runs `total` frames through the chain and returns their verdicts in
+    /// frame order.
+    ///
+    /// `init` is called once per frame index to charge a recycled
+    /// [`FrameJob`] (seed its RNG stream, SNR, payload); it must derive
+    /// everything from the index alone so results are a pure function of
+    /// the inputs. `threads` workers keep up to `window` frames in flight
+    /// (clamped to at least the worker count); one worker runs the exact
+    /// serial loop.
+    pub fn run(
+        &self,
+        threads: usize,
+        total: usize,
+        window: usize,
+        init: &(dyn Fn(usize, &mut FrameJob) + Sync),
+    ) -> Vec<Result<bool, WlanError>> {
+        sched::run(self, threads, total, window, init)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_math::rng::Rng;
+
+    /// Payload → Samples: one pseudo-sample per payload byte.
+    struct TestTx;
+    impl Stage for TestTx {
+        fn name(&self) -> &'static str {
+            "tx"
+        }
+        fn input(&self) -> PortKind {
+            PortKind::Payload
+        }
+        fn output(&self) -> PortKind {
+            PortKind::Samples
+        }
+        fn process(&self, job: &mut FrameJob) -> Result<(), WlanError> {
+            job.samples.clear();
+            for &b in &job.payload {
+                job.samples
+                    .push(wlan_math::Complex::new(f64::from(b), 0.0));
+            }
+            job.sent = job.samples.len();
+            Ok(())
+        }
+    }
+
+    /// Samples → Samples: adds a deterministic per-job perturbation drawn
+    /// from the job's own RNG stream.
+    struct TestChannel;
+    impl Stage for TestChannel {
+        fn name(&self) -> &'static str {
+            "channel"
+        }
+        fn input(&self) -> PortKind {
+            PortKind::Samples
+        }
+        fn output(&self) -> PortKind {
+            PortKind::Samples
+        }
+        fn process(&self, job: &mut FrameJob) -> Result<(), WlanError> {
+            for s in job.samples.iter_mut() {
+                s.re += f64::from(job.rng.gen::<u8>() % 2);
+            }
+            Ok(())
+        }
+    }
+
+    /// Samples → Verdict: frame survives iff the perturbed sum is even.
+    struct TestRx;
+    impl Stage for TestRx {
+        fn name(&self) -> &'static str {
+            "rx"
+        }
+        fn input(&self) -> PortKind {
+            PortKind::Samples
+        }
+        fn output(&self) -> PortKind {
+            PortKind::Verdict
+        }
+        fn process(&self, job: &mut FrameJob) -> Result<(), WlanError> {
+            if job.samples.len() < job.sent {
+                return Err(WlanError::FrameTruncated {
+                    needed: job.sent,
+                    got: job.samples.len(),
+                });
+            }
+            let sum: f64 = job.samples.iter().map(|s| s.re).sum();
+            job.verdict = Some(Ok((sum as u64) % 2 == 0));
+            Ok(())
+        }
+    }
+
+    fn graph() -> Flowgraph<'static> {
+        Flowgraph::new(
+            "flowtest",
+            vec![Box::new(TestTx), Box::new(TestChannel), Box::new(TestRx)],
+        )
+        .unwrap()
+    }
+
+    fn init_job(i: usize, job: &mut FrameJob) {
+        job.rng = wlan_math::rng::WlanRng::seed_from_u64(99).fork(i as u64);
+        for _ in 0..16 {
+            let b: u8 = job.rng.gen();
+            job.payload.push(b);
+        }
+    }
+
+    #[test]
+    fn port_chain_is_validated() {
+        // tx ∘ rx without the channel still types (Samples → Samples is
+        // not required), but rx ∘ tx does not.
+        let ok = Flowgraph::new("flowtest", vec![Box::new(TestTx) as _, Box::new(TestRx) as _]);
+        assert!(ok.is_ok());
+        let err = Flowgraph::new("flowtest", vec![Box::new(TestRx) as _, Box::new(TestTx) as _]);
+        assert_eq!(
+            err.err(),
+            Some(FlowError::BadSource {
+                stage: "rx",
+                found: PortKind::Samples
+            })
+        );
+        let err = Flowgraph::new(
+            "flowtest",
+            vec![Box::new(TestTx) as _, Box::new(TestRx) as _, Box::new(TestChannel) as _],
+        );
+        assert_eq!(
+            err.err(),
+            Some(FlowError::PortMismatch {
+                upstream: "rx",
+                downstream: "channel",
+                produced: PortKind::Verdict,
+                expected: PortKind::Samples
+            })
+        );
+        let err = Flowgraph::new(
+            "flowtest",
+            vec![Box::new(TestTx) as _, Box::new(TestChannel) as _],
+        );
+        assert_eq!(
+            err.err(),
+            Some(FlowError::BadSink {
+                stage: "channel",
+                found: PortKind::Samples
+            })
+        );
+        assert_eq!(Flowgraph::new("flowtest", vec![]).err(), Some(FlowError::Empty));
+    }
+
+    #[test]
+    fn verdicts_are_identical_at_any_worker_count() {
+        let g = graph();
+        let total = 61; // not a multiple of anything interesting
+        let serial = g.run(1, total, 4, &init_job);
+        assert_eq!(serial.len(), total);
+        for threads in [2, 3, 8] {
+            for window in [2, 7, 64] {
+                let par = g.run(threads, total, window, &init_job);
+                assert_eq!(par, serial, "{threads} workers, window {window}");
+            }
+        }
+    }
+
+    #[test]
+    fn missing_verdict_is_a_typed_error_not_a_pass() {
+        /// Claims to produce a verdict but never sets one.
+        struct Liar;
+        impl Stage for Liar {
+            fn name(&self) -> &'static str {
+                "liar"
+            }
+            fn input(&self) -> PortKind {
+                PortKind::Payload
+            }
+            fn output(&self) -> PortKind {
+                PortKind::Verdict
+            }
+            fn process(&self, _job: &mut FrameJob) -> Result<(), WlanError> {
+                Ok(())
+            }
+        }
+        let g = Flowgraph::new("flowtest", vec![Box::new(Liar) as _]).unwrap();
+        let mut job = FrameJob::default();
+        init_job(0, &mut job);
+        let verdict = g.run_one(&mut job);
+        assert!(matches!(verdict, Err(WlanError::InvalidConfig(_))), "{verdict:?}");
+        // And through the scheduler at several worker counts.
+        for threads in [1, 3] {
+            let out = g.run(threads, 5, 4, &init_job);
+            assert!(out
+                .iter()
+                .all(|v| matches!(v, Err(WlanError::InvalidConfig(_)))));
+        }
+    }
+
+    #[test]
+    fn stage_erasure_short_circuits_with_the_typed_error() {
+        /// Samples → Samples stage that drops the tail of every 3rd frame.
+        struct Truncator;
+        impl Stage for Truncator {
+            fn name(&self) -> &'static str {
+                "truncator"
+            }
+            fn input(&self) -> PortKind {
+                PortKind::Samples
+            }
+            fn output(&self) -> PortKind {
+                PortKind::Samples
+            }
+            fn process(&self, job: &mut FrameJob) -> Result<(), WlanError> {
+                if job.index() % 3 == 0 {
+                    job.samples.truncate(job.samples.len() / 2);
+                }
+                Ok(())
+            }
+        }
+        let g = Flowgraph::new(
+            "flowtest",
+            vec![Box::new(TestTx) as _, Box::new(Truncator) as _, Box::new(TestRx) as _],
+        )
+        .unwrap();
+        for threads in [1, 4] {
+            let out = g.run(threads, 9, 8, &init_job);
+            for (i, v) in out.iter().enumerate() {
+                if i % 3 == 0 {
+                    assert_eq!(
+                        *v,
+                        Err(WlanError::FrameTruncated { needed: 16, got: 8 }),
+                        "frame {i}"
+                    );
+                } else {
+                    assert!(v.is_ok(), "frame {i}: {v:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spans_record_once_per_stage_per_frame() {
+        let obs = wlan_obs::global();
+        let was = obs.is_enabled();
+        obs.set_enabled(true);
+        // Unique prefix: no other test in this binary records here, so the
+        // count delta is exactly ours even with tests running in parallel.
+        let g = Flowgraph::new(
+            "flowspan",
+            vec![Box::new(TestTx) as _, Box::new(TestChannel) as _, Box::new(TestRx) as _],
+        )
+        .unwrap();
+        let tx = obs.histogram("flowspan.tx");
+        let before = tx.snapshot().count;
+        let _ = g.run(2, 10, 4, &init_job);
+        let after = tx.snapshot().count;
+        obs.set_enabled(was);
+        assert_eq!(after - before, 10);
+    }
+
+    /// Regression: two workers whose own deques run dry steal from each
+    /// other concurrently. The scheduler once held the own-deque guard
+    /// across the steal (a single `pop_back().or_else(steal)` expression
+    /// keeps the first `MutexGuard` temporary alive until the statement
+    /// ends), so simultaneous mutual steals deadlocked ABBA — each worker
+    /// holding its own deque, futex-waiting on the other's, forever.
+    /// Near-free stages with a tiny frame count keep both workers in the
+    /// empty-deque/steal path almost permanently, which is the widest
+    /// race window: the pre-fix scheduler hung within 1k–30k of these
+    /// runs across debug-build trials (the overlap needs a preemption
+    /// inside the critical section, so single-core hosts see the long
+    /// tail), and a 100k budget makes the hang — surfaced as a test
+    /// timeout — the expected outcome. ci.sh runs the suite twice, and a
+    /// reintroduced nested guard also hangs the parallel_determinism
+    /// sweep matrix, so CI has three independent shots at it.
+    #[test]
+    fn concurrent_mutual_steals_cannot_deadlock() {
+        /// The cheapest legal stage: port plumbing and a verdict, nothing
+        /// else, so a worker returns to the dequeue/steal race instantly.
+        struct Pass(&'static str, PortKind, PortKind);
+        impl Stage for Pass {
+            fn name(&self) -> &'static str {
+                self.0
+            }
+            fn input(&self) -> PortKind {
+                self.1
+            }
+            fn output(&self) -> PortKind {
+                self.2
+            }
+            fn process(&self, job: &mut FrameJob) -> Result<(), WlanError> {
+                if self.2 == PortKind::Verdict {
+                    job.verdict = Some(Ok(true));
+                }
+                Ok(())
+            }
+        }
+        let g = Flowgraph::new(
+            "flowsteal",
+            vec![
+                Box::new(Pass("a", PortKind::Payload, PortKind::Samples)) as _,
+                Box::new(Pass("b", PortKind::Samples, PortKind::Verdict)) as _,
+            ],
+        )
+        .unwrap();
+        for _ in 0..100_000 {
+            let out = g.run(2, 3, 2, &|_, _| {});
+            assert!(out.iter().all(|v| matches!(v, Ok(true))));
+        }
+        // And with a worker stealing across more than one sibling.
+        for _ in 0..5_000 {
+            let out = g.run(3, 4, 3, &|_, _| {});
+            assert_eq!(out.len(), 4);
+        }
+    }
+
+    #[test]
+    fn zero_total_is_empty() {
+        let g = graph();
+        assert!(g.run(4, 0, 8, &init_job).is_empty());
+        assert_eq!(g.stage_names(), vec!["tx", "channel", "rx"]);
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! The windowed work-stealing scheduler behind [`Flowgraph::run`].
+//!
+//! Layered on [`wlan_math::par::run_workers`]: each worker owns a deque of
+//! in-flight jobs, pops its own back (LIFO keeps a frame's buffers hot in
+//! cache), steals siblings' fronts (FIFO drains the oldest frames first),
+//! and admits new frames from a shared cursor whenever the in-flight count
+//! sits below the window. One stage per dequeue is the preemption point
+//! that lets different frames occupy different stages concurrently.
+//!
+//! Determinism is structural, not scheduled: a job carries its own RNG and
+//! buffers, stages share no cross-job state, and results are sorted by
+//! frame index before returning — so *any* interleaving of pops, steals,
+//! and admissions yields bit-identical verdicts (see the crate docs).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use wlan_math::par;
+use wlan_math::WlanError;
+
+use crate::{Flowgraph, FrameJob};
+
+/// Locks a mutex, recovering the data from a poisoned lock (a panicking
+/// sibling worker must not cascade into every other worker).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Clears the abort flag's owner: set when a worker unwinds so siblings
+/// spinning on global progress exit instead of waiting forever, letting
+/// [`par::run_workers`] join everyone and propagate the panic.
+struct AbortOnPanic<'s>(&'s AtomicBool);
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+pub(crate) fn run(
+    graph: &Flowgraph<'_>,
+    threads: usize,
+    total: usize,
+    window: usize,
+    init: &(dyn Fn(usize, &mut FrameJob) + Sync),
+) -> Vec<Result<bool, WlanError>> {
+    let workers = threads.max(1).min(total.max(1));
+    if workers <= 1 {
+        // The exact serial path: one recycled job, frames in index order,
+        // no threads, no queues.
+        let mut job = FrameJob::default();
+        let mut out = Vec::with_capacity(total);
+        for i in 0..total {
+            job.reset(i);
+            init(i, &mut job);
+            out.push(graph.run_one(&mut job));
+        }
+        return out;
+    }
+
+    let window = window.max(workers);
+    let deques: Vec<Mutex<VecDeque<FrameJob>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    // Finished job carcasses, recycled so steady state admits frames
+    // without allocating. Bounded by the window: at most `window` jobs
+    // exist at any instant, in flight or pooled.
+    let pool: Mutex<Vec<FrameJob>> = Mutex::new(Vec::new());
+    let cursor = AtomicUsize::new(0);
+    let in_flight = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let results: Mutex<Vec<(usize, Result<bool, WlanError>)>> =
+        Mutex::new(Vec::with_capacity(total));
+
+    par::run_workers(workers, |w| {
+        let guard = AbortOnPanic(&abort);
+        let mut local: Vec<(usize, Result<bool, WlanError>)> = Vec::new();
+        loop {
+            if abort.load(Ordering::SeqCst) {
+                break;
+            }
+            // 1. Run a stage of a job we already hold (own back first,
+            //    then steal the oldest frame from a sibling). The own-pop
+            //    and the steal are separate statements so the own-deque
+            //    guard is dropped before any sibling deque is locked —
+            //    chaining them in one expression keeps the first guard
+            //    alive across the steal, and two workers stealing from
+            //    each other then deadlock ABBA (each holding its own
+            //    deque, waiting on the other's).
+            let mut job = lock(&deques[w]).pop_back();
+            if job.is_none() {
+                job = (1..workers)
+                    .map(|k| (w + k) % workers)
+                    .find_map(|v| lock(&deques[v]).pop_front());
+            }
+            if let Some(mut job) = job {
+                if graph.step(&mut job) {
+                    local.push((job.index(), job.take_verdict()));
+                    lock(&pool).push(job);
+                    in_flight.fetch_sub(1, Ordering::AcqRel);
+                    done.fetch_add(1, Ordering::AcqRel);
+                } else {
+                    lock(&deques[w]).push_back(job);
+                }
+                continue;
+            }
+            // 2. Nothing to run: admit a fresh frame if the window allows.
+            if in_flight.load(Ordering::Acquire) < window {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i < total {
+                    in_flight.fetch_add(1, Ordering::AcqRel);
+                    let mut job = lock(&pool).pop().unwrap_or_default();
+                    job.reset(i);
+                    init(i, &mut job);
+                    lock(&deques[w]).push_back(job);
+                    continue;
+                }
+            }
+            // 3. Drained: exit once every admitted frame has finished.
+            if done.load(Ordering::Acquire) >= total {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        lock(&results).extend(local);
+        drop(guard);
+    });
+
+    let mut indexed = results
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, v)| v).collect()
+}

@@ -392,6 +392,33 @@ pub fn fftshift(data: &[Complex]) -> Vec<Complex> {
 mod tests {
     use super::*;
 
+    #[test]
+    fn alternating_batch_sizes_on_one_plan_match_single_transforms() {
+        // Regression pin for the shrinking-batch hazard on the cached
+        // plan: one thread alternating batch sizes (8 → 2 → 5 → 1 → 8
+        // blocks) through the same thread-local plan must produce
+        // bit-identical spectra to fresh per-block transforms — a batch
+        // call must never see scratch left over from a larger batch.
+        use crate::rng::{Rng, WlanRng};
+        let mut rng = WlanRng::seed_from_u64(55);
+        let n = 64;
+        let plan = cached_plan(n);
+        for &blocks in &[8usize, 2, 5, 1, 8, 3, 2] {
+            let mut batch: Vec<Complex> = (0..blocks * n)
+                .map(|_| Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+                .collect();
+            let mut singles = batch.clone();
+            plan.fft_batch(&mut batch);
+            for block in singles.chunks_exact_mut(n) {
+                FftPlan::new(n).fft_in_place(block);
+            }
+            for (i, (a, b)) in batch.iter().zip(&singles).enumerate() {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "re diverged at {i} ({blocks} blocks)");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "im diverged at {i} ({blocks} blocks)");
+            }
+        }
+    }
+
     fn naive_dft(x: &[Complex]) -> Vec<Complex> {
         let n = x.len();
         (0..n)
